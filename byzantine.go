@@ -1,0 +1,67 @@
+package hquorum
+
+import (
+	"hquorum/internal/bqs"
+	"hquorum/internal/kcoterie"
+	"hquorum/internal/quorum"
+)
+
+// Byzantine quorum systems (see internal/bqs) — the §7 adaptation of the
+// paper's constructions to Byzantine failures.
+type (
+	// ByzantineSystem is a quorum system with a strengthened intersection
+	// guarantee (|Q₁∩Q₂| ≥ f+1 or 2f+1).
+	ByzantineSystem = bqs.System
+	// ByzantineClass selects dissemination (f+1) or masking (2f+1)
+	// intersection.
+	ByzantineClass = bqs.Class
+)
+
+// Byzantine system classes.
+const (
+	// Dissemination systems protect self-verifying data (|Q₁∩Q₂| ≥ f+1).
+	Dissemination = bqs.Dissemination
+	// Masking systems protect generic data (|Q₁∩Q₂| ≥ 2f+1).
+	Masking = bqs.Masking
+)
+
+// NewByzantineThreshold returns the size-based Byzantine quorum system
+// over n servers tolerating f faults.
+func NewByzantineThreshold(n, f int, class ByzantineClass) (ByzantineSystem, error) {
+	return bqs.NewThreshold(n, f, class)
+}
+
+// NewMGrid returns the Malkhi–Reiter masking grid over a k×k server grid.
+func NewMGrid(k, f int) (ByzantineSystem, error) { return bqs.NewMGrid(k, f) }
+
+// NewByzantine lifts any crash-model construction of this library (e.g.
+// NewHTriang, NewHTGrid) to a Byzantine quorum system by replacing every
+// element with a server cluster — the hierarchical Byzantine systems the
+// paper's §7 anticipates.
+func NewByzantine(base System, f int, class ByzantineClass) (ByzantineSystem, error) {
+	return bqs.NewClustered(base, f, class)
+}
+
+// Compose replaces each element of a base system with an independent
+// sub-system over its own nodes (coterie composition). Kumar's HQS is the
+// recursive composition of majorities.
+func Compose(base System, subs []System) (System, error) {
+	return quorum.NewComposite(base, subs)
+}
+
+// IsNonDominated reports whether a system is a non-dominated coterie —
+// one on the Proposition 3.2 optimality frontier, reaching F(1/2) = 1/2
+// exactly. Requires a universe of at most 24 nodes.
+func IsNonDominated(sys System) (bool, error) { return quorum.IsNonDominated(sys) }
+
+// NewKMajority returns the k-majority k-coterie over n processes: up to k
+// simultaneous critical sections with quorums of ⌊n/(k+1)⌋+1. It plugs
+// directly into NewMutexNode for k-mutual exclusion.
+func NewKMajority(n, k int) (System, error) { return kcoterie.NewKMajority(n, k) }
+
+// NewPartitionedKCoterie builds the partition k-coterie: k ordinary
+// coteries over disjoint process slices (any of this library's
+// constructions), allowing one holder per slice.
+func NewPartitionedKCoterie(subs ...System) (System, error) {
+	return kcoterie.NewPartitioned(subs...)
+}

@@ -1,0 +1,77 @@
+package hquorum
+
+import (
+	"hquorum/internal/cluster"
+	"hquorum/internal/dmutex"
+	"hquorum/internal/rkv"
+)
+
+// Simulation substrate (see internal/cluster).
+type (
+	// Network is the deterministic discrete-event cluster simulation.
+	Network = cluster.Network
+	// NodeID identifies a simulated node.
+	NodeID = cluster.NodeID
+	// Env is the node-side interface to the cluster.
+	Env = cluster.Env
+	// Handler is the protocol logic a node runs.
+	Handler = cluster.Handler
+	// NetworkOption configures a Network.
+	NetworkOption = cluster.Option
+)
+
+// Network construction options.
+var (
+	// WithSeed sets the simulation's random seed.
+	WithSeed = cluster.WithSeed
+	// WithLatency sets the message-delay range.
+	WithLatency = cluster.WithLatency
+	// WithDropRate sets the message-loss probability.
+	WithDropRate = cluster.WithDropRate
+	// WithFIFO toggles per-link FIFO ordering.
+	WithFIFO = cluster.WithFIFO
+)
+
+// NewNetwork creates a simulated cluster.
+func NewNetwork(opts ...NetworkOption) *Network { return cluster.New(opts...) }
+
+// Distributed mutual exclusion (see internal/dmutex).
+type (
+	// MutexNode is a Maekawa-style mutual-exclusion participant.
+	MutexNode = dmutex.Node
+	// MutexConfig parameterizes a MutexNode.
+	MutexConfig = dmutex.Config
+	// MutexWorkload schedules a node's critical-section attempts.
+	MutexWorkload = dmutex.Workload
+)
+
+// NewMutexNode builds a mutual-exclusion node over any quorum System.
+func NewMutexNode(id NodeID, cfg MutexConfig) (*MutexNode, error) {
+	return dmutex.NewNode(id, cfg)
+}
+
+// Replicated register (see internal/rkv).
+type (
+	// Replica is a replicated-register node.
+	Replica = rkv.Node
+	// ReplicaConfig parameterizes a Replica.
+	ReplicaConfig = rkv.Config
+	// RegisterOp is one client operation on the register.
+	RegisterOp = rkv.Op
+	// RegisterResult reports a completed operation.
+	RegisterResult = rkv.Result
+	// HGridStore supplies h-grid read/write quorums to replicas.
+	HGridStore = rkv.HGridStore
+)
+
+// Register operation kinds.
+const (
+	OpRead       = rkv.OpRead
+	OpWrite      = rkv.OpWrite
+	OpBlindWrite = rkv.OpBlindWrite
+)
+
+// NewReplica builds a replicated-register node.
+func NewReplica(id NodeID, cfg ReplicaConfig) (*Replica, error) {
+	return rkv.NewNode(id, cfg)
+}

@@ -1,0 +1,177 @@
+// Command kvd runs one replica of the quorum-replicated register as a real
+// process speaking TCP — the deployment path for the protocols the rest of
+// this repository analyzes and simulates.
+//
+// A cluster is described by a peers file with one "id host:port" line per
+// replica; the grid dimensions are derived from the replica count (the
+// universe must be rows×cols of the chosen grid). Example, a 2×2 grid:
+//
+//	$ cat peers.txt
+//	0 127.0.0.1:7000
+//	1 127.0.0.1:7001
+//	2 127.0.0.1:7002
+//	3 127.0.0.1:7003
+//
+//	$ kvd -id 1 -peers peers.txt -rows 2 -cols 2 &
+//	... (start every replica) ...
+//	$ kvd -id 0 -peers peers.txt -rows 2 -cols 2 -write hello -then-read
+//
+// A replica with -write/-read flags performs those client operations
+// against the cluster and prints the results; without them it serves
+// forever.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/rkv"
+	"hquorum/internal/transport"
+)
+
+func main() {
+	id := flag.Int("id", -1, "this replica's ID (must appear in the peers file)")
+	peersPath := flag.String("peers", "", "peers file: one 'id host:port' per line")
+	rows := flag.Int("rows", 4, "grid rows (rows*cols must equal the replica count)")
+	cols := flag.Int("cols", 4, "grid cols")
+	useHTGrid := flag.Bool("htgrid", false, "write through h-T-grid quorums instead of full-lines")
+	write := flag.String("write", "", "perform a read-write update with this value")
+	read := flag.Bool("read", false, "perform a read")
+	thenRead := flag.Bool("then-read", false, "follow the write with a read")
+	timeout := flag.Duration("timeout", time.Minute, "client operation deadline")
+	flag.Parse()
+
+	peers, err := loadPeers(*peersPath)
+	if err != nil {
+		fatal("peers: %v", err)
+	}
+	addr, ok := peers[cluster.NodeID(*id)]
+	if !ok {
+		fatal("replica %d is not in the peers file", *id)
+	}
+	if len(peers) != *rows**cols {
+		fatal("%d peers but a %dx%d grid needs %d", len(peers), *rows, *cols, *rows**cols)
+	}
+
+	h := hgrid.Auto(*rows, *cols)
+	var store rkv.Store = rkv.HGridStore{H: h}
+	if *useHTGrid {
+		store = rkv.HTGridStore{Sys: htgrid.New(h)}
+	}
+
+	var ops []rkv.Op
+	if *write != "" {
+		ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Value: *write})
+	}
+	if *read || (*thenRead && *write != "") {
+		ops = append(ops, rkv.Op{Kind: rkv.OpRead})
+	}
+
+	done := make(chan struct{})
+	remaining := len(ops)
+	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
+		Store: store,
+		Ops:   ops,
+		OnResult: func(r rkv.Result) {
+			fmt.Printf("%-11s -> %q (version %d.%d, %d retries, t=%v)\n",
+				r.Kind, r.Value, r.Version.Counter, r.Version.Writer, r.Retries, r.At)
+			remaining--
+			if remaining == 0 {
+				close(done)
+			}
+		},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	rkv.RegisterWire(transport.Register)
+	tn, err := transport.NewNode(cluster.NodeID(*id), node, addr)
+	if err != nil {
+		fatal("%v", err)
+	}
+	defer tn.Close()
+	tn.Connect(peers)
+	tn.Start()
+	fmt.Fprintf(os.Stderr, "kvd: replica %d serving on %s (%s over %dx%d grid)\n",
+		*id, tn.Addr(), storeName(*useHTGrid), *rows, *cols)
+
+	if len(ops) > 0 {
+		tn.Kick(0, node.StartToken())
+		select {
+		case <-done:
+		case <-time.After(*timeout):
+			fatal("client operations timed out (are all replicas up?)")
+		}
+		return
+	}
+
+	// Pure replica: serve until interrupted.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Fprintln(os.Stderr, "kvd: shutting down")
+}
+
+func storeName(htg bool) string {
+	if htg {
+		return "row-cover reads / h-T-grid writes"
+	}
+	return "row-cover reads / full-line writes"
+}
+
+// loadPeers parses the peers file.
+func loadPeers(path string) (map[cluster.NodeID]string, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing -peers file")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[cluster.NodeID]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'id host:port'", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad id %q", line, fields[0])
+		}
+		if _, dup := peers[cluster.NodeID(id)]; dup {
+			return nil, fmt.Errorf("line %d: duplicate id %d", line, id)
+		}
+		peers[cluster.NodeID(id)] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers in %s", path)
+	}
+	return peers, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kvd: "+format+"\n", args...)
+	os.Exit(1)
+}

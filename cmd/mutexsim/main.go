@@ -1,0 +1,153 @@
+// Command mutexsim runs quorum-based distributed mutual exclusion on the
+// simulated cluster and reports throughput, message cost and latency —
+// the protocol-level comparison the paper's systems are built for.
+//
+// Usage:
+//
+//	mutexsim -system htriang -k 5 -requests 3 -crash 2 -seed 7
+//
+// Supported -system values: htriang (-k), htgrid (-rows -cols), hgrid
+// (-rows -cols), majority (-n), cwlog (-n).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/cwlog"
+	"hquorum/internal/dmutex"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/majority"
+	"hquorum/internal/quorum"
+)
+
+func main() {
+	system := flag.String("system", "htriang", "quorum construction: htriang|htgrid|hgrid|majority|cwlog")
+	k := flag.Int("k", 5, "triangle rows (htriang)")
+	rows := flag.Int("rows", 4, "grid rows (htgrid/hgrid)")
+	cols := flag.Int("cols", 4, "grid cols (htgrid/hgrid)")
+	n := flag.Int("n", 15, "universe size (majority/cwlog)")
+	requests := flag.Int("requests", 3, "critical sections per node")
+	crash := flag.Int("crash", 0, "number of nodes to crash before the run")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	hold := flag.Duration("hold", 2*time.Millisecond, "critical-section hold time")
+	think := flag.Duration("think", 5*time.Millisecond, "think time between requests")
+	flag.Parse()
+
+	var sys quorum.System
+	switch *system {
+	case "htriang":
+		sys = htriang.New(*k)
+	case "htgrid":
+		sys = htgrid.Auto(*rows, *cols)
+	case "hgrid":
+		sys = hgrid.NewRW(hgrid.Auto(*rows, *cols))
+	case "majority":
+		sys = majority.New(*n)
+	case "cwlog":
+		s, err := cwlog.Log(*n)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		sys = s
+	default:
+		fmt.Fprintf(os.Stderr, "unknown system %q\n", *system)
+		os.Exit(2)
+	}
+
+	net := cluster.New(cluster.WithSeed(*seed), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
+	size := sys.Universe()
+	if *crash >= size {
+		fmt.Fprintln(os.Stderr, "cannot crash the whole cluster")
+		os.Exit(2)
+	}
+
+	// Crash a random subset; requesters are the survivors.
+	rng := rand.New(rand.NewSource(*seed))
+	perm := rng.Perm(size)
+	crashed := map[cluster.NodeID]bool{}
+	for _, idx := range perm[:*crash] {
+		crashed[cluster.NodeID(idx)] = true
+	}
+
+	holding := false
+	entries := 0
+	var nodes []*dmutex.Node
+	for i := 0; i < size; i++ {
+		id := cluster.NodeID(i)
+		wl := dmutex.Workload{Count: *requests, Hold: *hold, Think: *think}
+		if crashed[id] {
+			wl = dmutex.Workload{}
+		}
+		node, err := dmutex.NewNode(id, dmutex.Config{
+			System:   sys,
+			Workload: wl,
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				if holding {
+					fmt.Println("FATAL: mutual exclusion violated")
+					os.Exit(1)
+				}
+				holding = true
+				entries++
+			},
+			OnRelease: func(id cluster.NodeID, at time.Duration) { holding = false },
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := net.AddNode(id, node); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		nodes = append(nodes, node)
+	}
+	for _, node := range nodes {
+		if err := node.Start(net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for id := range crashed {
+		net.Crash(id)
+	}
+
+	net.Run(10 * time.Minute)
+
+	var totalWait time.Duration
+	retries, stuck := 0, 0
+	for i, node := range nodes {
+		totalWait += node.WaitTotal
+		retries += node.Retries
+		if !crashed[cluster.NodeID(i)] && !node.Done() {
+			stuck++
+		}
+	}
+	fmt.Printf("system:            %s (%d nodes, quorums %d..%d)\n",
+		sys.Name(), size, sys.MinQuorumSize(), sys.MaxQuorumSize())
+	fmt.Printf("crashed nodes:     %d\n", *crash)
+	fmt.Printf("critical sections: %d\n", entries)
+	fmt.Printf("virtual time:      %v\n", net.Now())
+	fmt.Printf("messages:          %d (%.1f per entry)\n", net.Messages(),
+		float64(net.Messages())/float64(max(entries, 1)))
+	fmt.Printf("retries:           %d\n", retries)
+	fmt.Printf("avg wait:          %v\n", totalWait/time.Duration(max(entries, 1)))
+	if stuck > 0 {
+		fmt.Printf("STUCK NODES:       %d\n", stuck)
+		os.Exit(1)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,57 @@
+// Command paper-tables regenerates every table and figure of "Revisiting
+// Hierarchical Quorum Systems" (Preguiça & Martins, ICDCS 2001), printing
+// each measured value next to the published one (in parentheses).
+//
+// Usage:
+//
+//	paper-tables [-table N] [-quick]
+//
+// Without -table it regenerates everything. -quick replaces the exact
+// 2²⁵..2²⁸ subset enumerations of Table 3's h-T-grid(25), Paths(25) and
+// Y(28) columns with Monte Carlo estimates (the exact run takes on the
+// order of a minute per column on one core).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hquorum/internal/experiments"
+)
+
+func main() {
+	table := flag.Int("table", 0, "regenerate only this table (1-5); 0 = everything including figures")
+	quick := flag.Bool("quick", false, "Monte Carlo for the expensive exact enumerations of Table 3")
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "unexpected arguments: %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	all := *table == 0
+	if all || *table == 1 {
+		fmt.Println(experiments.Table1().Render())
+	}
+	if all || *table == 2 {
+		fmt.Println(experiments.Table2().Render())
+	}
+	if all || *table == 3 {
+		if !*quick {
+			fmt.Println("(Table 3 exact mode: enumerating up to 2^28 subsets; use -quick to sample instead)")
+		}
+		fmt.Println(experiments.Table3(*quick).Render())
+	}
+	if all || *table == 4 {
+		fmt.Println(experiments.RenderTable4(experiments.Table4()))
+	}
+	if all || *table == 5 {
+		fmt.Println(experiments.RenderTable5(experiments.Table5()))
+	}
+	if all {
+		fmt.Println(experiments.Figure1())
+		fmt.Println(experiments.Figure2())
+	}
+}

@@ -1,0 +1,286 @@
+// Command quorumctl inspects the quorum-system constructions of this
+// repository: metrics, failure probabilities, sample quorums and ASCII
+// renderings.
+//
+// Usage:
+//
+//	quorumctl show <system> [args]     metrics + failure probabilities + a sample quorum
+//	quorumctl quorums <system> [args]  enumerate (small systems) or sample quorums
+//	quorumctl nd <system> [args]       non-domination check (n ≤ 24)
+//	quorumctl importance <p> <system> [args]  per-node Birnbaum importance
+//	quorumctl poly <system> [args]     transversal counts (failure polynomial)
+//	quorumctl compare <system> -- <system>  failure curves + crossover
+//	quorumctl byz <f> <class> <system> [args]  lift to a Byzantine system
+//	quorumctl render figure1|figure2   the paper's figures
+//	quorumctl list                     available systems
+//
+// Systems and their arguments:
+//
+//	majority n | hqs levels degree | grouped-hqs groups size | cwlog n |
+//	hgrid rows cols | flatgrid rows cols | htgrid rows cols |
+//	htriang k | paths ell | y k
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"hquorum/internal/analysis"
+	"hquorum/internal/bitset"
+	"hquorum/internal/bqs"
+	"hquorum/internal/cwlog"
+	"hquorum/internal/experiments"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/hqs"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/loadopt"
+	"hquorum/internal/majority"
+	"hquorum/internal/paths"
+	"hquorum/internal/quorum"
+	"hquorum/internal/ysys"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed for sampling")
+	count := flag.Int("count", 5, "sample quorums to print for `quorums`")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		usage()
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "list":
+		fmt.Println("majority n | hqs levels degree | grouped-hqs groups size | cwlog n")
+		fmt.Println("hgrid rows cols | flatgrid rows cols | htgrid rows cols")
+		fmt.Println("htriang k | paths ell | y k")
+	case "render":
+		if len(args) != 2 {
+			usage()
+			os.Exit(2)
+		}
+		switch args[1] {
+		case "figure1":
+			fmt.Print(experiments.Figure1())
+		case "figure2":
+			fmt.Print(experiments.Figure2())
+		default:
+			fail("unknown figure %q", args[1])
+		}
+	case "show":
+		sys := buildSystem(args[1:])
+		show(sys, *seed)
+	case "quorums":
+		sys := buildSystem(args[1:])
+		quorums(sys, *seed, *count)
+	case "nd":
+		sys := buildSystem(args[1:])
+		nd, err := quorum.IsNonDominated(sys)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("%s: non-dominated = %t", sys.Name(), nd)
+		if !nd {
+			if w, _, err := quorum.DominationWitness(sys); err == nil {
+				fmt.Printf(" (witness: neither %v nor its complement contains a quorum)", w)
+			}
+		}
+		fmt.Println()
+	case "importance":
+		if len(args) < 3 {
+			usage()
+			os.Exit(2)
+		}
+		p, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			fail("crash probability %q is not a number", args[1])
+		}
+		sys := buildSystem(args[2:])
+		imp := analysis.Importance(sys, p)
+		fmt.Printf("%s: Birnbaum importance at p=%.2f\n", sys.Name(), p)
+		for i, v := range imp {
+			fmt.Printf("  node %2d  %.6f\n", i, v)
+		}
+	case "poly":
+		sys := buildSystem(args[1:])
+		counts := analysis.TransversalCounts(sys)
+		fmt.Printf("%s: size-i transversal counts a_i (F_p = sum a_i p^i q^(n-i))\n", sys.Name())
+		for i, a := range counts {
+			fmt.Printf("  a_%-2d = %d\n", i, a)
+		}
+	case "compare":
+		sep := -1
+		for i, a := range args {
+			if a == "--" {
+				sep = i
+				break
+			}
+		}
+		if sep < 2 || sep == len(args)-1 {
+			fail("usage: quorumctl compare <system...> -- <system...>")
+		}
+		sysA := buildSystem(args[1:sep])
+		sysB := buildSystem(args[sep+1:])
+		countsA := analysis.TransversalCounts(sysA)
+		countsB := analysis.TransversalCounts(sysB)
+		fmt.Printf("%-6s %14s %14s\n", "p", sysA.Name(), sysB.Name())
+		for p := 0.05; p <= 0.501; p += 0.05 {
+			fmt.Printf("%-6.2f %14.6f %14.6f\n", p, analysis.Failure(countsA, p), analysis.Failure(countsB, p))
+		}
+		if x, ok := analysis.Crossover(countsA, countsB, 0.01, 0.5); ok {
+			fmt.Printf("curves cross at p ≈ %.4f\n", x)
+		} else {
+			fmt.Println("no crossover in (0.01, 0.5)")
+		}
+	case "byz":
+		if len(args) < 4 {
+			usage()
+			os.Exit(2)
+		}
+		f, err := strconv.Atoi(args[1])
+		if err != nil {
+			fail("fault bound %q is not an integer", args[1])
+		}
+		class := bqs.Dissemination
+		switch args[2] {
+		case "dissemination":
+		case "masking":
+			class = bqs.Masking
+		default:
+			fail("unknown class %q (want dissemination|masking)", args[2])
+		}
+		base := buildSystem(args[3:])
+		c, err := bqs.NewClustered(base, f, class)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("base:      %s (%d elements, quorums %d..%d)\n",
+			base.Name(), base.Universe(), base.MinQuorumSize(), base.MaxQuorumSize())
+		fmt.Printf("byzantine: %s\n", c.Name())
+		fmt.Printf("           %d servers in clusters of %d, quorums %d..%d, overlap >= %d\n",
+			c.Universe(), c.ClusterSize(), c.MinQuorumSize(), c.MaxQuorumSize(), c.Overlap())
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: quorumctl [flags] show|quorums|render|list ...")
+	flag.PrintDefaults()
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}
+
+func intArg(args []string, i int) int {
+	if i >= len(args) {
+		fail("missing argument %d", i)
+	}
+	v, err := strconv.Atoi(args[i])
+	if err != nil {
+		fail("argument %q is not an integer", args[i])
+	}
+	return v
+}
+
+func buildSystem(args []string) quorum.System {
+	if len(args) == 0 {
+		fail("missing system name")
+	}
+	switch args[0] {
+	case "majority":
+		return majority.New(intArg(args, 1))
+	case "hqs":
+		return hqs.Uniform(intArg(args, 1), intArg(args, 2))
+	case "grouped-hqs":
+		return hqs.Grouped(intArg(args, 1), intArg(args, 2))
+	case "cwlog":
+		s, err := cwlog.Log(intArg(args, 1))
+		if err != nil {
+			fail("%v", err)
+		}
+		return s
+	case "hgrid":
+		return hgrid.NewRW(hgrid.Auto(intArg(args, 1), intArg(args, 2)))
+	case "flatgrid":
+		return hgrid.NewRW(hgrid.Flat(intArg(args, 1), intArg(args, 2)))
+	case "htgrid":
+		return htgrid.Auto(intArg(args, 1), intArg(args, 2))
+	case "htriang":
+		return htriang.New(intArg(args, 1))
+	case "paths":
+		return paths.New(intArg(args, 1))
+	case "y":
+		return ysys.New(intArg(args, 1))
+	default:
+		fail("unknown system %q", args[0])
+		return nil
+	}
+}
+
+func show(sys quorum.System, seed int64) {
+	n := sys.Universe()
+	fmt.Printf("system:       %s\n", sys.Name())
+	fmt.Printf("universe:     %d nodes\n", n)
+	fmt.Printf("quorum size:  %d..%d\n", sys.MinQuorumSize(), sys.MaxQuorumSize())
+	fmt.Printf("load bound:   >= %.4f (Prop. 3.3)\n", loadopt.LowerBound(sys.MinQuorumSize(), n))
+	if n <= 26 {
+		fs := analysis.FailureAt(sys, experiments.Ps)
+		fmt.Printf("failure prob:")
+		for i, p := range experiments.Ps {
+			fmt.Printf("  F(%.1f)=%.6f", p, fs[i])
+		}
+		fmt.Println()
+	} else {
+		rng := rand.New(rand.NewSource(seed))
+		fmt.Printf("failure prob (Monte Carlo, 200k samples):")
+		for _, p := range experiments.Ps {
+			res := analysis.MonteCarloFailure(sys, p, 200000, rng)
+			fmt.Printf("  F(%.1f)=%.6f±%.6f", p, res.Estimate, res.StdErr)
+		}
+		fmt.Println()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	q, err := sys.Pick(rng, bitset.Universe(n))
+	if err != nil {
+		fail("pick: %v", err)
+	}
+	fmt.Printf("sample:       %v (%d nodes)\n", q, q.Count())
+	if r, ok := sys.(interface{ Render(bitset.Set) string }); ok {
+		fmt.Println(r.Render(q))
+	}
+	if tri, ok := sys.(*htriang.System); ok {
+		fmt.Println(tri.Render(&q))
+	}
+}
+
+func quorums(sys quorum.System, seed int64, count int) {
+	if e, ok := sys.(quorum.Enumerator); ok && sys.Universe() <= 20 {
+		i := 0
+		e.EnumerateQuorums(func(q bitset.Set) bool {
+			fmt.Printf("%4d  %v\n", i, q)
+			i++
+			return i < 1000
+		})
+		if i == 1000 {
+			fmt.Println("... (truncated at 1000)")
+		}
+		return
+	}
+	rng := rand.New(rand.NewSource(seed))
+	live := bitset.Universe(sys.Universe())
+	for i := 0; i < count; i++ {
+		q, err := sys.Pick(rng, live)
+		if err != nil {
+			fail("pick: %v", err)
+		}
+		fmt.Printf("%4d  %v\n", i, q)
+	}
+}

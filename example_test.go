@@ -1,0 +1,110 @@
+package hquorum_test
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hquorum"
+)
+
+// Build the paper's hierarchical triangle and inspect a quorum.
+func ExampleNewHTriang() {
+	sys := hquorum.NewHTriang(5)
+	fmt.Println(sys.Name(), sys.Universe(), "processes, quorums of", sys.MinQuorumSize())
+
+	rng := rand.New(rand.NewSource(7))
+	q, _ := sys.Pick(rng, hquorum.AllNodes(sys.Universe()))
+	fmt.Println("quorum size:", q.Count())
+	// Output:
+	// h-triang(5) 15 processes, quorums of 5
+	// quorum size: 5
+}
+
+// Exact failure probabilities reproduce the paper's Table 2.
+func ExampleFailureProbabilities() {
+	sys := hquorum.NewHTriang(5)
+	f := hquorum.FailureProbabilities(sys, []float64{0.1, 0.2, 0.3})
+	fmt.Printf("%.6f %.6f %.6f\n", f[0], f[1], f[2])
+	// Output:
+	// 0.000677 0.016577 0.090712
+}
+
+// The h-T-grid tolerates failures with quorums as small as √n.
+func ExampleNewHTGrid() {
+	sys := hquorum.NewHTGrid(4, 4)
+	fmt.Println("quorum sizes:", sys.MinQuorumSize(), "to", sys.MaxQuorumSize())
+
+	// The top line alone is a quorum.
+	live := hquorum.NewSet(16)
+	for c := 0; c < 4; c++ {
+		live.Add(c)
+	}
+	fmt.Println("top line available:", sys.Available(live))
+	// Output:
+	// quorum sizes: 4 to 7
+	// top line available: true
+}
+
+// Lift a crash-model construction to a Byzantine quorum system (§7).
+func ExampleNewByzantine() {
+	byz, err := hquorum.NewByzantine(hquorum.NewHTriang(4), 1, hquorum.Dissemination)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(byz.Universe(), "servers, overlap ≥", byz.Overlap())
+	// Output:
+	// 40 servers, overlap ≥ 2
+}
+
+// Compose coteries: majority-of-majorities is Kumar's HQS.
+func ExampleCompose() {
+	subs := make([]hquorum.System, 3)
+	for i := range subs {
+		subs[i] = hquorum.NewMajority(3)
+	}
+	c, err := hquorum.Compose(hquorum.NewMajority(3), subs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Universe(), "nodes, quorums of", c.MinQuorumSize())
+
+	nd, _ := hquorum.IsNonDominated(c)
+	fmt.Println("non-dominated:", nd)
+	// Output:
+	// 9 nodes, quorums of 4
+	// non-dominated: true
+}
+
+// Run distributed mutual exclusion over a quorum system on the simulated
+// cluster.
+func ExampleNewMutexNode() {
+	net := hquorum.NewNetwork(hquorum.WithSeed(3))
+	sys := hquorum.NewHTriang(3)
+
+	entries := 0
+	var nodes []*hquorum.MutexNode
+	for i := 0; i < sys.Universe(); i++ {
+		n, err := hquorum.NewMutexNode(hquorum.NodeID(i), hquorum.MutexConfig{
+			System:    sys,
+			Workload:  hquorum.MutexWorkload{Count: 1, Hold: time.Millisecond},
+			OnAcquire: func(hquorum.NodeID, time.Duration) { entries++ },
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := net.AddNode(hquorum.NodeID(i), n); err != nil {
+			panic(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.Start(net); err != nil {
+			panic(err)
+		}
+	}
+	net.Run(10 * time.Second)
+	fmt.Println("critical sections:", entries)
+	// Output:
+	// critical sections: 6
+}

@@ -1,0 +1,78 @@
+// Byzantine quorums: the paper's §7 closes by suggesting its hierarchical
+// ideas carry over to Byzantine quorum systems. This example lifts the
+// hierarchical triangle to an f-dissemination Byzantine system by giving
+// every logical element a cluster of 3f+1 servers, and demonstrates the
+// two Byzantine guarantees: every pair of quorums shares more than f
+// servers (a correct one always survives), and no placement of f faults
+// can block the system.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum"
+)
+
+func main() {
+	const f = 1
+	base := hquorum.NewHTriang(4) // 10 logical elements, quorums of 4
+	byz, err := hquorum.NewByzantine(base, f, hquorum.Dissemination)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("base:      %s (%d elements, quorums of %d)\n",
+		base.Name(), base.Universe(), base.MinQuorumSize())
+	fmt.Printf("byzantine: %s\n", byz.Name())
+	fmt.Printf("           %d servers (clusters of %d), quorums of %d, overlap ≥ %d\n",
+		byz.Universe(), 3*f+1, byz.MinQuorumSize(), byz.Overlap())
+
+	rng := rand.New(rand.NewSource(1))
+	live := hquorum.AllNodes(byz.Universe())
+	q1, err := byz.Pick(rng, live)
+	if err != nil {
+		panic(err)
+	}
+	q2, err := byz.Pick(rng, live)
+	if err != nil {
+		panic(err)
+	}
+	shared := q1.Intersect(q2).Count()
+	fmt.Printf("\ntwo sampled quorums share %d servers (need ≥ %d so that a\n", shared, f+1)
+	fmt.Printf("correct server survives %d Byzantine members of the overlap)\n", f)
+	if shared < f+1 {
+		panic("dissemination property violated")
+	}
+
+	// Adversarial fault placement: even all f faults inside one cluster
+	// cannot disable it (clusters have 3f+1 servers and quorums take 2f+1).
+	worst := hquorum.AllNodes(byz.Universe())
+	for i := 0; i < f; i++ {
+		worst.Remove(i) // all faults in cluster 0
+	}
+	fmt.Printf("\nwith %d fault(s) concentrated in one cluster: available = %t\n",
+		f, byz.Available(worst))
+
+	// Random f-fault placements.
+	ok := 0
+	const trials = 1000
+	for t := 0; t < trials; t++ {
+		lv := hquorum.AllNodes(byz.Universe())
+		for lv.Count() > byz.Universe()-f {
+			lv.Remove(rng.Intn(byz.Universe()))
+		}
+		if byz.Available(lv) {
+			ok++
+		}
+	}
+	fmt.Printf("available under %d/%d random %d-fault placements\n", ok, trials, f)
+
+	// Compare against the size-based Byzantine system on the same servers.
+	thr, err := hquorum.NewByzantineThreshold(byz.Universe(), f, hquorum.Dissemination)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nquorum size: hierarchical %d vs threshold %d of %d servers\n",
+		byz.MinQuorumSize(), thr.MinQuorumSize(), byz.Universe())
+	fmt.Println("the hierarchy keeps Byzantine quorums at O(√n·f) instead of O(n)")
+}

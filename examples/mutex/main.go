@@ -1,0 +1,81 @@
+// Distributed mutual exclusion under crash faults: 16 nodes coordinate
+// through h-T-grid quorums on the simulated cluster while two of them are
+// crashed, demonstrating the availability the paper's constructions buy —
+// the protocol routes around dead arbiters by re-picking quorums.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"hquorum"
+)
+
+func main() {
+	sys := hquorum.NewHTGrid(4, 4)
+	net := hquorum.NewNetwork(
+		hquorum.WithSeed(2026),
+		hquorum.WithLatency(time.Millisecond, 8*time.Millisecond),
+	)
+
+	crashed := map[hquorum.NodeID]bool{5: true, 10: true}
+
+	holding := false
+	entries := 0
+	var order []hquorum.NodeID
+	var nodes []*hquorum.MutexNode
+	for i := 0; i < sys.Universe(); i++ {
+		id := hquorum.NodeID(i)
+		workload := hquorum.MutexWorkload{Count: 2, Hold: 2 * time.Millisecond, Think: 5 * time.Millisecond}
+		if crashed[id] {
+			workload = hquorum.MutexWorkload{} // pure arbiter; about to crash anyway
+		}
+		n, err := hquorum.NewMutexNode(id, hquorum.MutexConfig{
+			System:   sys,
+			Workload: workload,
+			OnAcquire: func(id hquorum.NodeID, at time.Duration) {
+				if holding {
+					panic("mutual exclusion violated")
+				}
+				holding = true
+				entries++
+				order = append(order, id)
+			},
+			OnRelease: func(id hquorum.NodeID, at time.Duration) { holding = false },
+		})
+		if err != nil {
+			panic(err)
+		}
+		if err := net.AddNode(id, n); err != nil {
+			panic(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.Start(net); err != nil {
+			panic(err)
+		}
+	}
+	for id := range crashed {
+		net.Crash(id)
+	}
+
+	net.Run(5 * time.Minute)
+
+	retries := 0
+	for i, n := range nodes {
+		retries += n.Retries
+		if !crashed[hquorum.NodeID(i)] && !n.Done() {
+			panic(fmt.Sprintf("node %d never finished", i))
+		}
+	}
+	fmt.Printf("system:        %s (quorums %d..%d of %d nodes)\n",
+		sys.Name(), sys.MinQuorumSize(), sys.MaxQuorumSize(), sys.Universe())
+	fmt.Printf("crashed:       nodes 5 and 10\n")
+	fmt.Printf("CS entries:    %d (every live node twice)\n", entries)
+	fmt.Printf("messages:      %d (%.1f per entry)\n",
+		net.Messages(), float64(net.Messages())/float64(entries))
+	fmt.Printf("quorum retries: %d (crash discovery)\n", retries)
+	fmt.Printf("entry order:   %v\n", order[:8])
+	fmt.Println("mutual exclusion held throughout; no live node starved")
+}

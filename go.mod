@@ -1,0 +1,3 @@
+module hquorum
+
+go 1.22

@@ -1,0 +1,249 @@
+// Package analysis computes exact and estimated failure probabilities of
+// quorum systems.
+//
+// The exact path follows Proposition 3.1 of the paper: a set T is a size-i
+// transversal of system S if it intersects every quorum; with aᵢ the number
+// of size-i transversals, the failure probability under independent node
+// crash probability p is
+//
+//	Fₚ(S) = Σᵢ aᵢ pⁱ qⁿ⁻ⁱ,  q = 1-p.
+//
+// A failed set F is a transversal exactly when the surviving complement
+// U\F contains no quorum, so aᵢ is obtained by enumerating all 2ⁿ subsets
+// and consulting the system's availability predicate. Enumeration is
+// parallelized across goroutines; every configuration in the paper has
+// n ≤ 29. For larger universes MonteCarloFailure provides an unbiased
+// estimator with a reported standard error.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"hquorum/internal/bitset"
+)
+
+// Availability is the minimal view of a quorum system the analyzer needs.
+// Available must be safe for concurrent use (all constructions in this
+// repository are stateless).
+type Availability interface {
+	Universe() int
+	Available(live bitset.Set) bool
+}
+
+// WordAvailability is an optional allocation-free fast path for systems
+// over at most 64 nodes: AvailableWord(live) must agree with
+// Available(bitset.FromWord(n, live)). The enumerator uses it when
+// implemented — graph-reachability systems (Y, Paths) need it to make 2²⁸
+// subsets tractable.
+type WordAvailability interface {
+	AvailableWord(live uint64) bool
+}
+
+// TransversalCounts enumerates all subsets of the universe and returns the
+// vector a where a[i] is the number of size-i transversals (failed sets that
+// leave no live quorum). It panics if the universe exceeds 30 nodes; use
+// MonteCarloFailure beyond that.
+func TransversalCounts(sys Availability) []uint64 {
+	return TransversalCountsParallel(sys, runtime.GOMAXPROCS(0))
+}
+
+// TransversalCountsParallel is TransversalCounts with an explicit worker
+// count.
+func TransversalCountsParallel(sys Availability, workers int) []uint64 {
+	n := sys.Universe()
+	if n > 30 {
+		panic(fmt.Sprintf("analysis: exact enumeration over %d nodes is infeasible", n))
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	total := uint64(1) << uint(n)
+	if workers > 1 && total < 1<<12 {
+		workers = 1
+	}
+	full := uint64(1)<<uint(n) - 1
+
+	counts := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	chunk := total / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if w == workers-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			local := make([]uint64, n+1)
+			if fast, ok := sys.(WordAvailability); ok {
+				for failed := lo; failed < hi; failed++ {
+					if !fast.AvailableWord(full &^ failed) {
+						local[popcount(failed)]++
+					}
+				}
+			} else {
+				live := bitset.New(n)
+				for failed := lo; failed < hi; failed++ {
+					live.SetWord(full &^ failed)
+					if !sys.Available(live) {
+						local[popcount(failed)]++
+					}
+				}
+			}
+			counts[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	out := make([]uint64, n+1)
+	for _, local := range counts {
+		for i, c := range local {
+			out[i] += c
+		}
+	}
+	return out
+}
+
+func popcount(x uint64) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}
+
+// Failure evaluates Fₚ = Σ aᵢ pⁱ qⁿ⁻ⁱ from precomputed transversal counts.
+func Failure(counts []uint64, p float64) float64 {
+	n := len(counts) - 1
+	q := 1 - p
+	// Horner-style evaluation over i with explicit powers; n ≤ 30 so the
+	// direct form is well-conditioned.
+	sum := 0.0
+	for i, a := range counts {
+		if a == 0 {
+			continue
+		}
+		sum += float64(a) * math.Pow(p, float64(i)) * math.Pow(q, float64(n-i))
+	}
+	return sum
+}
+
+// FailureAt computes exact failure probabilities of sys at each p in ps with
+// a single enumeration pass.
+func FailureAt(sys Availability, ps []float64) []float64 {
+	counts := TransversalCounts(sys)
+	out := make([]float64, len(ps))
+	for i, p := range ps {
+		out[i] = Failure(counts, p)
+	}
+	return out
+}
+
+// MonteCarloResult is the outcome of a sampled failure-probability estimate.
+type MonteCarloResult struct {
+	Estimate float64 // fraction of sampled crash patterns with no live quorum
+	StdErr   float64 // binomial standard error of Estimate
+	Samples  int
+}
+
+// MonteCarloFailure estimates Fₚ by sampling crash patterns: each node fails
+// independently with probability p.
+func MonteCarloFailure(sys Availability, p float64, samples int, rng *rand.Rand) MonteCarloResult {
+	n := sys.Universe()
+	hits := 0
+	if fast, ok := sys.(WordAvailability); ok && n <= 64 {
+		for s := 0; s < samples; s++ {
+			var live uint64
+			for i := 0; i < n; i++ {
+				if rng.Float64() >= p {
+					live |= 1 << uint(i)
+				}
+			}
+			if !fast.AvailableWord(live) {
+				hits++
+			}
+		}
+	} else {
+		live := bitset.New(n)
+		for s := 0; s < samples; s++ {
+			live.Clear()
+			for i := 0; i < n; i++ {
+				if rng.Float64() >= p {
+					live.Add(i)
+				}
+			}
+			if !sys.Available(live) {
+				hits++
+			}
+		}
+	}
+	est := float64(hits) / float64(samples)
+	return MonteCarloResult{
+		Estimate: est,
+		StdErr:   math.Sqrt(est * (1 - est) / float64(samples)),
+		Samples:  samples,
+	}
+}
+
+// Binomial returns C(n, k) as a float64 (exact for n ≤ 60).
+func Binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1.0
+	for i := 0; i < k; i++ {
+		r = r * float64(n-i) / float64(i+1)
+	}
+	return r
+}
+
+// MajorityFailure is the closed-form failure probability of an m-of-n
+// threshold system: the system fails when fewer than m nodes survive.
+func MajorityFailure(n, m int, p float64) float64 {
+	q := 1 - p
+	f := 0.0
+	for k := 0; k < m; k++ { // k survivors, not enough
+		f += Binomial(n, k) * math.Pow(q, float64(k)) * math.Pow(p, float64(n-k))
+	}
+	return f
+}
+
+// Crossover locates a crash probability in (lo, hi) where two systems'
+// failure probabilities cross, by bisection on F_A(p) − F_B(p) using
+// precomputed transversal counts. It returns the crossing point and true,
+// or 0 and false when the difference has the same sign at both ends.
+func Crossover(countsA, countsB []uint64, lo, hi float64) (float64, bool) {
+	diff := func(p float64) float64 { return Failure(countsA, p) - Failure(countsB, p) }
+	dlo, dhi := diff(lo), diff(hi)
+	if dlo == 0 {
+		return lo, true
+	}
+	if dhi == 0 {
+		return hi, true
+	}
+	if (dlo > 0) == (dhi > 0) {
+		return 0, false
+	}
+	for i := 0; i < 100; i++ {
+		mid := (lo + hi) / 2
+		dm := diff(mid)
+		if dm == 0 {
+			return mid, true
+		}
+		if (dm > 0) == (dlo > 0) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2, true
+}

@@ -1,0 +1,60 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"hquorum/internal/bitset"
+)
+
+// singletonOr is available iff node 0 is alive (node 1 irrelevant).
+type singletonOr struct{}
+
+func (singletonOr) Universe() int               { return 2 }
+func (singletonOr) Available(l bitset.Set) bool { return l.Contains(0) }
+
+func TestImportanceSingleton(t *testing.T) {
+	imp := Importance(singletonOr{}, 0.3)
+	if math.Abs(imp[0]-1) > 1e-12 {
+		t.Fatalf("critical node importance %v, want 1", imp[0])
+	}
+	if math.Abs(imp[1]) > 1e-12 {
+		t.Fatalf("irrelevant node importance %v, want 0", imp[1])
+	}
+}
+
+func TestImportanceMajority(t *testing.T) {
+	// 2-of-3 majority: node i is pivotal iff exactly one of the other two
+	// is up: I = 2pq.
+	sys := threshold{n: 3, m: 2}
+	p := 0.2
+	imp := Importance(sys, p)
+	want := 2 * p * (1 - p)
+	for i, v := range imp {
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("node %d importance %v, want %v", i, v, want)
+		}
+	}
+}
+
+// TestImportanceDecomposition checks the Birnbaum identity
+// F(p) = Σ states … via the pivotal decomposition at one node:
+// A(p) = q·A(1_i) + p·A(0_i), so A(1_i) − A(0_i) = I_i.
+func TestImportanceDecomposition(t *testing.T) {
+	sys := threshold{n: 7, m: 4}
+	p := 0.35
+	counts := TransversalCounts(sys)
+	avail := 1 - Failure(counts, p)
+	imp := Importance(sys, p)
+	// Conditional availabilities via the decomposition.
+	// A = q·Aup + p·Adown and Aup − Adown = I ⟹ Aup = A + p·I.
+	up := avail + p*imp[0]
+	down := avail - (1-p)*imp[0]
+	if up < down {
+		t.Fatal("monotonicity violated")
+	}
+	recombined := (1-p)*up + p*down
+	if math.Abs(recombined-avail) > 1e-12 {
+		t.Fatalf("decomposition mismatch: %v vs %v", recombined, avail)
+	}
+}

@@ -1,0 +1,281 @@
+// Package bitset provides a dense bit set over node indices.
+//
+// Every quorum-system computation in this repository — availability
+// predicates, subset enumeration, quorum materialization — represents a set
+// of nodes as a Set. The implementation is a plain []uint64 with the usual
+// bit-twiddling helpers; sets of up to 64 elements (every configuration in
+// the paper) stay in a single word.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit set over the indices [0, n).
+// The zero value is an empty set of capacity 0; use New for a sized set.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set able to hold the indices [0, n).
+func New(n int) Set {
+	if n < 0 {
+		panic(fmt.Sprintf("bitset: negative capacity %d", n))
+	}
+	return Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// FromIndices returns a set of capacity n containing exactly the given
+// indices.
+func FromIndices(n int, indices ...int) Set {
+	s := New(n)
+	for _, i := range indices {
+		s.Add(i)
+	}
+	return s
+}
+
+// FromWord returns a set of capacity n (n <= 64) whose members are the set
+// bits of w. Bits at positions >= n must be zero.
+func FromWord(n int, w uint64) Set {
+	if n > wordBits {
+		panic(fmt.Sprintf("bitset: FromWord capacity %d exceeds 64", n))
+	}
+	if n < wordBits && w>>uint(n) != 0 {
+		panic("bitset: FromWord value has bits beyond capacity")
+	}
+	s := New(n)
+	if len(s.words) > 0 {
+		s.words[0] = w
+	}
+	return s
+}
+
+// SetWord overwrites the set's contents with the bits of w. The capacity
+// must be at most 64 and w must not have bits at positions >= capacity.
+// It is the allocation-free fast path used by subset enumeration.
+func (s Set) SetWord(w uint64) {
+	if s.n > wordBits {
+		panic("bitset: SetWord called on set with capacity > 64")
+	}
+	if s.n < wordBits && w>>uint(s.n) != 0 {
+		panic("bitset: SetWord value has bits beyond capacity")
+	}
+	if len(s.words) > 0 {
+		s.words[0] = w
+	}
+}
+
+// Universe returns the full set {0, ..., n-1}.
+func Universe(n int) Set {
+	s := New(n)
+	for w := range s.words {
+		s.words[w] = ^uint64(0)
+	}
+	s.trim()
+	return s
+}
+
+// trim clears any bits beyond capacity in the last word.
+func (s *Set) trim() {
+	if s.n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (uint64(1) << uint(s.n%wordBits)) - 1
+	}
+}
+
+// Cap returns the capacity (the size of the universe) of the set.
+func (s Set) Cap() int { return s.n }
+
+// Word returns the first word of the set. It panics if capacity exceeds 64.
+// It is the fast path used by enumeration loops.
+func (s Set) Word() uint64 {
+	if s.n > wordBits {
+		panic("bitset: Word called on set with capacity > 64")
+	}
+	if len(s.words) == 0 {
+		return 0
+	}
+	return s.words[0]
+}
+
+// Add inserts index i into the set.
+func (s Set) Add(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << uint(i%wordBits)
+}
+
+// Remove deletes index i from the set.
+func (s Set) Remove(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << uint(i%wordBits)
+}
+
+// Contains reports whether index i is a member.
+func (s Set) Contains(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<uint(i%wordBits)) != 0
+}
+
+func (s Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Count returns the number of members.
+func (s Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of the set.
+func (s Set) Clone() Set {
+	c := Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes all members, keeping capacity.
+func (s Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds every member of o to s. The capacities must match.
+func (s Set) UnionWith(o Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes members of s not present in o.
+func (s Set) IntersectWith(o Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// DifferenceWith removes every member of o from s.
+func (s Set) DifferenceWith(o Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// Union returns a new set s ∪ o.
+func (s Set) Union(o Set) Set {
+	c := s.Clone()
+	c.UnionWith(o)
+	return c
+}
+
+// Intersect returns a new set s ∩ o.
+func (s Set) Intersect(o Set) Set {
+	c := s.Clone()
+	c.IntersectWith(o)
+	return c
+}
+
+// Complement returns the set of non-members, within capacity.
+func (s Set) Complement() Set {
+	c := Universe(s.n)
+	c.DifferenceWith(s)
+	return c
+}
+
+// Intersects reports whether s ∩ o is nonempty.
+func (s Set) Intersects(o Set) bool {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether every member of s is a member of o.
+func (s Set) SubsetOf(o Set) bool {
+	s.mustMatch(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and o have identical membership and capacity.
+func (s Set) Equal(o Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s Set) mustMatch(o Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// ForEach calls fn with each member index in increasing order.
+func (s Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the member indices in increasing order.
+func (s Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// String renders the set as "{1, 4, 7}".
+func (s Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,234 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if got := s.Count(); got != 0 {
+		t.Fatalf("Count() = %d, want 0", got)
+	}
+	if !s.Empty() {
+		t.Fatal("Empty() = false, want true")
+	}
+	if got := s.Cap(); got != 100 {
+		t.Fatalf("Cap() = %d, want 100", got)
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Contains(i) {
+			t.Fatalf("Contains(%d) = true before Add", i)
+		}
+		s.Add(i)
+		if !s.Contains(i) {
+			t.Fatalf("Contains(%d) = false after Add", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count() = %d, want 8", got)
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Fatal("Contains(64) = true after Remove")
+	}
+	if got := s.Count(); got != 7 {
+		t.Fatalf("Count() = %d, want 7", got)
+	}
+}
+
+func TestUniverse(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 200} {
+		u := Universe(n)
+		if got := u.Count(); got != n {
+			t.Fatalf("Universe(%d).Count() = %d", n, got)
+		}
+	}
+}
+
+func TestFromWordRoundTrip(t *testing.T) {
+	s := FromWord(10, 0b1010010001)
+	want := []int{0, 4, 7, 9}
+	got := s.Indices()
+	if len(got) != len(want) {
+		t.Fatalf("Indices() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Indices() = %v, want %v", got, want)
+		}
+	}
+	if s.Word() != 0b1010010001 {
+		t.Fatalf("Word() = %b", s.Word())
+	}
+}
+
+func TestFromWordPanicsOnOverflow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-capacity bits")
+		}
+	}()
+	FromWord(3, 0b1000)
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, i := range []int{-1, 10, 1000} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for index %d", i)
+				}
+			}()
+			s.Contains(i)
+		}()
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(10, 1, 2, 3, 4)
+	b := FromIndices(10, 3, 4, 5, 6)
+
+	if got := a.Union(b).Indices(); len(got) != 6 {
+		t.Fatalf("Union = %v", got)
+	}
+	if got := a.Intersect(b).Indices(); len(got) != 2 || got[0] != 3 || got[1] != 4 {
+		t.Fatalf("Intersect = %v", got)
+	}
+	if !a.Intersects(b) {
+		t.Fatal("Intersects = false")
+	}
+	if a.Intersects(FromIndices(10, 7, 8)) {
+		t.Fatal("Intersects disjoint = true")
+	}
+	if !FromIndices(10, 1, 2).SubsetOf(a) {
+		t.Fatal("SubsetOf = false")
+	}
+	if a.SubsetOf(b) {
+		t.Fatal("SubsetOf = true for non-subset")
+	}
+	c := a.Clone()
+	c.DifferenceWith(b)
+	if got := c.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("DifferenceWith = %v", got)
+	}
+	comp := a.Complement()
+	if comp.Intersects(a) {
+		t.Fatal("Complement intersects original")
+	}
+	if got := comp.Count() + a.Count(); got != 10 {
+		t.Fatalf("Complement partition = %d members total", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(70, 1, 65)
+	b := a.Clone()
+	b.Add(2)
+	if a.Contains(2) {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := FromIndices(10, 1, 4, 7).String(); got != "{1, 4, 7}" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := New(5).String(); got != "{}" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromIndices(10, 1, 2)
+	if !a.Equal(FromIndices(10, 1, 2)) {
+		t.Fatal("Equal = false for identical sets")
+	}
+	if a.Equal(FromIndices(10, 1, 3)) {
+		t.Fatal("Equal = true for different sets")
+	}
+	if a.Equal(FromIndices(11, 1, 2)) {
+		t.Fatal("Equal = true for different capacities")
+	}
+}
+
+// TestQuickAlgebraLaws property-tests basic set-algebra identities against
+// a reference map-based implementation.
+func TestQuickAlgebraLaws(t *testing.T) {
+	const n = 97 // spans two words
+	f := func(aBits, bBits []uint16) bool {
+		a, b := New(n), New(n)
+		ref := map[int]int{} // 1 = in a, 2 = in b, 3 = both
+		for _, v := range aBits {
+			i := int(v) % n
+			a.Add(i)
+			ref[i] |= 1
+		}
+		for _, v := range bBits {
+			i := int(v) % n
+			b.Add(i)
+			ref[i] |= 2
+		}
+		u, x := a.Union(b), a.Intersect(b)
+		for i := 0; i < n; i++ {
+			m := ref[i]
+			if u.Contains(i) != (m != 0) {
+				return false
+			}
+			if x.Contains(i) != (m == 3) {
+				return false
+			}
+		}
+		// De Morgan: ¬(a ∪ b) == ¬a ∩ ¬b
+		if !u.Complement().Equal(a.Complement().Intersect(b.Complement())) {
+			return false
+		}
+		// |a| + |b| == |a ∪ b| + |a ∩ b|
+		return a.Count()+b.Count() == u.Count()+x.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := New(300)
+	for i := 0; i < 80; i++ {
+		s.Add(rng.Intn(300))
+	}
+	prev := -1
+	s.ForEach(func(i int) {
+		if i <= prev {
+			t.Fatalf("ForEach out of order: %d after %d", i, prev)
+		}
+		prev = i
+	})
+}
+
+func BenchmarkCount(b *testing.B) {
+	s := Universe(1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if s.Count() != 1024 {
+			b.Fatal("bad count")
+		}
+	}
+}
+
+func BenchmarkIntersects(b *testing.B) {
+	a := FromIndices(1024, 1023)
+	c := FromIndices(1024, 0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if a.Intersects(c) {
+			b.Fatal("unexpected intersection")
+		}
+	}
+}

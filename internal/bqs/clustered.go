@@ -1,0 +1,152 @@
+package bqs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+// Clustered lifts an arbitrary (crash-model) coterie to a Byzantine quorum
+// system — the hierarchical adaptation §7 of the paper anticipates. Every
+// logical element of the base system becomes a cluster of m servers; a
+// Byzantine quorum chooses a base quorum and any g servers from each of
+// its clusters, with
+//
+//	dissemination: m = 3f+1, g = 2f+1  ⇒  2g−m = f+1 shared servers
+//	masking:       m = 4f+1, g = 3f+1  ⇒  2g−m = 2f+1 shared servers
+//
+// per common cluster (and every two base quorums share a cluster). A
+// cluster remains usable while at most m−g = f of its servers are faulty,
+// so f global faults can never disable any cluster: availability under
+// Byzantine faults equals the base coterie's fault-free availability, and
+// availability under crashes is analyzed with the usual enumeration
+// machinery.
+type Clustered struct {
+	base  quorum.System
+	f     int
+	class Class
+	m     int // cluster size
+	g     int // per-cluster quota
+	n     int
+}
+
+var _ System = (*Clustered)(nil)
+var _ quorum.System = (*Clustered)(nil)
+
+// NewClustered wraps base with cluster redundancy for fault bound f.
+func NewClustered(base quorum.System, f int, class Class) (*Clustered, error) {
+	if base == nil {
+		return nil, fmt.Errorf("bqs: nil base system")
+	}
+	if f < 0 {
+		return nil, fmt.Errorf("bqs: negative fault bound %d", f)
+	}
+	m, g := 3*f+1, 2*f+1
+	if class == Masking {
+		m, g = 4*f+1, 3*f+1
+	}
+	return &Clustered{
+		base:  base,
+		f:     f,
+		class: class,
+		m:     m,
+		g:     g,
+		n:     base.Universe() * m,
+	}, nil
+}
+
+// Name implements quorum.System.
+func (c *Clustered) Name() string {
+	return fmt.Sprintf("byz-%s(%s,f=%d)", c.class, c.base.Name(), c.f)
+}
+
+// Universe implements quorum.System.
+func (c *Clustered) Universe() int { return c.n }
+
+// F implements System.
+func (c *Clustered) F() int { return c.f }
+
+// Class implements System.
+func (c *Clustered) Class() Class { return c.class }
+
+// Overlap implements System.
+func (c *Clustered) Overlap() int { return 2*c.g - c.m }
+
+// ClusterSize returns the number of servers per logical element.
+func (c *Clustered) ClusterSize() int { return c.m }
+
+// Quota returns the servers required per cluster of a quorum.
+func (c *Clustered) Quota() int { return c.g }
+
+// Cluster returns the logical element that server id belongs to.
+func (c *Clustered) Cluster(id int) int { return id / c.m }
+
+// liveClusters returns the set of logical elements with at least g live
+// servers.
+func (c *Clustered) liveClusters(live bitset.Set) bitset.Set {
+	out := bitset.New(c.base.Universe())
+	for e := 0; e < c.base.Universe(); e++ {
+		count := 0
+		for s := e * c.m; s < (e+1)*c.m; s++ {
+			if live.Contains(s) {
+				count++
+			}
+		}
+		if count >= c.g {
+			out.Add(e)
+		}
+	}
+	return out
+}
+
+// Available reports whether live contains a Byzantine quorum: a base
+// quorum all of whose clusters retain their quota.
+func (c *Clustered) Available(live bitset.Set) bool {
+	return c.base.Available(c.liveClusters(live))
+}
+
+// Pick returns a random Byzantine quorum drawn from live.
+func (c *Clustered) Pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	baseQ, err := c.base.Pick(rng, c.liveClusters(live))
+	if err != nil {
+		return bitset.Set{}, err
+	}
+	out := bitset.New(c.n)
+	ok := true
+	baseQ.ForEach(func(e int) {
+		var alive []int
+		for s := e * c.m; s < (e+1)*c.m; s++ {
+			if live.Contains(s) {
+				alive = append(alive, s)
+			}
+		}
+		if len(alive) < c.g {
+			ok = false
+			return
+		}
+		rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+		for _, s := range alive[:c.g] {
+			out.Add(s)
+		}
+	})
+	if !ok {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+// MinQuorumSize implements quorum.System.
+func (c *Clustered) MinQuorumSize() int { return c.base.MinQuorumSize() * c.g }
+
+// MaxQuorumSize implements quorum.System.
+func (c *Clustered) MaxQuorumSize() int { return c.base.MaxQuorumSize() * c.g }
+
+// ToleratesByzantine verifies by adversarial search that no placement of f
+// Byzantine servers can make the system unavailable: since a cluster
+// survives any ≤ f faults, it suffices that the base system is available
+// with every element live — checked directly.
+func (c *Clustered) ToleratesByzantine() bool {
+	return c.base.Available(bitset.Universe(c.base.Universe()))
+}

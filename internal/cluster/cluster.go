@@ -1,0 +1,339 @@
+// Package cluster provides a deterministic discrete-event simulation of a
+// message-passing cluster: the substrate the quorum-based coordination
+// protocols (package dmutex, package rkv) run on.
+//
+// Nodes exchange messages through a Network with seeded random latencies,
+// optional message loss, crash/restart fault injection and network
+// partitions. Time is virtual: the simulation processes events in
+// timestamp order, so every run with the same seed is exactly
+// reproducible.
+package cluster
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// NodeID identifies a node.
+type NodeID int
+
+// Handler is the node-side protocol logic. Implementations receive
+// messages and timer callbacks along with an Env for interacting with the
+// cluster. Handlers run one event at a time (the simulation is
+// single-threaded), so they need no internal locking.
+type Handler interface {
+	// Deliver is invoked when a message arrives.
+	Deliver(env Env, from NodeID, msg any)
+	// Timer is invoked when a timer set via Env.After fires.
+	Timer(env Env, token any)
+}
+
+// Env is the interface a handler uses to act on the cluster.
+type Env interface {
+	// ID returns the node's identity.
+	ID() NodeID
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// Send queues a message to another node (or to the node itself).
+	Send(to NodeID, msg any)
+	// After schedules a Timer callback with the given token.
+	After(d time.Duration, token any)
+	// Rand returns the node's deterministic random source.
+	Rand() *rand.Rand
+}
+
+// Option configures a Network.
+type Option func(*Network)
+
+// WithSeed sets the random seed (default 1).
+func WithSeed(seed int64) Option {
+	return func(n *Network) { n.seed = seed }
+}
+
+// WithLatency sets the message delay range (default 1ms..10ms).
+func WithLatency(min, max time.Duration) Option {
+	return func(n *Network) { n.latMin, n.latMax = min, max }
+}
+
+// WithDropRate sets the probability that a message is silently lost.
+func WithDropRate(p float64) Option {
+	return func(n *Network) { n.dropRate = p }
+}
+
+// WithFIFO controls per-link FIFO ordering (default true, modeling
+// TCP-like channels: messages between the same ordered pair of nodes are
+// delivered in send order). Disable it to expose protocols to message
+// reordering.
+func WithFIFO(enabled bool) Option {
+	return func(n *Network) { n.fifo = enabled }
+}
+
+// Network is the simulated cluster.
+type Network struct {
+	seed     int64
+	latMin   time.Duration
+	latMax   time.Duration
+	dropRate float64
+	fifo     bool
+
+	rng      *rand.Rand
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	nodes    map[NodeID]*endpoint
+	part     map[NodeID]int // partition group; all zero when healed
+	lastSend map[[2]NodeID]time.Duration
+	msgs     uint64 // delivered message count
+	dropped  uint64
+}
+
+type endpoint struct {
+	id      NodeID
+	handler Handler
+	net     *Network
+	crashed bool
+	rng     *rand.Rand
+}
+
+type eventKind int
+
+const (
+	evDeliver eventKind = iota
+	evTimer
+)
+
+type event struct {
+	at    time.Duration
+	seq   uint64 // FIFO tie-break for determinism
+	kind  eventKind
+	to    NodeID
+	from  NodeID
+	msg   any
+	token any
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any     { old := *q; n := len(old); e := old[n-1]; *q = old[:n-1]; return e }
+func (q eventQueue) Peek() *event  { return q[0] }
+
+// New creates an empty network.
+func New(opts ...Option) *Network {
+	n := &Network{
+		seed:     1,
+		latMin:   time.Millisecond,
+		latMax:   10 * time.Millisecond,
+		fifo:     true,
+		nodes:    make(map[NodeID]*endpoint),
+		part:     make(map[NodeID]int),
+		lastSend: make(map[[2]NodeID]time.Duration),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	n.rng = rand.New(rand.NewSource(n.seed))
+	return n
+}
+
+// AddNode registers a node. It returns an error on duplicate IDs.
+func (n *Network) AddNode(id NodeID, h Handler) error {
+	if _, ok := n.nodes[id]; ok {
+		return fmt.Errorf("cluster: duplicate node %d", id)
+	}
+	if h == nil {
+		return fmt.Errorf("cluster: nil handler for node %d", id)
+	}
+	n.nodes[id] = &endpoint{
+		id:      id,
+		handler: h,
+		net:     n,
+		rng:     rand.New(rand.NewSource(n.seed ^ int64(id)*0x9e3779b9)),
+	}
+	return nil
+}
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.now }
+
+// Messages returns the number of messages delivered so far.
+func (n *Network) Messages() uint64 { return n.msgs }
+
+// Dropped returns the number of messages lost (drop rate, crashes and
+// partitions all count).
+func (n *Network) Dropped() uint64 { return n.dropped }
+
+// Crash marks a node as crashed: it loses all pending deliveries and
+// timers, and stops receiving events until Restart.
+func (n *Network) Crash(id NodeID) {
+	if ep, ok := n.nodes[id]; ok {
+		ep.crashed = true
+	}
+}
+
+// Restart brings a crashed node back (protocol state is whatever the
+// handler kept — the handler's Restarted hook, if implemented, is called).
+func (n *Network) Restart(id NodeID) {
+	ep, ok := n.nodes[id]
+	if !ok || !ep.crashed {
+		return
+	}
+	ep.crashed = false
+	if r, ok := ep.handler.(interface{ Restarted(Env) }); ok {
+		r.Restarted(ep)
+	}
+}
+
+// Crashed reports whether a node is currently crashed.
+func (n *Network) Crashed(id NodeID) bool {
+	ep, ok := n.nodes[id]
+	return ok && ep.crashed
+}
+
+// Partition splits the cluster into groups; messages between different
+// groups are dropped. Nodes absent from every group form an implicit
+// additional group.
+func (n *Network) Partition(groups ...[]NodeID) {
+	n.part = make(map[NodeID]int)
+	for gi, g := range groups {
+		for _, id := range g {
+			n.part[id] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() { n.part = make(map[NodeID]int) }
+
+// send queues a delivery event, applying loss, crash and partition rules.
+func (n *Network) send(from, to NodeID, msg any) {
+	dst, ok := n.nodes[to]
+	if !ok {
+		n.dropped++
+		return
+	}
+	if n.part[from] != n.part[to] || dst.crashed {
+		n.dropped++
+		return
+	}
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.dropped++
+		return
+	}
+	delay := n.latMin
+	if n.latMax > n.latMin {
+		delay += time.Duration(n.rng.Int63n(int64(n.latMax - n.latMin)))
+	}
+	at := n.now + delay
+	if n.fifo {
+		link := [2]NodeID{from, to}
+		if last, ok := n.lastSend[link]; ok && at <= last {
+			at = last + time.Nanosecond
+		}
+		n.lastSend[link] = at
+	}
+	n.push(&event{at: at, kind: evDeliver, to: to, from: from, msg: msg})
+}
+
+func (n *Network) push(e *event) {
+	n.seq++
+	e.seq = n.seq
+	heap.Push(&n.queue, e)
+}
+
+// Step processes the next event. It returns false when the queue is empty.
+func (n *Network) Step() bool {
+	for n.queue.Len() > 0 {
+		e := heap.Pop(&n.queue).(*event)
+		n.now = e.at
+		ep, ok := n.nodes[e.to]
+		if !ok || ep.crashed {
+			if e.kind == evDeliver {
+				n.dropped++
+			}
+			continue
+		}
+		switch e.kind {
+		case evDeliver:
+			n.msgs++
+			ep.handler.Deliver(ep, e.from, e.msg)
+		case evTimer:
+			ep.handler.Timer(ep, e.token)
+		}
+		return true
+	}
+	return false
+}
+
+// Run processes events until the queue empties or the virtual clock passes
+// the deadline. It returns the number of events processed.
+func (n *Network) Run(until time.Duration) int {
+	steps := 0
+	for n.queue.Len() > 0 && n.queue.Peek().at <= until {
+		if !n.Step() {
+			break
+		}
+		steps++
+	}
+	if n.now < until {
+		n.now = until
+	}
+	return steps
+}
+
+// RunAll processes events until the queue is empty (handlers that keep
+// re-arming timers will make this loop forever; prefer Run).
+func (n *Network) RunAll() int {
+	steps := 0
+	for n.Step() {
+		steps++
+	}
+	return steps
+}
+
+// StartTimer schedules a timer on a node from outside the simulation —
+// the way drivers kick off node workloads.
+func (n *Network) StartTimer(id NodeID, d time.Duration, token any) error {
+	if _, ok := n.nodes[id]; !ok {
+		return fmt.Errorf("cluster: unknown node %d", id)
+	}
+	if d < 0 {
+		d = 0
+	}
+	n.push(&event{at: n.now + d, kind: evTimer, to: id, token: token})
+	return nil
+}
+
+// Env implementation on endpoints.
+
+// ID implements Env.
+func (ep *endpoint) ID() NodeID { return ep.id }
+
+// Now implements Env.
+func (ep *endpoint) Now() time.Duration { return ep.net.now }
+
+// Send implements Env.
+func (ep *endpoint) Send(to NodeID, msg any) { ep.net.send(ep.id, to, msg) }
+
+// After implements Env.
+func (ep *endpoint) After(d time.Duration, token any) {
+	if d < 0 {
+		d = 0
+	}
+	ep.net.push(&event{at: ep.net.now + d, kind: evTimer, to: ep.id, token: token})
+}
+
+// Rand implements Env.
+func (ep *endpoint) Rand() *rand.Rand { return ep.rng }
+
+var _ Env = (*endpoint)(nil)

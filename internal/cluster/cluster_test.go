@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// echoHandler counts messages and echoes pings back.
+type echoHandler struct {
+	received []string
+	timers   []string
+}
+
+func (h *echoHandler) Deliver(env Env, from NodeID, msg any) {
+	s := msg.(string)
+	h.received = append(h.received, s)
+	if s == "ping" {
+		env.Send(from, "pong")
+	}
+}
+
+func (h *echoHandler) Timer(env Env, token any) {
+	h.timers = append(h.timers, token.(string))
+}
+
+func TestPingPong(t *testing.T) {
+	n := New(WithSeed(7))
+	a, b := &echoHandler{}, &echoHandler{}
+	if err := n.AddNode(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(2, b); err != nil {
+		t.Fatal(err)
+	}
+	// Kick off from node 1 via a timer.
+	kick := &kicker{to: 2}
+	if err := n.AddNode(3, kick); err != nil {
+		t.Fatal(err)
+	}
+	n.nodes[3].After(0, "go")
+	n.RunAll()
+	if len(b.received) != 1 || b.received[0] != "ping" {
+		t.Fatalf("node 2 received %v", b.received)
+	}
+	if len(kick.got) != 1 || kick.got[0] != "pong" {
+		t.Fatalf("kicker received %v", kick.got)
+	}
+	if n.Messages() != 2 {
+		t.Fatalf("Messages() = %d, want 2", n.Messages())
+	}
+}
+
+type kicker struct {
+	to  NodeID
+	got []string
+}
+
+func (k *kicker) Deliver(env Env, from NodeID, msg any) { k.got = append(k.got, msg.(string)) }
+func (k *kicker) Timer(env Env, token any)              { env.Send(k.to, "ping") }
+
+func TestDuplicateNode(t *testing.T) {
+	n := New()
+	if err := n.AddNode(1, &echoHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddNode(1, &echoHandler{}); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if err := n.AddNode(2, nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	trace := func(seed int64) []string {
+		n := New(WithSeed(seed))
+		h := &recorder{}
+		_ = n.AddNode(1, h)
+		k := &burster{targets: []NodeID{1, 1, 1}}
+		_ = n.AddNode(2, k)
+		n.nodes[2].After(0, "go")
+		n.RunAll()
+		return h.log
+	}
+	a, b := trace(42), trace(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+}
+
+type recorder struct{ log []string }
+
+func (r *recorder) Deliver(env Env, from NodeID, msg any) {
+	r.log = append(r.log, env.Now().String()+":"+msg.(string))
+}
+func (r *recorder) Timer(Env, any) {}
+
+type burster struct{ targets []NodeID }
+
+func (b *burster) Deliver(Env, NodeID, any) {}
+func (b *burster) Timer(env Env, token any) {
+	for i, to := range b.targets {
+		env.Send(to, string(rune('a'+i)))
+	}
+}
+
+func TestCrashDropsMessages(t *testing.T) {
+	n := New(WithSeed(3))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	k := &burster{targets: []NodeID{1}}
+	_ = n.AddNode(2, k)
+	n.Crash(1)
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 0 {
+		t.Fatalf("crashed node received %v", h.received)
+	}
+	if n.Dropped() == 0 {
+		t.Fatal("expected dropped messages")
+	}
+	// After restart, messages flow again.
+	n.Restart(1)
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 1 {
+		t.Fatalf("restarted node received %v", h.received)
+	}
+}
+
+func TestPartition(t *testing.T) {
+	n := New(WithSeed(3))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	k := &burster{targets: []NodeID{1}}
+	_ = n.AddNode(2, k)
+	n.Partition([]NodeID{1}, []NodeID{2})
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 0 {
+		t.Fatalf("cross-partition message delivered: %v", h.received)
+	}
+	n.Heal()
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 1 {
+		t.Fatalf("post-heal delivery failed: %v", h.received)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(WithSeed(9), WithDropRate(1.0))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	k := &burster{targets: []NodeID{1, 1, 1, 1}}
+	_ = n.AddNode(2, k)
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 0 {
+		t.Fatalf("messages delivered despite 100%% drop: %v", h.received)
+	}
+}
+
+func TestRunDeadline(t *testing.T) {
+	n := New(WithSeed(1), WithLatency(time.Second, time.Second))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	k := &burster{targets: []NodeID{1}}
+	_ = n.AddNode(2, k)
+	n.nodes[2].After(0, "go")
+	n.Run(500 * time.Millisecond)
+	if len(h.received) != 0 {
+		t.Fatal("message delivered before its latency elapsed")
+	}
+	if n.Now() != 500*time.Millisecond {
+		t.Fatalf("Now() = %v, want 500ms", n.Now())
+	}
+	n.Run(2 * time.Second)
+	if len(h.received) != 1 {
+		t.Fatal("message not delivered after deadline extension")
+	}
+}
+
+func TestTimerOrdering(t *testing.T) {
+	n := New(WithSeed(1))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	ep := n.nodes[1]
+	ep.After(3*time.Millisecond, "c")
+	ep.After(1*time.Millisecond, "a")
+	ep.After(2*time.Millisecond, "b")
+	n.RunAll()
+	if len(h.timers) != 3 || h.timers[0] != "a" || h.timers[1] != "b" || h.timers[2] != "c" {
+		t.Fatalf("timer order %v", h.timers)
+	}
+}

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"hquorum/internal/analysis"
+	"hquorum/internal/bitset"
+	"hquorum/internal/cwlog"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/hqs"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/majority"
+	"hquorum/internal/paths"
+	"hquorum/internal/quorum"
+	"hquorum/internal/ysys"
+)
+
+// TestDominationLandscape records which of the paper's systems are
+// non-dominated coteries (equivalently, which reach F(1/2) = 1/2, the
+// Proposition 3.2 frontier). The h-triang joins the majority/HQS/Y class
+// of non-dominated systems — part of why its availability leads Table 2/3
+// among the √n-size systems — while every grid-based construction is
+// dominated.
+func TestDominationLandscape(t *testing.T) {
+	cw14, err := cwlog.Log(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		sys  quorum.System
+		want bool
+	}{
+		{majority.New(9), true},
+		{hqs.Grouped(3, 3), true},
+		{htriang.New(5), true}, // the paper's contribution is non-dominated
+		{ysys.New(5), true},
+		{cw14, true},
+		{htgrid.Auto(3, 3), false}, // F(1/2) = 0.668 > 1/2
+		{htgrid.Auto(4, 4), false},
+		{hgrid.NewRW(hgrid.Auto(3, 3)), false},
+		{paths.New(2), false}, // F(1/2) = 0.651 > 1/2
+		{majority.NewTieBreak(8), true},
+	}
+	for _, c := range cases {
+		nd, err := quorum.IsNonDominated(c.sys)
+		if err != nil {
+			t.Fatalf("%s: %v", c.sys.Name(), err)
+		}
+		if nd != c.want {
+			t.Errorf("%s: non-dominated = %t, want %t", c.sys.Name(), nd, c.want)
+		}
+	}
+}
+
+// TestImportanceLandscape records the structural hot spots of the paper's
+// constructions via Birnbaum importance at p = 0.1. The measured
+// max/min-importance spreads are pinned here as documented facts:
+// majority is perfectly symmetric (spread 1); and — counter-intuitively,
+// given the h-triang's perfectly uniform *load* — the h-T-grid's
+// availability importance is the more uniform of the two contributions
+// (spread ≈ 1.17 vs ≈ 1.60): the triangle's apex region is pivotal far
+// more often than its base, while load uniformity is a property of the
+// selection strategy, not of the structure.
+func TestImportanceLandscape(t *testing.T) {
+	const p = 0.1
+	spread := func(sys interface {
+		Universe() int
+		Available(bitset.Set) bool
+	}) float64 {
+		imp := analysis.Importance(sys, p)
+		min, max := imp[0], imp[0]
+		for _, v := range imp[1:] {
+			if v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+		}
+		return max / min
+	}
+	triSpread := spread(htriang.New(5))
+	if triSpread < 1.5 || triSpread > 1.7 {
+		t.Errorf("h-triang importance spread %.3f outside the documented ≈1.60", triSpread)
+	}
+	htgSpread := spread(htgrid.Auto(4, 4))
+	if htgSpread < 1.1 || htgSpread > 1.3 {
+		t.Errorf("h-T-grid importance spread %.3f outside the documented ≈1.17", htgSpread)
+	}
+	if s := spread(majority.New(9)); math.Abs(s-1) > 1e-9 {
+		t.Errorf("majority importance spread %.6f, want 1", s)
+	}
+}

@@ -1,0 +1,511 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation, pairing each published value with the value this repository
+// computes. It is shared by cmd/paper-tables and the repository-level
+// benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"hquorum/internal/analysis"
+	"hquorum/internal/bitset"
+	"hquorum/internal/cwlog"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/hqs"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/loadopt"
+	"hquorum/internal/majority"
+	"hquorum/internal/paths"
+	"hquorum/internal/quorum"
+	"hquorum/internal/ysys"
+)
+
+// Ps are the crash probabilities every failure table uses.
+var Ps = []float64{0.1, 0.2, 0.3, 0.5}
+
+// Cell pairs a published value with the reproduced one.
+type Cell struct {
+	Paper    float64
+	Measured float64
+}
+
+// Rel returns the relative deviation |measured-paper|/paper (0 when the
+// paper value is 0).
+func (c Cell) Rel() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	d := c.Measured - c.Paper
+	if d < 0 {
+		d = -d
+	}
+	return d / c.Paper
+}
+
+// FailureTable is one failure-probability table: columns of systems, rows
+// of crash probabilities.
+type FailureTable struct {
+	Name    string
+	Columns []string
+	Rows    []FailureRow
+}
+
+// FailureRow is a table line for one crash probability.
+type FailureRow struct {
+	P     float64
+	Cells []Cell
+}
+
+// Render formats the table with paper values in parentheses.
+func (t *FailureTable) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Name)
+	fmt.Fprintf(&b, "%-5s", "p")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %22s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		fmt.Fprintf(&b, "%-5.1f", row.P)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " %10.6f (%8.6f)", c.Measured, c.Paper)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// failureColumn computes exact failure probabilities for one system by
+// subset enumeration.
+func failureColumn(sys analysis.Availability) []float64 {
+	return analysis.FailureAt(sys, Ps)
+}
+
+// closedForm evaluates an exact analytic failure function at Ps.
+func closedForm(f func(float64) float64) []float64 {
+	out := make([]float64, len(Ps))
+	for i, p := range Ps {
+		out[i] = f(p)
+	}
+	return out
+}
+
+// Table1 regenerates "Failure probability in the hierarchical grid and
+// hierarchical T-grid quorum systems": h-grid via the structural DP,
+// h-T-grid via exact enumeration.
+func Table1() *FailureTable {
+	configs := []struct {
+		label      string
+		rows, cols int
+		hg, htg    [4]float64 // paper values at Ps
+	}{
+		{"3x3", 3, 3, [4]float64{0.016893, 0.109235, 0.286224, 0.716797},
+			[4]float64{0.015213, 0.098585, 0.259783, 0.667969}},
+		{"4x4", 4, 4, [4]float64{0.005799, 0.069318, 0.243795, 0.746628},
+			[4]float64{0.005361, 0.063866, 0.225066, 0.706604}},
+		{"5x5", 5, 5, [4]float64{0.001753, 0.039439, 0.191581, 0.751019},
+			[4]float64{0.001621, 0.036300, 0.176290, 0.708871}},
+		{"4x6", 6, 4, [4]float64{0.001949, 0.034161, 0.167172, 0.725377},
+			[4]float64{0.000611, 0.016690, 0.104402, 0.598435}},
+	}
+	t := &FailureTable{Name: "Table 1: h-grid vs h-T-grid failure probability"}
+	for _, cfg := range configs {
+		t.Columns = append(t.Columns, "h-grid "+cfg.label, "h-T-grid "+cfg.label)
+	}
+	cols := make([][]float64, 0, 2*len(configs))
+	papers := make([][4]float64, 0, 2*len(configs))
+	for _, cfg := range configs {
+		h := hgrid.Auto(cfg.rows, cfg.cols)
+		hgVals := make([]float64, len(Ps))
+		for i, p := range Ps {
+			hgVals[i] = 1 - h.Dist(1-p).Both
+		}
+		cols = append(cols, hgVals)
+		papers = append(papers, cfg.hg)
+		cols = append(cols, failureColumn(htgrid.New(h)))
+		papers = append(papers, cfg.htg)
+	}
+	for pi, p := range Ps {
+		row := FailureRow{P: p}
+		for ci := range cols {
+			row.Cells = append(row.Cells, Cell{Paper: papers[ci][pi], Measured: cols[ci][pi]})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table2 regenerates "Failure probability in quorum systems with
+// approximately 15 nodes". Quick mode has no effect here (every column is
+// cheap).
+func Table2() *FailureTable {
+	t := &FailureTable{Name: "Table 2: failure probability, ~15 nodes"}
+	cw14, err := cwlog.Log(14)
+	if err != nil {
+		panic(err)
+	}
+	cols := []struct {
+		name  string
+		vals  []float64
+		paper [4]float64
+	}{
+		{"Majority(15)", closedForm(majority.New(15).FailureProbability),
+			[4]float64{0.000034, 0.004240, 0.050013, 0.500000}},
+		{"HQS(15)", closedForm(hqs.Grouped(5, 3).FailureProbability),
+			[4]float64{0.000210, 0.009567, 0.070946, 0.500000}},
+		{"CWlog(14)", closedForm(cw14.FailureProbability),
+			[4]float64{0.001639, 0.021787, 0.099915, 0.500000}},
+		// The paper's column is headed "h-T-grid (16)" but its values are
+		// the 3x3 (9-process) system's; we reproduce what was printed.
+		{"h-T-grid(9)", failureColumn(htgrid.Auto(3, 3)),
+			[4]float64{0.015213, 0.098585, 0.259783, 0.667969}},
+		{"Paths(13)", failureColumn(paths.New(2)),
+			[4]float64{0.007351, 0.063493, 0.206296, 0.662598}},
+		{"Y(15)", failureColumn(ysys.New(5)),
+			[4]float64{0.000745, 0.017603, 0.093599, 0.500000}},
+		{"h-triang(15)", closedForm(htriang.New(5).FailureProbability),
+			[4]float64{0.000677, 0.016577, 0.090712, 0.500000}},
+	}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.name)
+	}
+	for pi, p := range Ps {
+		row := FailureRow{P: p}
+		for _, c := range cols {
+			row.Cells = append(row.Cells, Cell{Paper: c.paper[pi], Measured: c.vals[pi]})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Table3 regenerates "Failure probability in quorum systems with
+// approximately 28 nodes". With quick set, the expensive exact
+// enumerations (2²⁵..2²⁸ subsets for h-T-grid(25), Paths(25) and Y(28))
+// are replaced by Monte Carlo estimation.
+func Table3(quick bool) *FailureTable {
+	t := &FailureTable{Name: "Table 3: failure probability, ~28 nodes"}
+	cw29, err := cwlog.Log(29)
+	if err != nil {
+		panic(err)
+	}
+	heavy := func(sys analysis.Availability, seed int64) []float64 {
+		if !quick {
+			return failureColumn(sys)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, len(Ps))
+		for i, p := range Ps {
+			vals[i] = analysis.MonteCarloFailure(sys, p, 400000, rng).Estimate
+		}
+		return vals
+	}
+	// The closed-form columns (cross-validated against enumeration in the
+	// package tests) are instant; the graph/structure systems enumerate
+	// exactly, or estimate in quick mode.
+	cols := []struct {
+		name  string
+		vals  []float64
+		paper [4]float64
+	}{
+		{"Majority(28)", closedForm(majority.NewTieBreak(28).FailureProbability),
+			[4]float64{0.000000, 0.000229, 0.014257, 0.500000}},
+		{"HQS(27)", closedForm(hqs.Uniform(3, 3).FailureProbability),
+			[4]float64{0.000016, 0.002681, 0.039626, 0.500000}},
+		{"CWlog(29)", closedForm(cw29.FailureProbability),
+			[4]float64{0.000205, 0.006865, 0.056988, 0.500000}},
+		{"h-T-grid(25)", heavy(htgrid.Auto(5, 5), 11),
+			[4]float64{0.001621, 0.036300, 0.176290, 0.708872}},
+		{"Paths(25)", heavy(paths.New(3), 12),
+			[4]float64{0.001201, 0.025045, 0.136541, 0.678858}},
+		{"Y(28)", heavy(ysys.New(7), 13),
+			[4]float64{0.000057, 0.005012, 0.052777, 0.500000}},
+		{"h-triang(28)", closedForm(htriang.New(7).FailureProbability),
+			[4]float64{0.000055, 0.004851, 0.051670, 0.500000}},
+	}
+	for _, c := range cols {
+		t.Columns = append(t.Columns, c.name)
+	}
+	for pi, p := range Ps {
+		row := FailureRow{P: p}
+		for _, c := range cols {
+			row.Cells = append(row.Cells, Cell{Paper: c.paper[pi], Measured: c.vals[pi]})
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// SizeLoadRow is one system's entry in Table 4.
+type SizeLoadRow struct {
+	System             string
+	N                  int
+	MinSize, MaxSize   int
+	PaperMin, PaperMax int     // -1 where the paper prints "-"
+	Load               float64 // measured/derived load (NaN when not reported)
+	PaperLoad          float64 // -1 where the paper prints none
+	LoadNote           string
+}
+
+// Table4Group is the Table 4 block for one system scale.
+type Table4Group struct {
+	Label string
+	Rows  []SizeLoadRow
+}
+
+// Table4 regenerates "Minimum and maximum quorum sizes and load" for the
+// ~15 and ~28 scales (loads included) and the ~100 scale (sizes only, as
+// in the paper).
+func Table4() []Table4Group {
+	rng := rand.New(rand.NewSource(7))
+	groups := []Table4Group{
+		{Label: "~15 nodes", Rows: table4Scale15(rng)},
+		{Label: "~28 nodes", Rows: table4Scale28(rng)},
+		{Label: "~100 nodes", Rows: table4Scale100()},
+	}
+	return groups
+}
+
+func table4Scale15(rng *rand.Rand) []SizeLoadRow {
+	cw, _ := cwlog.Log(14)
+	cwStrategy := cw.TradeoffStrategy()
+	htg := htgrid.Auto(4, 4)
+	htgLine, err := htg.LineStrategy()
+	if err != nil {
+		panic(err)
+	}
+	htgPerturbed, err := htg.PerturbedStrategy(0.1)
+	if err != nil {
+		panic(err)
+	}
+	_, htgLoad := htgPerturbed.Measure(rng, 40000)
+	tri := htriang.New(5)
+	triStrategy, err := tri.BalancedStrategy()
+	if err != nil {
+		panic(err)
+	}
+	yLoad := measuredLoad(ysys.New(5), rng)
+	pathsLoad := measuredLoad(paths.New(2), rng)
+	return []SizeLoadRow{
+		{System: "Majority", N: 15, MinSize: 8, MaxSize: 8, PaperMin: 8, PaperMax: 8,
+			Load: 8.0 / 15, PaperLoad: 0.533, LoadNote: "uniform (every strategy)"},
+		{System: "HQS", N: 15, MinSize: hqs.Grouped(5, 3).MinQuorumSize(), MaxSize: hqs.Grouped(5, 3).MaxQuorumSize(),
+			PaperMin: 6, PaperMax: 6, Load: 6.0 / 15, PaperLoad: 0.40, LoadNote: "symmetric strategy"},
+		{System: "CWlog", N: 14, MinSize: cw.MinQuorumSize(), MaxSize: cw.MaxQuorumSize(),
+			PaperMin: 3, PaperMax: 6, Load: cwStrategy.Load(), PaperLoad: 0.555, LoadNote: "tradeoff strategy (avg quorum 4)"},
+		{System: "h-T-grid", N: 16, MinSize: htg.MinQuorumSize(), MaxSize: htg.MaxQuorumSize(),
+			PaperMin: 4, PaperMax: 7, Load: htgLoad, PaperLoad: 0.41,
+			LoadNote: fmt.Sprintf("perturbed strategy (optimal line strategy %.1f%%)", 100*htgLine.Load())},
+		{System: "Paths", N: 13, MinSize: paths.New(2).MinQuorumSize(), MaxSize: -1,
+			PaperMin: 5, PaperMax: -1, Load: pathsLoad, PaperLoad: 0.392, LoadNote: "sampled minimal-path strategy"},
+		{System: "Y", N: 15, MinSize: ysys.New(5).MinQuorumSize(), MaxSize: ysys.New(5).MaxQuorumSize(),
+			PaperMin: 5, PaperMax: 6, Load: yLoad, PaperLoad: 0.346, LoadNote: "sampled minimal-Y strategy"},
+		{System: "h-triang", N: 15, MinSize: tri.MinQuorumSize(), MaxSize: tri.MaxQuorumSize(),
+			PaperMin: 5, PaperMax: 5, Load: triStrategy.Load(), PaperLoad: 1.0 / 3, LoadNote: "balanced strategy (exact)"},
+	}
+}
+
+func table4Scale28(rng *rand.Rand) []SizeLoadRow {
+	cw, _ := cwlog.Log(29)
+	cwStrategy := cw.TradeoffStrategy()
+	htg := htgrid.Auto(5, 5)
+	htgLine, err := htg.LineStrategy()
+	if err != nil {
+		panic(err)
+	}
+	htgPerturbed, err := htg.PerturbedStrategy(0.1)
+	if err != nil {
+		panic(err)
+	}
+	_, htgLoad := htgPerturbed.Measure(rng, 40000)
+	tri := htriang.New(7)
+	triStrategy, err := tri.BalancedStrategy()
+	if err != nil {
+		panic(err)
+	}
+	yLoad := measuredLoad(ysys.New(7), rng)
+	pathsLoad := measuredLoad(paths.New(3), rng)
+	h27 := hqs.Uniform(3, 3)
+	return []SizeLoadRow{
+		{System: "Majority", N: 28, MinSize: majority.NewTieBreak(28).MinQuorumSize(), MaxSize: majority.NewTieBreak(28).MaxQuorumSize(),
+			PaperMin: 14, PaperMax: -1, Load: measuredLoad(majority.NewTieBreak(28), rng), PaperLoad: 0.51,
+			LoadNote: "sampled minimal quorums; the paper prints max 14, but light-node minimal quorums have 15 members"},
+		{System: "HQS", N: 27, MinSize: h27.MinQuorumSize(), MaxSize: h27.MaxQuorumSize(),
+			PaperMin: 8, PaperMax: 8, Load: 8.0 / 27, PaperLoad: 0.296, LoadNote: "symmetric strategy"},
+		{System: "CWlog", N: 29, MinSize: cw.MinQuorumSize(), MaxSize: cw.MaxQuorumSize(),
+			PaperMin: 4, PaperMax: 10, Load: cwStrategy.Load(), PaperLoad: 0.437, LoadNote: "tradeoff strategy (avg quorum 5.25)"},
+		{System: "h-T-grid", N: 25, MinSize: htg.MinQuorumSize(), MaxSize: htg.MaxQuorumSize(),
+			PaperMin: 5, PaperMax: 9, Load: htgLoad, PaperLoad: 0.34,
+			LoadNote: fmt.Sprintf("perturbed strategy (optimal line strategy %.1f%%)", 100*htgLine.Load())},
+		{System: "Paths", N: 25, MinSize: paths.New(3).MinQuorumSize(), MaxSize: -1,
+			PaperMin: 7, PaperMax: -1, Load: pathsLoad, PaperLoad: 0.282, LoadNote: "sampled minimal-path strategy"},
+		{System: "Y", N: 28, MinSize: ysys.New(7).MinQuorumSize(), MaxSize: -1,
+			PaperMin: 7, PaperMax: 11, Load: yLoad, PaperLoad: 0.289, LoadNote: "sampled minimal-Y strategy (paper avg 8.1)"},
+		{System: "h-triang", N: 28, MinSize: tri.MinQuorumSize(), MaxSize: tri.MaxQuorumSize(),
+			PaperMin: 7, PaperMax: 7, Load: triStrategy.Load(), PaperLoad: 0.25, LoadNote: "balanced strategy (exact)"},
+	}
+}
+
+func table4Scale100() []SizeLoadRow {
+	cw, _ := cwlog.Log(99)
+	htg := htgrid.Auto(10, 10)
+	tri := htriang.New(14)
+	h81 := hqs.Uniform(4, 3) // 81 leaves, quorums of 16 ≈ the paper's ~19
+	return []SizeLoadRow{
+		{System: "Majority", N: 101, MinSize: majority.New(101).MinQuorumSize(), MaxSize: majority.New(101).MaxQuorumSize(),
+			PaperMin: 51, PaperMax: 51, Load: 51.0 / 101, PaperLoad: -1},
+		{System: "HQS", N: 81, MinSize: h81.MinQuorumSize(), MaxSize: h81.MaxQuorumSize(),
+			PaperMin: -1, PaperMax: -1, Load: -1, PaperLoad: -1,
+			LoadNote: "paper's ~19 evaluates n^0.63 at n=100; the nearest ternary tree (81 leaves) has quorums of 16"},
+		{System: "CWlog", N: 99, MinSize: cw.MinQuorumSize(), MaxSize: cw.MaxQuorumSize(),
+			PaperMin: 5, PaperMax: 25, Load: -1, PaperLoad: -1},
+		{System: "h-T-grid", N: 100, MinSize: htg.MinQuorumSize(), MaxSize: htg.MaxQuorumSize(),
+			PaperMin: 10, PaperMax: 19, Load: -1, PaperLoad: -1},
+		{System: "Paths", N: 113, MinSize: paths.New(7).MinQuorumSize(), MaxSize: -1,
+			PaperMin: 15, PaperMax: -1, Load: -1, PaperLoad: -1},
+		{System: "Y", N: 105, MinSize: ysys.New(14).MinQuorumSize(), MaxSize: -1,
+			PaperMin: 14, PaperMax: -1, Load: -1, PaperLoad: -1},
+		{System: "h-triang", N: 105, MinSize: tri.MinQuorumSize(), MaxSize: tri.MaxQuorumSize(),
+			PaperMin: 14, PaperMax: 14, Load: -1, PaperLoad: -1},
+	}
+}
+
+// measuredLoad samples a system's Pick strategy over the live universe.
+func measuredLoad(sys quorum.System, rng *rand.Rand) float64 {
+	res, err := loadopt.MeasureSystem(sys, rng, 20000)
+	if err != nil {
+		panic(err)
+	}
+	return res.Load
+}
+
+// RenderTable4 formats the Table 4 groups.
+func RenderTable4(groups []Table4Group) string {
+	var b strings.Builder
+	b.WriteString("Table 4: minimum and maximum quorum sizes and load\n")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%s\n", g.Label)
+		fmt.Fprintf(&b, "  %-10s %4s %9s %9s %18s  %s\n", "system", "n", "min", "max", "load", "strategy")
+		for _, r := range g.Rows {
+			min := fmt.Sprintf("%d (%s)", r.MinSize, dash(r.PaperMin))
+			max := "-"
+			if r.MaxSize >= 0 {
+				max = fmt.Sprintf("%d (%s)", r.MaxSize, dash(r.PaperMax))
+			} else {
+				max = fmt.Sprintf("- (%s)", dash(r.PaperMax))
+			}
+			load := "-"
+			if r.Load >= 0 && r.PaperLoad >= 0 {
+				load = fmt.Sprintf("%5.1f%% (%5.1f%%)", 100*r.Load, 100*r.PaperLoad)
+			}
+			fmt.Fprintf(&b, "  %-10s %4d %9s %9s %18s  %s\n", r.System, r.N, min, max, load, r.LoadNote)
+		}
+	}
+	return b.String()
+}
+
+func dash(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+// Table5Row captures the asymptotic properties of Table 5, with an
+// empirical check of the load column at a reference size.
+type Table5Row struct {
+	System        string
+	MinSizeForm   string
+	SameSize      string
+	LoadForm      string
+	CheckN        int
+	CheckLoad     float64 // measured/derived load at CheckN
+	CheckLoadForm float64 // the formula evaluated at CheckN
+}
+
+// Table5 regenerates the asymptotic-properties table, evaluating each load
+// formula at a reference configuration and pairing it with the load this
+// repository computes there.
+func Table5() []Table5Row {
+	rng := rand.New(rand.NewSource(3))
+	tri := htriang.New(7)
+	triStrategy, err := tri.BalancedStrategy()
+	if err != nil {
+		panic(err)
+	}
+	cw, _ := cwlog.Log(29)
+	htg := htgrid.Auto(5, 5)
+	htgLine, err := htg.LineStrategy()
+	if err != nil {
+		panic(err)
+	}
+	return []Table5Row{
+		{System: "Majority", MinSizeForm: "(n+1)/2", SameSize: "yes", LoadForm: "1/2",
+			CheckN: 15, CheckLoad: 8.0 / 15, CheckLoadForm: 0.5},
+		{System: "HQS", MinSizeForm: "n^0.63", SameSize: "yes", LoadForm: "n^-0.37",
+			CheckN: 27, CheckLoad: 8.0 / 27, CheckLoadForm: math.Pow(27, -0.37)},
+		{System: "CWlog", MinSizeForm: "lg n - lg lg n", SameSize: "no", LoadForm: "1/lg n",
+			CheckN: 29, CheckLoad: cw.BalancedStrategy().Load(), CheckLoadForm: 1 / math.Log2(29)},
+		{System: "h-T-grid", MinSizeForm: "sqrt(n)", SameSize: "no (avg > 1.5 sqrt(n))", LoadForm: "> 1.5/sqrt(n)",
+			CheckN: 25, CheckLoad: htgLine.Load(), CheckLoadForm: 1.5 / math.Sqrt(25)},
+		{System: "Paths", MinSizeForm: "~sqrt(2n)", SameSize: "no", LoadForm: "sqrt(2)/sqrt(n)..2sqrt(2)/sqrt(n)",
+			CheckN: 25, CheckLoad: measuredLoad(paths.New(3), rng), CheckLoadForm: math.Sqrt2 / math.Sqrt(25)},
+		{System: "Y", MinSizeForm: "~sqrt(2n)", SameSize: "no", LoadForm: "> sqrt(2)/sqrt(n)",
+			CheckN: 28, CheckLoad: measuredLoad(ysys.New(7), rng), CheckLoadForm: math.Sqrt2 / math.Sqrt(28)},
+		{System: "h-triang", MinSizeForm: "~sqrt(2n)", SameSize: "yes", LoadForm: "sqrt(2)/sqrt(n)",
+			CheckN: 28, CheckLoad: triStrategy.Load(), CheckLoadForm: math.Sqrt2 / math.Sqrt(28)},
+	}
+}
+
+// RenderTable5 formats the Table 5 rows.
+func RenderTable5(rows []Table5Row) string {
+	var b strings.Builder
+	b.WriteString("Table 5: asymptotic properties (load checked at a reference size)\n")
+	fmt.Fprintf(&b, "  %-10s %-16s %-22s %-30s %8s %10s %10s\n",
+		"system", "c(S)", "same quorum size", "L(S)", "check n", "measured", "formula")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "  %-10s %-16s %-22s %-30s %8d %9.1f%% %9.1f%%\n",
+			r.System, r.MinSizeForm, r.SameSize, r.LoadForm, r.CheckN,
+			100*r.CheckLoad, 100*r.CheckLoadForm)
+	}
+	return b.String()
+}
+
+// Figure1 renders the paper's Figure 1: the 3-level 16-process hierarchy
+// with a read-write quorum (a full-line plus a row-cover).
+func Figure1() string {
+	h := hgrid.Uniform(2, 2, 2)
+	rng := rand.New(rand.NewSource(2))
+	live := bitset.Universe(16)
+	fl, err := h.PickFullLine(rng, live)
+	if err != nil {
+		panic(err)
+	}
+	rc, err := h.PickRowCover(rng, live)
+	if err != nil {
+		panic(err)
+	}
+	var b strings.Builder
+	b.WriteString("Figure 1: 3-level hierarchical grid, 16 processes\n")
+	b.WriteString("full-line (write quorum):\n")
+	b.WriteString(h.Render(fl))
+	b.WriteString("row-cover (read quorum):\n")
+	b.WriteString(h.Render(rc))
+	b.WriteString("read-write quorum (union):\n")
+	b.WriteString(h.Render(fl.Union(rc)))
+	return b.String()
+}
+
+// Figure2 renders the paper's Figure 2: the 5-row triangle divided into
+// sub-triangle 1, the sub-grid and sub-triangle 2.
+func Figure2() string {
+	var b strings.Builder
+	b.WriteString("Figure 2: triangle with 5 rows (15 processes) divided into\n")
+	b.WriteString("sub-triangle 1 ('1'), sub-grid ('G') and sub-triangle 2 ('2')\n")
+	b.WriteString(htriang.New(5).Render(nil))
+	return b.String()
+}

@@ -1,0 +1,94 @@
+package grid
+
+import "fmt"
+
+// Dist is the joint availability distribution of a structure with respect to
+// the two grid events: RC ("the structure can produce a row-cover") and FL
+// ("the structure can produce a full-line"). The fourth probability,
+// P(¬RC ∧ ¬FL), is implied.
+//
+// For a level-0 process with survival probability q both events coincide
+// with the process being alive: Dist{Both: q}.
+type Dist struct {
+	Both   float64 // P(RC ∧ FL)
+	RCOnly float64 // P(RC ∧ ¬FL)
+	FLOnly float64 // P(FL ∧ ¬RC)
+}
+
+// Leaf returns the distribution of a single process that survives with
+// probability q.
+func Leaf(q float64) Dist {
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("grid: survival probability %v outside [0,1]", q))
+	}
+	return Dist{Both: q}
+}
+
+// RC returns P(row-cover available).
+func (d Dist) RC() float64 { return d.Both + d.RCOnly }
+
+// FL returns P(full-line available).
+func (d Dist) FL() float64 { return d.Both + d.FLOnly }
+
+// None returns P(neither available).
+func (d Dist) None() float64 { return 1 - d.Both - d.RCOnly - d.FLOnly }
+
+// Joint computes the exact joint (RC, FL) distribution of a grid whose
+// cells are independent structures with the given distributions.
+// cells[r][c] is the distribution of the cell at row r, column c; rows may
+// not be empty but may have differing lengths (the recursion only relies on
+// row independence).
+//
+// Derivation: per row r let A_r = "some cell has RC" and B_r = "every cell
+// has FL". The grid has a row-cover iff every A_r holds and a full-line iff
+// some B_r holds. Rows are independent, and within a row
+//
+//	P(A_r)        = 1 − Π_c (1 − RC_c)
+//	P(B_r)        = Π_c FL_c
+//	P(B_r ∧ ¬A_r) = Π_c FLOnly_c
+//
+// so P(RC ∧ FL) = Π_r P(A_r) − Π_r (P(A_r) − P(A_r ∧ B_r)).
+func Joint(cells [][]Dist) Dist {
+	if len(cells) == 0 {
+		panic("grid: Joint of empty grid")
+	}
+	prodA := 1.0     // P(all rows covered)
+	prodNotB := 1.0  // P(no full row)
+	prodAnotB := 1.0 // P(all rows covered with no full row)
+	for r, row := range cells {
+		if len(row) == 0 {
+			panic(fmt.Sprintf("grid: Joint row %d is empty", r))
+		}
+		pNoRC, pAllFL, pAllFLnoRC := 1.0, 1.0, 1.0
+		for _, c := range row {
+			pNoRC *= 1 - c.RC()
+			pAllFL *= c.FL()
+			pAllFLnoRC *= c.FLOnly
+		}
+		pA := 1 - pNoRC
+		pB := pAllFL
+		pAandB := pB - pAllFLnoRC // B_r ∧ A_r = B_r minus "all FL, none RC"
+		prodA *= pA
+		prodNotB *= 1 - pB
+		prodAnotB *= pA - pAandB
+	}
+	both := prodA - prodAnotB
+	return Dist{
+		Both:   both,
+		RCOnly: prodA - both,
+		FLOnly: (1 - prodNotB) - both,
+	}
+}
+
+// Uniform returns the joint distribution of an R×C grid of i.i.d. cells.
+func Uniform(rows, cols int, cell Dist) Dist {
+	m := make([][]Dist, rows)
+	for r := range m {
+		row := make([]Dist, cols)
+		for c := range row {
+			row[c] = cell
+		}
+		m[r] = row
+	}
+	return Joint(m)
+}

@@ -1,0 +1,239 @@
+// Package grid implements the flat grid protocol of Cheung, Ammar and
+// Ahamad ('90): n processes arranged in an R×C grid. Two primitive
+// structures drive every grid-based construction in this repository:
+//
+//   - a row-cover: one element from every row (the read quorum);
+//   - a full-line: all elements of some row (the write quorum).
+//
+// A row-cover and a full-line always intersect. The read-write quorum of
+// the grid protocol is the union of one of each; the flat T-grid refinement
+// keeps the full-line and only the row-cover elements strictly below it.
+//
+// The package also provides the joint (row-cover, full-line) availability
+// distribution for a grid of independent cells (Dist), which is the exact
+// building block of the hierarchical-grid DP in package hgrid.
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+// Grid is an R×C arrangement of nodes. Node IDs are row-major:
+// id = r*C + c for row r and column c (0-based).
+type Grid struct {
+	rows, cols int
+	base       int // id of the node at (0,0); nonzero when embedded in a larger universe
+	universe   int // capacity of live sets (defaults to rows*cols)
+}
+
+// New returns an R×C grid over the universe {0, ..., R*C-1}.
+func New(rows, cols int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", rows, cols))
+	}
+	return &Grid{rows: rows, cols: cols, universe: rows * cols}
+}
+
+// NewEmbedded returns an R×C grid whose nodes occupy the contiguous ID range
+// [base, base+R*C) of a larger universe of the given size. Used when a grid
+// is a sub-structure of a bigger construction (e.g. the h-triang sub-grid).
+func NewEmbedded(rows, cols, base, universe int) *Grid {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("grid: invalid dimensions %dx%d", rows, cols))
+	}
+	if base < 0 || base+rows*cols > universe {
+		panic(fmt.Sprintf("grid: range [%d,%d) outside universe %d", base, base+rows*cols, universe))
+	}
+	return &Grid{rows: rows, cols: cols, base: base, universe: universe}
+}
+
+// Rows returns the number of rows.
+func (g *Grid) Rows() int { return g.rows }
+
+// Cols returns the number of columns.
+func (g *Grid) Cols() int { return g.cols }
+
+// Universe returns the size of the node-ID space live sets must use.
+func (g *Grid) Universe() int { return g.universe }
+
+// ID returns the node ID at (row, col).
+func (g *Grid) ID(row, col int) int {
+	if row < 0 || row >= g.rows || col < 0 || col >= g.cols {
+		panic(fmt.Sprintf("grid: position (%d,%d) outside %dx%d", row, col, g.rows, g.cols))
+	}
+	return g.base + row*g.cols + col
+}
+
+// HasRowCover reports whether live contains a row-cover (≥1 live node in
+// every row).
+func (g *Grid) HasRowCover(live bitset.Set) bool {
+	for r := 0; r < g.rows; r++ {
+		found := false
+		for c := 0; c < g.cols; c++ {
+			if live.Contains(g.ID(r, c)) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// HasFullLine reports whether live contains a full-line (an entirely live
+// row).
+func (g *Grid) HasFullLine(live bitset.Set) bool {
+	return g.BestFullLine(live) >= 0
+}
+
+// BestFullLine returns the largest row index whose nodes are all live, or
+// -1 if no row is fully live. ("Largest" = lowest in the visual layout,
+// which maximizes the topmost row of a T-grid quorum and hence minimizes
+// the partial row-cover.)
+func (g *Grid) BestFullLine(live bitset.Set) int {
+	for r := g.rows - 1; r >= 0; r-- {
+		full := true
+		for c := 0; c < g.cols; c++ {
+			if !live.Contains(g.ID(r, c)) {
+				full = false
+				break
+			}
+		}
+		if full {
+			return r
+		}
+	}
+	return -1
+}
+
+// HasTGridQuorum reports whether live contains a flat T-grid quorum: a full
+// row r together with one live node in every row below r.
+func (g *Grid) HasTGridQuorum(live bitset.Set) bool {
+	covered := true // rows below the candidate line, scanned bottom-up
+	for r := g.rows - 1; r >= 0; r-- {
+		full, any := true, false
+		for c := 0; c < g.cols; c++ {
+			if live.Contains(g.ID(r, c)) {
+				any = true
+			} else {
+				full = false
+			}
+		}
+		if full && covered {
+			return true
+		}
+		covered = covered && any
+		if !covered {
+			return false
+		}
+	}
+	return false
+}
+
+// PickRowCover returns a random row-cover drawn from live, or ErrNoQuorum.
+// The result set has the grid's universe capacity.
+func (g *Grid) PickRowCover(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	out := bitset.New(g.universe)
+	for r := 0; r < g.rows; r++ {
+		var alive []int
+		for c := 0; c < g.cols; c++ {
+			if id := g.ID(r, c); live.Contains(id) {
+				alive = append(alive, id)
+			}
+		}
+		if len(alive) == 0 {
+			return bitset.Set{}, quorum.ErrNoQuorum
+		}
+		out.Add(alive[rng.Intn(len(alive))])
+	}
+	return out, nil
+}
+
+// PickFullLine returns a random fully-live row drawn from live, or
+// ErrNoQuorum.
+func (g *Grid) PickFullLine(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	var candidates []int
+	for r := 0; r < g.rows; r++ {
+		full := true
+		for c := 0; c < g.cols; c++ {
+			if !live.Contains(g.ID(r, c)) {
+				full = false
+				break
+			}
+		}
+		if full {
+			candidates = append(candidates, r)
+		}
+	}
+	if len(candidates) == 0 {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	r := candidates[rng.Intn(len(candidates))]
+	out := bitset.New(g.universe)
+	for c := 0; c < g.cols; c++ {
+		out.Add(g.ID(r, c))
+	}
+	return out, nil
+}
+
+// EnumerateRowCovers yields every minimal row-cover (one node per row).
+func (g *Grid) EnumerateRowCovers(fn func(q bitset.Set) bool) {
+	choice := make([]int, g.rows)
+	var rec func(r int) bool
+	rec = func(r int) bool {
+		if r == g.rows {
+			q := bitset.New(g.universe)
+			for rr, cc := range choice {
+				q.Add(g.ID(rr, cc))
+			}
+			return fn(q)
+		}
+		for c := 0; c < g.cols; c++ {
+			choice[r] = c
+			if !rec(r + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// EnumerateFullLines yields every full-line (one per row).
+func (g *Grid) EnumerateFullLines(fn func(q bitset.Set) bool) {
+	for r := 0; r < g.rows; r++ {
+		q := bitset.New(g.universe)
+		for c := 0; c < g.cols; c++ {
+			q.Add(g.ID(r, c))
+		}
+		if !fn(q) {
+			return
+		}
+	}
+}
+
+// Render returns an ASCII drawing of the grid, marking the nodes of q with
+// '#' and others with '.'.
+func (g *Grid) Render(q bitset.Set) string {
+	out := make([]byte, 0, g.rows*(2*g.cols+1))
+	for r := 0; r < g.rows; r++ {
+		for c := 0; c < g.cols; c++ {
+			if c > 0 {
+				out = append(out, ' ')
+			}
+			if q.Contains(g.ID(r, c)) {
+				out = append(out, '#')
+			} else {
+				out = append(out, '.')
+			}
+		}
+		out = append(out, '\n')
+	}
+	return string(out)
+}

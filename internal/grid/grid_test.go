@@ -1,0 +1,228 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hquorum/internal/analysis"
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+func TestIDLayout(t *testing.T) {
+	g := New(3, 4)
+	if got := g.ID(0, 0); got != 0 {
+		t.Fatalf("ID(0,0) = %d", got)
+	}
+	if got := g.ID(2, 3); got != 11 {
+		t.Fatalf("ID(2,3) = %d", got)
+	}
+	e := NewEmbedded(2, 2, 5, 10)
+	if got := e.ID(1, 1); got != 8 {
+		t.Fatalf("embedded ID(1,1) = %d", got)
+	}
+}
+
+func TestPredicates(t *testing.T) {
+	g := New(3, 3)
+	full := bitset.Universe(9)
+	if !g.HasRowCover(full) || !g.HasFullLine(full) || !g.HasTGridQuorum(full) {
+		t.Fatal("full universe should satisfy all predicates")
+	}
+	// One node per row, no full line.
+	diag := bitset.FromIndices(9, 0, 4, 8)
+	if !g.HasRowCover(diag) {
+		t.Fatal("diagonal should be a row-cover")
+	}
+	if g.HasFullLine(diag) {
+		t.Fatal("diagonal should not contain a full line")
+	}
+	if g.HasTGridQuorum(diag) {
+		t.Fatal("diagonal should not contain a T-grid quorum")
+	}
+	// Bottom row only: full line and T-grid quorum (no rows below), but no
+	// row cover.
+	bottom := bitset.FromIndices(9, 6, 7, 8)
+	if g.HasRowCover(bottom) {
+		t.Fatal("bottom row is not a row-cover")
+	}
+	if !g.HasFullLine(bottom) {
+		t.Fatal("bottom row is a full line")
+	}
+	if g.BestFullLine(bottom) != 2 {
+		t.Fatalf("BestFullLine = %d, want 2", g.BestFullLine(bottom))
+	}
+	if !g.HasTGridQuorum(bottom) {
+		t.Fatal("bottom row alone is a T-grid quorum")
+	}
+	// Middle row full but bottom row dead: not a T-grid quorum.
+	middle := bitset.FromIndices(9, 3, 4, 5)
+	if g.HasTGridQuorum(middle) {
+		t.Fatal("middle row without bottom coverage is not a T-grid quorum")
+	}
+	// Middle row full plus one below: T-grid quorum.
+	middlePlus := bitset.FromIndices(9, 3, 4, 5, 7)
+	if !g.HasTGridQuorum(middlePlus) {
+		t.Fatal("middle row + below element is a T-grid quorum")
+	}
+}
+
+func TestRowCoverIntersectsFullLine(t *testing.T) {
+	g := New(3, 4)
+	g.EnumerateRowCovers(func(rc bitset.Set) bool {
+		ok := true
+		g.EnumerateFullLines(func(fl bitset.Set) bool {
+			if !rc.Intersects(fl) {
+				t.Errorf("row-cover %v misses full-line %v", rc, fl)
+				ok = false
+			}
+			return ok
+		})
+		return ok
+	})
+}
+
+func TestSystemsIntersectionAndConsistency(t *testing.T) {
+	for _, sys := range []quorum.System{NewRW(2, 3), NewRW(3, 3), NewTGrid(2, 3), NewTGrid(3, 3), NewTGrid(4, 2)} {
+		if err := quorum.CheckPairwiseIntersection(sys.(quorum.Enumerator)); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+		if err := quorum.CheckAvailabilityConsistency(sys); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestRWTGridCrossIntersection(t *testing.T) {
+	// Every T-grid quorum must intersect every RW quorum and every full
+	// row-cover (§4.2: "any h-T-grid quorum still intersects with any full
+	// row-cover").
+	rw := NewRW(3, 3)
+	tg := NewTGrid(3, 3)
+	tgQuorums := quorum.AllQuorums(tg)
+	for _, q := range tgQuorums {
+		rw.Grid().EnumerateRowCovers(func(rc bitset.Set) bool {
+			if !q.Intersects(rc) {
+				t.Errorf("T-grid quorum %v misses row-cover %v", q, rc)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+func TestPickConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, sys := range []quorum.System{NewRW(3, 3), NewTGrid(3, 3)} {
+		if err := quorum.CheckPickConsistency(sys, rng, 400); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestQuorumSizes(t *testing.T) {
+	rw := NewRW(4, 4)
+	if rw.MinQuorumSize() != 7 || rw.MaxQuorumSize() != 7 {
+		t.Fatalf("RW sizes (%d,%d), want (7,7)", rw.MinQuorumSize(), rw.MaxQuorumSize())
+	}
+	tg := NewTGrid(4, 4)
+	if tg.MinQuorumSize() != 4 || tg.MaxQuorumSize() != 7 {
+		t.Fatalf("TGrid sizes (%d,%d), want (4,7)", tg.MinQuorumSize(), tg.MaxQuorumSize())
+	}
+	// Sizes must match the enumerated quorums.
+	for _, sys := range []quorum.System{NewRW(3, 4), NewTGrid(3, 4)} {
+		c, err := quorum.FromSystem(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.MinQuorumSize() != sys.MinQuorumSize() || c.MaxQuorumSize() != sys.MaxQuorumSize() {
+			t.Errorf("%s: declared (%d,%d), enumerated (%d,%d)", sys.Name(),
+				sys.MinQuorumSize(), sys.MaxQuorumSize(), c.MinQuorumSize(), c.MaxQuorumSize())
+		}
+	}
+}
+
+// TestJointMatchesEnumeration verifies the closed-form joint (RC, FL)
+// distribution against exact subset enumeration on several grid shapes.
+func TestJointMatchesEnumeration(t *testing.T) {
+	shapes := []struct{ r, c int }{{2, 2}, {3, 3}, {2, 4}, {4, 2}, {3, 4}}
+	for _, sh := range shapes {
+		rw := NewRW(sh.r, sh.c)
+		counts := analysis.TransversalCounts(rw)
+		for _, p := range []float64{0.1, 0.25, 0.5} {
+			want := analysis.Failure(counts, p)
+			got := 1 - Uniform(sh.r, sh.c, Leaf(1-p)).Both
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%dx%d p=%.2f: DP %.12f, enumeration %.12f", sh.r, sh.c, p, got, want)
+			}
+		}
+	}
+}
+
+// TestJointMarginals verifies the RC and FL marginals of Joint against
+// direct formulas for i.i.d. leaves.
+func TestJointMarginals(t *testing.T) {
+	p := 0.2
+	q := 1 - p
+	d := Uniform(3, 4, Leaf(q))
+	wantRC := math.Pow(1-math.Pow(p, 4), 3)
+	wantFL := 1 - math.Pow(1-math.Pow(q, 4), 3)
+	if math.Abs(d.RC()-wantRC) > 1e-12 {
+		t.Errorf("RC marginal %.12f, want %.12f", d.RC(), wantRC)
+	}
+	if math.Abs(d.FL()-wantFL) > 1e-12 {
+		t.Errorf("FL marginal %.12f, want %.12f", d.FL(), wantFL)
+	}
+	if d.None() < 0 || d.None() > 1 {
+		t.Errorf("None() = %v outside [0,1]", d.None())
+	}
+}
+
+// TestJointProbabilityLaws property-tests that Joint always returns a valid
+// distribution dominated by its marginals.
+func TestJointProbabilityLaws(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 1 + rng.Intn(3)
+		cols := 1 + rng.Intn(3)
+		cells := make([][]Dist, rows)
+		for r := range cells {
+			cells[r] = make([]Dist, cols)
+			for c := range cells[r] {
+				// Random sub-distribution.
+				a, b, g := rng.Float64(), rng.Float64(), rng.Float64()
+				total := a + b + g + rng.Float64()
+				cells[r][c] = Dist{Both: a / total, RCOnly: b / total, FLOnly: g / total}
+			}
+		}
+		d := Joint(cells)
+		eps := 1e-9
+		return d.Both >= -eps && d.RCOnly >= -eps && d.FLOnly >= -eps &&
+			d.None() >= -eps && d.RC() <= 1+eps && d.FL() <= 1+eps &&
+			d.Both <= d.RC()+eps && d.Both <= d.FL()+eps
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRender(t *testing.T) {
+	g := New(2, 2)
+	q := bitset.FromIndices(4, 0, 3)
+	want := "# .\n. #\n"
+	if got := g.Render(q); got != want {
+		t.Fatalf("Render = %q, want %q", got, want)
+	}
+}
+
+func TestTGridQuorumCount(t *testing.T) {
+	// R×C T-grid has sum over lines r of C^(R-1-r) quorums.
+	tg := NewTGrid(3, 2)
+	n := 0
+	tg.EnumerateQuorums(func(bitset.Set) bool { n++; return true })
+	if n != 4+2+1 {
+		t.Fatalf("3x2 T-grid has %d quorums, want 7", n)
+	}
+}

@@ -1,0 +1,192 @@
+package grid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+// RWSystem is the flat grid protocol's read-write quorum system: a quorum is
+// the union of a full-line and a row-cover. Because the row-cover's element
+// in the full-line's row is absorbed by the line, every quorum has exactly
+// C + R − 1 elements (≈ 2√n − 1 on a square grid).
+type RWSystem struct {
+	g *Grid
+}
+
+var _ quorum.System = (*RWSystem)(nil)
+var _ quorum.Enumerator = (*RWSystem)(nil)
+
+// NewRW returns the read-write quorum system of an R×C grid.
+func NewRW(rows, cols int) *RWSystem { return &RWSystem{g: New(rows, cols)} }
+
+// Grid returns the underlying grid.
+func (s *RWSystem) Grid() *Grid { return s.g }
+
+// Name implements quorum.System.
+func (s *RWSystem) Name() string { return fmt.Sprintf("grid-rw(%dx%d)", s.g.rows, s.g.cols) }
+
+// Universe implements quorum.System.
+func (s *RWSystem) Universe() int { return s.g.universe }
+
+// Available reports whether live contains both a row-cover and a full-line.
+func (s *RWSystem) Available(live bitset.Set) bool {
+	return s.g.HasFullLine(live) && s.g.HasRowCover(live)
+}
+
+// Pick returns a random read-write quorum from live.
+func (s *RWSystem) Pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	fl, err := s.g.PickFullLine(rng, live)
+	if err != nil {
+		return bitset.Set{}, err
+	}
+	rc, err := s.g.PickRowCover(rng, live)
+	if err != nil {
+		return bitset.Set{}, err
+	}
+	fl.UnionWith(rc)
+	return fl, nil
+}
+
+// MinQuorumSize implements quorum.System.
+func (s *RWSystem) MinQuorumSize() int { return s.g.cols + s.g.rows - 1 }
+
+// MaxQuorumSize implements quorum.System.
+func (s *RWSystem) MaxQuorumSize() int { return s.g.cols + s.g.rows - 1 }
+
+// EnumerateQuorums yields every read-write quorum: a full row plus one
+// element from each other row.
+func (s *RWSystem) EnumerateQuorums(fn func(q bitset.Set) bool) {
+	g := s.g
+	for r := 0; r < g.rows; r++ {
+		line := bitset.New(g.universe)
+		for c := 0; c < g.cols; c++ {
+			line.Add(g.ID(r, c))
+		}
+		otherRows := make([]int, 0, g.rows-1)
+		for rr := 0; rr < g.rows; rr++ {
+			if rr != r {
+				otherRows = append(otherRows, rr)
+			}
+		}
+		if !enumerateChoices(g, line, otherRows, fn) {
+			return
+		}
+	}
+}
+
+// TGridSystem is the flat T-grid refinement (Cheung et al.): a quorum is a
+// full row together with one element from every row strictly below it.
+// Quorum sizes range from C (the bottom row alone) to C + R − 1.
+type TGridSystem struct {
+	g *Grid
+}
+
+var _ quorum.System = (*TGridSystem)(nil)
+var _ quorum.Enumerator = (*TGridSystem)(nil)
+
+// NewTGrid returns the flat T-grid quorum system of an R×C grid.
+func NewTGrid(rows, cols int) *TGridSystem { return &TGridSystem{g: New(rows, cols)} }
+
+// Grid returns the underlying grid.
+func (s *TGridSystem) Grid() *Grid { return s.g }
+
+// Name implements quorum.System.
+func (s *TGridSystem) Name() string { return fmt.Sprintf("tgrid(%dx%d)", s.g.rows, s.g.cols) }
+
+// Universe implements quorum.System.
+func (s *TGridSystem) Universe() int { return s.g.universe }
+
+// Available implements quorum.System.
+func (s *TGridSystem) Available(live bitset.Set) bool { return s.g.HasTGridQuorum(live) }
+
+// Pick returns a random T-grid quorum from live: a uniformly random feasible
+// full row, plus random live representatives below it.
+func (s *TGridSystem) Pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	g := s.g
+	// Feasible lines: row r fully live and all rows below have a live node.
+	var feasible []int
+	covered := true
+	for r := g.rows - 1; r >= 0; r-- {
+		full, any := true, false
+		for c := 0; c < g.cols; c++ {
+			if live.Contains(g.ID(r, c)) {
+				any = true
+			} else {
+				full = false
+			}
+		}
+		if full && covered {
+			feasible = append(feasible, r)
+		}
+		covered = covered && any
+	}
+	if len(feasible) == 0 {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	r := feasible[rng.Intn(len(feasible))]
+	out := bitset.New(g.universe)
+	for c := 0; c < g.cols; c++ {
+		out.Add(g.ID(r, c))
+	}
+	for rr := r + 1; rr < g.rows; rr++ {
+		var alive []int
+		for c := 0; c < g.cols; c++ {
+			if id := g.ID(rr, c); live.Contains(id) {
+				alive = append(alive, id)
+			}
+		}
+		out.Add(alive[rng.Intn(len(alive))])
+	}
+	return out, nil
+}
+
+// MinQuorumSize implements quorum.System.
+func (s *TGridSystem) MinQuorumSize() int { return s.g.cols }
+
+// MaxQuorumSize implements quorum.System.
+func (s *TGridSystem) MaxQuorumSize() int { return s.g.cols + s.g.rows - 1 }
+
+// EnumerateQuorums yields every T-grid quorum.
+func (s *TGridSystem) EnumerateQuorums(fn func(q bitset.Set) bool) {
+	g := s.g
+	for r := 0; r < g.rows; r++ {
+		line := bitset.New(g.universe)
+		for c := 0; c < g.cols; c++ {
+			line.Add(g.ID(r, c))
+		}
+		below := make([]int, 0, g.rows-r-1)
+		for rr := r + 1; rr < g.rows; rr++ {
+			below = append(below, rr)
+		}
+		if !enumerateChoices(g, line, below, fn) {
+			return
+		}
+	}
+}
+
+// enumerateChoices yields base ∪ {one element per row in rows}, over all
+// column choices. It returns false if fn stopped the enumeration.
+func enumerateChoices(g *Grid, base bitset.Set, rows []int, fn func(q bitset.Set) bool) bool {
+	choice := make([]int, len(rows))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(rows) {
+			q := base.Clone()
+			for j, c := range choice {
+				q.Add(g.ID(rows[j], c))
+			}
+			return fn(q)
+		}
+		for c := 0; c < g.cols; c++ {
+			choice[i] = c
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		return true
+	}
+	return rec(0)
+}

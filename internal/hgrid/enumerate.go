@@ -1,0 +1,83 @@
+package hgrid
+
+import "hquorum/internal/bitset"
+
+// FullLines returns every hierarchical full-line of the root. Intended for
+// tests and small configurations; the count is exponential in the depth.
+func (h *Hierarchy) FullLines() []bitset.Set {
+	return fullLines(h.root, h.universe)
+}
+
+func fullLines(o *Object, n int) []bitset.Set {
+	if o.IsLeaf() {
+		return []bitset.Set{bitset.FromIndices(n, o.leaf)}
+	}
+	var out []bitset.Set
+	for _, row := range o.children {
+		partial := []bitset.Set{bitset.New(n)}
+		for _, c := range row {
+			cells := fullLines(c, n)
+			next := make([]bitset.Set, 0, len(partial)*len(cells))
+			for _, p := range partial {
+				for _, q := range cells {
+					next = append(next, p.Union(q))
+				}
+			}
+			partial = next
+		}
+		out = append(out, partial...)
+	}
+	return out
+}
+
+// RowCovers returns every minimal hierarchical row-cover of the root (one
+// child per child row at every level).
+func (h *Hierarchy) RowCovers() []bitset.Set {
+	return rowCovers(h.root, h.universe)
+}
+
+func rowCovers(o *Object, n int) []bitset.Set {
+	if o.IsLeaf() {
+		return []bitset.Set{bitset.FromIndices(n, o.leaf)}
+	}
+	partial := []bitset.Set{bitset.New(n)}
+	for _, row := range o.children {
+		var rowChoices []bitset.Set
+		for _, c := range row {
+			rowChoices = append(rowChoices, rowCovers(c, n)...)
+		}
+		next := make([]bitset.Set, 0, len(partial)*len(rowChoices))
+		for _, p := range partial {
+			for _, q := range rowChoices {
+				next = append(next, p.Union(q))
+			}
+		}
+		partial = next
+	}
+	return partial
+}
+
+// MinTopRow returns the minimum global row touched by set (its visually
+// highest element), or -1 for an empty set.
+func (h *Hierarchy) MinTopRow(set bitset.Set) int {
+	min := -1
+	set.ForEach(func(id int) {
+		if min == -1 || h.rowOf[id] < min {
+			min = h.rowOf[id]
+		}
+	})
+	return min
+}
+
+// MaxBottomRow returns the maximum global row touched by set (its visually
+// lowest element — the paper's "topmost" under Definition 4.2's ordering),
+// or -1 for an empty set.
+func (h *Hierarchy) MaxBottomRow(set bitset.Set) int {
+	max := -1
+	set.ForEach(func(id int) {
+		if h.rowOf[id] > max {
+			max = h.rowOf[id]
+		}
+	})
+	return max
+}

@@ -1,0 +1,166 @@
+package hgrid
+
+import (
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+// PickRowCover returns a random hierarchical row-cover drawn from live (a
+// read quorum), or quorum.ErrNoQuorum. At every level, one child with a
+// feasible recursive row-cover is selected uniformly per child row.
+func (h *Hierarchy) PickRowCover(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	out := bitset.New(h.universe)
+	if !pickRowCover(h.root, rng, live, out) {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+func pickRowCover(o *Object, rng *rand.Rand, live bitset.Set, out bitset.Set) bool {
+	if o.IsLeaf() {
+		if !live.Contains(o.leaf) {
+			return false
+		}
+		out.Add(o.leaf)
+		return true
+	}
+	for _, row := range o.children {
+		var feasible []*Object
+		for _, c := range row {
+			if hasRowCover(c, live) {
+				feasible = append(feasible, c)
+			}
+		}
+		if len(feasible) == 0 {
+			return false
+		}
+		if !pickRowCover(feasible[rng.Intn(len(feasible))], rng, live, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// PickFullLine returns a random hierarchical full-line drawn from live (a
+// write quorum), or quorum.ErrNoQuorum. At every level a feasible child row
+// (one where every child can produce a full-line) is selected uniformly.
+func (h *Hierarchy) PickFullLine(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	out := bitset.New(h.universe)
+	if !pickFullLine(h.root, rng, live, out) {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+func pickFullLine(o *Object, rng *rand.Rand, live bitset.Set, out bitset.Set) bool {
+	if o.IsLeaf() {
+		if !live.Contains(o.leaf) {
+			return false
+		}
+		out.Add(o.leaf)
+		return true
+	}
+	var feasible []int
+	for r, row := range o.children {
+		ok := true
+		for _, c := range row {
+			if !hasFullLine(c, live) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			feasible = append(feasible, r)
+		}
+	}
+	if len(feasible) == 0 {
+		return false
+	}
+	r := feasible[rng.Intn(len(feasible))]
+	for _, c := range o.children[r] {
+		if !pickFullLine(c, rng, live, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// PickPartialRowCoverBelow returns a random partial row-cover keeping rows
+// >= minRow: a row-cover choice whose elements in those rows are live;
+// elements above minRow are omitted from the result.
+func (h *Hierarchy) PickPartialRowCoverBelow(rng *rand.Rand, live bitset.Set, minRow int) (bitset.Set, error) {
+	out := bitset.New(h.universe)
+	if !pickPartialRowCoverBelow(h.root, rng, live, minRow, out) {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+func pickPartialRowCoverBelow(o *Object, rng *rand.Rand, live bitset.Set, minRow int, out bitset.Set) bool {
+	if o.top+o.height <= minRow {
+		return true // fully above: all elements removed, nothing to add
+	}
+	if o.IsLeaf() {
+		if !live.Contains(o.leaf) {
+			return false
+		}
+		out.Add(o.leaf)
+		return true
+	}
+	for _, row := range o.children {
+		var feasible []*Object
+		for _, c := range row {
+			if hasPartialRowCoverBelow(c, live, minRow) {
+				feasible = append(feasible, c)
+			}
+		}
+		if len(feasible) == 0 {
+			return false
+		}
+		if !pickPartialRowCoverBelow(feasible[rng.Intn(len(feasible))], rng, live, minRow, out) {
+			return false
+		}
+	}
+	return true
+}
+
+// PickPartialRowCoverAbove returns a random partial row-cover keeping rows
+// <= maxRow (the Definition 4.2 orientation); elements below maxRow are
+// omitted from the result.
+func (h *Hierarchy) PickPartialRowCoverAbove(rng *rand.Rand, live bitset.Set, maxRow int) (bitset.Set, error) {
+	out := bitset.New(h.universe)
+	if !pickPartialRowCoverAbove(h.root, rng, live, maxRow, out) {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+func pickPartialRowCoverAbove(o *Object, rng *rand.Rand, live bitset.Set, maxRow int, out bitset.Set) bool {
+	if o.top > maxRow {
+		return true // fully below: all elements removed, nothing to add
+	}
+	if o.IsLeaf() {
+		if !live.Contains(o.leaf) {
+			return false
+		}
+		out.Add(o.leaf)
+		return true
+	}
+	for _, row := range o.children {
+		var feasible []*Object
+		for _, c := range row {
+			if hasPartialRowCoverAbove(c, live, maxRow) {
+				feasible = append(feasible, c)
+			}
+		}
+		if len(feasible) == 0 {
+			return false
+		}
+		if !pickPartialRowCoverAbove(feasible[rng.Intn(len(feasible))], rng, live, maxRow, out) {
+			return false
+		}
+	}
+	return true
+}

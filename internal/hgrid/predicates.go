@@ -1,0 +1,195 @@
+package hgrid
+
+import "hquorum/internal/bitset"
+
+// HasRowCover reports whether live contains a hierarchical row-cover of the
+// root (a read quorum).
+func (h *Hierarchy) HasRowCover(live bitset.Set) bool {
+	return hasRowCover(h.root, live)
+}
+
+func hasRowCover(o *Object, live bitset.Set) bool {
+	if o.IsLeaf() {
+		return live.Contains(o.leaf)
+	}
+	for _, row := range o.children {
+		covered := false
+		for _, c := range row {
+			if hasRowCover(c, live) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// HasFullLine reports whether live contains a hierarchical full-line of the
+// root (a write quorum).
+func (h *Hierarchy) HasFullLine(live bitset.Set) bool {
+	return hasFullLine(h.root, live)
+}
+
+func hasFullLine(o *Object, live bitset.Set) bool {
+	if o.IsLeaf() {
+		return live.Contains(o.leaf)
+	}
+	for _, row := range o.children {
+		full := true
+		for _, c := range row {
+			if !hasFullLine(c, live) {
+				full = false
+				break
+			}
+		}
+		if full {
+			return true
+		}
+	}
+	return false
+}
+
+// BestFullLineTop returns the maximum, over all live hierarchical
+// full-lines L, of the topmost global row touched by L (the minimum global
+// row of L's elements), or -1 if live contains no full-line. The h-T-grid
+// availability test uses it: a larger topmost row exempts more rows from
+// the partial row-cover.
+func (h *Hierarchy) BestFullLineTop(live bitset.Set) int {
+	return bestFullLineTop(h.root, live)
+}
+
+func bestFullLineTop(o *Object, live bitset.Set) int {
+	if o.IsLeaf() {
+		if live.Contains(o.leaf) {
+			return o.top
+		}
+		return -1
+	}
+	best := -1
+	for _, row := range o.children {
+		// The full-line picks a line in every cell of this child row
+		// independently, so each cell contributes its own maximal topmost
+		// row; the row's achievable topmost is the minimum across cells.
+		rowTop := int(^uint(0) >> 1) // max int
+		ok := true
+		for _, c := range row {
+			t := bestFullLineTop(c, live)
+			if t < 0 {
+				ok = false
+				break
+			}
+			if t < rowTop {
+				rowTop = t
+			}
+		}
+		if ok && rowTop > best {
+			best = rowTop
+		}
+	}
+	return best
+}
+
+// BestFullLineBottom returns the minimum, over all live hierarchical
+// full-lines L, of the bottom-most global row touched by L (the maximum
+// global row of L's elements), or -1 if live contains no full-line. The
+// h-T-grid availability test of Definition 4.2 uses it: a higher bottom
+// (smaller value) exempts more rows from the partial row-cover.
+func (h *Hierarchy) BestFullLineBottom(live bitset.Set) int {
+	return bestFullLineBottom(h.root, live)
+}
+
+func bestFullLineBottom(o *Object, live bitset.Set) int {
+	if o.IsLeaf() {
+		if live.Contains(o.leaf) {
+			return o.top
+		}
+		return -1
+	}
+	best := -1
+	for _, row := range o.children {
+		// Each cell independently minimizes its own bottom row; the line's
+		// bottom is the maximum across cells.
+		rowBottom := -1
+		ok := true
+		for _, c := range row {
+			b := bestFullLineBottom(c, live)
+			if b < 0 {
+				ok = false
+				break
+			}
+			if b > rowBottom {
+				rowBottom = b
+			}
+		}
+		if ok && (best == -1 || rowBottom < best) {
+			best = rowBottom
+		}
+	}
+	return best
+}
+
+// HasPartialRowCoverBelow reports whether live contains a partial row-cover
+// that keeps only the rows from minRow downwards: a hierarchical row-cover
+// choice whose elements in global rows >= minRow are all live. This is the
+// "cover everything below the line" orientation suggested by §4.2's prose.
+func (h *Hierarchy) HasPartialRowCoverBelow(live bitset.Set, minRow int) bool {
+	return hasPartialRowCoverBelow(h.root, live, minRow)
+}
+
+func hasPartialRowCoverBelow(o *Object, live bitset.Set, minRow int) bool {
+	if o.top+o.height <= minRow {
+		// Entirely above the threshold: every element would be removed.
+		return true
+	}
+	if o.IsLeaf() {
+		return live.Contains(o.leaf)
+	}
+	for _, row := range o.children {
+		covered := false
+		for _, c := range row {
+			if hasPartialRowCoverBelow(c, live, minRow) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPartialRowCoverAbove reports whether live contains a partial row-cover
+// that keeps only the rows from the top down to maxRow: a hierarchical
+// row-cover choice whose elements in global rows <= maxRow are all live.
+// This is the literal Definition 4.2 orientation, the one that reproduces
+// the paper's Table 1 exactly.
+func (h *Hierarchy) HasPartialRowCoverAbove(live bitset.Set, maxRow int) bool {
+	return hasPartialRowCoverAbove(h.root, live, maxRow)
+}
+
+func hasPartialRowCoverAbove(o *Object, live bitset.Set, maxRow int) bool {
+	if o.top > maxRow {
+		// Entirely below the threshold: every element would be removed.
+		return true
+	}
+	if o.IsLeaf() {
+		return live.Contains(o.leaf)
+	}
+	for _, row := range o.children {
+		covered := false
+		for _, c := range row {
+			if hasPartialRowCoverAbove(c, live, maxRow) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

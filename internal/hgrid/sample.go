@@ -1,0 +1,63 @@
+package hgrid
+
+import (
+	"math/rand"
+
+	"hquorum/internal/bitset"
+)
+
+// SampleRowCover returns a row-cover of the fully-live region, selecting in
+// every child row one child with probability proportional to its width and
+// recursing. The induced per-process membership probability is exactly
+// 1/Cols for every process (the §5 strategy's grid rule: "row-covers are
+// selected randomly, at each level, with probability proportional to the
+// number of represented level-0 columns").
+func (h *Hierarchy) SampleRowCover(rng *rand.Rand) bitset.Set {
+	out := bitset.New(h.universe)
+	sampleRowCover(h.root, rng, out)
+	return out
+}
+
+func sampleRowCover(o *Object, rng *rand.Rand, out bitset.Set) {
+	if o.IsLeaf() {
+		out.Add(o.leaf)
+		return
+	}
+	for _, row := range o.children {
+		pick := rng.Intn(o.width)
+		for _, c := range row {
+			if pick < c.width {
+				sampleRowCover(c, rng, out)
+				break
+			}
+			pick -= c.width
+		}
+	}
+}
+
+// SampleFullLine returns a full-line of the fully-live region, selecting
+// every child row with probability proportional to its height and recursing
+// independently in each child. The induced per-process membership
+// probability is exactly 1/Rows.
+func (h *Hierarchy) SampleFullLine(rng *rand.Rand) bitset.Set {
+	out := bitset.New(h.universe)
+	sampleFullLine(h.root, rng, out)
+	return out
+}
+
+func sampleFullLine(o *Object, rng *rand.Rand, out bitset.Set) {
+	if o.IsLeaf() {
+		out.Add(o.leaf)
+		return
+	}
+	pick := rng.Intn(o.height)
+	for _, row := range o.children {
+		if pick < row[0].height {
+			for _, c := range row {
+				sampleFullLine(c, rng, out)
+			}
+			return
+		}
+		pick -= row[0].height
+	}
+}

@@ -1,0 +1,265 @@
+package htgrid
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/hgrid"
+)
+
+// LineStrategy is §4.3's load-optimal h-T-grid strategy: quorums are based
+// on full-lines whose elements all lie in the same global line, the line is
+// drawn from a weight vector that equalizes per-process load, and the
+// partial row-cover is selected uniformly at random. On the paper's 4×4
+// grid it yields an average quorum size of 5.85 and load 36.57% (the
+// paper's "5.8 and 36.5%").
+type LineStrategy struct {
+	sys     *System
+	weights []float64 // weights[r] = probability of basing the quorum on global line r
+}
+
+// LineStrategy computes the §4.3 optimal strategy for the system's
+// orientation. It returns an error if load equalization would require a
+// negative line weight (does not happen on the paper's configurations).
+func (s *System) LineStrategy() (*LineStrategy, error) {
+	rows := s.h.Rows()
+	cols := float64(s.h.Cols())
+	raw := make([]float64, rows)
+	// Per-process load of line r's row: w_r (the line) plus 1/cols times
+	// the total weight of lines whose cover spans row r. Equalize with unit
+	// load, then normalize. In the paper-exact orientation the cover spans
+	// the rows above the line, so lines below contribute to a row's cover
+	// load; the prose orientation is the mirror image.
+	cum := 0.0
+	if s.orient == OrientAboveLine {
+		for r := rows - 1; r >= 0; r-- {
+			raw[r] = 1 - cum/cols
+			if raw[r] < 0 {
+				return nil, fmt.Errorf("htgrid: load equalization infeasible at line %d", r)
+			}
+			cum += raw[r]
+		}
+	} else {
+		for r := 0; r < rows; r++ {
+			raw[r] = 1 - cum/cols
+			if raw[r] < 0 {
+				return nil, fmt.Errorf("htgrid: load equalization infeasible at line %d", r)
+			}
+			cum += raw[r]
+		}
+	}
+	w := make([]float64, rows)
+	for i := range raw {
+		w[i] = raw[i] / cum
+	}
+	return &LineStrategy{sys: s, weights: w}, nil
+}
+
+// Weights returns the per-line base probabilities.
+func (ls *LineStrategy) Weights() []float64 {
+	return append([]float64(nil), ls.weights...)
+}
+
+// coverSpan returns the number of global rows the partial cover contributes
+// for a quorum based on line r (the line's own row is absorbed by the
+// line).
+func (ls *LineStrategy) coverSpan(r int) int {
+	if ls.sys.orient == OrientAboveLine {
+		return r
+	}
+	return ls.sys.h.Rows() - 1 - r
+}
+
+// AvgQuorumSize returns the expected quorum cardinality.
+func (ls *LineStrategy) AvgQuorumSize() float64 {
+	avg := 0.0
+	for r, w := range ls.weights {
+		avg += w * float64(ls.sys.h.Cols()+ls.coverSpan(r))
+	}
+	return avg
+}
+
+// Loads returns the exact per-process access probabilities on a fully-live
+// grid.
+func (ls *LineStrategy) Loads() []float64 {
+	h := ls.sys.h
+	loads := make([]float64, h.Universe())
+	cols := float64(h.Cols())
+	for r := 0; r < h.Rows(); r++ {
+		cover := 0.0
+		for r2, w := range ls.weights {
+			if covers(ls.sys.orient, r2, r) {
+				cover += w
+			}
+		}
+		per := ls.weights[r] + cover/cols
+		for c := 0; c < h.Cols(); c++ {
+			loads[h.IDAt(r, c)] = per
+		}
+	}
+	return loads
+}
+
+// covers reports whether a quorum based on line base includes a cover
+// element in row r.
+func covers(o Orientation, base, r int) bool {
+	if o == OrientAboveLine {
+		return r < base
+	}
+	return r > base
+}
+
+// Load returns the maximum per-process access probability.
+func (ls *LineStrategy) Load() float64 {
+	max := 0.0
+	for _, l := range ls.Loads() {
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// Pick samples a quorum of the fully-live grid: a weighted base line plus a
+// uniformly-sampled partial row-cover.
+func (ls *LineStrategy) Pick(rng *rand.Rand) bitset.Set {
+	h := ls.sys.h
+	u := rng.Float64()
+	base := len(ls.weights) - 1
+	for r, w := range ls.weights {
+		if u < w {
+			base = r
+			break
+		}
+		u -= w
+	}
+	out := bitset.New(h.Universe())
+	for c := 0; c < h.Cols(); c++ {
+		out.Add(h.IDAt(base, c))
+	}
+	cover := h.SampleRowCover(rng)
+	cover.ForEach(func(id int) {
+		if covers(ls.sys.orient, base, h.RowOf(id)) {
+			out.Add(id)
+		}
+	})
+	return out
+}
+
+// PerturbedStrategy is §4.3's all-quorum variant of the line strategy:
+// when assembling the full-line, every leaf-level fragment independently
+// defects, with probability eps, to a random other line of its cell — so
+// every h-T-grid quorum has positive probability. The paper reports the
+// expected degradation ("avg 5.9 and load 41%") for a small unspecified
+// eps.
+type PerturbedStrategy struct {
+	line *LineStrategy
+	eps  float64
+}
+
+// PerturbedStrategy builds the variant on top of the optimal line weights.
+func (s *System) PerturbedStrategy(eps float64) (*PerturbedStrategy, error) {
+	if eps < 0 || eps > 1 {
+		return nil, fmt.Errorf("htgrid: perturbation probability %v outside [0,1]", eps)
+	}
+	ls, err := s.LineStrategy()
+	if err != nil {
+		return nil, err
+	}
+	return &PerturbedStrategy{line: ls, eps: eps}, nil
+}
+
+// Pick samples a quorum: a perturbed line plus the partial cover its actual
+// boundary requires.
+func (ps *PerturbedStrategy) Pick(rng *rand.Rand) bitset.Set {
+	s := ps.line.sys
+	h := s.h
+	u := rng.Float64()
+	base := len(ps.line.weights) - 1
+	for r, w := range ps.line.weights {
+		if u < w {
+			base = r
+			break
+		}
+		u -= w
+	}
+	line := bitset.New(h.Universe())
+	perturbedLine(h.Root(), rng, base, ps.eps, line)
+	boundary := s.boundary(line)
+	out := line
+	cover := h.SampleRowCover(rng)
+	cover.ForEach(func(id int) {
+		r := h.RowOf(id)
+		if (s.orient == OrientAboveLine && r <= boundary) || (s.orient == OrientBelowLine && r >= boundary) {
+			out.Add(id)
+		}
+	})
+	return out
+}
+
+// perturbedLine assembles a full-line aimed at global row base where each
+// fragment may defect to a random line of its sub-object.
+func perturbedLine(o *hgrid.Object, rng *rand.Rand, base int, eps float64, out bitset.Set) {
+	if o.IsLeaf() {
+		out.Add(o.Leaf())
+		return
+	}
+	if rng.Float64() < eps {
+		// Defect: sample any line of this object (proportional to heights).
+		sampleLine(o, rng, out)
+		return
+	}
+	for r := 0; r < o.ChildRows(); r++ {
+		child := o.Child(r, 0)
+		top, _, height, _ := child.Span()
+		if base >= top && base < top+height {
+			for c := 0; c < o.ChildCols(r); c++ {
+				perturbedLine(o.Child(r, c), rng, base, eps, out)
+			}
+			return
+		}
+	}
+	// base outside this object's span (after a defection above): any line.
+	sampleLine(o, rng, out)
+}
+
+func sampleLine(o *hgrid.Object, rng *rand.Rand, out bitset.Set) {
+	if o.IsLeaf() {
+		out.Add(o.Leaf())
+		return
+	}
+	_, _, height, _ := o.Span()
+	pick := rng.Intn(height)
+	for r := 0; r < o.ChildRows(); r++ {
+		child := o.Child(r, 0)
+		top, _, h, _ := child.Span()
+		_ = top
+		if pick < h {
+			for c := 0; c < o.ChildCols(r); c++ {
+				sampleLine(o.Child(r, c), rng, out)
+			}
+			return
+		}
+		pick -= h
+	}
+}
+
+// Measure estimates the strategy's average quorum size and induced load by
+// sampling.
+func (ps *PerturbedStrategy) Measure(rng *rand.Rand, samples int) (avgSize, load float64) {
+	s := ps.line.sys
+	counts := make([]float64, s.h.Universe())
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		q := ps.Pick(rng)
+		total += float64(q.Count())
+		q.ForEach(func(id int) { counts[id]++ })
+	}
+	for _, c := range counts {
+		if l := c / float64(samples); l > load {
+			load = l
+		}
+	}
+	return total / float64(samples), load
+}

@@ -1,0 +1,122 @@
+package htriang
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"hquorum/internal/quorum"
+)
+
+// TestQuickRandomSpecsAreCoteries property-tests the spec machinery: any
+// well-formed decomposition tree — canonical or grown, with arbitrary
+// positive sub-grid dimensions — yields a valid quorum system.
+func TestQuickRandomSpecsAreCoteries(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sp := randomSpec(rng, 3)
+		if sp.Size() > 14 { // keep pairwise checks cheap
+			return true
+		}
+		sys, err := FromSpec(sp)
+		if err != nil {
+			return false
+		}
+		if quorum.CheckPairwiseIntersection(sys) != nil {
+			return false
+		}
+		return quorum.CheckAvailabilityConsistency(sys) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomSpec builds a random decomposition tree of bounded depth.
+func randomSpec(rng *rand.Rand, depth int) *Spec {
+	if depth == 0 || rng.Intn(3) == 0 {
+		return &Spec{Rows: 1}
+	}
+	t1 := randomSpec(rng, depth-1)
+	t2 := randomSpec(rng, depth-1)
+	return &Spec{
+		Rows:     t1.Rows + t2.Rows,
+		T1:       t1,
+		T2:       t2,
+		GridRows: 1 + rng.Intn(3),
+		GridCols: 1 + rng.Intn(3),
+	}
+}
+
+// TestQuickGrowthNeverHurts: applying any §5 growth rule to a random
+// canonical triangle never degrades availability at p = 0.2.
+func TestQuickGrowthNeverHurts(t *testing.T) {
+	f := func(kRaw uint8, rule uint8) bool {
+		k := 2 + int(kRaw)%5 // 2..6
+		base := Canonical(k)
+		var grown *Spec
+		switch rule % 3 {
+		case 0:
+			grown = base.GrowT2()
+		case 1:
+			// §5's second rule covers only 1×1 → 1×2 sub-grids; widening
+			// larger grids trades row-cover ease against full-line cost
+			// and can go either way.
+			if base.GridRows != 1 || base.GridCols != 1 {
+				return true
+			}
+			grown = base.GrowGridCols()
+		default:
+			sq, err := base.GrowGridSquare()
+			if err != nil {
+				return true // non-square grid: rule not applicable
+			}
+			grown = sq
+		}
+		baseSys, err := FromSpec(base)
+		if err != nil {
+			return false
+		}
+		grownSys, err := FromSpec(grown)
+		if err != nil {
+			return false
+		}
+		return grownSys.FailureProbability(0.2) <= baseSys.FailureProbability(0.2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBalancedStrategyLargeK: the weight system stays feasible and the
+// load stays exactly 2/(k+1) well past the paper's sizes.
+func TestBalancedStrategyLargeK(t *testing.T) {
+	for k := 15; k <= 40; k += 5 {
+		st, err := New(k).BalancedStrategy()
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		want := 2.0 / float64(k+1)
+		if math.Abs(st.Load()-want) > 1e-9 {
+			t.Errorf("k=%d: load %.9f, want %.9f", k, st.Load(), want)
+		}
+	}
+}
+
+// TestFailureProbabilityLargeK: the DP scales to thousands of processes
+// and availability keeps improving (F → 0, §5's asymptotic claim).
+func TestFailureProbabilityLargeK(t *testing.T) {
+	prev := 1.0
+	for _, k := range []int{10, 20, 40, 80} {
+		f := New(k).FailureProbability(0.1)
+		// Strictly decreasing until it underflows float64 to zero.
+		if f >= prev && prev > 0 {
+			t.Errorf("k=%d: F %.3g did not improve on %.3g", k, f, prev)
+		}
+		prev = f
+	}
+	if prev > 1e-12 {
+		t.Errorf("F(0.1) at k=80 still %.3g; expected asymptotic vanishing", prev)
+	}
+}

@@ -1,0 +1,150 @@
+package htriang
+
+import (
+	"errors"
+	"fmt"
+
+	"hquorum/internal/hgrid"
+)
+
+// Spec describes a (possibly non-canonical) h-triang decomposition tree.
+// It exists to express the paper's §5 "introducing new elements" growth
+// operations: any of the three components of a triangle can be replaced by
+// a larger one, improving availability without restructuring the rest.
+//
+// A Spec with Rows == 1 and no components is a single process. Otherwise
+// T1, T2 and G must all be present; the intersection property holds for
+// any component sizes (methods 2 and 3 intersect inside the grid, and
+// every other pair shares a sub-triangle quorum).
+type Spec struct {
+	Rows     int // 1 for a single process (T1/T2/G must be nil)
+	T1, T2   *Spec
+	GridRows int // sub-grid dimensions; used when Rows > 1
+	GridCols int
+}
+
+// Canonical returns the Spec of the canonical k-row triangle division.
+func Canonical(k int) *Spec {
+	if k <= 1 {
+		return &Spec{Rows: 1}
+	}
+	h1 := k / 2
+	h2 := k - h1
+	return &Spec{
+		Rows:     k,
+		T1:       Canonical(h1),
+		T2:       Canonical(h2),
+		GridRows: h2,
+		GridCols: h1,
+	}
+}
+
+// Validate checks structural consistency.
+func (sp *Spec) Validate() error {
+	if sp == nil {
+		return errors.New("htriang: nil spec")
+	}
+	if sp.Rows == 1 {
+		if sp.T1 != nil || sp.T2 != nil || sp.GridRows != 0 || sp.GridCols != 0 {
+			return errors.New("htriang: leaf spec must have no components")
+		}
+		return nil
+	}
+	if sp.Rows < 1 {
+		return fmt.Errorf("htriang: invalid Rows %d", sp.Rows)
+	}
+	if sp.T1 == nil || sp.T2 == nil {
+		return errors.New("htriang: internal spec missing sub-triangles")
+	}
+	if sp.GridRows < 1 || sp.GridCols < 1 {
+		return fmt.Errorf("htriang: invalid grid %dx%d", sp.GridRows, sp.GridCols)
+	}
+	if err := sp.T1.Validate(); err != nil {
+		return err
+	}
+	return sp.T2.Validate()
+}
+
+// Size returns the number of processes the spec describes.
+func (sp *Spec) Size() int {
+	if sp.Rows == 1 {
+		return 1
+	}
+	return sp.T1.Size() + sp.T2.Size() + sp.GridRows*sp.GridCols
+}
+
+// Clone returns a deep copy.
+func (sp *Spec) Clone() *Spec {
+	if sp == nil {
+		return nil
+	}
+	c := *sp
+	c.T1 = sp.T1.Clone()
+	c.T2 = sp.T2.Clone()
+	return &c
+}
+
+// FromSpec builds a System from a decomposition spec. Process IDs are
+// assigned in T1, G, T2 traversal order.
+func FromSpec(sp *Spec) (*System, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	total := sp.Size()
+	next := 0
+	var build func(sp *Spec) *node
+	build = func(sp *Spec) *node {
+		if sp.Rows == 1 {
+			t := &node{rows: 1, leaf: next, size: 1}
+			next++
+			return t
+		}
+		t1 := build(sp.T1)
+		ids := make([][]int, sp.GridRows)
+		for r := range ids {
+			ids[r] = make([]int, sp.GridCols)
+			for c := range ids[r] {
+				ids[r][c] = next
+				next++
+			}
+		}
+		t2 := build(sp.T2)
+		return &node{rows: sp.Rows, t1: t1, t2: t2, g: hgrid.AutoRegion(ids, total),
+			size: t1.size + t2.size + sp.GridRows*sp.GridCols}
+	}
+	root := build(sp)
+	return &System{root: root, n: next, k: 0,
+		name: fmt.Sprintf("h-triang-spec(n=%d)", next)}, nil
+}
+
+// GrowT2 returns a copy of sp whose T2 component is replaced by a canonical
+// triangle with one more row (§5, first growth rule). The sub-grid keeps
+// its dimensions, so quorum sizes through method 1 and 3 grow by one while
+// availability improves.
+func (sp *Spec) GrowT2() *Spec {
+	c := sp.Clone()
+	c.T2 = Canonical(c.T2.Rows + 1)
+	c.Rows = c.T1.Rows + c.T2.Rows
+	return c
+}
+
+// GrowGridCols returns a copy of sp with one more sub-grid column
+// (§5, second growth rule: a 1-element grid becomes 1 line × 2 columns).
+func (sp *Spec) GrowGridCols() *Spec {
+	c := sp.Clone()
+	c.GridCols++
+	return c
+}
+
+// GrowGridSquare returns a copy of sp whose n×n sub-grid is replaced by an
+// (n+1)×(n+1) one (§5, third growth rule). It returns an error if the grid
+// is not square.
+func (sp *Spec) GrowGridSquare() (*Spec, error) {
+	if sp.GridRows != sp.GridCols {
+		return nil, fmt.Errorf("htriang: grid %dx%d is not square", sp.GridRows, sp.GridCols)
+	}
+	c := sp.Clone()
+	c.GridRows++
+	c.GridCols++
+	return c, nil
+}

@@ -1,0 +1,156 @@
+package htriang
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/linalg"
+)
+
+// BalancedStrategy is the §5 load-minimizing quorum-selection strategy: at
+// every triangle of the decomposition the three formation methods are
+// chosen with probabilities (w1, w2, w3) solving the paper's equation
+// system, so that every process is accessed with the same probability.
+// Within sub-grids, full-lines and row-cover representatives are selected
+// uniformly.
+type BalancedStrategy struct {
+	sys     *System
+	weights map[*node][3]float64
+	load    float64 // uniform per-process access probability
+}
+
+// BalancedStrategy computes the §5 strategy. It returns an error if the
+// spec's quorum sizes are not uniform (the equations assume fixed quorum
+// sizes per sub-triangle, which holds for the canonical construction).
+func (s *System) BalancedStrategy() (*BalancedStrategy, error) {
+	weights := make(map[*node][3]float64)
+	if err := solveWeights(s.root, weights); err != nil {
+		return nil, err
+	}
+	st := &BalancedStrategy{sys: s, weights: weights}
+	loads := st.Loads()
+	st.load = loads[0]
+	for i, l := range loads {
+		if diff := l - st.load; diff > 1e-9 || diff < -1e-9 {
+			return nil, fmt.Errorf("htriang: strategy induces non-uniform load (process %d: %.9f vs %.9f)", i, l, st.load)
+		}
+	}
+	return st, nil
+}
+
+// solveWeights fills weights for every internal node. The unknowns are
+// (w1, w2, w3, k) with — using the paper's notation, cᵢ component sizes,
+// qᵢ component quorum sizes, q3l/q3r full-line and row-cover sizes —
+//
+//	w1 + w2 + w3          = 1
+//	w1 + w2 − (c1/q1)·k   = 0
+//	w1 + w3 − (c2/q2)·k   = 0
+//	(q3r/c3)·w2 + (q3l/c3)·w3 − k = 0
+func solveWeights(t *node, weights map[*node][3]float64) error {
+	if t.rows == 1 {
+		return nil
+	}
+	min1, max1 := sizeBounds(t.t1)
+	min2, max2 := sizeBounds(t.t2)
+	if min1 != max1 || min2 != max2 {
+		return fmt.Errorf("htriang: sub-triangle quorum sizes are not fixed (%d..%d, %d..%d)", min1, max1, min2, max2)
+	}
+	c1, q1 := float64(t.t1.size), float64(min1)
+	c2, q2 := float64(t.t2.size), float64(min2)
+	c3 := float64(t.g.N())
+	q3r := float64(t.g.Rows()) // row-cover size
+	q3l := float64(t.g.Cols()) // full-line size
+	a := [][]float64{
+		{1, 1, 1, 0},
+		{1, 1, 0, -c1 / q1},
+		{1, 0, 1, -c2 / q2},
+		{0, q3r / c3, q3l / c3, -1},
+	}
+	b := []float64{1, 0, 0, 0}
+	x, err := linalg.Solve(a, b)
+	if err != nil {
+		return fmt.Errorf("htriang: weight system for %d-row triangle: %w", t.rows, err)
+	}
+	for i := 0; i < 3; i++ {
+		if x[i] < -1e-9 {
+			return fmt.Errorf("htriang: negative method weight w%d = %.9f for %d-row triangle", i+1, x[i], t.rows)
+		}
+	}
+	weights[t] = [3]float64{x[0], x[1], x[2]}
+	if err := solveWeights(t.t1, weights); err != nil {
+		return err
+	}
+	return solveWeights(t.t2, weights)
+}
+
+// Load returns the uniform per-process access probability the strategy
+// induces (the system load, Definition 3.4).
+func (st *BalancedStrategy) Load() float64 { return st.load }
+
+// Weights returns (w1, w2, w3) at the root triangle.
+func (st *BalancedStrategy) Weights() [3]float64 { return st.weights[st.sys.root] }
+
+// Pick samples a quorum of the full universe according to the strategy.
+func (st *BalancedStrategy) Pick(rng *rand.Rand) bitset.Set {
+	out := bitset.New(st.sys.n)
+	st.pick(st.sys.root, rng, out)
+	return out
+}
+
+func (st *BalancedStrategy) pick(t *node, rng *rand.Rand, out bitset.Set) {
+	if t.rows == 1 {
+		out.Add(t.leaf)
+		return
+	}
+	w := st.weights[t]
+	u := rng.Float64()
+	switch {
+	case u < w[0]: // method 1
+		st.pick(t.t1, rng, out)
+		st.pick(t.t2, rng, out)
+	case u < w[0]+w[1]: // method 2
+		st.pick(t.t1, rng, out)
+		out.UnionWith(t.g.SampleRowCover(rng))
+	default: // method 3
+		st.pick(t.t2, rng, out)
+		out.UnionWith(t.g.SampleFullLine(rng))
+	}
+}
+
+// Loads returns the exact per-process access probabilities induced by the
+// strategy.
+func (st *BalancedStrategy) Loads() []float64 {
+	loads := make([]float64, st.sys.n)
+	st.accumulate(st.sys.root, 1, loads)
+	return loads
+}
+
+func (st *BalancedStrategy) accumulate(t *node, prob float64, loads []float64) {
+	if t.rows == 1 {
+		loads[t.leaf] += prob
+		return
+	}
+	w := st.weights[t]
+	st.accumulate(t.t1, prob*(w[0]+w[1]), loads)
+	st.accumulate(t.t2, prob*(w[0]+w[2]), loads)
+	gr, gc := t.g.Rows(), t.g.Cols()
+	for r := 0; r < gr; r++ {
+		for c := 0; c < gc; c++ {
+			// Row-cover membership (method 2): the proportional sampler
+			// hits each process with probability 1/cols. Full-line
+			// membership (method 3): probability 1/rows.
+			loads[t.g.IDAt(r, c)] += prob * (w[1]/float64(gc) + w[2]/float64(gr))
+		}
+	}
+}
+
+// AvgQuorumSize returns the expected quorum cardinality under the strategy
+// (equal to the constant quorum size for canonical triangles).
+func (st *BalancedStrategy) AvgQuorumSize() float64 {
+	total := 0.0
+	for _, l := range st.Loads() {
+		total += l
+	}
+	return total
+}

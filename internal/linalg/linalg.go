@@ -1,0 +1,58 @@
+// Package linalg provides the small dense linear-algebra routine the
+// strategy computations need: Gaussian elimination with partial pivoting.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when the system has no unique solution.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// Solve returns x with A·x = b, destroying neither input. A is given in
+// row-major order and must be square.
+func Solve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(a)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("linalg: dimension mismatch (%d rows, %d rhs)", n, len(b))
+	}
+	m := make([][]float64, n)
+	for i, row := range a {
+		if len(row) != n {
+			return nil, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(row), n)
+		}
+		m[i] = append(append(make([]float64, 0, n+1), row...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-12 {
+			return nil, ErrSingular
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}

@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnown(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveIdentity(t *testing.T) {
+	a := [][]float64{{1, 0}, {0, 1}}
+	x, err := Solve(a, []float64{3, -4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 3 || x[1] != -4 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := Solve(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestSolveDimensionErrors(t *testing.T) {
+	if _, err := Solve(nil, nil); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	if _, err := Solve([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	if _, err := Solve([][]float64{{1}}, []float64{1, 2}); err == nil {
+		t.Fatal("rhs mismatch accepted")
+	}
+}
+
+func TestSolvePreservesInputs(t *testing.T) {
+	a := [][]float64{{4, 3}, {6, 3}}
+	b := []float64{10, 12}
+	if _, err := Solve(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0][0] != 4 || a[1][0] != 6 || b[0] != 10 {
+		t.Fatal("Solve mutated its inputs")
+	}
+}
+
+// TestQuickSolveRoundTrip: for random well-conditioned systems,
+// A·Solve(A,b) ≈ b.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = rng.NormFloat64()
+			}
+			a[i][i] += float64(n) + 1 // diagonal dominance
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				sum += a[i][j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplexKnown(t *testing.T) {
+	// min -x1 - 2x2 s.t. x1 + x2 + s1 = 4; x1 + 3x2 + s2 = 6; x >= 0.
+	// Optimum at x1=3, x2=1: objective -5.
+	c := []float64{-1, -2, 0, 0}
+	a := [][]float64{
+		{1, 1, 1, 0},
+		{1, 3, 0, 1},
+	}
+	b := []float64{4, 6}
+	x, val, err := SimplexEq(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-(-5)) > 1e-9 {
+		t.Fatalf("objective %v, want -5 (x=%v)", val, x)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	// x1 = 1 and x1 = 2 simultaneously.
+	c := []float64{1}
+	a := [][]float64{{1}, {1}}
+	b := []float64{1, 2}
+	if _, _, err := SimplexEq(c, a, b); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	// min -x1 with only x1 - x2 = 0: x1 can grow without bound.
+	c := []float64{-1, 0}
+	a := [][]float64{{1, -1}}
+	b := []float64{0}
+	if _, _, err := SimplexEq(c, a, b); err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// -x1 = -3 → x1 = 3.
+	c := []float64{1}
+	a := [][]float64{{-1}}
+	b := []float64{-3}
+	x, _, err := SimplexEq(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-3) > 1e-9 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSimplexRedundantRow(t *testing.T) {
+	// Duplicate constraint rows must not break phase 1.
+	c := []float64{1, 1}
+	a := [][]float64{{1, 1}, {1, 1}}
+	b := []float64{2, 2}
+	_, val, err := SimplexEq(c, a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(val-2) > 1e-9 {
+		t.Fatalf("objective %v, want 2", val)
+	}
+}

@@ -1,0 +1,181 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInfeasible is returned when the linear program has no feasible point.
+var ErrInfeasible = errors.New("linalg: infeasible linear program")
+
+// ErrUnbounded is returned when the objective is unbounded below.
+var ErrUnbounded = errors.New("linalg: unbounded linear program")
+
+// SimplexEq solves the standard-form linear program
+//
+//	minimize c·x  subject to  A·x = b, x ≥ 0
+//
+// with the two-phase simplex method (Bland's rule, so it cannot cycle).
+// Rows of A with negative b are negated first. It returns an optimal x and
+// the objective value.
+func SimplexEq(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	m := len(a)
+	if len(b) != m {
+		return nil, 0, fmt.Errorf("linalg: %d constraint rows but %d right-hand sides", m, len(b))
+	}
+	n := len(c)
+	// Copy and normalize b ≥ 0.
+	A := make([][]float64, m)
+	B := make([]float64, m)
+	for i := range a {
+		if len(a[i]) != n {
+			return nil, 0, fmt.Errorf("linalg: row %d has %d columns, want %d", i, len(a[i]), n)
+		}
+		A[i] = append([]float64(nil), a[i]...)
+		B[i] = b[i]
+		if B[i] < 0 {
+			for j := range A[i] {
+				A[i][j] = -A[i][j]
+			}
+			B[i] = -B[i]
+		}
+	}
+
+	// Tableau with artificial variables: columns [x (n) | artificial (m) | rhs].
+	total := n + m
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, total+1)
+		copy(tab[i], A[i])
+		tab[i][n+i] = 1
+		tab[i][total] = B[i]
+		basis[i] = n + i
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, total)
+	for j := n; j < total; j++ {
+		phase1[j] = 1
+	}
+	if val := runSimplex(tab, basis, phase1, total); val > 1e-7 {
+		return nil, 0, ErrInfeasible
+	}
+	// Drive any artificial variables out of the basis (degenerate rows).
+	for i, bj := range basis {
+		if bj < n {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < n; j++ {
+			if math.Abs(tab[i][j]) > 1e-9 {
+				pivot(tab, basis, i, j, total)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint; zero the row.
+			for j := 0; j <= total; j++ {
+				tab[i][j] = 0
+			}
+			basis[i] = -1
+		}
+	}
+
+	// Phase 2: the real objective, with artificial columns frozen.
+	obj := make([]float64, total)
+	copy(obj, c)
+	for j := n; j < total; j++ {
+		obj[j] = math.Inf(1) // never re-enter
+	}
+	val := runSimplex(tab, basis, obj, n)
+
+	x := make([]float64, n)
+	for i, bj := range basis {
+		if bj >= 0 && bj < n {
+			x[bj] = tab[i][total]
+		}
+	}
+	if math.IsInf(val, -1) {
+		return nil, 0, ErrUnbounded
+	}
+	// Recompute the objective from x for numerical cleanliness.
+	out := 0.0
+	for j := 0; j < n; j++ {
+		out += c[j] * x[j]
+	}
+	return x, out, nil
+}
+
+// runSimplex minimizes obj over the tableau, considering entering columns
+// < limit. It returns the objective value (−Inf when unbounded).
+func runSimplex(tab [][]float64, basis []int, obj []float64, limit int) float64 {
+	m := len(tab)
+	total := len(obj)
+	for iter := 0; iter < 10000; iter++ {
+		// Reduced costs: r_j = obj_j − obj_B · column_j.
+		enter := -1
+		for j := 0; j < limit; j++ {
+			if math.IsInf(obj[j], 1) {
+				continue
+			}
+			r := obj[j]
+			for i := 0; i < m; i++ {
+				if basis[i] >= 0 && !math.IsInf(obj[basis[i]], 1) {
+					r -= obj[basis[i]] * tab[i][j]
+				}
+			}
+			if r < -1e-9 {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+		// Ratio test, Bland tie-break on basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < m; i++ {
+			if basis[i] < 0 || tab[i][enter] <= 1e-9 {
+				continue
+			}
+			ratio := tab[i][total] / tab[i][enter]
+			if ratio < best-1e-12 || (math.Abs(ratio-best) <= 1e-12 && (leave == -1 || basis[i] < basis[leave])) {
+				best = ratio
+				leave = i
+			}
+		}
+		if leave == -1 {
+			return math.Inf(-1) // unbounded
+		}
+		pivot(tab, basis, leave, enter, total)
+	}
+	val := 0.0
+	for i := 0; i < m; i++ {
+		if basis[i] >= 0 && !math.IsInf(obj[basis[i]], 1) {
+			val += obj[basis[i]] * tab[i][total]
+		}
+	}
+	return val
+}
+
+// pivot makes column j basic in row i.
+func pivot(tab [][]float64, basis []int, i, j, total int) {
+	p := tab[i][j]
+	for k := 0; k <= total; k++ {
+		tab[i][k] /= p
+	}
+	for r := range tab {
+		if r == i || math.Abs(tab[r][j]) < 1e-12 {
+			continue
+		}
+		f := tab[r][j]
+		for k := 0; k <= total; k++ {
+			tab[r][k] -= f * tab[i][k]
+		}
+	}
+	basis[i] = j
+}

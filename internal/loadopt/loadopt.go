@@ -1,0 +1,198 @@
+// Package loadopt provides the load machinery of Definitions 3.3/3.4 and
+// Proposition 3.3: lower bounds, exact loads of explicit strategies, Monte
+// Carlo measurement of sampling strategies, and an approximation of the
+// optimal (game-theoretic) system load via multiplicative weights.
+package loadopt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/linalg"
+	"hquorum/internal/quorum"
+)
+
+// LowerBound returns Proposition 3.3's bound on the system load:
+// L(S) ≥ max(c/n, 1/c) where c is the smallest quorum cardinality.
+func LowerBound(minQuorum, n int) float64 {
+	if minQuorum <= 0 || n <= 0 {
+		panic(fmt.Sprintf("loadopt: invalid bound inputs c=%d n=%d", minQuorum, n))
+	}
+	return math.Max(float64(minQuorum)/float64(n), 1/float64(minQuorum))
+}
+
+// Result summarizes a measured strategy.
+type Result struct {
+	AvgQuorumSize float64
+	Load          float64   // maximum per-element access probability
+	PerElement    []float64 // access probability of each element
+	Samples       int
+}
+
+// MeasureSampler estimates the load induced by an arbitrary quorum sampler
+// over a fully-live universe of n elements.
+func MeasureSampler(n int, pick func(*rand.Rand) bitset.Set, rng *rand.Rand, samples int) Result {
+	counts := make([]float64, n)
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		q := pick(rng)
+		total += float64(q.Count())
+		q.ForEach(func(id int) { counts[id]++ })
+	}
+	res := Result{
+		AvgQuorumSize: total / float64(samples),
+		PerElement:    counts,
+		Samples:       samples,
+	}
+	for i := range counts {
+		counts[i] /= float64(samples)
+		if counts[i] > res.Load {
+			res.Load = counts[i]
+		}
+	}
+	return res
+}
+
+// MeasureSystem estimates the load induced by sys.Pick on the fully-live
+// universe.
+func MeasureSystem(sys quorum.System, rng *rand.Rand, samples int) (Result, error) {
+	live := bitset.Universe(sys.Universe())
+	var firstErr error
+	res := MeasureSampler(sys.Universe(), func(r *rand.Rand) bitset.Set {
+		q, err := sys.Pick(r, live)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return q
+	}, rng, samples)
+	return res, firstErr
+}
+
+// UniformCoterieLoad returns the exact load and average quorum size of the
+// uniform strategy over an explicit coterie.
+func UniformCoterieLoad(c *quorum.Coterie) (load, avgSize float64) {
+	n := c.Universe()
+	counts := make([]float64, n)
+	total := 0.0
+	for _, q := range c.Quorums() {
+		total += float64(q.Count())
+		q.ForEach(func(id int) { counts[id]++ })
+	}
+	m := float64(c.Len())
+	for _, cnt := range counts {
+		if l := cnt / m; l > load {
+			load = l
+		}
+	}
+	return load, total / m
+}
+
+// OptimalLoad approximates the system load L(S) of an explicit coterie —
+// the value of the zero-sum game between a strategy player choosing quorums
+// and an adversary choosing elements — using multiplicative weights on the
+// adversary side with best-response quorums. It returns the approximate
+// load and the quorum distribution achieving it. The approximation
+// overestimates L(S) by at most O(sqrt(log n / iters)).
+func OptimalLoad(c *quorum.Coterie, iters int) (float64, []float64) {
+	n := c.Universe()
+	quorums := c.Quorums()
+	if len(quorums) == 0 || iters <= 0 {
+		panic("loadopt: OptimalLoad needs a nonempty coterie and positive iterations")
+	}
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1
+	}
+	strategy := make([]float64, len(quorums))
+	eta := math.Sqrt(math.Log(float64(n)+1) / float64(iters))
+	for it := 0; it < iters; it++ {
+		// Best response: the quorum with the smallest total adversary
+		// weight.
+		best, bestW := 0, math.Inf(1)
+		for qi, q := range quorums {
+			w := 0.0
+			q.ForEach(func(id int) { w += weights[id] })
+			if w < bestW {
+				best, bestW = qi, w
+			}
+		}
+		strategy[best]++
+		// Adversary multiplicative update: elements of the chosen quorum
+		// gain weight.
+		var norm float64
+		quorums[best].ForEach(func(id int) { weights[id] *= 1 + eta })
+		for _, w := range weights {
+			norm += w
+		}
+		if norm > 1e100 {
+			for i := range weights {
+				weights[i] /= norm
+			}
+		}
+	}
+	loads := make([]float64, n)
+	for qi, cnt := range strategy {
+		strategy[qi] = cnt / float64(iters)
+		if cnt == 0 {
+			continue
+		}
+		quorums[qi].ForEach(func(id int) { loads[id] += strategy[qi] })
+	}
+	load := 0.0
+	for _, l := range loads {
+		if l > load {
+			load = l
+		}
+	}
+	return load, strategy
+}
+
+// ExactOptimalLoad computes the system load L(S) of an explicit coterie
+// exactly, as the linear program
+//
+//	minimize L  s.t.  Σ_S w_S = 1,  ∀i: Σ_{S∋i} w_S ≤ L,  w ≥ 0,
+//
+// solved with the two-phase simplex. It returns the load and the optimal
+// quorum distribution. Feasible for coteries with up to a few thousand
+// quorums.
+func ExactOptimalLoad(c *quorum.Coterie) (float64, []float64, error) {
+	quorums := c.Quorums()
+	m := len(quorums)
+	n := c.Universe()
+	if m == 0 {
+		return 0, nil, fmt.Errorf("loadopt: empty coterie")
+	}
+	// Variables: w_1..w_m, L, then n slacks for the load constraints.
+	vars := m + 1 + n
+	cost := make([]float64, vars)
+	cost[m] = 1 // minimize L
+	rows := make([][]float64, 0, n+1)
+	rhs := make([]float64, 0, n+1)
+	// Σ w = 1.
+	eq := make([]float64, vars)
+	for j := 0; j < m; j++ {
+		eq[j] = 1
+	}
+	rows = append(rows, eq)
+	rhs = append(rhs, 1)
+	// Per-element: Σ_{S∋i} w_S − L + slack_i = 0.
+	for i := 0; i < n; i++ {
+		row := make([]float64, vars)
+		for j, q := range quorums {
+			if q.Contains(i) {
+				row[j] = 1
+			}
+		}
+		row[m] = -1
+		row[m+1+i] = 1
+		rows = append(rows, row)
+		rhs = append(rhs, 0)
+	}
+	x, val, err := linalg.SimplexEq(cost, rows, rhs)
+	if err != nil {
+		return 0, nil, err
+	}
+	return val, x[:m], nil
+}

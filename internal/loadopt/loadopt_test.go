@@ -1,0 +1,164 @@
+package loadopt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hquorum/internal/htriang"
+	"hquorum/internal/majority"
+	"hquorum/internal/quorum"
+)
+
+func TestLowerBound(t *testing.T) {
+	// L(S) ≥ max(c/n, 1/c); the √n bound of Proposition 3.3 follows.
+	if got := LowerBound(4, 16); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("LowerBound(4,16) = %v", got)
+	}
+	if got := LowerBound(2, 16); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("LowerBound(2,16) = %v, want 1/c dominating", got)
+	}
+	// Optimal when c = √n: bound is exactly 1/√n.
+	if got := LowerBound(5, 25); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("LowerBound(5,25) = %v", got)
+	}
+}
+
+func TestUniformCoterieLoadMajority(t *testing.T) {
+	// Majority(15): every strategy gives load 8/15 (Table 4's 53.3%).
+	c, err := quorum.FromSystem(majority.New(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	load, avg := UniformCoterieLoad(c)
+	if math.Abs(load-8.0/15) > 1e-9 {
+		t.Errorf("majority(15) uniform load %.4f, want %.4f", load, 8.0/15)
+	}
+	if math.Abs(avg-8) > 1e-9 {
+		t.Errorf("majority(15) avg size %.4f, want 8", avg)
+	}
+}
+
+func TestMeasureSystemMatchesUniform(t *testing.T) {
+	sys := majority.New(9)
+	rng := rand.New(rand.NewSource(1))
+	res, err := MeasureSystem(sys, rng, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.AvgQuorumSize-5) > 1e-9 {
+		t.Errorf("avg size %.4f, want 5", res.AvgQuorumSize)
+	}
+	if math.Abs(res.Load-5.0/9) > 0.02 {
+		t.Errorf("measured load %.4f, want ≈ %.4f", res.Load, 5.0/9)
+	}
+}
+
+// TestOptimalLoadHTriang: the approximated optimal load of the h-triang
+// coterie converges to the paper's 2/(k+1) (Table 5's √2/√n).
+func TestOptimalLoadHTriang(t *testing.T) {
+	for _, k := range []int{3, 5} {
+		c, err := quorum.FromSystem(htriang.New(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 2.0 / float64(k+1)
+		got, strategy := OptimalLoad(c, 6000)
+		if got < want-1e-9 {
+			t.Fatalf("k=%d: optimal load %.4f below the theoretical optimum %.4f", k, got, want)
+		}
+		if got > want*1.08 {
+			t.Errorf("k=%d: approximated load %.4f too far above optimum %.4f", k, got, want)
+		}
+		sum := 0.0
+		for _, w := range strategy {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("strategy weights sum to %.6f", sum)
+		}
+	}
+}
+
+// TestOptimalLoadMajority: for the majority system every quorum has m
+// elements so L(S) = m/n exactly; the approximation must find it.
+func TestOptimalLoadMajority(t *testing.T) {
+	c, err := quorum.FromSystem(majority.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := OptimalLoad(c, 4000)
+	want := 4.0 / 7
+	if got < want-1e-9 || got > want*1.08 {
+		t.Errorf("optimal load %.4f, want ≈ %.4f", got, want)
+	}
+}
+
+func TestLowerBoundPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	LowerBound(0, 5)
+}
+
+// TestExactOptimalLoad: the simplex gives the exact system loads the paper
+// derives — 2/(k+1) for h-triang, m/n for majority — and the
+// multiplicative-weights approximation converges to them from above.
+func TestExactOptimalLoad(t *testing.T) {
+	cases := []struct {
+		sys  quorum.System
+		want float64
+	}{
+		{majority.New(7), 4.0 / 7},
+		{majority.New(9), 5.0 / 9},
+		{htriang.New(3), 0.5},       // 2/(k+1), k=3
+		{htriang.New(4), 2.0 / 5.0}, // k=4
+	}
+	for _, tt := range cases {
+		c, err := quorum.FromSystem(tt.sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load, w, err := ExactOptimalLoad(c)
+		if err != nil {
+			t.Fatalf("%s: %v", tt.sys.Name(), err)
+		}
+		if math.Abs(load-tt.want) > 1e-9 {
+			t.Errorf("%s: exact load %.9f, want %.9f", tt.sys.Name(), load, tt.want)
+		}
+		sum := 0.0
+		for _, wj := range w {
+			if wj < -1e-9 {
+				t.Fatalf("%s: negative weight %v", tt.sys.Name(), wj)
+			}
+			sum += wj
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			t.Errorf("%s: weights sum %.9f", tt.sys.Name(), sum)
+		}
+		approx, _ := OptimalLoad(c, 4000)
+		if approx < load-1e-9 {
+			t.Errorf("%s: MW approximation %.6f below the exact optimum %.6f", tt.sys.Name(), approx, load)
+		}
+	}
+}
+
+// TestExactOptimalLoadRespectsLowerBound: Prop. 3.3 holds with equality
+// checks on the paper's constructions.
+func TestExactOptimalLoadRespectsLowerBound(t *testing.T) {
+	for _, sys := range []quorum.System{htriang.New(5), majority.New(5)} {
+		c, err := quorum.FromSystem(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load, _, err := ExactOptimalLoad(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb := LowerBound(sys.MinQuorumSize(), sys.Universe()); load < lb-1e-9 {
+			t.Errorf("%s: load %.6f below Prop 3.3 bound %.6f", sys.Name(), load, lb)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package majority
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hquorum/internal/analysis"
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+func TestNewSizes(t *testing.T) {
+	tests := []struct {
+		n, min, max int
+	}{
+		{1, 1, 1},
+		{3, 2, 2},
+		{5, 3, 3},
+		{15, 8, 8},
+		{28, 15, 15},
+	}
+	for _, tt := range tests {
+		s := New(tt.n)
+		if s.MinQuorumSize() != tt.min || s.MaxQuorumSize() != tt.max {
+			t.Errorf("New(%d): sizes (%d,%d), want (%d,%d)",
+				tt.n, s.MinQuorumSize(), s.MaxQuorumSize(), tt.min, tt.max)
+		}
+	}
+}
+
+func TestTieBreakSizes(t *testing.T) {
+	s := NewTieBreak(28)
+	if s.MinQuorumSize() != 14 || s.MaxQuorumSize() != 15 {
+		t.Fatalf("tie-break(28): sizes (%d,%d), want (14,15)", s.MinQuorumSize(), s.MaxQuorumSize())
+	}
+	// Exhaustively check small instance matches enumeration-based bounds.
+	small := NewTieBreak(6)
+	if small.MinQuorumSize() != 3 || small.MaxQuorumSize() != 4 {
+		t.Fatalf("tie-break(6): sizes (%d,%d), want (3,4)", small.MinQuorumSize(), small.MaxQuorumSize())
+	}
+}
+
+func TestIntersectionProperty(t *testing.T) {
+	for _, sys := range []*System{New(5), New(7), NewTieBreak(6), NewTieBreak(8)} {
+		if err := quorum.CheckPairwiseIntersection(sys); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestCoterieMinimality(t *testing.T) {
+	for _, sys := range []*System{New(7), NewTieBreak(8)} {
+		c, err := quorum.FromSystem(sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !c.IsCoterie() {
+			t.Errorf("%s: enumerated quorums are not an antichain", sys.Name())
+		}
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestAvailabilityConsistency(t *testing.T) {
+	for _, sys := range []*System{New(7), NewTieBreak(6)} {
+		if err := quorum.CheckAvailabilityConsistency(sys); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestPickConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sys := range []*System{New(9), NewTieBreak(8)} {
+		if err := quorum.CheckPickConsistency(sys, rng, 300); err != nil {
+			t.Errorf("%s: %v", sys.Name(), err)
+		}
+	}
+}
+
+func TestPickMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(11)
+	live := bitset.Universe(11)
+	for i := 0; i < 50; i++ {
+		q, err := s.Pick(rng, live)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if q.Count() != 6 {
+			t.Fatalf("Pick returned %d nodes, want 6", q.Count())
+		}
+	}
+}
+
+// TestFailureMatchesClosedForm checks the enumeration engine against the
+// binomial closed form for the majority system.
+func TestFailureMatchesClosedForm(t *testing.T) {
+	for _, n := range []int{5, 9, 13} {
+		s := New(n)
+		counts := analysis.TransversalCounts(s)
+		for _, p := range []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.7} {
+			got := analysis.Failure(counts, p)
+			want := analysis.MajorityFailure(n, n/2+1, p)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("n=%d p=%.2f: enumeration %.12f, closed form %.12f", n, p, got, want)
+			}
+		}
+	}
+}
+
+// TestPaperTable2Table3Majority reproduces the Majority column of Tables 2
+// and 3 of the paper.
+func TestPaperTable2Table3Majority(t *testing.T) {
+	tests := []struct {
+		n    int
+		p    float64
+		want float64
+	}{
+		{15, 0.1, 0.000034},
+		{15, 0.2, 0.004240},
+		{15, 0.3, 0.050013},
+		{15, 0.5, 0.500000},
+		{28, 0.2, 0.000229},
+		{28, 0.3, 0.014257},
+		{28, 0.5, 0.500000},
+	}
+	for _, tt := range tests {
+		var got float64
+		if tt.n%2 == 0 {
+			// Paper's even-universe majority is the tie-breaking variant:
+			// fails when votes of survivors < n/2+1 with node 0 carrying 2.
+			s := NewTieBreak(tt.n)
+			// Closed form: split on survival of the heavy node.
+			q := 1 - tt.p
+			f := 0.0
+			// heavy alive: need >= n/2-1 of remaining n-1; fails if <= n/2-2 survive
+			for k := 0; k <= tt.n/2-2; k++ {
+				f += q * analysis.Binomial(tt.n-1, k) * math.Pow(q, float64(k)) * math.Pow(tt.p, float64(tt.n-1-k))
+			}
+			// heavy failed: need >= n/2+1 of remaining n-1; fails if <= n/2 survive
+			for k := 0; k <= tt.n/2; k++ {
+				f += tt.p * analysis.Binomial(tt.n-1, k) * math.Pow(q, float64(k)) * math.Pow(tt.p, float64(tt.n-1-k))
+			}
+			_ = s
+			got = f
+		} else {
+			got = analysis.MajorityFailure(tt.n, tt.n/2+1, tt.p)
+		}
+		if math.Abs(got-tt.want) > 5e-7 {
+			t.Errorf("majority n=%d p=%.1f: got %.6f, paper %.6f", tt.n, tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestWeightedValidation(t *testing.T) {
+	if _, err := NewWeighted(nil, 1); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewWeighted([]int{1, 0, 1}, 2); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewWeighted([]int{1, 1, 1, 1}, 2); err == nil {
+		t.Error("non-majority threshold accepted")
+	}
+	if _, err := NewWeighted([]int{1, 1, 1}, 4); err == nil {
+		t.Error("threshold above total accepted")
+	}
+	s, err := NewWeighted([]int{3, 1, 1, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quorum.CheckPairwiseIntersection(s); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfDualityAtHalf(t *testing.T) {
+	// Odd-total-vote systems are self-dual: F(0.5) = 0.5 exactly.
+	for _, sys := range []*System{New(7), New(15), NewTieBreak(8)} {
+		counts := analysis.TransversalCounts(sys)
+		if got := analysis.Failure(counts, 0.5); math.Abs(got-0.5) > 1e-12 {
+			t.Errorf("%s: F(0.5) = %.12f, want 0.5", sys.Name(), got)
+		}
+	}
+}
+
+// TestFailureProbabilityDP cross-checks the vote-count DP against
+// enumeration, including weighted systems.
+func TestFailureProbabilityDP(t *testing.T) {
+	weighted, err := NewWeighted([]int{3, 2, 1, 1, 1, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range []*System{New(9), NewTieBreak(8), weighted} {
+		counts := analysis.TransversalCounts(sys)
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.8} {
+			want := analysis.Failure(counts, p)
+			got := sys.FailureProbability(p)
+			if math.Abs(got-want) > 1e-12 {
+				t.Errorf("%s p=%.1f: DP %.12f, enumeration %.12f", sys.Name(), p, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package paths
+
+import (
+	"math/bits"
+
+	"hquorum/internal/analysis"
+)
+
+// AvailableWord is the allocation-free availability fast path used by the
+// exhaustive enumerator (2ⁿ subsets for the paper's 25-vertex grid): two
+// bit-parallel flood fills test left–right and top–bottom connectivity. It
+// panics for grids beyond 64 vertices.
+func (s *System) AvailableWord(live uint64) bool {
+	if s.neighborMask == nil {
+		panic("paths: AvailableWord needs a grid of at most 64 vertices")
+	}
+	return s.crossesWord(live, s.leftMask, s.rightMask) &&
+		s.crossesWord(live, s.topMask, s.bottomMask)
+}
+
+// crossesWord reports whether live connects src to dst.
+func (s *System) crossesWord(live, src, dst uint64) bool {
+	comp := live & src
+	if comp == 0 {
+		return false
+	}
+	frontier := comp
+	for frontier != 0 {
+		if comp&dst != 0 {
+			return true
+		}
+		var grow uint64
+		for f := frontier; f != 0; f &= f - 1 {
+			grow |= s.neighborMask[bits.TrailingZeros64(f)]
+		}
+		frontier = grow & live &^ comp
+		comp |= frontier
+	}
+	return comp&dst != 0
+}
+
+var _ analysis.WordAvailability = (*System)(nil)

@@ -1,0 +1,134 @@
+package quorum
+
+import (
+	"math/rand"
+	"testing"
+
+	"hquorum/internal/bitset"
+)
+
+// maj3 is a 2-of-3 majority coterie used as a building block.
+func maj3() *Coterie {
+	return NewCoterie("maj3", 3, sets(3, []int{0, 1}, []int{0, 2}, []int{1, 2}))
+}
+
+func TestCompositeValidation(t *testing.T) {
+	if _, err := NewComposite(nil, nil); err == nil {
+		t.Error("nil base accepted")
+	}
+	if _, err := NewComposite(maj3(), []System{maj3()}); err == nil {
+		t.Error("sub-system count mismatch accepted")
+	}
+	if _, err := NewComposite(maj3(), []System{maj3(), nil, maj3()}); err == nil {
+		t.Error("nil sub-system accepted")
+	}
+}
+
+// TestCompositeEqualsHQS: majority-of-majorities composition is exactly
+// the two-level HQS — same universe, same quorums, same availability.
+func TestCompositeEqualsHQS(t *testing.T) {
+	c, err := NewComposite(maj3(), []System{maj3(), maj3(), maj3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Universe() != 9 {
+		t.Fatalf("universe %d", c.Universe())
+	}
+	if c.MinQuorumSize() != 4 || c.MaxQuorumSize() != 4 {
+		t.Fatalf("sizes (%d,%d), want (4,4)", c.MinQuorumSize(), c.MaxQuorumSize())
+	}
+	if err := CheckPairwiseIntersection(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAvailabilityConsistency(c); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if err := CheckPickConsistency(c, rng, 300); err != nil {
+		t.Fatal(err)
+	}
+	// Quorum count: 3 base quorums × 3 × 3 sub choices.
+	count := 0
+	c.EnumerateQuorums(func(bitset.Set) bool { count++; return true })
+	if count != 27 {
+		t.Fatalf("enumerated %d quorums, want 27", count)
+	}
+}
+
+// TestCompositeHeterogeneous: composition tolerates different sub-system
+// shapes, and the size bounds are exact.
+func TestCompositeHeterogeneous(t *testing.T) {
+	single := NewCoterie("one", 1, sets(1, []int{0}))
+	c, err := NewComposite(maj3(), []System{maj3(), single, single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Universe() != 5 {
+		t.Fatalf("universe %d", c.Universe())
+	}
+	// Base quorums {0,1},{0,2},{1,2} expand to sizes 2+1=3, 2+1=3, 1+1=2.
+	if c.MinQuorumSize() != 2 || c.MaxQuorumSize() != 3 {
+		t.Fatalf("sizes (%d,%d), want (2,3)", c.MinQuorumSize(), c.MaxQuorumSize())
+	}
+	if err := CheckPairwiseIntersection(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckAvailabilityConsistency(c); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompositePreservesNonDomination: composing non-dominated coteries
+// yields a non-dominated coterie (checked exhaustively on 9 nodes).
+func TestCompositePreservesNonDomination(t *testing.T) {
+	c, err := NewComposite(maj3(), []System{maj3(), maj3(), maj3()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd, err := IsNonDominated(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nd {
+		t.Fatal("majority-of-majorities should be non-dominated")
+	}
+}
+
+func TestIsNonDominated(t *testing.T) {
+	nd, err := IsNonDominated(maj3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nd {
+		t.Fatal("majority should be non-dominated")
+	}
+	// A single fixed pair over 3 nodes is dominated (the singleton {0}
+	// coterie dominates it... more precisely S={0} and its complement
+	// {1,2} show the gap when the only quorum is {0,1}).
+	dominated := NewCoterie("dom", 3, sets(3, []int{0, 1}))
+	nd, err = IsNonDominated(dominated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nd {
+		t.Fatal("pair coterie should be dominated")
+	}
+	w, isDom, err := DominationWitness(dominated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !isDom {
+		t.Fatal("witness missing")
+	}
+	if dominated.Available(w) || dominated.Available(w.Complement()) {
+		t.Fatalf("witness %v is not a witness", w)
+	}
+	if _, _, err := DominationWitness(maj3()); err != nil {
+		t.Fatal(err)
+	}
+	// Guard on big universes.
+	big := NewCoterie("big", 25, sets(25, []int{0}))
+	if _, err := IsNonDominated(big); err == nil {
+		t.Fatal("oversized universe accepted")
+	}
+}

@@ -1,0 +1,59 @@
+package quorum
+
+import (
+	"fmt"
+
+	"hquorum/internal/bitset"
+)
+
+// IsNonDominated reports whether a system is a non-dominated coterie:
+// no other coterie is uniformly "better" (every quorum of a dominating
+// coterie would be contained in one of ours). By Garcia-Molina &
+// Barbara's characterization, a coterie is non-dominated iff for every
+// subset S of the universe exactly one of S and its complement contains a
+// quorum — which is also why non-dominated coteries achieve F(1/2) = 1/2
+// exactly (Proposition 3.2's optimality frontier).
+//
+// The check enumerates all 2ⁿ subsets and requires n ≤ 24.
+func IsNonDominated(sys System) (bool, error) {
+	n := sys.Universe()
+	if n > 24 {
+		return false, fmt.Errorf("quorum: universe %d too large for the domination check", n)
+	}
+	live := bitset.New(n)
+	comp := bitset.New(n)
+	full := uint64(1)<<uint(n) - 1
+	// Intersection property makes avail(S) ∧ avail(¬S) impossible, so it
+	// suffices to scan half the lattice and test the XOR.
+	for mask := uint64(0); mask < uint64(1)<<uint(n-1); mask++ {
+		live.SetWord(mask)
+		comp.SetWord(full &^ mask)
+		a, b := sys.Available(live), sys.Available(comp)
+		if a == b {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// DominationWitness returns a subset demonstrating domination — a set S
+// such that neither S nor its complement contains a quorum (adding S as a
+// quorum, after reduction, would yield a strictly better coterie) — or an
+// empty set when the system is non-dominated.
+func DominationWitness(sys System) (bitset.Set, bool, error) {
+	n := sys.Universe()
+	if n > 24 {
+		return bitset.Set{}, false, fmt.Errorf("quorum: universe %d too large for the domination check", n)
+	}
+	live := bitset.New(n)
+	comp := bitset.New(n)
+	full := uint64(1)<<uint(n) - 1
+	for mask := uint64(0); mask < uint64(1)<<uint(n-1); mask++ {
+		live.SetWord(mask)
+		comp.SetWord(full &^ mask)
+		if !sys.Available(live) && !sys.Available(comp) {
+			return live.Clone(), true, nil
+		}
+	}
+	return bitset.Set{}, false, nil
+}

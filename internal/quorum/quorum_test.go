@@ -1,0 +1,154 @@
+package quorum
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hquorum/internal/bitset"
+)
+
+func sets(n int, groups ...[]int) []bitset.Set {
+	out := make([]bitset.Set, 0, len(groups))
+	for _, g := range groups {
+		out = append(out, bitset.FromIndices(n, g...))
+	}
+	return out
+}
+
+func TestCoterieValidate(t *testing.T) {
+	good := NewCoterie("g", 4, sets(4, []int{0, 1}, []int{1, 2}, []int{0, 2}))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !good.IsCoterie() {
+		t.Fatal("antichain not recognized")
+	}
+
+	empty := NewCoterie("e", 4, nil)
+	if err := empty.Validate(); err == nil {
+		t.Fatal("empty system accepted")
+	}
+	withEmpty := NewCoterie("we", 4, sets(4, []int{}))
+	if err := withEmpty.Validate(); err == nil {
+		t.Fatal("empty quorum accepted")
+	}
+	disjoint := NewCoterie("d", 4, sets(4, []int{0, 1}, []int{2, 3}))
+	if err := disjoint.Validate(); err == nil {
+		t.Fatal("disjoint quorums accepted")
+	}
+	wrongCap := NewCoterie("w", 4, []bitset.Set{bitset.FromIndices(5, 0)})
+	if err := wrongCap.Validate(); err == nil {
+		t.Fatal("capacity mismatch accepted")
+	}
+}
+
+func TestCoterieReduce(t *testing.T) {
+	c := NewCoterie("r", 4, sets(4,
+		[]int{0, 1},
+		[]int{0, 1, 2}, // dominated
+		[]int{1, 2},
+		[]int{1, 2}, // duplicate
+	))
+	if c.IsCoterie() {
+		t.Fatal("dominated system misreported as coterie")
+	}
+	r := c.Reduce()
+	if r.Len() != 2 {
+		t.Fatalf("Reduce left %d quorums", r.Len())
+	}
+	if !r.IsCoterie() {
+		t.Fatal("Reduce did not produce an antichain")
+	}
+	// Availability is preserved on every subset.
+	for mask := uint64(0); mask < 16; mask++ {
+		live := bitset.FromWord(4, mask)
+		if c.Available(live) != r.Available(live) {
+			t.Fatalf("availability changed on %v", live)
+		}
+	}
+}
+
+func TestCoterieSizesAndPick(t *testing.T) {
+	c := NewCoterie("s", 5, sets(5, []int{0, 1}, []int{1, 2, 3}, []int{0, 2}))
+	if c.MinQuorumSize() != 2 || c.MaxQuorumSize() != 3 {
+		t.Fatalf("sizes (%d,%d)", c.MinQuorumSize(), c.MaxQuorumSize())
+	}
+	rng := rand.New(rand.NewSource(1))
+	live := bitset.FromIndices(5, 0, 2, 4)
+	q, err := c.Pick(rng, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Equal(bitset.FromIndices(5, 0, 2)) {
+		t.Fatalf("picked %v", q)
+	}
+	if _, err := c.Pick(rng, bitset.FromIndices(5, 4)); err != ErrNoQuorum {
+		t.Fatalf("expected ErrNoQuorum, got %v", err)
+	}
+}
+
+func TestFromSystemAndAllQuorums(t *testing.T) {
+	base := NewCoterie("b", 3, sets(3, []int{0}, []int{0, 1}))
+	c, err := FromSystem(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("flattened %d quorums", c.Len())
+	}
+	// Early-stop enumeration.
+	count := 0
+	base.EnumerateQuorums(func(bitset.Set) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("enumeration did not stop early (%d)", count)
+	}
+}
+
+type noEnum struct{ *Coterie }
+
+func (noEnum) EnumerateQuorums(func(bitset.Set) bool) {}
+
+func TestCheckersRejectBadSystems(t *testing.T) {
+	bad := NewCoterie("bad", 4, sets(4, []int{0, 1}, []int{2, 3}))
+	if err := CheckPairwiseIntersection(bad); err == nil {
+		t.Fatal("disjoint quorums passed intersection check")
+	}
+	if err := CheckAvailabilityConsistency(liar{bad}); err == nil {
+		t.Fatal("inconsistent Available passed")
+	}
+}
+
+// liar wraps a coterie but reports the opposite availability.
+type liar struct{ *Coterie }
+
+func (l liar) Available(live bitset.Set) bool { return !l.Coterie.Available(live) }
+
+func TestCheckAvailabilityConsistencyGuards(t *testing.T) {
+	big := NewCoterie("big", 30, sets(30, []int{0}))
+	if err := CheckAvailabilityConsistency(big); err == nil ||
+		!strings.Contains(err.Error(), "too large") {
+		t.Fatalf("oversized universe not rejected: %v", err)
+	}
+}
+
+func TestCheckPickConsistencyCatchesBadPick(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	good := NewCoterie("g", 6, sets(6, []int{0, 1}, []int{1, 2}, []int{0, 2}))
+	if err := CheckPickConsistency(good, rng, 200); err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckPickConsistency(overPicker{good}, rng, 200); err == nil {
+		t.Fatal("picker returning non-live members passed")
+	}
+}
+
+// overPicker returns quorums that ignore the live set.
+type overPicker struct{ *Coterie }
+
+func (o overPicker) Pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return o.Quorums()[0].Clone(), nil
+}

@@ -1,0 +1,489 @@
+// Package rkv implements the replicated-data protocol the hierarchical
+// grid was designed for (Kumar–Cheung '91, summarized in §4.1 of the
+// paper): a replicated register with three operations backed by two quorum
+// flavors.
+//
+//   - Read: query a read quorum (a hierarchical row-cover) and return the
+//     value with the highest version.
+//   - BlindWrite: stamp the value with the writer's logical clock and store
+//     it on a write quorum (a hierarchical full-line); concurrent blind
+//     writes are allowed and converge to the highest stamp.
+//   - Write (read-write): learn the current version from a read quorum,
+//     then store version+1 on a write quorum. Every row-cover intersects
+//     every full-line, so a read that follows a completed write always
+//     observes it.
+//
+// Crashed replicas are tolerated with client-side timeouts and re-picked
+// quorums, exactly like package dmutex.
+package rkv
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/cluster"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/quorum"
+)
+
+// Version orders writes: higher counters win, writer IDs break ties.
+type Version struct {
+	Counter uint64
+	Writer  cluster.NodeID
+}
+
+// Less reports whether v is older than o.
+func (v Version) Less(o Version) bool {
+	if v.Counter != o.Counter {
+		return v.Counter < o.Counter
+	}
+	return v.Writer < o.Writer
+}
+
+// Store supplies the two quorum flavors. Every PickRead result must
+// intersect every PickWrite result (e.g. row-cover × full-line in the
+// h-grid instantiation).
+type Store interface {
+	Universe() int
+	PickRead(rng *rand.Rand, live bitset.Set) (bitset.Set, error)
+	PickWrite(rng *rand.Rand, live bitset.Set) (bitset.Set, error)
+}
+
+// HGridStore adapts a hierarchical grid: read quorums are row-covers,
+// write quorums are full-lines.
+type HGridStore struct {
+	H *hgrid.Hierarchy
+}
+
+// Universe implements Store.
+func (s HGridStore) Universe() int { return s.H.Universe() }
+
+// PickRead implements Store.
+func (s HGridStore) PickRead(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.H.PickRowCover(rng, live)
+}
+
+// PickWrite implements Store.
+func (s HGridStore) PickWrite(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.H.PickFullLine(rng, live)
+}
+
+// HTGridStore implements §4.2's replicated-data refinement: reads keep
+// using the h-grid's row-cover quorums while exclusive writes use the
+// smaller h-T-grid quorums (every h-T-grid quorum still intersects every
+// full row-cover).
+type HTGridStore struct {
+	Sys *htgrid.System
+}
+
+// Universe implements Store.
+func (s HTGridStore) Universe() int { return s.Sys.Universe() }
+
+// PickRead implements Store.
+func (s HTGridStore) PickRead(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.Sys.Hierarchy().PickRowCover(rng, live)
+}
+
+// PickWrite implements Store.
+func (s HTGridStore) PickWrite(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.Sys.Pick(rng, live)
+}
+
+// MajorityStore is the classic Gifford read/write threshold store: reads
+// contact R replicas, writes W replicas, with R+W > n (reads see writes)
+// and 2W > n (writes are totally ordered).
+type MajorityStore struct {
+	N, R, W int
+}
+
+// NewMajorityStore validates the thresholds.
+func NewMajorityStore(n, r, w int) (MajorityStore, error) {
+	if n <= 0 || r <= 0 || w <= 0 || r > n || w > n {
+		return MajorityStore{}, fmt.Errorf("rkv: invalid thresholds n=%d r=%d w=%d", n, r, w)
+	}
+	if r+w <= n {
+		return MajorityStore{}, fmt.Errorf("rkv: R+W must exceed n (r=%d w=%d n=%d)", r, w, n)
+	}
+	if 2*w <= n {
+		return MajorityStore{}, fmt.Errorf("rkv: 2W must exceed n (w=%d n=%d)", w, n)
+	}
+	return MajorityStore{N: n, R: r, W: w}, nil
+}
+
+// Universe implements Store.
+func (s MajorityStore) Universe() int { return s.N }
+
+// PickRead implements Store.
+func (s MajorityStore) PickRead(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return pickThreshold(rng, live, s.N, s.R)
+}
+
+// PickWrite implements Store.
+func (s MajorityStore) PickWrite(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return pickThreshold(rng, live, s.N, s.W)
+}
+
+func pickThreshold(rng *rand.Rand, live bitset.Set, n, k int) (bitset.Set, error) {
+	alive := live.Indices()
+	if len(alive) < k {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	rng.Shuffle(len(alive), func(i, j int) { alive[i], alive[j] = alive[j], alive[i] })
+	out := bitset.New(n)
+	for _, id := range alive[:k] {
+		out.Add(id)
+	}
+	return out, nil
+}
+
+// Wire messages.
+type (
+	msgReadVersion  struct{ Seq uint64 }
+	msgVersionReply struct {
+		Seq     uint64
+		Version Version
+		Value   string
+	}
+	msgWrite struct {
+		Seq     uint64
+		Version Version
+		Value   string
+	}
+	msgWriteAck struct{ Seq uint64 }
+)
+
+// Timer tokens.
+type (
+	tokenNextOp struct{}
+	tokenOpDue  struct{ Seq uint64 }
+)
+
+// OpKind enumerates the register operations.
+type OpKind int
+
+// Register operations.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpBlindWrite
+)
+
+// String implements fmt.Stringer.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpBlindWrite:
+		return "blind-write"
+	default:
+		return fmt.Sprintf("op(%d)", int(k))
+	}
+}
+
+// Op is one client operation.
+type Op struct {
+	Kind  OpKind
+	Value string // for writes
+}
+
+// Result reports a completed operation to the driver.
+type Result struct {
+	Node    cluster.NodeID
+	Kind    OpKind
+	Value   string // for reads: the value returned
+	Version Version
+	At      time.Duration
+	Retries int
+}
+
+// Config parameterizes a replica node.
+type Config struct {
+	Store Store
+	// Timeout bounds one quorum attempt (default 300ms).
+	Timeout time.Duration
+	// ReadRepair pushes the winning version back to read-quorum members
+	// that reported older data (fire-and-forget), so reads heal replicas
+	// that missed a write quorum.
+	ReadRepair bool
+	// Ops is the node's client workload, executed sequentially.
+	Ops []Op
+	// OnResult observes completed operations.
+	OnResult func(Result)
+}
+
+// phase of the in-flight client operation.
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseReadVersions
+	phaseWrite
+)
+
+// Node is a replica (and optionally a client).
+type Node struct {
+	id  cluster.NodeID
+	cfg Config
+
+	// Replica state.
+	version Version
+	value   string
+	clock   uint64
+
+	// Client state.
+	opIndex  int
+	seq      uint64
+	ph       phase
+	quorum   bitset.Set
+	pending  bitset.Set // members not yet answered
+	replies  map[cluster.NodeID]Version
+	bestVer  Version
+	bestVal  string
+	retries  int
+	suspects bitset.Set
+	started  time.Duration
+}
+
+var _ cluster.Handler = (*Node)(nil)
+
+// NewNode builds a replica.
+func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("rkv: config needs a store")
+	}
+	if int(id) < 0 || int(id) >= cfg.Store.Universe() {
+		return nil, fmt.Errorf("rkv: node %d outside universe %d", id, cfg.Store.Universe())
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 300 * time.Millisecond
+	}
+	return &Node{id: id, cfg: cfg, suspects: bitset.New(cfg.Store.Universe())}, nil
+}
+
+// Start schedules the node's client workload.
+func (n *Node) Start(net *cluster.Network) error {
+	if len(n.cfg.Ops) == 0 {
+		return nil
+	}
+	return net.StartTimer(n.id, 0, tokenNextOp{})
+}
+
+// Done reports whether the workload completed.
+func (n *Node) Done() bool { return n.opIndex >= len(n.cfg.Ops) && n.ph == phaseIdle }
+
+// Enqueue appends client operations to the node's workload. If the node
+// had finished, call Start again to kick the new operations off.
+func (n *Node) Enqueue(ops ...Op) {
+	n.cfg.Ops = append(n.cfg.Ops, ops...)
+}
+
+// Value returns the replica's stored value and version (for tests).
+func (n *Node) Value() (string, Version) { return n.value, n.version }
+
+// Deliver implements cluster.Handler.
+func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
+	switch m := msg.(type) {
+	case msgReadVersion:
+		env.Send(from, msgVersionReply{Seq: m.Seq, Version: n.version, Value: n.value})
+	case msgWrite:
+		if m.Version.Counter > n.clock {
+			n.clock = m.Version.Counter
+		}
+		if n.version.Less(m.Version) {
+			n.version = m.Version
+			n.value = m.Value
+		}
+		env.Send(from, msgWriteAck{Seq: m.Seq})
+	case msgVersionReply:
+		n.onVersionReply(env, from, m)
+	case msgWriteAck:
+		n.onWriteAck(env, from, m)
+	default:
+		panic(fmt.Sprintf("rkv: unknown message %T", msg))
+	}
+}
+
+// Timer implements cluster.Handler.
+func (n *Node) Timer(env cluster.Env, token any) {
+	switch tk := token.(type) {
+	case tokenNextOp:
+		n.beginOp(env)
+	case tokenOpDue:
+		if n.ph != phaseIdle && tk.Seq == n.seq {
+			n.retryPhase(env)
+		}
+	default:
+		panic(fmt.Sprintf("rkv: unknown timer token %T", token))
+	}
+}
+
+func (n *Node) currentOp() Op { return n.cfg.Ops[n.opIndex] }
+
+func (n *Node) beginOp(env cluster.Env) {
+	if n.opIndex >= len(n.cfg.Ops) {
+		return
+	}
+	n.retries = 0
+	n.started = env.Now()
+	op := n.currentOp()
+	switch op.Kind {
+	case OpRead, OpWrite:
+		n.startReadPhase(env)
+	case OpBlindWrite:
+		n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value)
+	}
+}
+
+func (n *Node) nextClock() uint64 {
+	n.clock++
+	return n.clock
+}
+
+// startReadPhase queries a read quorum for versions.
+func (n *Node) startReadPhase(env cluster.Env) {
+	n.seq++
+	n.ph = phaseReadVersions
+	n.bestVer = Version{}
+	n.bestVal = ""
+	n.replies = make(map[cluster.NodeID]Version)
+	q, err := n.pickWithFallback(env, true)
+	if err != nil {
+		panic("rkv: full universe has no read quorum")
+	}
+	n.quorum = q
+	n.pending = q.Clone()
+	q.ForEach(func(m int) { env.Send(cluster.NodeID(m), msgReadVersion{Seq: n.seq}) })
+	env.After(n.cfg.Timeout, tokenOpDue{Seq: n.seq})
+}
+
+// startWritePhase stores a version on a write quorum.
+func (n *Node) startWritePhase(env cluster.Env, ver Version, val string) {
+	n.seq++
+	n.ph = phaseWrite
+	n.bestVer = ver
+	n.bestVal = val
+	q, err := n.pickWithFallback(env, false)
+	if err != nil {
+		panic("rkv: full universe has no write quorum")
+	}
+	n.quorum = q
+	n.pending = q.Clone()
+	q.ForEach(func(m int) {
+		env.Send(cluster.NodeID(m), msgWrite{Seq: n.seq, Version: ver, Value: val})
+	})
+	env.After(n.cfg.Timeout, tokenOpDue{Seq: n.seq})
+}
+
+// pickWithFallback draws a quorum among unsuspected replicas, clearing
+// suspicions if none remains.
+func (n *Node) pickWithFallback(env cluster.Env, read bool) (bitset.Set, error) {
+	pick := n.cfg.Store.PickWrite
+	if read {
+		pick = n.cfg.Store.PickRead
+	}
+	q, err := pick(env.Rand(), n.suspects.Complement())
+	if err != nil {
+		n.suspects.Clear()
+		q, err = pick(env.Rand(), bitset.Universe(n.cfg.Store.Universe()))
+	}
+	return q, err
+}
+
+// retryPhase abandons the attempt, suspecting silent members.
+func (n *Node) retryPhase(env cluster.Env) {
+	n.retries++
+	n.pending.ForEach(func(m int) { n.suspects.Add(m) })
+	switch n.ph {
+	case phaseReadVersions:
+		n.startReadPhase(env)
+	case phaseWrite:
+		n.startWritePhase(env, n.bestVer, n.bestVal)
+	}
+}
+
+func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersionReply) {
+	if n.ph != phaseReadVersions || m.Seq != n.seq || !n.pending.Contains(int(from)) {
+		return
+	}
+	n.pending.Remove(int(from))
+	n.replies[from] = m.Version
+	if n.bestVer.Less(m.Version) {
+		n.bestVer = m.Version
+		n.bestVal = m.Value
+	}
+	if !n.pending.Empty() {
+		return
+	}
+	// Read quorum complete.
+	op := n.currentOp()
+	if op.Kind == OpRead {
+		if n.cfg.ReadRepair {
+			n.repair(env)
+		}
+		n.finishOp(env, Result{
+			Node: n.id, Kind: OpRead, Value: n.bestVal, Version: n.bestVer,
+			At: env.Now(), Retries: n.retries,
+		})
+		return
+	}
+	// Read-write: bump the counter past everything the read quorum saw.
+	if n.bestVer.Counter > n.clock {
+		n.clock = n.bestVer.Counter
+	}
+	n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value)
+}
+
+func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
+	if n.ph != phaseWrite || m.Seq != n.seq || !n.pending.Contains(int(from)) {
+		return
+	}
+	n.pending.Remove(int(from))
+	if !n.pending.Empty() {
+		return
+	}
+	op := n.currentOp()
+	n.finishOp(env, Result{
+		Node: n.id, Kind: op.Kind, Value: n.bestVal, Version: n.bestVer,
+		At: env.Now(), Retries: n.retries,
+	})
+}
+
+// repair fire-and-forgets the winning version to read-quorum members that
+// reported something older.
+func (n *Node) repair(env cluster.Env) {
+	if n.bestVer == (Version{}) {
+		return // nothing written yet
+	}
+	n.seq++ // a fresh sequence so stale acks are ignored
+	for member, ver := range n.replies {
+		if ver.Less(n.bestVer) {
+			env.Send(member, msgWrite{Seq: n.seq, Version: n.bestVer, Value: n.bestVal})
+		}
+	}
+}
+
+func (n *Node) finishOp(env cluster.Env, res Result) {
+	n.ph = phaseIdle
+	n.opIndex++
+	if n.cfg.OnResult != nil {
+		n.cfg.OnResult(res)
+	}
+	if n.opIndex < len(n.cfg.Ops) {
+		env.After(time.Millisecond, tokenNextOp{})
+	}
+}
+
+// RegisterWire registers the protocol's wire messages with a gob-based
+// transport (e.g. transport.Register).
+func RegisterWire(register func(values ...any)) {
+	register(msgReadVersion{}, msgVersionReply{}, msgWrite{}, msgWriteAck{})
+}
+
+// StartToken returns the timer token that kicks off the node's client
+// workload — for transports without a cluster.Network.
+func (n *Node) StartToken() any { return tokenNextOp{} }

@@ -1,0 +1,428 @@
+package rkv
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/cluster"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+)
+
+// harness wires a 16-replica h-grid cluster; ops are assigned per node.
+type harness struct {
+	net     *cluster.Network
+	nodes   []*Node
+	results []Result
+}
+
+func newHarness(t *testing.T, seed int64, ops map[cluster.NodeID][]Op, crash []cluster.NodeID) *harness {
+	t.Helper()
+	h := &harness{net: cluster.New(cluster.WithSeed(seed), cluster.WithLatency(time.Millisecond, 6*time.Millisecond))}
+	store := HGridStore{H: hgrid.Auto(4, 4)}
+	for i := 0; i < 16; i++ {
+		id := cluster.NodeID(i)
+		n, err := NewNode(id, Config{
+			Store:    store,
+			Ops:      ops[id],
+			OnResult: func(r Result) { h.results = append(h.results, r) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.net.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+		h.nodes = append(h.nodes, n)
+	}
+	for _, n := range h.nodes {
+		if err := n.Start(h.net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range crash {
+		h.net.Crash(id)
+	}
+	return h
+}
+
+func (h *harness) run(t *testing.T, until time.Duration) {
+	t.Helper()
+	h.net.Run(until)
+	for _, n := range h.nodes {
+		if len(n.cfg.Ops) > 0 && !n.Done() {
+			t.Fatalf("node %d did not finish its ops", n.id)
+		}
+	}
+}
+
+func TestReadAfterWrite(t *testing.T) {
+	// Node 0 writes, then node 15 reads: the read must observe the write
+	// (ops are sequenced by giving the reader a later start via op order on
+	// the same node).
+	h := newHarness(t, 1, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "v1"}, {Kind: OpRead}},
+	}, nil)
+	h.run(t, 30*time.Second)
+	if len(h.results) != 2 {
+		t.Fatalf("results %d, want 2", len(h.results))
+	}
+	if h.results[1].Kind != OpRead || h.results[1].Value != "v1" {
+		t.Fatalf("read returned %q (version %+v), want v1", h.results[1].Value, h.results[1].Version)
+	}
+}
+
+func TestReadAfterWriteAcrossNodes(t *testing.T) {
+	// Writer and reader on different nodes; the reader starts after the
+	// writer finishes (sequenced by the test driving two phases).
+	ops := map[cluster.NodeID][]Op{0: {{Kind: OpWrite, Value: "cross"}}}
+	h := newHarness(t, 2, ops, nil)
+	h.run(t, 30*time.Second)
+
+	// Second phase: a read from node 15 on the same cluster.
+	reader := h.nodes[15]
+	reader.cfg.Ops = []Op{{Kind: OpRead}}
+	if err := reader.Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, 60*time.Second)
+	last := h.results[len(h.results)-1]
+	if last.Kind != OpRead || last.Value != "cross" {
+		t.Fatalf("cross-node read returned %q, want cross", last.Value)
+	}
+}
+
+func TestSequentialWritesMonotone(t *testing.T) {
+	h := newHarness(t, 3, map[cluster.NodeID][]Op{
+		4: {
+			{Kind: OpWrite, Value: "a"},
+			{Kind: OpWrite, Value: "b"},
+			{Kind: OpRead},
+			{Kind: OpWrite, Value: "c"},
+			{Kind: OpRead},
+		},
+	}, nil)
+	h.run(t, 60*time.Second)
+	if len(h.results) != 5 {
+		t.Fatalf("results %d", len(h.results))
+	}
+	if h.results[2].Value != "b" {
+		t.Fatalf("first read %q, want b", h.results[2].Value)
+	}
+	if h.results[4].Value != "c" {
+		t.Fatalf("second read %q, want c", h.results[4].Value)
+	}
+	// Versions strictly increase across the writes.
+	if !h.results[0].Version.Less(h.results[1].Version) || !h.results[1].Version.Less(h.results[3].Version) {
+		t.Fatalf("versions not monotone: %+v %+v %+v",
+			h.results[0].Version, h.results[1].Version, h.results[3].Version)
+	}
+}
+
+func TestConcurrentWritersConverge(t *testing.T) {
+	// Two concurrent read-write writers; afterwards every reader must agree
+	// on a single winner.
+	h := newHarness(t, 4, map[cluster.NodeID][]Op{
+		1: {{Kind: OpWrite, Value: "from-1"}},
+		9: {{Kind: OpWrite, Value: "from-9"}},
+	}, nil)
+	h.run(t, 30*time.Second)
+
+	for _, reader := range []cluster.NodeID{0, 5, 15} {
+		h.nodes[reader].cfg.Ops = []Op{{Kind: OpRead}}
+		if err := h.nodes[reader].Start(h.net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.run(t, 60*time.Second)
+	reads := h.results[2:]
+	if len(reads) != 3 {
+		t.Fatalf("reads %d", len(reads))
+	}
+	for _, r := range reads {
+		if r.Value != reads[0].Value {
+			t.Fatalf("readers disagree: %q vs %q", r.Value, reads[0].Value)
+		}
+		if r.Value != "from-1" && r.Value != "from-9" {
+			t.Fatalf("unexpected winner %q", r.Value)
+		}
+	}
+}
+
+func TestBlindWriteConvergence(t *testing.T) {
+	h := newHarness(t, 5, map[cluster.NodeID][]Op{
+		2:  {{Kind: OpBlindWrite, Value: "b1"}},
+		11: {{Kind: OpBlindWrite, Value: "b2"}},
+	}, nil)
+	h.run(t, 30*time.Second)
+	h.nodes[7].cfg.Ops = []Op{{Kind: OpRead}}
+	if err := h.nodes[7].Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, 60*time.Second)
+	last := h.results[len(h.results)-1]
+	if last.Value != "b1" && last.Value != "b2" {
+		t.Fatalf("read returned %q after blind writes", last.Value)
+	}
+}
+
+func TestCrashToleranceWithRetries(t *testing.T) {
+	// Crash three replicas; reads and writes must still complete (possibly
+	// with retries) and read-after-write must hold.
+	crash := []cluster.NodeID{1, 6, 11}
+	h := newHarness(t, 6, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "survivor"}, {Kind: OpRead}},
+	}, crash)
+	h.net.Run(2 * time.Minute)
+	if !h.nodes[0].Done() {
+		t.Fatal("client did not finish under crashes")
+	}
+	last := h.results[len(h.results)-1]
+	if last.Value != "survivor" {
+		t.Fatalf("read returned %q, want survivor", last.Value)
+	}
+}
+
+func TestReadCheaperThanWrite(t *testing.T) {
+	// A read contacts a row-cover (4 replicas on the 4×4 grid); a
+	// read-write contacts a row-cover plus a full-line. Compare message
+	// counts of one op each.
+	hRead := newHarness(t, 7, map[cluster.NodeID][]Op{3: {{Kind: OpRead}}}, nil)
+	hRead.run(t, 30*time.Second)
+	readMsgs := hRead.net.Messages()
+
+	hWrite := newHarness(t, 7, map[cluster.NodeID][]Op{3: {{Kind: OpWrite, Value: "x"}}}, nil)
+	hWrite.run(t, 30*time.Second)
+	writeMsgs := hWrite.net.Messages()
+
+	if readMsgs >= writeMsgs {
+		t.Fatalf("read used %d messages, write %d; read should be cheaper", readMsgs, writeMsgs)
+	}
+	if readMsgs != 8 { // 4 queries + 4 replies
+		t.Fatalf("read used %d messages, want 8", readMsgs)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNode(0, Config{}); err == nil {
+		t.Error("nil store accepted")
+	}
+	if _, err := NewNode(99, Config{Store: HGridStore{H: hgrid.Auto(2, 2)}}); err == nil {
+		t.Error("out-of-universe node accepted")
+	}
+}
+
+func TestVersionOrdering(t *testing.T) {
+	a := Version{Counter: 1, Writer: 3}
+	b := Version{Counter: 2, Writer: 0}
+	c := Version{Counter: 2, Writer: 5}
+	if !a.Less(b) || !b.Less(c) || c.Less(a) {
+		t.Fatal("version ordering broken")
+	}
+	if fmt.Sprintf("%v", OpRead) != "read" || fmt.Sprintf("%v", OpBlindWrite) != "blind-write" {
+		t.Fatal("OpKind.String broken")
+	}
+}
+
+// TestHTGridStoreCrossIntersection: §4.2's refinement — every h-T-grid
+// write quorum intersects every row-cover read quorum, exhaustively on a
+// small hierarchy.
+func TestHTGridStoreCrossIntersection(t *testing.T) {
+	sys := htgrid.Auto(3, 3)
+	covers := sys.Hierarchy().RowCovers()
+	sys.EnumerateQuorums(func(w bitset.Set) bool {
+		for _, r := range covers {
+			if !w.Intersects(r) {
+				t.Fatalf("write quorum %v misses read quorum %v", w, r)
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestHTGridStoreEndToEnd: the register works with h-T-grid writes, and
+// exclusive writes are cheaper than with the h-grid store (the h-T-grid
+// quorum replaces the read-quorum + full-line pair).
+func TestHTGridStoreEndToEnd(t *testing.T) {
+	run := func(store Store) (uint64, string) {
+		net := cluster.New(cluster.WithSeed(8))
+		var results []Result
+		var replicas []*Node
+		for i := 0; i < 16; i++ {
+			var ops []Op
+			if i == 0 {
+				ops = []Op{{Kind: OpBlindWrite, Value: "fast"}, {Kind: OpRead}}
+			}
+			r, err := NewNode(cluster.NodeID(i), Config{
+				Store:    store,
+				Ops:      ops,
+				OnResult: func(res Result) { results = append(results, res) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := net.AddNode(cluster.NodeID(i), r); err != nil {
+				t.Fatal(err)
+			}
+			replicas = append(replicas, r)
+		}
+		for _, r := range replicas {
+			if err := r.Start(net); err != nil {
+				t.Fatal(err)
+			}
+		}
+		net.Run(30 * time.Second)
+		if len(results) != 2 {
+			t.Fatalf("results %d", len(results))
+		}
+		return net.Messages(), results[1].Value
+	}
+	h := hgrid.Auto(4, 4)
+	_, hv := run(HGridStore{H: h})
+	_, tv := run(HTGridStore{Sys: htgrid.New(h)})
+	if hv != "fast" || tv != "fast" {
+		t.Fatalf("reads returned %q / %q", hv, tv)
+	}
+}
+
+func TestMajorityStore(t *testing.T) {
+	if _, err := NewMajorityStore(5, 2, 3); err == nil {
+		t.Error("R+W <= n accepted")
+	}
+	if _, err := NewMajorityStore(5, 3, 2); err == nil {
+		t.Error("2W <= n accepted")
+	}
+	if _, err := NewMajorityStore(0, 1, 1); err == nil {
+		t.Error("empty universe accepted")
+	}
+	store, err := NewMajorityStore(5, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := cluster.New(cluster.WithSeed(10))
+	var results []Result
+	var replicas []*Node
+	for i := 0; i < 5; i++ {
+		var ops []Op
+		if i == 2 {
+			ops = []Op{{Kind: OpWrite, Value: "maj"}, {Kind: OpRead}}
+		}
+		r, err := NewNode(cluster.NodeID(i), Config{
+			Store:    store,
+			Ops:      ops,
+			OnResult: func(res Result) { results = append(results, res) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), r); err != nil {
+			t.Fatal(err)
+		}
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		if err := r.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(30 * time.Second)
+	if len(results) != 2 || results[1].Value != "maj" {
+		t.Fatalf("results %+v", results)
+	}
+}
+
+// TestPartitionHealing: a partition that separates the client from its
+// quorums stalls operations; healing lets retries complete, and the read
+// still observes the pre-partition write.
+func TestPartitionHealing(t *testing.T) {
+	h := newHarness(t, 12, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "before"}, {Kind: OpRead}},
+	}, nil)
+	h.run(t, 30*time.Second)
+
+	// Cut node 15 off from everyone else and ask it to read.
+	h.net.Partition([]cluster.NodeID{15})
+	reader := h.nodes[15]
+	reader.Enqueue(Op{Kind: OpRead})
+	if err := reader.Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(35 * time.Second)
+	if reader.Done() {
+		t.Fatal("read completed across a partition")
+	}
+
+	// Heal; retries must finish the read with the committed value.
+	h.net.Heal()
+	h.net.Run(5 * time.Minute)
+	if !reader.Done() {
+		t.Fatal("read did not complete after healing")
+	}
+	last := h.results[len(h.results)-1]
+	if last.Value != "before" {
+		t.Fatalf("post-heal read returned %q", last.Value)
+	}
+	if last.Retries == 0 {
+		t.Fatal("expected retries across the partition")
+	}
+}
+
+// TestReadRepair: a read with repair enabled heals the stale members of
+// its read quorum, so the data survives even if every original write-line
+// replica later crashes.
+func TestReadRepair(t *testing.T) {
+	net := cluster.New(cluster.WithSeed(21))
+	store := HGridStore{H: hgrid.Auto(4, 4)}
+	var results []Result
+	var replicas []*Node
+	for i := 0; i < 16; i++ {
+		var ops []Op
+		if i == 0 {
+			ops = []Op{{Kind: OpWrite, Value: "precious"}}
+		}
+		r, err := NewNode(cluster.NodeID(i), Config{
+			Store:      store,
+			ReadRepair: true,
+			Ops:        ops,
+			OnResult:   func(res Result) { results = append(results, res) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), r); err != nil {
+			t.Fatal(err)
+		}
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		if err := r.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(30 * time.Second)
+
+	// Reader with repair from node 15.
+	replicas[15].Enqueue(Op{Kind: OpRead})
+	if err := replicas[15].Start(net); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(60 * time.Second)
+	if len(results) != 2 || results[1].Value != "precious" {
+		t.Fatalf("results %+v", results)
+	}
+
+	// Every replica holding version > 0 grew beyond the original writers:
+	// repair propagated the value to at least one stale read-quorum member.
+	holders := 0
+	for _, r := range replicas {
+		if v, ver := r.Value(); v == "precious" && ver.Counter > 0 {
+			holders++
+		}
+	}
+	if holders <= 4 {
+		t.Fatalf("only %d replicas hold the value after repair; expected the read quorum healed", holders)
+	}
+}

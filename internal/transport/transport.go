@@ -1,0 +1,312 @@
+// Package transport runs the cluster protocols over real TCP connections.
+//
+// It implements the same Handler/Env contract as package cluster, so the
+// mutual-exclusion (dmutex) and replicated-register (rkv) nodes run
+// unchanged over loopback or LAN sockets: each node owns a listener and a
+// single event loop that serializes message deliveries and timer callbacks
+// (handlers still need no locking). Messages are gob-encoded; payload
+// types must be registered once via Register (dmutex.RegisterWire and
+// rkv.RegisterWire do this for the built-in protocols).
+//
+// The transport is deliberately failure-friendly: sends to unreachable
+// peers are dropped (quorum protocols tolerate loss by design), and
+// connections are re-dialed on the next send.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"hquorum/internal/cluster"
+)
+
+// Register makes payload types encodable. Call once per wire type before
+// starting nodes.
+func Register(values ...any) {
+	for _, v := range values {
+		gob.Register(v)
+	}
+}
+
+// envelope is the wire frame.
+type envelope struct {
+	From    cluster.NodeID
+	Payload any
+}
+
+// event is a queued delivery or timer callback.
+type event struct {
+	kind  int // 0 = deliver, 1 = timer
+	from  cluster.NodeID
+	msg   any
+	token any
+}
+
+// Option configures a Node.
+type Option func(*Node)
+
+// WithSeed seeds the node's Env.Rand stream (default: the node ID).
+func WithSeed(seed int64) Option {
+	return func(n *Node) { n.seed = seed }
+}
+
+// WithDropRate makes the transport drop outgoing messages with the given
+// probability — fault injection for retry paths.
+func WithDropRate(p float64) Option {
+	return func(n *Node) { n.dropRate = p }
+}
+
+// Node hosts a protocol handler on a TCP listener.
+type Node struct {
+	id       cluster.NodeID
+	handler  cluster.Handler
+	seed     int64
+	dropRate float64
+
+	ln     net.Listener
+	start  time.Time
+	events chan event
+	wg     sync.WaitGroup
+	quit   chan struct{}
+
+	mu       sync.Mutex
+	peers    map[cluster.NodeID]string
+	conns    map[cluster.NodeID]*peerConn
+	accepted map[net.Conn]struct{}
+	rng      *rand.Rand // used only from the event loop
+
+	sent    uint64
+	dropped uint64
+}
+
+type peerConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
+// loopback port).
+func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Option) (*Node, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("transport: nil handler for node %d", id)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &Node{
+		id:       id,
+		handler:  handler,
+		seed:     int64(id) + 1,
+		ln:       ln,
+		start:    time.Now(),
+		events:   make(chan event, 4096),
+		quit:     make(chan struct{}),
+		peers:    make(map[cluster.NodeID]string),
+		conns:    make(map[cluster.NodeID]*peerConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	for _, o := range opts {
+		o(n)
+	}
+	n.rng = rand.New(rand.NewSource(n.seed))
+	return n, nil
+}
+
+// Addr returns the node's listen address.
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Connect records the peer address book (including or excluding self; self
+// sends short-circuit through the local queue either way).
+func (n *Node) Connect(peers map[cluster.NodeID]string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for id, addr := range peers {
+		n.peers[id] = addr
+	}
+}
+
+// Start launches the accept and event loops.
+func (n *Node) Start() {
+	n.wg.Add(2)
+	go n.acceptLoop()
+	go n.eventLoop()
+}
+
+// Kick schedules a timer callback, like cluster.Network.StartTimer.
+func (n *Node) Kick(d time.Duration, token any) {
+	n.after(d, token)
+}
+
+// Close shuts the node down and waits for its loops.
+func (n *Node) Close() {
+	close(n.quit)
+	n.ln.Close()
+	n.mu.Lock()
+	for _, pc := range n.conns {
+		pc.c.Close()
+	}
+	n.conns = map[cluster.NodeID]*peerConn{}
+	for c := range n.accepted {
+		c.Close()
+	}
+	n.mu.Unlock()
+	n.wg.Wait()
+}
+
+// Sent returns the number of messages handed to the network.
+func (n *Node) Sent() uint64 { return n.sent }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.wg.Add(1)
+		go n.readLoop(c)
+	}
+}
+
+func (n *Node) readLoop(c net.Conn) {
+	defer n.wg.Done()
+	defer c.Close()
+	n.mu.Lock()
+	n.accepted[c] = struct{}{}
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.accepted, c)
+		n.mu.Unlock()
+	}()
+	dec := gob.NewDecoder(c)
+	for {
+		var env envelope
+		if err := dec.Decode(&env); err != nil {
+			return
+		}
+		select {
+		case n.events <- event{kind: 0, from: env.From, msg: env.Payload}:
+		case <-n.quit:
+			return
+		}
+	}
+}
+
+func (n *Node) eventLoop() {
+	defer n.wg.Done()
+	env := &liveEnv{n: n}
+	for {
+		select {
+		case <-n.quit:
+			return
+		case e := <-n.events:
+			switch e.kind {
+			case 0:
+				n.handler.Deliver(env, e.from, e.msg)
+			case 1:
+				n.handler.Timer(env, e.token)
+			}
+		}
+	}
+}
+
+// send delivers a message to a peer (or locally), dropping on any failure.
+func (n *Node) send(to cluster.NodeID, msg any) {
+	n.sent++
+	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
+		n.dropped++
+		return
+	}
+	if to == n.id {
+		select {
+		case n.events <- event{kind: 0, from: n.id, msg: msg}:
+		case <-n.quit:
+		}
+		return
+	}
+	pc, err := n.peer(to)
+	if err != nil {
+		n.dropped++
+		return
+	}
+	if err := pc.enc.Encode(envelope{From: n.id, Payload: msg}); err != nil {
+		// Connection went bad: forget it so the next send re-dials.
+		n.mu.Lock()
+		if n.conns[to] == pc {
+			delete(n.conns, to)
+		}
+		n.mu.Unlock()
+		pc.c.Close()
+		n.dropped++
+	}
+}
+
+// peer returns (dialing if needed) the outgoing connection to a peer.
+func (n *Node) peer(to cluster.NodeID) (*peerConn, error) {
+	n.mu.Lock()
+	if pc, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return pc, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown peer %d", to)
+	}
+	c, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		c.Close()
+		return existing, nil
+	}
+	n.conns[to] = pc
+	return pc, nil
+}
+
+func (n *Node) after(d time.Duration, token any) {
+	if d < 0 {
+		d = 0
+	}
+	timer := time.AfterFunc(d, func() {
+		select {
+		case n.events <- event{kind: 1, token: token}:
+		case <-n.quit:
+		}
+	})
+	_ = timer
+}
+
+// liveEnv implements cluster.Env over the real network. It is only used
+// from the event loop, matching the simulation's single-threaded handler
+// contract.
+type liveEnv struct {
+	n *Node
+}
+
+var _ cluster.Env = (*liveEnv)(nil)
+
+// ID implements cluster.Env.
+func (e *liveEnv) ID() cluster.NodeID { return e.n.id }
+
+// Now implements cluster.Env (time since the node started).
+func (e *liveEnv) Now() time.Duration { return time.Since(e.n.start) }
+
+// Send implements cluster.Env.
+func (e *liveEnv) Send(to cluster.NodeID, msg any) { e.n.send(to, msg) }
+
+// After implements cluster.Env.
+func (e *liveEnv) After(d time.Duration, token any) { e.n.after(d, token) }
+
+// Rand implements cluster.Env.
+func (e *liveEnv) Rand() *rand.Rand { return e.n.rng }

@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/dmutex"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/rkv"
+)
+
+// echo is a minimal handler for plumbing tests.
+type echo struct {
+	mu       sync.Mutex
+	got      []string
+	timers   int
+	replyTo  cluster.NodeID
+	autoPong bool
+}
+
+type ping struct{ Text string }
+
+func (e *echo) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
+	p := msg.(ping)
+	e.mu.Lock()
+	e.got = append(e.got, p.Text)
+	e.mu.Unlock()
+	if e.autoPong && p.Text == "ping" {
+		env.Send(from, ping{Text: "pong"})
+	}
+}
+
+func (e *echo) Timer(env cluster.Env, token any) {
+	e.mu.Lock()
+	e.timers++
+	e.mu.Unlock()
+	env.Send(e.replyTo, ping{Text: "ping"})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}
+
+func TestPingPongOverTCP(t *testing.T) {
+	Register(ping{})
+	a := &echo{autoPong: true}
+	b := &echo{}
+	na, err := NewNode(1, a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	nb, err := NewNode(2, b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	b.replyTo = 1
+	book := map[cluster.NodeID]string{1: na.Addr(), 2: nb.Addr()}
+	na.Connect(book)
+	nb.Connect(book)
+	na.Start()
+	nb.Start()
+
+	nb.Kick(0, "go") // b's timer sends ping to a; a pongs back
+	waitFor(t, 5*time.Second, func() bool {
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(a.got) == 1 && len(b.got) == 1
+	})
+	if a.got[0] != "ping" || b.got[0] != "pong" {
+		t.Fatalf("a=%v b=%v", a.got, b.got)
+	}
+}
+
+// TestMutexOverTCP runs the full Maekawa protocol over loopback TCP:
+// mutual exclusion must hold under real concurrency.
+func TestMutexOverTCP(t *testing.T) {
+	dmutex.RegisterWire(Register)
+	sys := htriang.New(4) // 10 nodes
+
+	var guard sync.Mutex
+	holding := false
+	entries := 0
+
+	var nodes []*Node
+	var mnodes []*dmutex.Node
+	book := map[cluster.NodeID]string{}
+	for i := 0; i < sys.Universe(); i++ {
+		id := cluster.NodeID(i)
+		mn, err := dmutex.NewNode(id, dmutex.Config{
+			System:       sys,
+			RetryTimeout: 2 * time.Second,
+			Workload:     dmutex.Workload{Count: 2, Hold: 2 * time.Millisecond, Think: time.Millisecond},
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				guard.Lock()
+				defer guard.Unlock()
+				if holding {
+					t.Errorf("mutual exclusion violated by node %d", id)
+				}
+				holding = true
+				entries++
+			},
+			OnRelease: func(cluster.NodeID, time.Duration) {
+				guard.Lock()
+				defer guard.Unlock()
+				holding = false
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := NewNode(id, mn, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		book[id] = tn.Addr()
+		nodes = append(nodes, tn)
+		mnodes = append(mnodes, mn)
+	}
+	for _, tn := range nodes {
+		tn.Connect(book)
+		tn.Start()
+	}
+	for i, tn := range nodes {
+		tn.Kick(0, mnodes[i].StartToken())
+	}
+	waitFor(t, 30*time.Second, func() bool {
+		guard.Lock()
+		defer guard.Unlock()
+		return entries == 2*sys.Universe()
+	})
+}
+
+// TestMutexOverLossyTCP exercises the retry path with 20% message loss.
+func TestMutexOverLossyTCP(t *testing.T) {
+	dmutex.RegisterWire(Register)
+	sys := htgrid.Auto(3, 3)
+
+	var guard sync.Mutex
+	holding := false
+	entries := 0
+
+	var nodes []*Node
+	var mnodes []*dmutex.Node
+	book := map[cluster.NodeID]string{}
+	for i := 0; i < 9; i++ {
+		id := cluster.NodeID(i)
+		mn, err := dmutex.NewNode(id, dmutex.Config{
+			System:       sys,
+			RetryTimeout: 150 * time.Millisecond,
+			Workload:     dmutex.Workload{Count: 1, Hold: time.Millisecond, Think: time.Millisecond},
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				guard.Lock()
+				defer guard.Unlock()
+				if holding {
+					t.Errorf("mutual exclusion violated by node %d", id)
+				}
+				holding = true
+				entries++
+			},
+			OnRelease: func(cluster.NodeID, time.Duration) {
+				guard.Lock()
+				defer guard.Unlock()
+				holding = false
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := NewNode(id, mn, "127.0.0.1:0", WithDropRate(0.2), WithSeed(int64(i)+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		book[id] = tn.Addr()
+		nodes = append(nodes, tn)
+		mnodes = append(mnodes, mn)
+	}
+	for _, tn := range nodes {
+		tn.Connect(book)
+		tn.Start()
+	}
+	for i, tn := range nodes {
+		tn.Kick(0, mnodes[i].StartToken())
+	}
+	waitFor(t, 60*time.Second, func() bool {
+		guard.Lock()
+		defer guard.Unlock()
+		return entries == 9
+	})
+}
+
+// TestRegisterOverTCP: replicated-register read-after-write over loopback.
+func TestRegisterOverTCP(t *testing.T) {
+	rkv.RegisterWire(Register)
+	store := rkv.HGridStore{H: hgrid.Auto(4, 4)}
+
+	var mu sync.Mutex
+	var results []rkv.Result
+
+	var nodes []*Node
+	var replicas []*rkv.Node
+	book := map[cluster.NodeID]string{}
+	for i := 0; i < 16; i++ {
+		id := cluster.NodeID(i)
+		var ops []rkv.Op
+		if i == 0 {
+			ops = []rkv.Op{{Kind: rkv.OpWrite, Value: "tcp-value"}, {Kind: rkv.OpRead}}
+		}
+		rn, err := rkv.NewNode(id, rkv.Config{
+			Store: store,
+			Ops:   ops,
+			OnResult: func(r rkv.Result) {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tn, err := NewNode(id, rn, "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tn.Close()
+		book[id] = tn.Addr()
+		nodes = append(nodes, tn)
+		replicas = append(replicas, rn)
+	}
+	for _, tn := range nodes {
+		tn.Connect(book)
+		tn.Start()
+	}
+	nodes[0].Kick(0, replicas[0].StartToken())
+	waitFor(t, 30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(results) == 2
+	})
+	if results[1].Kind != rkv.OpRead || results[1].Value != "tcp-value" {
+		t.Fatalf("read returned %+v", results[1])
+	}
+}

@@ -1,0 +1,44 @@
+package ysys
+
+import (
+	"math/bits"
+
+	"hquorum/internal/analysis"
+)
+
+// AvailableWord is the allocation-free availability fast path used by the
+// exhaustive enumerator (2ⁿ subsets for the paper's 28-process board). It
+// flood-fills live components with bit-parallel neighbor masks. It panics
+// for boards beyond 64 processes (the masks are single words).
+func (s *System) AvailableWord(live uint64) bool {
+	if s.neighborMask == nil {
+		panic("ysys: AvailableWord needs a board of at most 64 processes")
+	}
+	remaining := live
+	for remaining != 0 {
+		seed := remaining & (^remaining + 1) // lowest set bit
+		comp := s.flood(seed, live)
+		if comp&s.leftMask != 0 && comp&s.rightMask != 0 && comp&s.bottomMask != 0 {
+			return true
+		}
+		remaining &^= comp
+	}
+	return false
+}
+
+// flood returns the live component containing seed.
+func (s *System) flood(seed, live uint64) uint64 {
+	comp := seed
+	frontier := seed
+	for frontier != 0 {
+		var grow uint64
+		for f := frontier; f != 0; f &= f - 1 {
+			grow |= s.neighborMask[bits.TrailingZeros64(f)]
+		}
+		frontier = grow & live &^ comp
+		comp |= frontier
+	}
+	return comp
+}
+
+var _ analysis.WordAvailability = (*System)(nil)
