@@ -107,7 +107,7 @@ func main() {
 		}
 	case "poly":
 		sys := buildSystem(args[1:])
-		counts := analysis.TransversalCounts(sys)
+		counts := analysis.CachedTransversalCounts(sys)
 		fmt.Printf("%s: size-i transversal counts a_i (F_p = sum a_i p^i q^(n-i))\n", sys.Name())
 		for i, a := range counts {
 			fmt.Printf("  a_%-2d = %d\n", i, a)
@@ -125,8 +125,8 @@ func main() {
 		}
 		sysA := buildSystem(args[1:sep])
 		sysB := buildSystem(args[sep+1:])
-		countsA := analysis.TransversalCounts(sysA)
-		countsB := analysis.TransversalCounts(sysB)
+		countsA := analysis.CachedTransversalCounts(sysA)
+		countsB := analysis.CachedTransversalCounts(sysB)
 		fmt.Printf("%-6s %14s %14s\n", "p", sysA.Name(), sysB.Name())
 		for p := 0.05; p <= 0.501; p += 0.05 {
 			fmt.Printf("%-6.2f %14.6f %14.6f\n", p, analysis.Failure(countsA, p), analysis.Failure(countsB, p))

@@ -66,7 +66,7 @@ func pSweep() {
 	fmt.Println()
 	counts := make([][]uint64, len(systems))
 	for i, sys := range systems {
-		counts[i] = analysis.TransversalCounts(sys)
+		counts[i] = analysis.CachedTransversalCounts(sys)
 	}
 	for p := 0.02; p <= 0.5001; p += 0.02 {
 		fmt.Printf("%.2f", p)

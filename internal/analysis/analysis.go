@@ -11,17 +11,24 @@
 // A failed set F is a transversal exactly when the surviving complement
 // U\F contains no quorum, so aᵢ is obtained by enumerating all 2ⁿ subsets
 // and consulting the system's availability predicate. Enumeration is
-// parallelized across goroutines; every configuration in the paper has
-// n ≤ 29. For larger universes MonteCarloFailure provides an unbiased
-// estimator with a reported standard error.
+// spread over goroutines that steal fixed-size subset blocks from a shared
+// atomic counter; every configuration in the paper has n ≤ 29. For larger
+// universes MonteCarloFailure provides an unbiased estimator with a
+// reported standard error.
+//
+// Repeated sweeps of the same configuration are memoized: see
+// CachedTransversalCounts and the CacheKeyer contract in cache.go.
 package analysis
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"hquorum/internal/bitset"
 )
@@ -37,11 +44,36 @@ type Availability interface {
 // WordAvailability is an optional allocation-free fast path for systems
 // over at most 64 nodes: AvailableWord(live) must agree with
 // Available(bitset.FromWord(n, live)). The enumerator uses it when
-// implemented — graph-reachability systems (Y, Paths) need it to make 2²⁸
-// subsets tractable.
+// implemented — it is what makes 2²⁸ subsets tractable, so every
+// construction in this repository provides it for n ≤ 64.
 type WordAvailability interface {
 	AvailableWord(live uint64) bool
 }
+
+// Progress observes a running enumeration: done blocks finished out of
+// total, with elapsed wall time since the sweep started. Callbacks are
+// delivered from a single goroutine at a bounded rate plus once on
+// completion.
+type Progress func(done, total uint64, elapsed time.Duration)
+
+var (
+	progressMu sync.Mutex
+	progressFn Progress
+)
+
+// SetProgress installs a process-wide progress callback for subsequent
+// enumerations (nil disables). Short sweeps (< 2 blocks) never report.
+func SetProgress(fn Progress) {
+	progressMu.Lock()
+	progressFn = fn
+	progressMu.Unlock()
+}
+
+// enumBlockBits sizes the unit of work stealing: workers claim blocks of
+// 2¹⁶ consecutive subset values from a shared atomic counter, so skewed
+// predicates (cheap rejects in one region, deep recursion in another)
+// cannot leave workers idle the way static chunking did.
+const enumBlockBits = 16
 
 // TransversalCounts enumerates all subsets of the universe and returns the
 // vector a where a[i] is the number of size-i transversals (failed sets that
@@ -52,6 +84,8 @@ func TransversalCounts(sys Availability) []uint64 {
 }
 
 // TransversalCountsParallel is TransversalCounts with an explicit worker
+// count. Workers pull blocks of 2¹⁶ subsets from an atomic counter until
+// the space is exhausted, so the result is identical for every worker
 // count.
 func TransversalCountsParallel(sys Availability, workers int) []uint64 {
 	n := sys.Universe()
@@ -62,43 +96,119 @@ func TransversalCountsParallel(sys Availability, workers int) []uint64 {
 		workers = 1
 	}
 	total := uint64(1) << uint(n)
-	if workers > 1 && total < 1<<12 {
-		workers = 1
+	blocks := (total + (1 << enumBlockBits) - 1) >> enumBlockBits
+	if workers > int(blocks) {
+		workers = int(blocks)
 	}
 	full := uint64(1)<<uint(n) - 1
 
-	counts := make([][]uint64, workers)
-	var wg sync.WaitGroup
-	chunk := total / uint64(workers)
-	for w := 0; w < workers; w++ {
-		lo := uint64(w) * chunk
-		hi := lo + chunk
-		if w == workers-1 {
-			hi = total
-		}
-		wg.Add(1)
-		go func(w int, lo, hi uint64) {
-			defer wg.Done()
-			local := make([]uint64, n+1)
-			if fast, ok := sys.(WordAvailability); ok {
-				for failed := lo; failed < hi; failed++ {
-					if !fast.AvailableWord(full &^ failed) {
-						local[popcount(failed)]++
-					}
-				}
-			} else {
-				live := bitset.New(n)
-				for failed := lo; failed < hi; failed++ {
-					live.SetWord(full &^ failed)
-					if !sys.Available(live) {
-						local[popcount(failed)]++
-					}
+	var next, done atomic.Uint64
+	stop := make(chan struct{})
+	var reporter sync.WaitGroup
+	progressMu.Lock()
+	report := progressFn
+	progressMu.Unlock()
+	if report != nil && blocks > 1 {
+		start := time.Now()
+		reporter.Add(1)
+		go func() {
+			defer reporter.Done()
+			tick := time.NewTicker(200 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stop:
+					report(blocks, blocks, time.Since(start))
+					return
+				case <-tick.C:
+					report(done.Load(), blocks, time.Since(start))
 				}
 			}
+		}()
+	}
+
+	var circ *Circuit
+	if cs, ok := sys.(CircuitAvailability); ok && n >= 6 {
+		circ = cs.AvailabilityCircuit()
+	}
+
+	counts := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := make([]uint64, n+1)
+			fast, isFast := sys.(WordAvailability)
+			var live bitset.Set
+			if !isFast {
+				live = bitset.New(n)
+			}
+			var lanes, scratch []uint64
+			if circ != nil {
+				// Lanes 0..5 of 64 consecutive failed values are fixed
+				// patterns; live = complement, so they are set up once.
+				lanes = make([]uint64, n)
+				for j := 0; j < 6; j++ {
+					lanes[j] = ^laneConst[j]
+				}
+				scratch = make([]uint64, circ.NumRegs())
+			}
+			for {
+				b := next.Add(1) - 1
+				if b >= blocks {
+					break
+				}
+				lo := b << enumBlockBits
+				hi := lo + 1<<enumBlockBits
+				if hi > total {
+					hi = total
+				}
+				switch {
+				case circ != nil:
+					// 64 subsets per Eval: n ≥ 6 makes every group of 64
+					// consecutive failed values start at a multiple of 64,
+					// so lane j ≥ 6 is just the broadcast complement of
+					// bit j of the base value.
+					for base := lo; base < hi; base += 64 {
+						for j := 6; j < n; j++ {
+							if base>>uint(j)&1 == 0 {
+								lanes[j] = ^uint64(0)
+							} else {
+								lanes[j] = 0
+							}
+						}
+						notAvail := ^circ.Eval(lanes, scratch)
+						if notAvail == 0 {
+							continue
+						}
+						pcBase := bits.OnesCount64(base)
+						for k := 0; k <= 6; k++ {
+							local[pcBase+k] += uint64(bits.OnesCount64(notAvail & popCountMask[k]))
+						}
+					}
+				case isFast:
+					for failed := lo; failed < hi; failed++ {
+						if !fast.AvailableWord(full &^ failed) {
+							local[bits.OnesCount64(failed)]++
+						}
+					}
+				default:
+					for failed := lo; failed < hi; failed++ {
+						live.SetWord(full &^ failed)
+						if !sys.Available(live) {
+							local[bits.OnesCount64(failed)]++
+						}
+					}
+				}
+				done.Add(1)
+			}
 			counts[w] = local
-		}(w, lo, hi)
+		}(w)
 	}
 	wg.Wait()
+	close(stop)
+	reporter.Wait()
 
 	out := make([]uint64, n+1)
 	for _, local := range counts {
@@ -109,35 +219,40 @@ func TransversalCountsParallel(sys Availability, workers int) []uint64 {
 	return out
 }
 
-func popcount(x uint64) int {
-	c := 0
-	for x != 0 {
-		x &= x - 1
-		c++
-	}
-	return c
-}
-
 // Failure evaluates Fₚ = Σ aᵢ pⁱ qⁿ⁻ⁱ from precomputed transversal counts.
 func Failure(counts []uint64, p float64) float64 {
 	n := len(counts) - 1
 	q := 1 - p
-	// Horner-style evaluation over i with explicit powers; n ≤ 30 so the
-	// direct form is well-conditioned.
+	// Powers by repeated multiplication: for n ≤ 63 the accumulated
+	// relative error stays far below the 1e-12 tolerances used elsewhere,
+	// and the tables cost 2n multiplies instead of 2·math.Pow per
+	// coefficient.
+	var pbuf, qbuf [64]float64
+	pp, qp := pbuf[:], qbuf[:]
+	if n >= len(pbuf) {
+		pp = make([]float64, n+1)
+		qp = make([]float64, n+1)
+	}
+	pp[0], qp[0] = 1, 1
+	for i := 1; i <= n; i++ {
+		pp[i] = pp[i-1] * p
+		qp[i] = qp[i-1] * q
+	}
 	sum := 0.0
 	for i, a := range counts {
 		if a == 0 {
 			continue
 		}
-		sum += float64(a) * math.Pow(p, float64(i)) * math.Pow(q, float64(n-i))
+		sum += float64(a) * pp[i] * qp[n-i]
 	}
 	return sum
 }
 
-// FailureAt computes exact failure probabilities of sys at each p in ps with
-// a single enumeration pass.
+// FailureAt computes exact failure probabilities of sys at each p in ps.
+// The transversal counts come from the process-wide memo cache, so
+// repeated calls for the same configuration enumerate only once.
 func FailureAt(sys Availability, ps []float64) []float64 {
-	counts := TransversalCounts(sys)
+	counts := CachedTransversalCounts(sys)
 	out := make([]float64, len(ps))
 	for i, p := range ps {
 		out[i] = Failure(counts, p)
@@ -153,20 +268,48 @@ type MonteCarloResult struct {
 }
 
 // MonteCarloFailure estimates Fₚ by sampling crash patterns: each node fails
-// independently with probability p.
+// independently with probability p. Systems with a word fast path are
+// sampled with a bit-sliced Bernoulli generator (64 iid survival bits per
+// word, ⌊64/n⌋ crash patterns per word) instead of one rng.Float64 call per
+// node.
 func MonteCarloFailure(sys Availability, p float64, samples int, rng *rand.Rand) MonteCarloResult {
 	n := sys.Universe()
 	hits := 0
-	if fast, ok := sys.(WordAvailability); ok && n <= 64 {
-		for s := 0; s < samples; s++ {
-			var live uint64
-			for i := 0; i < n; i++ {
-				if rng.Float64() >= p {
-					live |= 1 << uint(i)
-				}
+	var circ *Circuit
+	if cs, ok := sys.(CircuitAvailability); ok {
+		circ = cs.AvailabilityCircuit()
+	}
+	if circ != nil {
+		// Bit-sliced: one bernoulliWord per lane yields 64 iid crash
+		// patterns, answered by a single circuit evaluation.
+		q := 1 - p
+		lanes := make([]uint64, n)
+		scratch := make([]uint64, circ.NumRegs())
+		for s := 0; s < samples; s += 64 {
+			for j := range lanes {
+				lanes[j] = bernoulliWord(rng, q)
 			}
-			if !fast.AvailableWord(live) {
-				hits++
+			notAvail := ^circ.Eval(lanes, scratch)
+			if rem := samples - s; rem < 64 {
+				notAvail &= uint64(1)<<uint(rem) - 1
+			}
+			hits += bits.OnesCount64(notAvail)
+		}
+	} else if fast, ok := sys.(WordAvailability); ok && n <= 64 {
+		q := 1 - p // P(bit set) = P(node survives)
+		mask := ^uint64(0)
+		if n < 64 {
+			mask = uint64(1)<<uint(n) - 1
+		}
+		per := 64 / n
+		for s := 0; s < samples; {
+			w := bernoulliWord(rng, q)
+			for j := 0; j < per && s < samples; j++ {
+				if !fast.AvailableWord(w & mask) {
+					hits++
+				}
+				w >>= uint(n)
+				s++
 			}
 		}
 	} else {
@@ -210,9 +353,20 @@ func Binomial(n, k int) float64 {
 // threshold system: the system fails when fewer than m nodes survive.
 func MajorityFailure(n, m int, p float64) float64 {
 	q := 1 - p
+	var pbuf, qbuf [64]float64
+	pp, qp := pbuf[:], qbuf[:]
+	if n >= len(pbuf) {
+		pp = make([]float64, n+1)
+		qp = make([]float64, n+1)
+	}
+	pp[0], qp[0] = 1, 1
+	for i := 1; i <= n; i++ {
+		pp[i] = pp[i-1] * p
+		qp[i] = qp[i-1] * q
+	}
 	f := 0.0
 	for k := 0; k < m; k++ { // k survivors, not enough
-		f += Binomial(n, k) * math.Pow(q, float64(k)) * math.Pow(p, float64(n-k))
+		f += Binomial(n, k) * qp[k] * pp[n-k]
 	}
 	return f
 }

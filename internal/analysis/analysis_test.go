@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"math"
+	"math/bits"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -19,7 +20,7 @@ func (t threshold) Available(live bitset.Set) bool { return live.Count() >= t.m 
 type thresholdWord struct{ threshold }
 
 func (t thresholdWord) AvailableWord(live uint64) bool {
-	return popcount(live) >= t.m
+	return bits.OnesCount64(live) >= t.m
 }
 
 func TestTransversalCountsThreshold(t *testing.T) {

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// CacheKeyer is the opt-in contract for the transversal-count memo cache.
+// CacheKey must return a string that uniquely determines the availability
+// predicate — two systems with equal keys must have identical
+// TransversalCounts — or "" when the configuration is not cacheable.
+// Structural serializations (shape, dimensions, leaf IDs) satisfy this;
+// names alone generally do not.
+type CacheKeyer interface {
+	CacheKey() string
+}
+
+// CacheStats counts memo-cache traffic since the last ResetCache.
+type CacheStats struct {
+	Hits     uint64 // served from the in-memory map
+	DiskHits uint64 // loaded from the on-disk layer
+	Misses   uint64 // full enumerations performed
+}
+
+var (
+	cacheMu       sync.Mutex
+	cacheMem      = map[string][]uint64{}
+	cacheCounters CacheStats
+	cacheDir      string
+)
+
+// SetDiskCacheDir installs a directory for the persistent cache layer
+// ("" disables, the default). Entries are JSON files named by the SHA-256
+// of the cache key, so the exact 2²⁸ sweeps behind the paper tables are
+// pay-once across processes.
+func SetDiskCacheDir(dir string) {
+	cacheMu.Lock()
+	cacheDir = dir
+	cacheMu.Unlock()
+}
+
+// ResetCache clears the in-memory cache and statistics (the disk layer is
+// left alone).
+func ResetCache() {
+	cacheMu.Lock()
+	cacheMem = map[string][]uint64{}
+	cacheCounters = CacheStats{}
+	cacheMu.Unlock()
+}
+
+// CacheStatsSnapshot returns the current cache counters.
+func CacheStatsSnapshot() CacheStats {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	return cacheCounters
+}
+
+// CachedTransversalCounts is TransversalCounts behind the process-wide memo
+// cache. Systems that do not implement CacheKeyer (or return "") are
+// enumerated directly. The returned slice is the caller's to keep.
+func CachedTransversalCounts(sys Availability) []uint64 {
+	key := ""
+	if k, ok := sys.(CacheKeyer); ok {
+		key = k.CacheKey()
+	}
+	if key == "" {
+		return TransversalCounts(sys)
+	}
+	cacheMu.Lock()
+	if c, ok := cacheMem[key]; ok {
+		cacheCounters.Hits++
+		cacheMu.Unlock()
+		return append([]uint64(nil), c...)
+	}
+	dir := cacheDir
+	cacheMu.Unlock()
+	if dir != "" {
+		if c, ok := loadDiskEntry(dir, key, sys.Universe()); ok {
+			cacheMu.Lock()
+			cacheCounters.DiskHits++
+			cacheMem[key] = c
+			cacheMu.Unlock()
+			return append([]uint64(nil), c...)
+		}
+	}
+	c := TransversalCounts(sys)
+	cacheMu.Lock()
+	cacheCounters.Misses++
+	cacheMem[key] = append([]uint64(nil), c...)
+	cacheMu.Unlock()
+	if dir != "" {
+		storeDiskEntry(dir, key, c)
+	}
+	return c
+}
+
+// diskEntry is the on-disk JSON schema. The full key is stored so a hash
+// collision (or a stale file from another repo) loads as a miss instead of
+// silently returning the wrong polynomial.
+type diskEntry struct {
+	Key    string   `json:"key"`
+	Counts []uint64 `json:"counts"`
+}
+
+func diskPath(dir, key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(dir, hex.EncodeToString(sum[:])[:32]+".json")
+}
+
+func loadDiskEntry(dir, key string, n int) ([]uint64, bool) {
+	data, err := os.ReadFile(diskPath(dir, key))
+	if err != nil {
+		return nil, false
+	}
+	var e diskEntry
+	if json.Unmarshal(data, &e) != nil || e.Key != key || len(e.Counts) != n+1 {
+		return nil, false
+	}
+	return e.Counts, true
+}
+
+// storeDiskEntry best-effort persists an entry; failures (read-only dir,
+// full disk) are ignored — the memo layer still has the counts.
+func storeDiskEntry(dir, key string, counts []uint64) {
+	if os.MkdirAll(dir, 0o755) != nil {
+		return
+	}
+	data, err := json.Marshal(diskEntry{Key: key, Counts: counts})
+	if err != nil {
+		return
+	}
+	path := diskPath(dir, key)
+	tmp := path + ".tmp"
+	if os.WriteFile(tmp, data, 0o644) != nil {
+		return
+	}
+	if os.Rename(tmp, path) != nil {
+		os.Remove(tmp)
+	}
+}

@@ -1,0 +1,105 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// keyedThreshold is a cacheable m-of-n system.
+type keyedThreshold struct{ thresholdWord }
+
+func (t keyedThreshold) CacheKey() string { return "test-threshold" }
+
+func TestCachedTransversalCounts(t *testing.T) {
+	ResetCache()
+	sys := keyedThreshold{thresholdWord{threshold{n: 9, m: 5}}}
+
+	first := CachedTransversalCounts(sys)
+	if s := CacheStatsSnapshot(); s.Misses != 1 || s.Hits != 0 {
+		t.Fatalf("after first call: stats %+v, want 1 miss", s)
+	}
+	first[0] = 999 // callers own their slice; the cache must not see this
+
+	second := CachedTransversalCounts(sys)
+	if s := CacheStatsSnapshot(); s.Misses != 1 || s.Hits != 1 {
+		t.Fatalf("after second call: stats %+v, want 1 miss + 1 hit", s)
+	}
+	if second[0] == 999 {
+		t.Fatal("cache returned the caller-mutated slice")
+	}
+	want := TransversalCounts(sys)
+	for i := range want {
+		if second[i] != want[i] {
+			t.Fatalf("cached a_%d = %d, want %d", i, second[i], want[i])
+		}
+	}
+}
+
+func TestCachedTransversalCountsUncacheable(t *testing.T) {
+	ResetCache()
+	sys := thresholdWord{threshold{n: 7, m: 4}} // no CacheKey
+	CachedTransversalCounts(sys)
+	CachedTransversalCounts(sys)
+	if s := CacheStatsSnapshot(); s.Hits != 0 || s.Misses != 0 || s.DiskHits != 0 {
+		t.Fatalf("uncacheable system touched the cache: %+v", s)
+	}
+}
+
+func TestDiskCacheLayer(t *testing.T) {
+	dir := t.TempDir()
+	SetDiskCacheDir(dir)
+	defer SetDiskCacheDir("")
+	ResetCache()
+	sys := keyedThreshold{thresholdWord{threshold{n: 9, m: 5}}}
+
+	want := CachedTransversalCounts(sys) // miss: enumerates and persists
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("disk layer wrote %d files (%v)", len(files), err)
+	}
+
+	ResetCache() // drop the memo layer; the disk entry must survive
+	got := CachedTransversalCounts(sys)
+	if s := CacheStatsSnapshot(); s.DiskHits != 1 || s.Misses != 0 {
+		t.Fatalf("after reload: stats %+v, want 1 disk hit and no enumeration", s)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("disk a_%d = %d, want %d", i, got[i], want[i])
+		}
+	}
+
+	// A corrupted entry must fall back to enumeration, not a wrong answer.
+	if err := os.WriteFile(files[0], []byte(`{"key":"other","counts":[1]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ResetCache()
+	got = CachedTransversalCounts(sys)
+	if s := CacheStatsSnapshot(); s.DiskHits != 0 || s.Misses != 1 {
+		t.Fatalf("after corruption: stats %+v, want a fresh enumeration", s)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-corruption a_%d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestProgressCallback(t *testing.T) {
+	type report struct{ done, total uint64 }
+	var reports []report
+	SetProgress(func(done, total uint64, _ time.Duration) {
+		reports = append(reports, report{done, total})
+	})
+	defer SetProgress(nil)
+	TransversalCounts(thresholdWord{threshold{n: 18, m: 10}}) // 4 blocks
+	if len(reports) == 0 {
+		t.Fatal("no progress reports delivered")
+	}
+	last := reports[len(reports)-1]
+	if last.done != last.total || last.total != 4 {
+		t.Fatalf("final report %+v, want done = total = 4", last)
+	}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+func TestCircuitBuilderFolding(t *testing.T) {
+	b := NewCircuitBuilder(4)
+	x, y := b.Lane(0), b.Lane(1)
+	if b.And(True, x) != x || b.And(x, False) != False || b.And(x, x) != x {
+		t.Fatal("And constant/duplicate folding broken")
+	}
+	if b.Or(False, y) != y || b.Or(y, True) != True || b.Or(y, y) != y {
+		t.Fatal("Or constant/duplicate folding broken")
+	}
+	if b.And(x, y) != b.And(y, x) {
+		t.Fatal("And not hash-consed under commutation")
+	}
+	if b.AllOf(0) != True || b.AnyOf(0) != False {
+		t.Fatal("empty mask identities broken")
+	}
+	if b.AllOf(1<<2) != b.Lane(2) {
+		t.Fatal("single-bit AllOf should collapse to the lane")
+	}
+	before := len(b.ops)
+	b.AllOf(0b1010)
+	b.AllOf(0b1010)
+	if len(b.ops) != before+1 {
+		t.Fatal("mask ops not hash-consed")
+	}
+}
+
+func TestCircuitEvalMajorityOfThree(t *testing.T) {
+	// maj(a,b,c) = ab ∨ ac ∨ bc over three lanes.
+	b := NewCircuitBuilder(3)
+	a, c, d := b.Lane(0), b.Lane(1), b.Lane(2)
+	maj := b.Or(b.And(a, c), b.Or(b.And(a, d), b.And(c, d)))
+	circ := b.Build(maj)
+	scratch := make([]uint64, circ.NumRegs())
+	// Lane words enumerating all 8 input combinations in bits 0..7.
+	lanes := []uint64{0b10101010, 0b11001100, 0b11110000}
+	got := circ.Eval(lanes, scratch)
+	if want := uint64(0b11101000); got != want {
+		t.Fatalf("Eval = %#b, want %#b", got, want)
+	}
+}
+
+func TestPopCountMasks(t *testing.T) {
+	var union uint64
+	for k, m := range popCountMask {
+		for other := k + 1; other < len(popCountMask); other++ {
+			if m&popCountMask[other] != 0 {
+				t.Fatal("popcount buckets overlap")
+			}
+		}
+		union |= m
+	}
+	if union != ^uint64(0) {
+		t.Fatal("popcount buckets do not partition 0..63")
+	}
+}

@@ -1,0 +1,38 @@
+package analysis
+
+import "math/rand"
+
+// bernoulliWord returns 64 independent Bernoulli(q) bits. It compares, in
+// all 64 lanes at once, a uniform variate U against the binary expansion of
+// q, most significant bit first: lane i stays undecided while the bits of
+// Uᵢ match those of q, and is decided the first time they differ (Uᵢ < q
+// exactly when Uᵢ's bit is 0 where q's bit is 1). Each round consumes one
+// rng.Uint64 and decides each undecided lane with probability 1/2, so the
+// expected cost is ~2 words of randomness for 64 variates — versus 64
+// Float64 calls for the naive loop.
+func bernoulliWord(rng *rand.Rand, q float64) uint64 {
+	var result uint64
+	undecided := ^uint64(0)
+	x := q
+	// 64 rounds bound the tail: a lane still undecided afterwards (prob
+	// 2⁻⁶⁴ each) resolves to 0, a bias far below float64 resolution.
+	for k := 0; k < 64 && undecided != 0; k++ {
+		x *= 2
+		r := rng.Uint64()
+		if x >= 1 {
+			// q's next bit is 1: lanes whose U-bit is 0 are decided < q.
+			x--
+			result |= undecided &^ r
+			undecided &= r
+		} else {
+			// q's next bit is 0: lanes whose U-bit is 1 are decided > q.
+			undecided &^= r
+		}
+		if x == 0 {
+			// q is dyadic and fully consumed; remaining expansion is all
+			// zeros, so still-undecided lanes have U ≥ q → bit 0.
+			break
+		}
+	}
+	return result
+}

@@ -24,6 +24,7 @@ type System struct {
 	offsets []int // offsets[i] = first process ID of row i
 	n       int
 	name    string
+	rowMask []uint64 // rowMask[i] = bits of row i (nil when n > 64)
 }
 
 var _ quorum.System = (*System)(nil)
@@ -44,8 +45,15 @@ func NewWall(widths []int) (*System, error) {
 		offsets[i] = n
 		n += w
 	}
-	return &System{widths: widths, offsets: offsets, n: n,
-		name: fmt.Sprintf("cwlog(%d)", n)}, nil
+	s := &System{widths: widths, offsets: offsets, n: n,
+		name: fmt.Sprintf("cwlog(%d)", n)}
+	if n <= 64 {
+		s.rowMask = make([]uint64, len(widths))
+		for i, w := range widths {
+			s.rowMask[i] = (uint64(1)<<uint(w) - 1) << uint(offsets[i])
+		}
+	}
+	return s, nil
 }
 
 // Log builds the CWlog wall over exactly n processes: rows of widths

@@ -1,0 +1,49 @@
+package cwlog
+
+import (
+	"fmt"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)
+
+// AvailableWord is Available on a single-word live mask: one AND and two
+// compares per wall row against precomputed row masks. It panics when the
+// wall exceeds 64 processes.
+func (s *System) AvailableWord(live uint64) bool {
+	if s.rowMask == nil {
+		panic(fmt.Sprintf("cwlog: AvailableWord needs at most 64 processes (have %d)", s.n))
+	}
+	covered := true
+	for i := len(s.rowMask) - 1; i >= 0; i-- {
+		m := s.rowMask[i]
+		row := live & m
+		if row == m && covered {
+			return true
+		}
+		covered = covered && row != 0
+		if !covered {
+			return false
+		}
+	}
+	return false
+}
+
+// CacheKey implements analysis.CacheKeyer: the row widths determine the
+// wall (process IDs are assigned row by row).
+func (s *System) CacheKey() string {
+	var b strings.Builder
+	b.WriteString("cwlog:")
+	for i, w := range s.widths {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", w)
+	}
+	return b.String()
+}

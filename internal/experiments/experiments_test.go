@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"hquorum/internal/analysis"
 )
 
 // TestTable1Reproduction: every h-grid and h-T-grid cell matches the paper
@@ -125,5 +127,25 @@ func TestFigures(t *testing.T) {
 		if !strings.Contains(f2, want) {
 			t.Fatalf("figure 2 missing %q:\n%s", want, f2)
 		}
+	}
+}
+
+// TestTable2HitsMemoCache: regenerating Table 2 in the same process must
+// serve every exact column from the transversal-count memo cache instead of
+// re-enumerating.
+func TestTable2HitsMemoCache(t *testing.T) {
+	analysis.ResetCache()
+	Table2()
+	first := analysis.CacheStatsSnapshot()
+	if first.Misses == 0 {
+		t.Fatal("first Table2 run performed no enumerations — cache counters broken?")
+	}
+	Table2()
+	second := analysis.CacheStatsSnapshot()
+	if second.Misses != first.Misses {
+		t.Errorf("second Table2 run enumerated again: %d -> %d misses", first.Misses, second.Misses)
+	}
+	if second.Hits <= first.Hits {
+		t.Errorf("second Table2 run recorded no cache hits: %d -> %d", first.Hits, second.Hits)
 	}
 }

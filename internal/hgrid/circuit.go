@@ -1,0 +1,209 @@
+package hgrid
+
+import (
+	"math/bits"
+
+	"hquorum/internal/analysis"
+)
+
+// Bit-sliced circuit compilers: every hierarchical grid predicate is a
+// monotone AND/OR formula over cell liveness, so it compiles to an
+// analysis.Circuit evaluated on 64 masks at once. The compilers walk the
+// same wordNode tree as the single-word predicates (identical geometry,
+// identical row-level leaf collapsing), which is what the cross-check
+// property tests rely on.
+//
+// The oriented h-T-grid predicates need the *best* full line (bottom-most
+// top, or top-most bottom), which a circuit cannot compute directly as it
+// is not boolean. They are instead expanded over the line position:
+//
+//	OrientAboveLine ⇔ ∃r: (full line with bottom ≤ r) ∧ coverAbove(r)
+//	OrientBelowLine ⇔ ∃r: (full line with top ≥ r) ∧ coverBelow(r)
+//
+// which is equivalent because coverAbove(r) is antitone in r (more rows
+// to cover) and coverBelow(r) is monotone in r (fewer rows): testing the
+// relaxed line condition at each threshold r subsumes testing the best
+// line exactly. Hash-consing in the builder shares the per-threshold
+// subcircuits, so the expansion stays small.
+
+var _ analysis.CircuitAvailability = (*RWSystem)(nil)
+
+func laneOf(bit uint64) int { return bits.TrailingZeros64(bit) }
+
+// AppendRowCoverCircuit compiles HasRowCover into b and returns its value.
+func (h *Hierarchy) AppendRowCoverCircuit(b *analysis.CircuitBuilder) analysis.Ref {
+	return circRowCover(b, h.mustWord())
+}
+
+func circRowCover(b *analysis.CircuitBuilder, o *wordNode) analysis.Ref {
+	if o.bit != 0 {
+		return b.Lane(laneOf(o.bit))
+	}
+	all := analysis.True
+	for i := range o.rows {
+		r := &o.rows[i]
+		row := b.AnyOf(r.leafMask)
+		for _, k := range r.kids {
+			row = b.Or(row, circRowCover(b, k))
+		}
+		all = b.And(all, row)
+	}
+	return all
+}
+
+// AppendFullLineCircuit compiles HasFullLine into b and returns its value.
+func (h *Hierarchy) AppendFullLineCircuit(b *analysis.CircuitBuilder) analysis.Ref {
+	return circFullLine(b, h.mustWord())
+}
+
+func circFullLine(b *analysis.CircuitBuilder, o *wordNode) analysis.Ref {
+	if o.bit != 0 {
+		return b.Lane(laneOf(o.bit))
+	}
+	any := analysis.False
+	for i := range o.rows {
+		r := &o.rows[i]
+		row := b.AllOf(r.leafMask)
+		for _, k := range r.kids {
+			row = b.And(row, circFullLine(b, k))
+		}
+		any = b.Or(any, row)
+	}
+	return any
+}
+
+// circFLBottomLE: a full line exists within o whose bottom row is ≤ rr
+// (the lane form of bestFullLineBottomWord(o) being in [0, rr]).
+func circFLBottomLE(b *analysis.CircuitBuilder, o *wordNode, rr int) analysis.Ref {
+	if o.bit != 0 {
+		if o.top <= rr {
+			return b.Lane(laneOf(o.bit))
+		}
+		return analysis.False
+	}
+	any := analysis.False
+	for i := range o.rows {
+		r := &o.rows[i]
+		row := analysis.True
+		if r.leafMask != 0 {
+			if r.top > rr {
+				continue // the row's leaf cells already bottom out past rr
+			}
+			row = b.AllOf(r.leafMask)
+		}
+		for _, k := range r.kids {
+			row = b.And(row, circFLBottomLE(b, k, rr))
+		}
+		any = b.Or(any, row)
+	}
+	return any
+}
+
+// circFLTopGE: a full line exists within o whose top row is ≥ rr.
+func circFLTopGE(b *analysis.CircuitBuilder, o *wordNode, rr int) analysis.Ref {
+	if o.bit != 0 {
+		if o.top >= rr {
+			return b.Lane(laneOf(o.bit))
+		}
+		return analysis.False
+	}
+	any := analysis.False
+	for i := range o.rows {
+		r := &o.rows[i]
+		row := analysis.True
+		if r.leafMask != 0 {
+			if r.top < rr {
+				continue
+			}
+			row = b.AllOf(r.leafMask)
+		}
+		for _, k := range r.kids {
+			row = b.And(row, circFLTopGE(b, k, rr))
+		}
+		any = b.Or(any, row)
+	}
+	return any
+}
+
+// circPCAbove is the lane form of partialAboveWord: every child row whose
+// top is ≤ maxRow must be covered.
+func circPCAbove(b *analysis.CircuitBuilder, o *wordNode, maxRow int) analysis.Ref {
+	if o.top > maxRow {
+		return analysis.True
+	}
+	if o.bit != 0 {
+		return b.Lane(laneOf(o.bit))
+	}
+	all := analysis.True
+	for i := range o.rows {
+		r := &o.rows[i]
+		if r.top > maxRow {
+			break // rows are ordered top-down
+		}
+		row := b.AnyOf(r.leafMask)
+		for _, k := range r.kids {
+			row = b.Or(row, circPCAbove(b, k, maxRow))
+		}
+		all = b.And(all, row)
+	}
+	return all
+}
+
+// circPCBelow is the lane form of partialBelowWord: every child row whose
+// bottom extends past minRow must be covered.
+func circPCBelow(b *analysis.CircuitBuilder, o *wordNode, minRow int) analysis.Ref {
+	if o.bottom <= minRow {
+		return analysis.True
+	}
+	if o.bit != 0 {
+		return b.Lane(laneOf(o.bit))
+	}
+	all := analysis.True
+	for i := range o.rows {
+		r := &o.rows[i]
+		if r.bottom <= minRow {
+			continue
+		}
+		row := b.AnyOf(r.leafMask)
+		for _, k := range r.kids {
+			row = b.Or(row, circPCBelow(b, k, minRow))
+		}
+		all = b.And(all, row)
+	}
+	return all
+}
+
+// AppendLineCoverAboveCircuit compiles the OrientAboveLine h-T-grid
+// predicate (full line + partial row-cover above it) into b.
+func (h *Hierarchy) AppendLineCoverAboveCircuit(b *analysis.CircuitBuilder) analysis.Ref {
+	root := h.mustWord()
+	out := analysis.False
+	for r := root.top; r < root.bottom; r++ {
+		out = b.Or(out, b.And(circFLBottomLE(b, root, r), circPCAbove(b, root, r)))
+	}
+	return out
+}
+
+// AppendLineCoverBelowCircuit compiles the OrientBelowLine h-T-grid
+// predicate into b.
+func (h *Hierarchy) AppendLineCoverBelowCircuit(b *analysis.CircuitBuilder) analysis.Ref {
+	root := h.mustWord()
+	out := analysis.False
+	for r := root.top; r < root.bottom; r++ {
+		out = b.Or(out, b.And(circFLTopGE(b, root, r), circPCBelow(b, root, r)))
+	}
+	return out
+}
+
+// AvailabilityCircuit implements analysis.CircuitAvailability for the
+// read-write system (full line ∧ row cover). Compiled once, on first use.
+func (s *RWSystem) AvailabilityCircuit() *analysis.Circuit {
+	s.circOnce.Do(func() {
+		if !s.h.HasWordMasks() {
+			return
+		}
+		b := analysis.NewCircuitBuilder(s.h.universe)
+		s.circ = b.Build(b.And(s.h.AppendFullLineCircuit(b), s.h.AppendRowCoverCircuit(b)))
+	})
+	return s.circ
+}

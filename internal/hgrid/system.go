@@ -3,7 +3,9 @@ package hgrid
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"hquorum/internal/analysis"
 	"hquorum/internal/bitset"
 	"hquorum/internal/quorum"
 )
@@ -16,7 +18,9 @@ import (
 // row-cover/full-line intersection theorem gives ≥ 1; the one-cell-per-band
 // structure of a minimal row-cover gives ≤ 1).
 type RWSystem struct {
-	h *Hierarchy
+	h        *Hierarchy
+	circOnce sync.Once
+	circ     *analysis.Circuit
 }
 
 var _ quorum.System = (*RWSystem)(nil)
@@ -41,6 +45,14 @@ func (s *RWSystem) Universe() int { return s.h.universe }
 func (s *RWSystem) Available(live bitset.Set) bool {
 	return s.h.HasFullLine(live) && s.h.HasRowCover(live)
 }
+
+// AvailableWord is Available on a single-word live mask (universe ≤ 64).
+func (s *RWSystem) AvailableWord(live uint64) bool {
+	return s.h.HasFullLineWord(live) && s.h.HasRowCoverWord(live)
+}
+
+// CacheKey implements analysis.CacheKeyer.
+func (s *RWSystem) CacheKey() string { return "hgrid-rw:" + s.h.CacheKey() }
 
 // Pick returns a random read-write quorum drawn from live. The random
 // per-level selection is the paper's §4.3 load-balancing strategy for the

@@ -1,0 +1,308 @@
+package hgrid
+
+import (
+	"fmt"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*RWSystem)(nil)
+	_ analysis.CacheKeyer       = (*RWSystem)(nil)
+)
+
+// The word fast path evaluates every hierarchical predicate on a single
+// uint64 live mask with zero allocation. assembleRegion compiles the
+// Object tree into a parallel wordNode tree when the universe fits in 64
+// bits: leaf cells of each child row collapse into one precomputed bit
+// mask (so a flat sub-grid row is a single AND/compare), and only internal
+// cells remain as recursive children. Cells of a child row always share
+// their top row and height, which lets the row carry the geometry for all
+// of its leaves.
+
+// wordNode mirrors an internal Object (or a leaf, when bit != 0).
+type wordNode struct {
+	bit    uint64 // leaf: the process's bit; 0 for internal nodes
+	top    int    // global top row
+	bottom int    // global bottom row, exclusive
+	rows   []wordRow
+}
+
+// wordRow is one child row: the OR of its leaf cells' bits plus the
+// internal cells.
+type wordRow struct {
+	top      int
+	bottom   int // exclusive
+	leafMask uint64
+	kids     []*wordNode
+}
+
+func compileWord(o *Object) *wordNode {
+	w := &wordNode{top: o.top, bottom: o.top + o.height}
+	if o.IsLeaf() {
+		w.bit = 1 << uint(o.leaf)
+		return w
+	}
+	w.rows = make([]wordRow, len(o.children))
+	for r, row := range o.children {
+		wr := &w.rows[r]
+		wr.top = row[0].top
+		wr.bottom = row[0].top + row[0].height
+		for _, c := range row {
+			if c.IsLeaf() {
+				wr.leafMask |= 1 << uint(c.leaf)
+			} else {
+				wr.kids = append(wr.kids, compileWord(c))
+			}
+		}
+	}
+	return w
+}
+
+// HasWordMasks reports whether the hierarchy carries the compiled word fast
+// path (universe ≤ 64).
+func (h *Hierarchy) HasWordMasks() bool { return h.word != nil }
+
+func (h *Hierarchy) mustWord() *wordNode {
+	if h.word == nil {
+		panic(fmt.Sprintf("hgrid: word fast path needs a universe of at most 64 processes (have %d)", h.universe))
+	}
+	return h.word
+}
+
+// HasRowCoverWord is HasRowCover on a single-word live mask.
+func (h *Hierarchy) HasRowCoverWord(live uint64) bool {
+	return rowCoverWord(h.mustWord(), live)
+}
+
+func rowCoverWord(o *wordNode, live uint64) bool {
+	if o.bit != 0 {
+		return live&o.bit != 0
+	}
+	for i := range o.rows {
+		r := &o.rows[i]
+		if live&r.leafMask != 0 {
+			continue // some leaf cell of the row is live
+		}
+		covered := false
+		for _, k := range r.kids {
+			if rowCoverWord(k, live) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// HasFullLineWord is HasFullLine on a single-word live mask.
+func (h *Hierarchy) HasFullLineWord(live uint64) bool {
+	return fullLineWord(h.mustWord(), live)
+}
+
+func fullLineWord(o *wordNode, live uint64) bool {
+	if o.bit != 0 {
+		return live&o.bit != 0
+	}
+	for i := range o.rows {
+		r := &o.rows[i]
+		if live&r.leafMask != r.leafMask {
+			continue // a leaf cell of the row is dead
+		}
+		full := true
+		for _, k := range r.kids {
+			if !fullLineWord(k, live) {
+				full = false
+				break
+			}
+		}
+		if full {
+			return true
+		}
+	}
+	return false
+}
+
+// BestFullLineTopWord is BestFullLineTop on a single-word live mask.
+func (h *Hierarchy) BestFullLineTopWord(live uint64) int {
+	return bestFullLineTopWord(h.mustWord(), live)
+}
+
+func bestFullLineTopWord(o *wordNode, live uint64) int {
+	if o.bit != 0 {
+		if live&o.bit != 0 {
+			return o.top
+		}
+		return -1
+	}
+	best := -1
+	for i := range o.rows {
+		r := &o.rows[i]
+		if live&r.leafMask != r.leafMask {
+			continue
+		}
+		rowTop := int(^uint(0) >> 1) // max int
+		if r.leafMask != 0 {
+			rowTop = r.top // every leaf cell tops out at the row's top
+		}
+		ok := true
+		for _, k := range r.kids {
+			t := bestFullLineTopWord(k, live)
+			if t < 0 {
+				ok = false
+				break
+			}
+			if t < rowTop {
+				rowTop = t
+			}
+		}
+		if ok && rowTop > best {
+			best = rowTop
+		}
+	}
+	return best
+}
+
+// BestFullLineBottomWord is BestFullLineBottom on a single-word live mask.
+func (h *Hierarchy) BestFullLineBottomWord(live uint64) int {
+	return bestFullLineBottomWord(h.mustWord(), live)
+}
+
+func bestFullLineBottomWord(o *wordNode, live uint64) int {
+	if o.bit != 0 {
+		if live&o.bit != 0 {
+			return o.top
+		}
+		return -1
+	}
+	best := -1
+	for i := range o.rows {
+		r := &o.rows[i]
+		if live&r.leafMask != r.leafMask {
+			continue
+		}
+		rowBottom := -1
+		if r.leafMask != 0 {
+			rowBottom = r.top
+		}
+		ok := true
+		for _, k := range r.kids {
+			b := bestFullLineBottomWord(k, live)
+			if b < 0 {
+				ok = false
+				break
+			}
+			if b > rowBottom {
+				rowBottom = b
+			}
+		}
+		if ok && rowBottom >= 0 && (best == -1 || rowBottom < best) {
+			best = rowBottom
+		}
+	}
+	return best
+}
+
+// HasPartialRowCoverBelowWord is HasPartialRowCoverBelow on a single-word
+// live mask.
+func (h *Hierarchy) HasPartialRowCoverBelowWord(live uint64, minRow int) bool {
+	return partialBelowWord(h.mustWord(), live, minRow)
+}
+
+func partialBelowWord(o *wordNode, live uint64, minRow int) bool {
+	if o.bottom <= minRow {
+		return true // entirely above the threshold
+	}
+	if o.bit != 0 {
+		return live&o.bit != 0
+	}
+	for i := range o.rows {
+		r := &o.rows[i]
+		if r.bottom <= minRow {
+			continue // the whole child row sits above the threshold
+		}
+		if live&r.leafMask != 0 {
+			continue
+		}
+		covered := false
+		for _, k := range r.kids {
+			if partialBelowWord(k, live, minRow) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// HasPartialRowCoverAboveWord is HasPartialRowCoverAbove on a single-word
+// live mask.
+func (h *Hierarchy) HasPartialRowCoverAboveWord(live uint64, maxRow int) bool {
+	return partialAboveWord(h.mustWord(), live, maxRow)
+}
+
+func partialAboveWord(o *wordNode, live uint64, maxRow int) bool {
+	if o.top > maxRow {
+		return true // entirely below the threshold
+	}
+	if o.bit != 0 {
+		return live&o.bit != 0
+	}
+	for i := range o.rows {
+		r := &o.rows[i]
+		if r.top > maxRow {
+			break // rows are ordered top-down; the rest sit below the line
+		}
+		if live&r.leafMask != 0 {
+			continue
+		}
+		covered := false
+		for _, k := range r.kids {
+			if partialAboveWord(k, live, maxRow) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}
+
+// CacheKey serializes the hierarchy's structure and leaf IDs, which fully
+// determine every predicate above; it implements analysis.CacheKeyer for
+// the transversal-count memo cache.
+func (h *Hierarchy) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hgrid:u%d:", h.universe)
+	writeObjectKey(&b, h.root)
+	return b.String()
+}
+
+func writeObjectKey(b *strings.Builder, o *Object) {
+	if o.IsLeaf() {
+		fmt.Fprintf(b, "%d", o.leaf)
+		return
+	}
+	b.WriteByte('(')
+	for r, row := range o.children {
+		if r > 0 {
+			b.WriteByte(';')
+		}
+		for c, child := range row {
+			if c > 0 {
+				b.WriteByte(',')
+			}
+			writeObjectKey(b, child)
+		}
+	}
+	b.WriteByte(')')
+}

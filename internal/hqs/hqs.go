@@ -62,6 +62,7 @@ type System struct {
 	root *node
 	n    int
 	name string
+	word *wordNode // compiled single-word fast path (nil when n > 64)
 }
 
 var _ quorum.System = (*System)(nil)
@@ -96,7 +97,11 @@ func New(shape *Shape) (*System, error) {
 		return t
 	}
 	root := build(shape)
-	return &System{root: root, n: next, name: fmt.Sprintf("hqs(%d)", next)}, nil
+	s := &System{root: root, n: next, name: fmt.Sprintf("hqs(%d)", next)}
+	if next <= 64 {
+		s.word = compileWord(root)
+	}
+	return s, nil
 }
 
 // Uniform returns the complete degree-ary HQS of the given depth.

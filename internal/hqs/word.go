@@ -1,0 +1,88 @@
+package hqs
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)
+
+// wordNode is the compiled single-word form of a majority-tree node: the
+// bits of all leaf children collapse into one mask (their available count
+// is a single popcount), and only internal children recurse.
+type wordNode struct {
+	leafMask uint64
+	need     int
+	kids     []*wordNode
+}
+
+func compileWord(t *node) *wordNode {
+	if t.children == nil {
+		return &wordNode{leafMask: 1 << uint(t.leaf), need: 1}
+	}
+	w := &wordNode{need: t.need}
+	for _, c := range t.children {
+		if c.children == nil {
+			w.leafMask |= 1 << uint(c.leaf)
+		} else {
+			w.kids = append(w.kids, compileWord(c))
+		}
+	}
+	return w
+}
+
+// AvailableWord is Available on a single-word live mask. It panics when the
+// tree has more than 64 leaves.
+func (s *System) AvailableWord(live uint64) bool {
+	if s.word == nil {
+		panic(fmt.Sprintf("hqs: AvailableWord needs at most 64 processes (have %d)", s.n))
+	}
+	return availableWord(s.word, live)
+}
+
+func availableWord(t *wordNode, live uint64) bool {
+	ok := bits.OnesCount64(live & t.leafMask)
+	if ok >= t.need {
+		return true
+	}
+	for _, k := range t.kids {
+		if availableWord(k, live) {
+			ok++
+			if ok >= t.need {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// CacheKey implements analysis.CacheKeyer: the tree shape with its leaf IDs
+// determines the predicate (the majority threshold follows from the child
+// count).
+func (s *System) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "hqs:u%d:", s.n)
+	writeShapeKey(&b, s.root)
+	return b.String()
+}
+
+func writeShapeKey(b *strings.Builder, t *node) {
+	if t.children == nil {
+		fmt.Fprintf(b, "%d", t.leaf)
+		return
+	}
+	b.WriteByte('(')
+	for i, c := range t.children {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeShapeKey(b, c)
+	}
+	b.WriteByte(')')
+}

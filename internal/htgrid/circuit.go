@@ -1,0 +1,27 @@
+package htgrid
+
+import (
+	"hquorum/internal/analysis"
+)
+
+var _ analysis.CircuitAvailability = (*System)(nil)
+
+// AvailabilityCircuit implements analysis.CircuitAvailability: the
+// oriented line-plus-cover predicate compiled to a 64-masks-at-once lane
+// program (see hgrid's circuit compilers for the line-position
+// expansion). Compiled once, on first use; nil when the universe exceeds
+// 64 processes.
+func (s *System) AvailabilityCircuit() *analysis.Circuit {
+	s.circOnce.Do(func() {
+		if !s.h.HasWordMasks() {
+			return
+		}
+		b := analysis.NewCircuitBuilder(s.h.Universe())
+		if s.orient == OrientAboveLine {
+			s.circ = b.Build(s.h.AppendLineCoverAboveCircuit(b))
+		} else {
+			s.circ = b.Build(s.h.AppendLineCoverBelowCircuit(b))
+		}
+	})
+	return s.circ
+}

@@ -21,7 +21,9 @@ package htgrid
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"hquorum/internal/analysis"
 	"hquorum/internal/bitset"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/quorum"
@@ -43,8 +45,10 @@ const (
 
 // System is the h-T-grid quorum system over a hierarchical grid.
 type System struct {
-	h      *hgrid.Hierarchy
-	orient Orientation
+	h        *hgrid.Hierarchy
+	orient   Orientation
+	circOnce sync.Once
+	circ     *analysis.Circuit
 }
 
 var _ quorum.System = (*System)(nil)

@@ -1,0 +1,29 @@
+package htgrid
+
+import (
+	"fmt"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)
+
+// AvailableWord is Available on a single-word live mask, built from the
+// hierarchy's compiled word predicates (universe ≤ 64).
+func (s *System) AvailableWord(live uint64) bool {
+	if s.orient == OrientAboveLine {
+		bottom := s.h.BestFullLineBottomWord(live)
+		return bottom >= 0 && s.h.HasPartialRowCoverAboveWord(live, bottom)
+	}
+	top := s.h.BestFullLineTopWord(live)
+	return top >= 0 && s.h.HasPartialRowCoverBelowWord(live, top)
+}
+
+// CacheKey implements analysis.CacheKeyer: the hierarchy structure plus the
+// cover orientation determine the availability predicate.
+func (s *System) CacheKey() string {
+	return fmt.Sprintf("htgrid:o%d:", s.orient) + s.h.CacheKey()
+}

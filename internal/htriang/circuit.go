@@ -1,0 +1,36 @@
+package htriang
+
+import (
+	"hquorum/internal/analysis"
+)
+
+var _ analysis.CircuitAvailability = (*System)(nil)
+
+// AvailabilityCircuit implements analysis.CircuitAvailability: the
+// three-method decomposition is a pure monotone formula, so it compiles
+// directly — quorum(T1)∧quorum(T2) ∨ quorum(T1)∧rowCover(G) ∨
+// quorum(T2)∧fullLine(G) — with the sub-grid predicates provided by
+// hgrid's circuit compilers. Compiled once, on first use; nil when the
+// triangle exceeds 64 processes.
+func (s *System) AvailabilityCircuit() *analysis.Circuit {
+	s.circOnce.Do(func() {
+		if s.n > 64 {
+			return
+		}
+		b := analysis.NewCircuitBuilder(s.n)
+		s.circ = b.Build(circNode(b, s.root))
+	})
+	return s.circ
+}
+
+func circNode(b *analysis.CircuitBuilder, t *node) analysis.Ref {
+	if t.rows == 1 {
+		return b.Lane(t.leaf)
+	}
+	q1 := circNode(b, t.t1)
+	q2 := circNode(b, t.t2)
+	both := b.And(q1, q2)
+	viaCover := b.And(q1, t.g.AppendRowCoverCircuit(b))
+	viaLine := b.And(q2, t.g.AppendFullLineCircuit(b))
+	return b.Or(both, b.Or(viaCover, viaLine))
+}

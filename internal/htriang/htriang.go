@@ -23,7 +23,9 @@ package htriang
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"hquorum/internal/analysis"
 	"hquorum/internal/bitset"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/quorum"
@@ -44,10 +46,12 @@ type node struct {
 
 // System is the hierarchical triangle quorum system.
 type System struct {
-	root *node
-	n    int
-	k    int // rows of the canonical triangle; 0 for grown specs
-	name string
+	root     *node
+	n        int
+	k        int // rows of the canonical triangle; 0 for grown specs
+	name     string
+	circOnce sync.Once
+	circ     *analysis.Circuit
 }
 
 var _ quorum.System = (*System)(nil)

@@ -1,0 +1,63 @@
+package htriang
+
+import (
+	"fmt"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)
+
+// AvailableWord is Available on a single-word live mask. The sub-grids are
+// region hierarchies over the triangle's universe, so their compiled word
+// predicates consume the same mask directly. It panics when the triangle
+// exceeds 64 processes (canonical k ≥ 11).
+func (s *System) AvailableWord(live uint64) bool {
+	if s.n > 64 {
+		panic(fmt.Sprintf("htriang: AvailableWord needs at most 64 processes (have %d)", s.n))
+	}
+	return availableWord(s.root, live)
+}
+
+func availableWord(t *node, live uint64) bool {
+	if t.rows == 1 {
+		return live&(1<<uint(t.leaf)) != 0
+	}
+	q1 := availableWord(t.t1, live)
+	q2 := availableWord(t.t2, live)
+	if q1 && q2 {
+		return true
+	}
+	if q1 && t.g.HasRowCoverWord(live) {
+		return true
+	}
+	return q2 && t.g.HasFullLineWord(live)
+}
+
+// CacheKey implements analysis.CacheKeyer: the decomposition tree with its
+// leaf IDs and embedded sub-grid structures determines the predicate, so
+// canonical triangles and grown specs key consistently.
+func (s *System) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "htriang:u%d:", s.n)
+	writeNodeKey(&b, s.root)
+	return b.String()
+}
+
+func writeNodeKey(b *strings.Builder, t *node) {
+	if t.rows == 1 {
+		fmt.Fprintf(b, "%d", t.leaf)
+		return
+	}
+	b.WriteByte('[')
+	writeNodeKey(b, t.t1)
+	b.WriteByte('|')
+	b.WriteString(t.g.CacheKey())
+	b.WriteByte('|')
+	writeNodeKey(b, t.t2)
+	b.WriteByte(']')
+}

@@ -91,9 +91,10 @@ func (s *KMajority) MaxQuorumSize() int { return s.q }
 // whole. Any k+1 quorums include two from the same slice (pigeonhole),
 // which intersect; one quorum per slice gives k disjoint ones.
 type Partitioned struct {
-	subs    []quorum.System
-	offsets []int
-	n       int
+	subs     []quorum.System
+	offsets  []int
+	n        int
+	wordSubs []wordSub // per-slice word views (nil unless all subs support them)
 }
 
 var _ quorum.System = (*Partitioned)(nil)
@@ -110,6 +111,21 @@ func NewPartitioned(subs ...quorum.System) (*Partitioned, error) {
 		}
 		p.offsets[i] = p.n
 		p.n += sub.Universe()
+	}
+	if p.n <= 64 {
+		p.wordSubs = make([]wordSub, len(subs))
+		for i, sub := range subs {
+			fast, ok := sub.(interface{ AvailableWord(uint64) bool })
+			if !ok {
+				p.wordSubs = nil
+				break
+			}
+			p.wordSubs[i] = wordSub{
+				shift: uint(p.offsets[i]),
+				mask:  uint64(1)<<uint(sub.Universe()) - 1,
+				fast:  fast,
+			}
+		}
 	}
 	return p, nil
 }

@@ -1,0 +1,75 @@
+package kcoterie
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*KMajority)(nil)
+	_ analysis.CacheKeyer       = (*KMajority)(nil)
+	_ analysis.WordAvailability = (*Partitioned)(nil)
+	_ analysis.CacheKeyer       = (*Partitioned)(nil)
+)
+
+// AvailableWord is Available on a single-word live mask.
+func (s *KMajority) AvailableWord(live uint64) bool {
+	return bits.OnesCount64(live) >= s.q
+}
+
+// CacheKey implements analysis.CacheKeyer.
+func (s *KMajority) CacheKey() string {
+	return fmt.Sprintf("kmaj:n%d:q%d", s.n, s.q)
+}
+
+// wordSub is the sub-coterie word view precomputed by NewPartitioned:
+// shift/mask extract the slice, and fast is non-nil when the sub-coterie
+// has its own word path.
+type wordSub struct {
+	shift uint
+	mask  uint64
+	fast  analysis.WordAvailability
+}
+
+// AvailableWord is Available on a single-word live mask. It requires every
+// sub-coterie to implement the word fast path (all constructions in this
+// repository do for n ≤ 64) and panics otherwise or when the combined
+// universe exceeds 64.
+func (p *Partitioned) AvailableWord(live uint64) bool {
+	if p.wordSubs == nil {
+		panic(fmt.Sprintf("kcoterie: AvailableWord needs word-capable sub-coteries within 64 processes (universe %d)", p.n))
+	}
+	for i := range p.wordSubs {
+		w := &p.wordSubs[i]
+		if w.fast.AvailableWord((live >> w.shift) & w.mask) {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheKey implements analysis.CacheKeyer: the concatenation of the
+// sub-coterie keys in slice order, or "" (uncacheable) when any sub-coterie
+// lacks a key.
+func (p *Partitioned) CacheKey() string {
+	var b strings.Builder
+	b.WriteString("kpart:")
+	for i, sub := range p.subs {
+		k, ok := sub.(analysis.CacheKeyer)
+		if !ok {
+			return ""
+		}
+		key := k.CacheKey()
+		if key == "" {
+			return ""
+		}
+		if i > 0 {
+			b.WriteByte('+')
+		}
+		b.WriteString(key)
+	}
+	return b.String()
+}

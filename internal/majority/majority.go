@@ -25,6 +25,7 @@ type System struct {
 	threshold int // a set is a quorum iff its votes are >= threshold
 	minSize   int
 	maxSize   int
+	uniform   bool // all weights are 1: availability is a popcount
 }
 
 var _ quorum.System = (*System)(nil)
@@ -47,6 +48,7 @@ func New(n int) *System {
 		threshold: m,
 		minSize:   m,
 		maxSize:   m,
+		uniform:   true,
 	}
 }
 
@@ -94,6 +96,13 @@ func NewWeighted(weights []int, threshold int) (*System, error) {
 		name:      fmt.Sprintf("voting(%d,t=%d)", len(weights), threshold),
 		weights:   append([]int(nil), weights...),
 		threshold: threshold,
+		uniform:   true,
+	}
+	for _, w := range weights {
+		if w != 1 {
+			s.uniform = false
+			break
+		}
 	}
 	s.minSize, s.maxSize = s.sizeBounds()
 	return s, nil

@@ -1,0 +1,51 @@
+package majority
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"hquorum/internal/analysis"
+)
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)
+
+// AvailableWord is Available on a single-word live mask. Uniform one-vote
+// systems reduce to a single popcount; weighted systems sum the live
+// weights with early exit. It panics when the universe exceeds 64 nodes.
+func (s *System) AvailableWord(live uint64) bool {
+	if len(s.weights) > 64 {
+		panic(fmt.Sprintf("majority: AvailableWord needs at most 64 nodes (have %d)", len(s.weights)))
+	}
+	if s.uniform {
+		return bits.OnesCount64(live) >= s.threshold
+	}
+	v := 0
+	for w := live; w != 0; w &= w - 1 {
+		v += s.weights[bits.TrailingZeros64(w)]
+		if v >= s.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// CacheKey implements analysis.CacheKeyer.
+func (s *System) CacheKey() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vote:n%d:t%d:", len(s.weights), s.threshold)
+	if s.uniform {
+		b.WriteString("u")
+	} else {
+		for i, w := range s.weights {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			fmt.Fprintf(&b, "%d", w)
+		}
+	}
+	return b.String()
+}

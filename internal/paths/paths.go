@@ -34,6 +34,7 @@ type System struct {
 	rightMask    uint64
 	topMask      uint64
 	bottomMask   uint64
+	pad          *pPad // padded shift-flood plan (nil when ℓ > 4)
 }
 
 var _ quorum.System = (*System)(nil)
@@ -98,6 +99,9 @@ func New(ell int) *System {
 		s.rightMask = mask(s.right)
 		s.topMask = mask(s.top)
 		s.bottomMask = mask(s.bottom)
+		if ell <= 4 { // (ℓ+1) padded rows of stride 2ℓ+3 must fit one word
+			s.pad = buildPPad(ell)
+		}
 	}
 	return s
 }

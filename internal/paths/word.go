@@ -8,9 +8,21 @@ import (
 
 // AvailableWord is the allocation-free availability fast path used by the
 // exhaustive enumerator (2ⁿ subsets for the paper's 25-vertex grid): two
-// bit-parallel flood fills test left–right and top–bottom connectivity. It
-// panics for grids beyond 64 vertices.
+// bit-parallel flood fills test left–right and top–bottom connectivity.
+//
+// Grids with ℓ ≤ 4 use a padded layout with stride S = 2ℓ+3: corner (x, y)
+// sits at bit y·S+x and center (x, y) at bit y·S+(ℓ+2)+x, so all twelve
+// neighbor relations (four lattice directions plus four corner↔center
+// diagonals each way) are fixed shifts and a whole frontier expands in one
+// pass of word ops. Every shift that is not a real edge lands in a padding
+// gap or outside the live mask. Larger grids up to 64 vertices fall back
+// to the per-bit neighbor-mask flood; beyond 64 it panics.
 func (s *System) AvailableWord(live uint64) bool {
+	if s.pad != nil {
+		p := s.pad.spread(live)
+		return s.pad.crosses(p, s.pad.left, s.pad.right) &&
+			s.pad.crosses(p, s.pad.top, s.pad.bottom)
+	}
 	if s.neighborMask == nil {
 		panic("paths: AvailableWord needs a grid of at most 64 vertices")
 	}
@@ -18,7 +30,7 @@ func (s *System) AvailableWord(live uint64) bool {
 		s.crossesWord(live, s.topMask, s.bottomMask)
 }
 
-// crossesWord reports whether live connects src to dst.
+// crossesWord reports whether live connects src to dst (per-bit fallback).
 func (s *System) crossesWord(live, src, dst uint64) bool {
 	comp := live & src
 	if comp == 0 {
@@ -39,4 +51,100 @@ func (s *System) crossesWord(live, src, dst uint64) bool {
 	return comp&dst != 0
 }
 
-var _ analysis.WordAvailability = (*System)(nil)
+// pPad is the padded-layout flood plan for centered grids with ℓ ≤ 4
+// (the ℓ+1 padded rows of stride 2ℓ+3 fit one word).
+type pPad struct {
+	stride uint // S = 2ℓ+3
+	diag   uint // D = ℓ+2: corner (x,y) + D = center (x,y)
+	rows   []pPadRow
+	corner uint64 // all corner bits
+	center uint64 // all center bits
+	left   uint64 // boundary corner masks
+	right  uint64
+	top    uint64
+	bottom uint64
+}
+
+// pPadRow moves one packed row (corner or center) to its padded offset.
+type pPadRow struct {
+	off  uint
+	mask uint64 // row mask at bit 0
+	sh   uint   // padded row offset
+}
+
+func buildPPad(ell int) *pPad {
+	s := uint(2*ell + 3)
+	d := uint(ell + 2)
+	p := &pPad{stride: s, diag: d}
+	corners := uint((ell + 1) * (ell + 1))
+	for y := 0; y <= ell; y++ {
+		p.rows = append(p.rows, pPadRow{
+			off:  uint(y * (ell + 1)),
+			mask: uint64(1)<<uint(ell+1) - 1,
+			sh:   uint(y) * s,
+		})
+		p.corner |= (uint64(1)<<uint(ell+1) - 1) << (uint(y) * s)
+		p.left |= 1 << (uint(y) * s)
+		p.right |= 1 << (uint(y)*s + uint(ell))
+	}
+	for x := 0; x <= ell; x++ {
+		p.top |= 1 << uint(x)
+		p.bottom |= 1 << (uint(ell)*s + uint(x))
+	}
+	for y := 0; y < ell; y++ {
+		p.rows = append(p.rows, pPadRow{
+			off:  corners + uint(y*ell),
+			mask: uint64(1)<<uint(ell) - 1,
+			sh:   uint(y)*s + d,
+		})
+		p.center |= (uint64(1)<<uint(ell) - 1) << (uint(y)*s + d)
+	}
+	return p
+}
+
+// spread converts a packed live mask to the padded layout.
+func (p *pPad) spread(live uint64) uint64 {
+	var out uint64
+	for i := range p.rows {
+		r := &p.rows[i]
+		out |= (live >> r.off & r.mask) << r.sh
+	}
+	return out
+}
+
+// crosses reports whether valid connects the src boundary to the dst
+// boundary. Corners grow along the lattice (±1, ±S) and to the four
+// centers of their incident cells; centers grow back to their four cell
+// corners. Splitting the frontier by vertex type keeps fake same-type
+// adjacencies (center+1 is not an edge) out of the expansion; everything
+// else lands on real edges or padding gaps erased by &valid.
+func (p *pPad) crosses(valid, src, dst uint64) bool {
+	comp := valid & src
+	if comp == 0 {
+		return false
+	}
+	s, d := p.stride, p.diag
+	for {
+		if comp&dst != 0 {
+			return true
+		}
+		fc := comp & p.corner
+		fm := comp & p.center
+		grow := fc<<1 | fc>>1 | fc<<s | fc>>s |
+			fc<<d | fc<<(d-1) | fc>>(s-d) | fc>>(s-d+1) |
+			fm>>d | fm>>(d-1) | fm<<(s-d) | fm<<(s-d+1)
+		next := comp | grow&valid
+		if next == comp {
+			return false
+		}
+		comp = next
+	}
+}
+
+// CacheKey implements analysis.CacheKeyer.
+func (s *System) CacheKey() string { return "paths:" + s.name }
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)

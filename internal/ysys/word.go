@@ -7,10 +7,24 @@ import (
 )
 
 // AvailableWord is the allocation-free availability fast path used by the
-// exhaustive enumerator (2ⁿ subsets for the paper's 28-process board). It
-// flood-fills live components with bit-parallel neighbor masks. It panics
-// for boards beyond 64 processes (the masks are single words).
+// exhaustive enumerator (2ⁿ subsets for the paper's 28-process board).
+//
+// Boards with k ≤ 8 rows use a padded layout where cell (r, c) sits at bit
+// r·k+c, so every neighbor relation is a fixed shift and a whole frontier
+// expands in ~8 word ops: the left-to-right component sweep becomes two
+// multi-source flood fills (grow everything from the left side, then grow
+// the right-touching part of that within itself and test the bottom) with
+// no per-bit loop at all. Larger boards up to 64 processes fall back to the
+// per-component neighbor-mask flood. It panics beyond 64 processes.
 func (s *System) AvailableWord(live uint64) bool {
+	if s.pad != nil {
+		p := s.pad.spread(live)
+		a := s.pad.flood(p, p&s.pad.left)
+		if a&s.pad.right == 0 || a&s.pad.bottom == 0 {
+			return false
+		}
+		return s.pad.flood(a, a&s.pad.right)&s.pad.bottom != 0
+	}
 	if s.neighborMask == nil {
 		panic("ysys: AvailableWord needs a board of at most 64 processes")
 	}
@@ -26,7 +40,7 @@ func (s *System) AvailableWord(live uint64) bool {
 	return false
 }
 
-// flood returns the live component containing seed.
+// flood returns the live component containing seed (per-bit fallback).
 func (s *System) flood(seed, live uint64) uint64 {
 	comp := seed
 	frontier := seed
@@ -41,4 +55,72 @@ func (s *System) flood(seed, live uint64) uint64 {
 	return comp
 }
 
-var _ analysis.WordAvailability = (*System)(nil)
+// yPad is the padded-layout flood plan for boards with k ≤ 8 rows
+// (k² ≤ 64 padded bits).
+type yPad struct {
+	k      uint
+	rows   []yPadRow
+	left   uint64 // padded masks of the three sides
+	right  uint64
+	bottom uint64
+}
+
+// yPadRow moves packed row r (bits off…off+r) to padded bit r·k.
+type yPadRow struct {
+	off  uint
+	mask uint64 // row mask at bit 0
+	sh   uint   // padded row offset r·k
+}
+
+func buildYPad(k int) *yPad {
+	p := &yPad{k: uint(k)}
+	for r := 0; r < k; r++ {
+		off := uint(r * (r + 1) / 2)
+		p.rows = append(p.rows, yPadRow{
+			off:  off,
+			mask: uint64(1)<<uint(r+1) - 1,
+			sh:   uint(r * k),
+		})
+		p.left |= 1 << uint(r*k)    // (r, 0)
+		p.right |= 1 << uint(r*k+r) // (r, r)
+	}
+	for c := 0; c < k; c++ {
+		p.bottom |= 1 << uint((k-1)*k+c)
+	}
+	return p
+}
+
+// spread converts a packed live mask to the padded layout.
+func (p *yPad) spread(live uint64) uint64 {
+	var out uint64
+	for i := range p.rows {
+		r := &p.rows[i]
+		out |= (live >> r.off & r.mask) << r.sh
+	}
+	return out
+}
+
+// flood grows seed to its full reachable set within valid. The six Y
+// neighbors of padded bit b are b±1, b±k and b±(k+1); shifts that leave a
+// cell's row land on padded positions outside the triangular valid region
+// (or beyond bit 63) and are erased by the &valid.
+func (p *yPad) flood(valid, seed uint64) uint64 {
+	comp := seed
+	k := p.k
+	for {
+		grow := comp<<1 | comp>>1 | comp<<k | comp>>k | comp<<(k+1) | comp>>(k+1)
+		next := comp | grow&valid
+		if next == comp {
+			return comp
+		}
+		comp = next
+	}
+}
+
+// CacheKey implements analysis.CacheKeyer.
+func (s *System) CacheKey() string { return "y:" + s.name }
+
+var (
+	_ analysis.WordAvailability = (*System)(nil)
+	_ analysis.CacheKeyer       = (*System)(nil)
+)

@@ -32,6 +32,7 @@ type System struct {
 	leftMask     uint64
 	rightMask    uint64
 	bottomMask   uint64
+	pad          *yPad // padded shift-flood plan (nil when k > 8)
 }
 
 var _ quorum.System = (*System)(nil)
@@ -84,6 +85,9 @@ func New(k int) *System {
 		}
 		for _, v := range s.bottom {
 			s.bottomMask |= 1 << uint(v)
+		}
+		if k <= 8 { // k² padded bits must fit one word
+			s.pad = buildYPad(k)
 		}
 	}
 	return s

@@ -1,0 +1,21 @@
+#!/bin/sh
+# bench.sh — run the sweep-engine benchmark suite and write the raw
+# `go test -json` event stream to BENCH_sweep.json (in the repo root, or
+# $1 if given). Compare against the committed pre-change snapshot
+# scripts/BENCH_sweep_baseline.json, e.g. with benchstat after extracting
+# the Output lines:
+#
+#   jq -r 'select(.Action=="output").Output' scripts/BENCH_sweep_baseline.json > old.txt
+#   jq -r 'select(.Action=="output").Output' BENCH_sweep.json > new.txt
+#   benchstat old.txt new.txt
+#
+# The pattern pins the benchmarks that exercise the sweep engine: the
+# table regenerations that feed the acceptance criteria (Table 2 memo
+# cache, Table 3 quick mode), the availability predicates with their word
+# fast paths, and the exact enumerator.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_sweep.json}"
+pattern='^(BenchmarkTable2|BenchmarkTable3|BenchmarkAvailabilityHTriang|BenchmarkAvailabilityHTGrid|BenchmarkAvailableWordY|BenchmarkTransversalCountsHTriang15)$'
+go test -json -run '^$' -bench "$pattern" -benchmem -count=5 . > "$out"
+echo "wrote $out" >&2
