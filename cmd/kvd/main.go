@@ -19,6 +19,14 @@
 // A replica with -write/-read flags performs those client operations
 // against the cluster and prints the results; without them it serves
 // forever.
+//
+// The client path degrades gracefully instead of hanging: every
+// operation is bounded by -op-deadline and fails with a typed quorum
+// error (ErrNoQuorum when every quorum contains a silent replica,
+// ErrDegraded when trusted replicas were merely slow), attempts back
+// off exponentially with jitter from -attempt-timeout, and peer dials
+// are bounded by -dial-timeout. -writeback=false trades linearizable
+// reads for one fewer round trip.
 package main
 
 import (
@@ -48,7 +56,11 @@ func main() {
 	write := flag.String("write", "", "perform a read-write update with this value")
 	read := flag.Bool("read", false, "perform a read")
 	thenRead := flag.Bool("then-read", false, "follow the write with a read")
-	timeout := flag.Duration("timeout", time.Minute, "client operation deadline")
+	timeout := flag.Duration("timeout", time.Minute, "overall client budget (process exits after this long)")
+	opDeadline := flag.Duration("op-deadline", 30*time.Second, "per-operation deadline: on expiry the operation fails with a typed quorum error (ErrNoQuorum/ErrDegraded) instead of retrying forever; 0 retries forever")
+	attempt := flag.Duration("attempt-timeout", time.Second, "per-attempt quorum patience (grows with backoff and jitter)")
+	dialTimeout := flag.Duration("dial-timeout", time.Second, "TCP dial timeout for peer connections")
+	writeback := flag.Bool("writeback", true, "complete reads only after writing the observed version back to a write quorum (linearizable reads)")
 	flag.Parse()
 
 	peers, err := loadPeers(*peersPath)
@@ -79,12 +91,21 @@ func main() {
 
 	done := make(chan struct{})
 	remaining := len(ops)
+	failed := false
 	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
-		Store: store,
-		Ops:   ops,
+		Store:         store,
+		Ops:           ops,
+		Timeout:       *attempt,
+		OpDeadline:    *opDeadline,
+		ReadWriteback: *writeback,
 		OnResult: func(r rkv.Result) {
-			fmt.Printf("%-11s -> %q (version %d.%d, %d retries, t=%v)\n",
-				r.Kind, r.Value, r.Version.Counter, r.Version.Writer, r.Retries, r.At)
+			if r.Err != nil {
+				failed = true
+				fmt.Printf("%-11s -> FAILED: %v (%d retries, t=%v)\n", r.Kind, r.Err, r.Retries, r.At)
+			} else {
+				fmt.Printf("%-11s -> %q (version %d.%d, %d retries, t=%v)\n",
+					r.Kind, r.Value, r.Version.Counter, r.Version.Writer, r.Retries, r.At)
+			}
 			remaining--
 			if remaining == 0 {
 				close(done)
@@ -96,7 +117,7 @@ func main() {
 	}
 
 	rkv.RegisterWire(transport.Register)
-	tn, err := transport.NewNode(cluster.NodeID(*id), node, addr)
+	tn, err := transport.NewNode(cluster.NodeID(*id), node, addr, transport.WithDialTimeout(*dialTimeout))
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -110,6 +131,9 @@ func main() {
 		tn.Kick(0, node.StartToken())
 		select {
 		case <-done:
+			if failed {
+				os.Exit(1)
+			}
 		case <-time.After(*timeout):
 			fatal("client operations timed out (are all replicas up?)")
 		}

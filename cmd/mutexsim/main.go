@@ -5,9 +5,16 @@
 // Usage:
 //
 //	mutexsim -system htriang -k 5 -requests 3 -crash 2 -seed 7
+//	mutexsim -system htgrid -rows 3 -cols 3 -nemesis crash-storm -seed 7
 //
 // Supported -system values: htriang (-k), htgrid (-rows -cols), hgrid
 // (-rows -cols), majority (-n), cwlog (-n).
+//
+// -nemesis replays a scripted fault schedule (crash-storm,
+// rolling-restart, link-flap, minority-partition, churn) into the run
+// and checks the recorded hold intervals for overlap; it replaces the
+// static -crash fault model, and crashes mid-hold truncate the victim's
+// interval instead of tripping the naive holding flag.
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"hquorum/internal/htgrid"
 	"hquorum/internal/htriang"
 	"hquorum/internal/majority"
+	"hquorum/internal/nemesis"
 	"hquorum/internal/quorum"
 )
 
@@ -38,6 +46,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	hold := flag.Duration("hold", 2*time.Millisecond, "critical-section hold time")
 	think := flag.Duration("think", 5*time.Millisecond, "think time between requests")
+	nemesisName := flag.String("nemesis", "", "replay a fault schedule: crash-storm|rolling-restart|link-flap|minority-partition|churn (replaces -crash; workload pacing is derived from the schedule)")
 	flag.Parse()
 
 	var sys quorum.System
@@ -62,8 +71,17 @@ func main() {
 		os.Exit(2)
 	}
 
-	net := cluster.New(cluster.WithSeed(*seed), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
 	size := sys.Universe()
+	if *nemesisName != "" {
+		if *crash > 0 {
+			fmt.Fprintln(os.Stderr, "-nemesis and -crash are mutually exclusive")
+			os.Exit(2)
+		}
+		runNemesis(sys, *nemesisName, *seed, *requests)
+		return
+	}
+
+	net := cluster.New(cluster.WithSeed(*seed), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
 	if *crash >= size {
 		fmt.Fprintln(os.Stderr, "cannot crash the whole cluster")
 		os.Exit(2)
@@ -143,6 +161,45 @@ func main() {
 		fmt.Printf("STUCK NODES:       %d\n", stuck)
 		os.Exit(1)
 	}
+}
+
+// runNemesis replays a scripted fault schedule and checks the recorded
+// hold history for mutual-exclusion violations.
+func runNemesis(sys quorum.System, name string, seed int64, requests int) {
+	var sched nemesis.Schedule
+	found := false
+	for _, s := range nemesis.DefaultSchedules(sys.Universe()) {
+		if s.Name == name {
+			sched, found = s, true
+			break
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown nemesis schedule %q\n", name)
+		os.Exit(2)
+	}
+	res, err := nemesis.RunMutex(nemesis.MutexRun{
+		System:   sys,
+		Seed:     seed,
+		Schedule: sched,
+		Count:    requests,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("system:            %s (%d nodes, quorums %d..%d)\n",
+		sys.Name(), sys.Universe(), sys.MinQuorumSize(), sys.MaxQuorumSize())
+	fmt.Printf("nemesis:           %s (%d actions, horizon %v)\n", sched.Name, len(sched.Actions), sched.Horizon)
+	fmt.Printf("critical sections: %d\n", res.Entries)
+	fmt.Printf("failed acquires:   %d\n", res.Failures)
+	fmt.Printf("hold intervals:    %d\n", len(res.Intervals))
+	fmt.Printf("messages:          %d (%d dropped)\n", res.Messages, res.Dropped)
+	if len(res.Violations) > 0 {
+		fmt.Printf("FATAL: mutual exclusion violated: %v\n", res.Violations[0])
+		os.Exit(1)
+	}
+	fmt.Println("mutual exclusion:  ok")
 }
 
 func max(a, b int) int {

@@ -64,6 +64,10 @@ type (
 // quorum.
 var ErrNoQuorum = quorum.ErrNoQuorum
 
+// ErrDegraded is returned by protocol operations that miss their deadline
+// while a quorum still exists among trusted nodes.
+var ErrDegraded = quorum.ErrDegraded
+
 // NewSet returns an empty node set of capacity n.
 func NewSet(n int) Set { return bitset.New(n) }
 

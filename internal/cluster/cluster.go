@@ -94,6 +94,7 @@ type endpoint struct {
 	handler Handler
 	net     *Network
 	crashed bool
+	epoch   uint64 // bumped on every Crash; stale events are discarded
 	rng     *rand.Rand
 }
 
@@ -102,6 +103,7 @@ type eventKind int
 const (
 	evDeliver eventKind = iota
 	evTimer
+	evFunc
 )
 
 type event struct {
@@ -112,6 +114,8 @@ type event struct {
 	from  NodeID
 	msg   any
 	token any
+	epoch uint64 // target's crash epoch when the event was queued
+	fn    func() // evFunc payload
 }
 
 type eventQueue []*event
@@ -174,10 +178,13 @@ func (n *Network) Messages() uint64 { return n.msgs }
 func (n *Network) Dropped() uint64 { return n.dropped }
 
 // Crash marks a node as crashed: it loses all pending deliveries and
-// timers, and stops receiving events until Restart.
+// timers (even if it restarts before they would have fired — the crash
+// bumps the node's epoch, and stale events are discarded on delivery),
+// and stops receiving events until Restart.
 func (n *Network) Crash(id NodeID) {
 	if ep, ok := n.nodes[id]; ok {
 		ep.crashed = true
+		ep.epoch++
 	}
 }
 
@@ -202,14 +209,20 @@ func (n *Network) Crashed(id NodeID) bool {
 
 // Partition splits the cluster into groups; messages between different
 // groups are dropped. Nodes absent from every group form an implicit
-// additional group.
-func (n *Network) Partition(groups ...[]NodeID) {
-	n.part = make(map[NodeID]int)
+// additional group. A node listed in two groups is an error, and the
+// previous partition (if any) is left in place.
+func (n *Network) Partition(groups ...[]NodeID) error {
+	part := make(map[NodeID]int)
 	for gi, g := range groups {
 		for _, id := range g {
-			n.part[id] = gi + 1
+			if prev, ok := part[id]; ok && prev != gi+1 {
+				return fmt.Errorf("cluster: node %d in partition groups %d and %d", id, prev-1, gi)
+			}
+			part[id] = gi + 1
 		}
 	}
+	n.part = part
+	return nil
 }
 
 // Heal removes all partitions.
@@ -242,7 +255,7 @@ func (n *Network) send(from, to NodeID, msg any) {
 		}
 		n.lastSend[link] = at
 	}
-	n.push(&event{at: at, kind: evDeliver, to: to, from: from, msg: msg})
+	n.push(&event{at: at, kind: evDeliver, to: to, from: from, msg: msg, epoch: dst.epoch})
 }
 
 func (n *Network) push(e *event) {
@@ -256,8 +269,12 @@ func (n *Network) Step() bool {
 	for n.queue.Len() > 0 {
 		e := heap.Pop(&n.queue).(*event)
 		n.now = e.at
+		if e.kind == evFunc {
+			e.fn()
+			return true
+		}
 		ep, ok := n.nodes[e.to]
-		if !ok || ep.crashed {
+		if !ok || ep.crashed || e.epoch != ep.epoch {
 			if e.kind == evDeliver {
 				n.dropped++
 			}
@@ -304,14 +321,26 @@ func (n *Network) RunAll() int {
 // StartTimer schedules a timer on a node from outside the simulation —
 // the way drivers kick off node workloads.
 func (n *Network) StartTimer(id NodeID, d time.Duration, token any) error {
-	if _, ok := n.nodes[id]; !ok {
+	ep, ok := n.nodes[id]
+	if !ok {
 		return fmt.Errorf("cluster: unknown node %d", id)
 	}
 	if d < 0 {
 		d = 0
 	}
-	n.push(&event{at: n.now + d, kind: evTimer, to: id, token: token})
+	n.push(&event{at: n.now + d, kind: evTimer, to: id, token: token, epoch: ep.epoch})
 	return nil
+}
+
+// Schedule runs fn at the given virtual time, interleaved deterministically
+// with message and timer events. It is the hook fault injectors (package
+// nemesis) use to crash, restart and partition nodes mid-run; fn runs on
+// the simulation's single thread and may call any Network method.
+func (n *Network) Schedule(at time.Duration, fn func()) {
+	if at < n.now {
+		at = n.now
+	}
+	n.push(&event{at: at, kind: evFunc, fn: fn})
 }
 
 // Env implementation on endpoints.
@@ -330,7 +359,7 @@ func (ep *endpoint) After(d time.Duration, token any) {
 	if d < 0 {
 		d = 0
 	}
-	ep.net.push(&event{at: ep.net.now + d, kind: evTimer, to: ep.id, token: token})
+	ep.net.push(&event{at: ep.net.now + d, kind: evTimer, to: ep.id, token: token, epoch: ep.epoch})
 }
 
 // Rand implements Env.

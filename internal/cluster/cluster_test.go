@@ -199,3 +199,161 @@ func TestTimerOrdering(t *testing.T) {
 		t.Fatalf("timer order %v", h.timers)
 	}
 }
+
+func TestPartitionOverlappingGroupsRejected(t *testing.T) {
+	n := New()
+	_ = n.AddNode(1, &echoHandler{})
+	_ = n.AddNode(2, &echoHandler{})
+	_ = n.AddNode(3, &echoHandler{})
+	if err := n.Partition([]NodeID{1, 2}, []NodeID{2, 3}); err == nil {
+		t.Fatal("overlapping partition groups accepted")
+	}
+	// The failed call must not have installed a partial partition.
+	k := &burster{targets: []NodeID{1}}
+	_ = n.AddNode(4, k)
+	n.nodes[4].After(0, "go")
+	n.RunAll()
+	if h := n.nodes[1].handler.(*echoHandler); len(h.received) != 1 {
+		t.Fatalf("rejected partition still dropped traffic: %v", h.received)
+	}
+	// Listing a node twice in the same group is harmless.
+	if err := n.Partition([]NodeID{1, 1}); err != nil {
+		t.Fatalf("duplicate within one group rejected: %v", err)
+	}
+}
+
+func TestPartitionNodeInNoGroup(t *testing.T) {
+	// Nodes absent from every group form an implicit group: they talk to
+	// each other but not to any listed group.
+	n := New(WithSeed(5))
+	h1, h3 := &echoHandler{}, &echoHandler{}
+	_ = n.AddNode(1, h1)
+	_ = n.AddNode(3, h3)
+	_ = n.AddNode(2, &burster{targets: []NodeID{1, 3}}) // 2 and 3 unlisted
+	if err := n.Partition([]NodeID{1}); err != nil {
+		t.Fatal(err)
+	}
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h1.received) != 0 {
+		t.Fatalf("message crossed into the listed group: %v", h1.received)
+	}
+	if len(h3.received) != 1 {
+		t.Fatalf("implicit-group peers cannot talk: %v", h3.received)
+	}
+}
+
+func TestPartitionCrashInteraction(t *testing.T) {
+	// A crashed node inside a partition group drops messages for both
+	// reasons; restarting it (partition still up) restores same-group
+	// traffic only.
+	n := New(WithSeed(6))
+	h1, h3 := &echoHandler{}, &echoHandler{}
+	_ = n.AddNode(1, h1)
+	_ = n.AddNode(3, h3)
+	_ = n.AddNode(2, &burster{targets: []NodeID{1, 3}})
+	if err := n.Partition([]NodeID{1, 2}, []NodeID{3}); err != nil {
+		t.Fatal(err)
+	}
+	n.Crash(1)
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h1.received) != 0 || len(h3.received) != 0 {
+		t.Fatalf("crash+partition leaked: %v %v", h1.received, h3.received)
+	}
+	n.Restart(1)
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h1.received) != 1 {
+		t.Fatalf("same-group delivery after restart: %v", h1.received)
+	}
+	if len(h3.received) != 0 {
+		t.Fatalf("cross-group delivery while partitioned: %v", h3.received)
+	}
+}
+
+func TestCrashDropsPendingAcrossQuickRestart(t *testing.T) {
+	// Deliveries and timers queued before a crash must not fire after a
+	// restart that happens before their due time: the crash bumps the
+	// node's epoch.
+	n := New(WithSeed(2), WithLatency(10*time.Millisecond, 10*time.Millisecond))
+	h := &echoHandler{}
+	_ = n.AddNode(1, h)
+	_ = n.AddNode(2, &burster{targets: []NodeID{1}})
+	n.nodes[1].After(15*time.Millisecond, "stale-timer")
+	n.nodes[2].After(0, "go") // delivery to node 1 due at ~10ms
+	n.Schedule(5*time.Millisecond, func() { n.Crash(1) })
+	n.Schedule(6*time.Millisecond, func() { n.Restart(1) })
+	n.RunAll()
+	if len(h.received) != 0 {
+		t.Fatalf("pre-crash delivery survived a quick restart: %v", h.received)
+	}
+	if len(h.timers) != 0 {
+		t.Fatalf("pre-crash timer survived a quick restart: %v", h.timers)
+	}
+	// Post-restart traffic flows with the new epoch.
+	n.nodes[2].After(0, "go")
+	n.RunAll()
+	if len(h.received) != 1 {
+		t.Fatalf("post-restart delivery failed: %v", h.received)
+	}
+}
+
+func TestScheduleRunsAtVirtualTime(t *testing.T) {
+	n := New(WithSeed(1))
+	var at time.Duration
+	n.Schedule(42*time.Millisecond, func() { at = n.Now() })
+	n.RunAll()
+	if at != 42*time.Millisecond {
+		t.Fatalf("scheduled function ran at %v, want 42ms", at)
+	}
+	// Scheduling in the past clamps to now.
+	ran := false
+	n.Schedule(time.Millisecond, func() { ran = true })
+	n.RunAll()
+	if !ran || n.Now() != 42*time.Millisecond {
+		t.Fatalf("past schedule: ran=%t now=%v", ran, n.Now())
+	}
+}
+
+func TestFIFODisabledReorders(t *testing.T) {
+	// With per-link FIFO off, a burst over one link must eventually arrive
+	// out of send order; with FIFO on it never does.
+	arrival := func(fifo bool, seed int64) []string {
+		n := New(WithSeed(seed), WithFIFO(fifo), WithLatency(time.Millisecond, 20*time.Millisecond))
+		h := &echoHandler{}
+		_ = n.AddNode(1, h)
+		b := &burster{targets: []NodeID{1, 1, 1, 1, 1, 1, 1, 1}}
+		_ = n.AddNode(2, b)
+		n.nodes[2].After(0, "go")
+		n.RunAll()
+		return h.received
+	}
+	inOrder := func(got []string) bool {
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	reordered := false
+	for seed := int64(1); seed <= 20; seed++ {
+		got := arrival(false, seed)
+		if len(got) != 8 {
+			t.Fatalf("seed %d: delivered %d of 8", seed, len(got))
+		}
+		if !inOrder(got) {
+			reordered = true
+			break
+		}
+	}
+	if !reordered {
+		t.Fatal("WithFIFO(false) never reordered a burst across 20 seeds")
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		if got := arrival(true, seed); !inOrder(got) {
+			t.Fatalf("seed %d: FIFO link delivered out of order: %v", seed, got)
+		}
+	}
+}

@@ -46,6 +46,10 @@ type (
 	msgInquire    struct{ ID ReqID }
 	msgRelinquish struct{ ID ReqID }
 	msgRelease    struct{ ID ReqID }
+	// msgBusy is a keep-alive: a grantee that received INQUIRE but keeps
+	// the grant (it is in the critical section, or still winning) answers
+	// busy so the arbiter can tell a live contender from a crashed one.
+	msgBusy struct{ ID ReqID }
 )
 
 // Timer tokens.
@@ -69,9 +73,34 @@ type Workload struct {
 type Config struct {
 	// System supplies quorums; all nodes must share the same construction.
 	System quorum.System
-	// RetryTimeout bounds how long a requester waits for a full quorum
-	// before releasing and retrying (default 500ms).
+	// RetryTimeout bounds how long a requester's attempt waits for a full
+	// quorum before releasing and retrying, and doubles as the arbiter's
+	// grantee-probe interval (default 500ms). Attempts whose quorum went
+	// entirely silent back off exponentially — with jitter drawn from the
+	// node's deterministic rng — up to MaxRetryTimeout; attempts that got
+	// any reply retry at the base patience, since contention and message
+	// loss are recovered by re-picking, not waiting.
 	RetryTimeout time.Duration
+	// MaxRetryTimeout caps the per-attempt backoff (default 8×RetryTimeout).
+	MaxRetryTimeout time.Duration
+	// AcquireDeadline bounds one acquisition across all its retries. When
+	// it expires the attempt is abandoned and reported through OnFail with
+	// a typed error instead of retrying forever: quorum.ErrNoQuorum when
+	// every quorum contained a replica that went silent during the attempt,
+	// quorum.ErrDegraded otherwise. Zero means no deadline.
+	AcquireDeadline time.Duration
+	// SuspectTTL ages out crash suspicions, so a crashed-then-restarted
+	// arbiter rejoins quorum picks without operator intervention (default
+	// 4×RetryTimeout; negative disables decay).
+	SuspectTTL time.Duration
+	// GranteeTimeout makes an arbiter reclaim its grant after that much
+	// probe silence from the grantee, so a crashed lock holder cannot wedge
+	// the cluster (default 8×RetryTimeout; negative disables reclamation).
+	// Live grantees answer probes with busy keep-alives and are never
+	// reclaimed; the tradeoff is that a *partitioned* live grantee can be
+	// presumed dead, briefly violating safety — keep GranteeTimeout well
+	// above expected partition-heal times when that matters.
+	GranteeTimeout time.Duration
 	// Workload is the node's critical-section schedule (zero Count = pure
 	// arbiter).
 	Workload Workload
@@ -79,30 +108,36 @@ type Config struct {
 	// tests and benchmarks to assert mutual exclusion and count entries).
 	OnAcquire func(id cluster.NodeID, at time.Duration)
 	OnRelease func(id cluster.NodeID, at time.Duration)
+	// OnFail observes acquisitions abandoned at their AcquireDeadline.
+	OnFail func(id cluster.NodeID, at time.Duration, err error)
 }
 
 // arbiter is the per-node grant-management state.
 type arbiter struct {
 	grantedTo *ReqID
-	queue     []ReqID // pending requests, kept sorted by priority
-	inquired  bool    // INQUIRE outstanding for grantedTo
-	probing   bool    // periodic grantee probe armed
+	queue     []ReqID       // pending requests, kept sorted by priority
+	inquired  bool          // INQUIRE outstanding for grantedTo
+	probing   bool          // periodic grantee probe armed
+	lastHeard time.Duration // when the grantee last proved it was alive
 }
 
 // requester is the per-node acquisition state.
 type requester struct {
-	active    bool
-	id        ReqID
-	quorum    bitset.Set
-	grants    bitset.Set
-	owed      bitset.Set // arbiters relinquished before their GRANT arrived
-	responded bitset.Set // quorum members that sent any reply this attempt
-	failed    bool
-	deferred  []cluster.NodeID // arbiters whose INQUIRE we deferred
-	inCS      bool
-	remaining int
-	suspects  bitset.Set
-	attempt   int
+	active      bool
+	id          ReqID
+	quorum      bitset.Set
+	grants      bitset.Set
+	owed        bitset.Set // arbiters relinquished before their GRANT arrived
+	responded   bitset.Set // quorum members that sent any reply this attempt
+	failed      bool
+	deferred    []cluster.NodeID // arbiters whose INQUIRE we deferred
+	inCS        bool
+	remaining   int
+	suspects    bitset.Set
+	suspectAt   []time.Duration // when each suspicion was recorded
+	opSuspects  bitset.Set      // everyone silent during this acquisition (no decay)
+	sawNoQuorum bool            // this acquisition once found no quorum among trusted nodes
+	attempt     int
 }
 
 // Node implements cluster.Handler: every node is both an arbiter for its
@@ -135,8 +170,19 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 500 * time.Millisecond
 	}
+	if cfg.MaxRetryTimeout <= 0 {
+		cfg.MaxRetryTimeout = 8 * cfg.RetryTimeout
+	}
+	if cfg.SuspectTTL == 0 {
+		cfg.SuspectTTL = 4 * cfg.RetryTimeout
+	}
+	if cfg.GranteeTimeout == 0 {
+		cfg.GranteeTimeout = 8 * cfg.RetryTimeout
+	}
 	n := &Node{id: id, cfg: cfg}
 	n.req.suspects = bitset.New(cfg.System.Universe())
+	n.req.opSuspects = bitset.New(cfg.System.Universe())
+	n.req.suspectAt = make([]time.Duration, cfg.System.Universe())
 	n.req.remaining = cfg.Workload.Count
 	return n, nil
 }
@@ -168,6 +214,8 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 		n.reqFailed(env, from, m.ID)
 	case msgInquire:
 		n.reqInquire(env, from, m.ID)
+	case msgBusy:
+		n.arbBusy(env, m.ID)
 	default:
 		panic(fmt.Sprintf("dmutex: unknown message %T", msg))
 	}
@@ -212,6 +260,7 @@ func (n *Node) arbRequest(env cluster.Env, from cluster.NodeID, id ReqID) {
 	if n.arb.grantedTo == nil {
 		granted := id
 		n.arb.grantedTo = &granted
+		n.arb.lastHeard = env.Now()
 		env.Send(id.Origin, msgGrant{ID: id})
 		return
 	}
@@ -245,14 +294,30 @@ func (n *Node) armProbe(env cluster.Env) {
 	env.After(n.cfg.RetryTimeout, tokenProbe{})
 }
 
-// arbProbe fires the periodic grantee probe.
+// arbProbe fires the periodic grantee probe. A grantee that has answered
+// nothing — no RELINQUISH, RELEASE or busy keep-alive — for GranteeTimeout
+// is presumed crashed and its grant is reclaimed, so a dead lock holder
+// cannot wedge every quorum that intersects this arbiter.
 func (n *Node) arbProbe(env cluster.Env) {
 	n.arb.probing = false
 	if n.arb.grantedTo == nil || len(n.arb.queue) == 0 {
 		return
 	}
-	env.Send(n.arb.grantedTo.Origin, msgInquire{ID: *n.arb.grantedTo})
-	n.armProbe(env)
+	if n.cfg.GranteeTimeout > 0 && env.Now()-n.arb.lastHeard >= n.cfg.GranteeTimeout {
+		n.grantNext(env)
+	} else {
+		env.Send(n.arb.grantedTo.Origin, msgInquire{ID: *n.arb.grantedTo})
+	}
+	if n.arb.grantedTo != nil && len(n.arb.queue) > 0 {
+		n.armProbe(env)
+	}
+}
+
+// arbBusy refreshes the grantee's liveness clock.
+func (n *Node) arbBusy(env cluster.Env, id ReqID) {
+	if n.arb.grantedTo != nil && *n.arb.grantedTo == id {
+		n.arb.lastHeard = env.Now()
+	}
 }
 
 // supersede reconciles arbiter state with a fresh request from an origin
@@ -329,6 +394,7 @@ func (n *Node) grantNext(env cluster.Env) {
 	next := n.arb.queue[0]
 	n.arb.queue = n.arb.queue[1:]
 	n.arb.grantedTo = &next
+	n.arb.lastHeard = env.Now()
 	env.Send(next.Origin, msgGrant{ID: next})
 }
 
@@ -340,8 +406,49 @@ func (n *Node) beginRequest(env cluster.Env) {
 	}
 	n.req.active = true
 	n.req.attempt = 0
+	n.req.sawNoQuorum = false
+	n.req.opSuspects.Clear()
 	n.waitStart = env.Now()
 	n.issue(env)
+}
+
+// attemptTimeout returns the current attempt's patience: exponential
+// backoff from RetryTimeout capped at MaxRetryTimeout, plus up to 50%
+// jitter so colliding requesters desynchronize, clamped so the attempt
+// never outlives the acquire deadline by more than one timer.
+func (n *Node) attemptTimeout(env cluster.Env) time.Duration {
+	shift := n.req.attempt
+	if shift > 16 {
+		shift = 16
+	}
+	d := n.cfg.RetryTimeout << uint(shift)
+	if d <= 0 || d > n.cfg.MaxRetryTimeout {
+		d = n.cfg.MaxRetryTimeout
+	}
+	d += time.Duration(env.Rand().Int63n(int64(d)/2 + 1))
+	if n.cfg.AcquireDeadline > 0 {
+		if remaining := n.waitStart + n.cfg.AcquireDeadline - env.Now(); remaining < d {
+			d = remaining
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// decaySuspects ages out suspicions older than SuspectTTL, letting
+// crashed-then-restarted arbiters rejoin quorum picks.
+func (n *Node) decaySuspects(env cluster.Env) {
+	if n.cfg.SuspectTTL < 0 {
+		return
+	}
+	now := env.Now()
+	n.req.suspects.ForEach(func(m int) {
+		if now-n.req.suspectAt[m] >= n.cfg.SuspectTTL {
+			n.req.suspects.Remove(m)
+		}
+	})
 }
 
 // issue picks a quorum among non-suspect nodes and requests every member.
@@ -354,11 +461,13 @@ func (n *Node) issue(env cluster.Env) {
 	n.req.owed = bitset.New(n.cfg.System.Universe())
 	n.req.responded = bitset.New(n.cfg.System.Universe())
 
+	n.decaySuspects(env)
 	live := n.req.suspects.Complement()
 	q, err := n.cfg.System.Pick(env.Rand(), live)
 	if err != nil {
 		// No quorum among unsuspected nodes: clear suspicions and retry
 		// from scratch (suspects may have recovered).
+		n.req.sawNoQuorum = true
 		n.req.suspects.Clear()
 		q, err = n.cfg.System.Pick(env.Rand(), bitset.Universe(n.cfg.System.Universe()))
 		if err != nil {
@@ -369,14 +478,25 @@ func (n *Node) issue(env cluster.Env) {
 	q.ForEach(func(member int) {
 		env.Send(cluster.NodeID(member), msgRequest{ID: n.req.id})
 	})
-	env.After(n.cfg.RetryTimeout, tokenRetry{ID: n.req.id})
+	env.After(n.attemptTimeout(env), tokenRetry{ID: n.req.id})
 }
 
 // retry abandons the current attempt: releases all members, suspects the
-// silent ones and re-issues.
+// silent ones and re-issues; past the acquire deadline it abandons the
+// acquisition with a typed error instead.
 func (n *Node) retry(env cluster.Env) {
 	n.Retries++
-	n.req.attempt++
+	// Back off only when the whole quorum went silent — we are cut off or
+	// it is dead, and hammering it is pointless. If anyone answered, the
+	// attempt failed to contention or message loss, and the recovery path
+	// is releasing and re-picking quickly, not waiting: backing off under
+	// contention makes requesters sit on partial grants, stalling everyone.
+	if n.req.responded.Empty() {
+		n.req.attempt++
+	} else {
+		n.req.attempt = 0
+	}
+	now := env.Now()
 	n.req.quorum.ForEach(func(member int) {
 		env.Send(cluster.NodeID(member), msgRelease{ID: n.req.id})
 		if !n.req.responded.Contains(member) {
@@ -384,9 +504,38 @@ func (n *Node) retry(env cluster.Env) {
 			// suspected crashed; contended members answer with GRANT,
 			// FAILED or INQUIRE and stay trusted.
 			n.req.suspects.Add(member)
+			n.req.opSuspects.Add(member)
+			n.req.suspectAt[member] = now
 		}
 	})
+	if n.cfg.AcquireDeadline > 0 && now-n.waitStart >= n.cfg.AcquireDeadline {
+		n.failAcquire(env)
+		return
+	}
 	n.issue(env)
+}
+
+// failAcquire abandons the acquisition at its deadline (the quorum was
+// already released by retry). ErrNoQuorum when every quorum contained a
+// node that went silent during the acquisition — judged on the cumulative
+// per-acquisition view, since decay and the fallback path shrink the
+// instantaneous suspect set — ErrDegraded otherwise. The workload moves on
+// so Done() still completes.
+func (n *Node) failAcquire(env cluster.Env) {
+	err := quorum.ErrDegraded
+	if n.req.sawNoQuorum {
+		err = quorum.ErrNoQuorum
+	} else if _, e := n.cfg.System.Pick(env.Rand(), n.req.opSuspects.Complement()); e != nil {
+		err = quorum.ErrNoQuorum
+	}
+	n.req.active = false
+	n.req.remaining--
+	if n.cfg.OnFail != nil {
+		n.cfg.OnFail(n.id, env.Now(), err)
+	}
+	if n.req.remaining > 0 {
+		env.After(n.cfg.Workload.Think, tokenThink{})
+	}
 }
 
 func (n *Node) reqGrant(env cluster.Env, from cluster.NodeID, id ReqID) {
@@ -454,7 +603,11 @@ func (n *Node) reqInquire(env cluster.Env, from cluster.NodeID, id ReqID) {
 		return
 	}
 	if !n.req.active || id != n.req.id || n.req.inCS {
-		// In the CS: the arbiter will get our RELEASE when we leave.
+		// In the CS: the arbiter will get our RELEASE when we leave. Answer
+		// busy so a reclaiming arbiter does not mistake us for crashed.
+		if n.req.inCS && n.req.active && id == n.req.id {
+			env.Send(from, msgBusy{ID: id})
+		}
 		return
 	}
 	if n.req.failed {
@@ -465,6 +618,9 @@ func (n *Node) reqInquire(env cluster.Env, from cluster.NodeID, id ReqID) {
 		env.Send(from, msgRelinquish{ID: n.req.id})
 		return
 	}
+	// Still winning: keep the grant, but tell the arbiter we are alive
+	// (repeated probes must keep hearing busy, even once deferred).
+	env.Send(from, msgBusy{ID: id})
 	for _, a := range n.req.deferred {
 		if a == from {
 			return
@@ -499,10 +655,31 @@ func (n *Node) exitCS(env cluster.Env) {
 	}
 }
 
+// Restarted implements the cluster.Network restart hook: the crash killed
+// the node's timers, so an in-flight acquisition is abandoned (arbiters
+// holding its grants recover through INQUIRE → RELINQUISH, or reclamation)
+// and the workload resumes with the next critical section. Arbiter grant
+// state survives, but its probe timer died with the crash — re-arm it so
+// waiting requests are not stranded.
+func (n *Node) Restarted(env cluster.Env) {
+	if n.req.active {
+		n.req.active = false
+		n.req.inCS = false
+		n.req.remaining--
+	}
+	if n.req.remaining > 0 {
+		env.After(n.cfg.Workload.Think, tokenThink{})
+	}
+	n.arb.probing = false
+	if n.arb.grantedTo != nil && len(n.arb.queue) > 0 {
+		n.armProbe(env)
+	}
+}
+
 // RegisterWire registers the protocol's wire messages with a gob-based
 // transport (e.g. transport.Register).
 func RegisterWire(register func(values ...any)) {
-	register(msgRequest{}, msgGrant{}, msgFailed{}, msgInquire{}, msgRelinquish{}, msgRelease{})
+	register(msgRequest{}, msgGrant{}, msgFailed{}, msgInquire{}, msgRelinquish{}, msgRelease{}, msgBusy{})
 }
 
 // StartToken returns the timer token that kicks off the node's workload —

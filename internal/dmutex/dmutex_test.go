@@ -1,6 +1,7 @@
 package dmutex
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 	"time"
@@ -339,5 +340,174 @@ func TestMessageLossRecovery(t *testing.T) {
 		if len(g.entries) != 20 {
 			t.Fatalf("seed %d: entries %d, want 20", seed, len(g.entries))
 		}
+	}
+}
+
+// TestCrashedHolderDoesNotWedgeCluster: a node that crashes inside the
+// critical section never sends RELEASE, and every quorum intersects the
+// quorum it holds — without grant reclamation the whole cluster deadlocks.
+// Arbiters must reclaim the dead grantee's grant after GranteeTimeout of
+// probe silence so everyone else still finishes.
+func TestCrashedHolderDoesNotWedgeCluster(t *testing.T) {
+	sys := htgrid.Auto(3, 3)
+	net := cluster.New(cluster.WithSeed(33), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
+	g := &guard{t: t}
+	const victim = cluster.NodeID(2)
+	crashed := false
+	var nodes []*Node
+	for i := 0; i < sys.Universe(); i++ {
+		id := cluster.NodeID(i)
+		n, err := NewNode(id, Config{
+			System:       sys,
+			RetryTimeout: 100 * time.Millisecond,
+			Workload:     Workload{Count: 2, Hold: 2 * time.Millisecond, Think: 5 * time.Millisecond},
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				g.acquire(id, at)
+				if id == victim && !crashed {
+					crashed = true
+					net.Crash(victim)
+					g.holding = false // a dead holder excludes nobody
+				}
+			},
+			OnRelease: g.release,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(2 * time.Minute)
+	if !crashed {
+		t.Fatal("victim never reached the critical section; pick another seed")
+	}
+	for _, n := range nodes {
+		if n.id != victim && !n.Done() {
+			t.Fatalf("node %d wedged by the crashed holder (entries %d, retries %d)",
+				n.id, n.Entries, n.Retries)
+		}
+	}
+}
+
+// TestRestartedHolderResumesWorkload: a holder that crashes and restarts
+// abandons the interrupted critical section (the history layer counts it
+// as truncated) and completes the rest of its workload.
+func TestRestartedHolderResumesWorkload(t *testing.T) {
+	sys := htgrid.Auto(3, 3)
+	net := cluster.New(cluster.WithSeed(7), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
+	g := &guard{t: t}
+	const victim = cluster.NodeID(4)
+	crashed := false
+	var nodes []*Node
+	for i := 0; i < sys.Universe(); i++ {
+		id := cluster.NodeID(i)
+		n, err := NewNode(id, Config{
+			System:       sys,
+			RetryTimeout: 100 * time.Millisecond,
+			Workload:     Workload{Count: 3, Hold: 2 * time.Millisecond, Think: 5 * time.Millisecond},
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				g.acquire(id, at)
+				if id == victim && !crashed {
+					crashed = true
+					net.Crash(victim)
+					g.holding = false
+				}
+			},
+			OnRelease: g.release,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(30 * time.Second)
+	if !crashed {
+		t.Fatal("victim never reached the critical section; pick another seed")
+	}
+	net.Restart(victim)
+	net.Run(net.Now() + 2*time.Minute)
+	for _, n := range nodes {
+		if !n.Done() {
+			t.Fatalf("node %d did not finish after restart (entries %d)", n.id, n.Entries)
+		}
+	}
+	// The victim's interrupted acquisition is abandoned, not redone: it
+	// entered once before the crash and twice after.
+	if nodes[victim].Entries != 3 {
+		t.Fatalf("victim entries %d, want 3", nodes[victim].Entries)
+	}
+}
+
+// TestAcquireDeadlineFailsTyped: an isolated requester gives up at its
+// AcquireDeadline with quorum.ErrNoQuorum (every quorum needs unreachable
+// members), keeps going with the rest of its workload, and still counts as
+// Done.
+func TestAcquireDeadlineFailsTyped(t *testing.T) {
+	sys := htgrid.Auto(3, 3)
+	net := cluster.New(cluster.WithSeed(19), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
+	const deadline = 3 * time.Second
+	var fails []error
+	var failAt []time.Duration
+	n, err := NewNode(0, Config{
+		System:          sys,
+		RetryTimeout:    100 * time.Millisecond,
+		AcquireDeadline: deadline,
+		Workload:        Workload{Count: 2, Hold: 2 * time.Millisecond, Think: 5 * time.Millisecond},
+		OnAcquire:       func(cluster.NodeID, time.Duration) { t.Fatal("acquired across a partition") },
+		OnFail: func(_ cluster.NodeID, at time.Duration, err error) {
+			fails = append(fails, err)
+			failAt = append(failAt, at)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.AddNode(0, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < sys.Universe(); i++ {
+		arb, err := NewNode(cluster.NodeID(i), Config{System: sys})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), arb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := n.Start(net); err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Partition([]cluster.NodeID{0}, []cluster.NodeID{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(time.Minute)
+	if len(fails) != 2 {
+		t.Fatalf("OnFail called %d times, want 2", len(fails))
+	}
+	for i, err := range fails {
+		if !errors.Is(err, quorum.ErrNoQuorum) {
+			t.Fatalf("failure %d: %v, want ErrNoQuorum", i, err)
+		}
+	}
+	if !n.Done() {
+		t.Fatal("workload not Done after deadline failures")
+	}
+	if took := failAt[0]; took > deadline+10*time.Millisecond {
+		t.Fatalf("first failure at %v, deadline %v", took, deadline)
 	}
 }

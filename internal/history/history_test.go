@@ -1,0 +1,259 @@
+package history
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func ms(d int) time.Duration { return time.Duration(d) * time.Millisecond }
+
+func completed(client int, kind Kind, value string, invoke, ret int) Op {
+	return Op{Client: client, Kind: kind, Value: value, Invoke: ms(invoke), Return: ms(ret), Completed: true}
+}
+
+func pending(client int, kind Kind, value string, invoke int) Op {
+	return Op{Client: client, Kind: kind, Value: value, Invoke: ms(invoke)}
+}
+
+func TestSequentialHistoryLinearizable(t *testing.T) {
+	ops := []Op{
+		completed(0, KindWrite, "a", 0, 1),
+		completed(1, KindRead, "a", 2, 3),
+		completed(0, KindWrite, "b", 4, 5),
+		completed(2, KindRead, "b", 6, 7),
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialValueRead(t *testing.T) {
+	ops := []Op{
+		completed(1, KindRead, "", 0, 1),
+		completed(0, KindWrite, "a", 2, 3),
+		completed(1, KindRead, "a", 4, 5),
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaleReadViolation(t *testing.T) {
+	// The write completed before the read began, yet the read returned the
+	// initial value: not linearizable.
+	ops := []Op{
+		completed(0, KindWrite, "a", 0, 1),
+		completed(1, KindRead, "", 2, 3),
+	}
+	err := CheckRegister(ops)
+	var v *RegisterViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("want RegisterViolation, got %v", err)
+	}
+	if len(v.Stuck) == 0 {
+		t.Fatal("violation carries no diagnostics")
+	}
+}
+
+func TestReadInversionViolation(t *testing.T) {
+	// Classic inversion: a later read observes an older value than an
+	// earlier, non-overlapping read. The write is still pending, so it may
+	// linearize anywhere after its invocation — but read r1 pins it before
+	// ms(2), and r2 (after r1) returning the initial value contradicts it.
+	ops := []Op{
+		pending(0, KindWrite, "new", 0),
+		completed(1, KindRead, "new", 1, 2),
+		completed(2, KindRead, "", 3, 4),
+	}
+	if err := CheckRegister(ops); err == nil {
+		t.Fatal("read inversion accepted")
+	}
+}
+
+func TestConcurrentOpsAnyOrder(t *testing.T) {
+	// Two overlapping writes and an overlapping read: some order works.
+	ops := []Op{
+		completed(0, KindWrite, "x", 0, 10),
+		completed(1, KindWrite, "y", 0, 10),
+		completed(2, KindRead, "x", 0, 10),
+		completed(3, KindRead, "y", 11, 12),
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPendingWriteMayOrMayNotTakeEffect(t *testing.T) {
+	base := pending(0, KindWrite, "maybe", 0)
+	if err := CheckRegister([]Op{base, completed(1, KindRead, "", 1, 2)}); err != nil {
+		t.Fatalf("pending write forced to take effect: %v", err)
+	}
+	if err := CheckRegister([]Op{base, completed(1, KindRead, "maybe", 1, 2)}); err != nil {
+		t.Fatalf("pending write forbidden from taking effect: %v", err)
+	}
+	// A pending write can even take effect long after later completed ops.
+	ops := []Op{
+		base,
+		completed(1, KindWrite, "solid", 1, 2),
+		completed(2, KindRead, "solid", 3, 4),
+		completed(2, KindRead, "maybe", 5, 6),
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatalf("late-effect pending write rejected: %v", err)
+	}
+}
+
+func TestPendingReadIgnored(t *testing.T) {
+	ops := []Op{
+		completed(0, KindWrite, "a", 0, 1),
+		pending(1, KindRead, "", 0),
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDuplicateWriteValuesRejected(t *testing.T) {
+	ops := []Op{
+		completed(0, KindWrite, "dup", 0, 1),
+		completed(1, KindWrite, "dup", 2, 3),
+	}
+	if err := CheckRegister(ops); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("duplicate write values accepted: %v", err)
+	}
+}
+
+func TestReadOfUnwrittenValue(t *testing.T) {
+	err := CheckRegister([]Op{completed(0, KindRead, "ghost", 0, 1)})
+	var v *RegisterViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("phantom read accepted: %v", err)
+	}
+}
+
+func TestMisleadingOrderHintsHarmless(t *testing.T) {
+	// Order is a search heuristic only: reversed hints must not change the
+	// verdict in either direction.
+	good := []Op{
+		{Client: 0, Kind: KindWrite, Value: "a", Order: 9, Invoke: ms(0), Return: ms(1), Completed: true},
+		{Client: 1, Kind: KindWrite, Value: "b", Order: 1, Invoke: ms(2), Return: ms(3), Completed: true},
+		completed(2, KindRead, "b", 4, 5),
+	}
+	if err := CheckRegister(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Op{
+		{Client: 0, Kind: KindWrite, Value: "a", Order: 1, Invoke: ms(0), Return: ms(1), Completed: true},
+		completed(2, KindRead, "", 2, 3),
+	}
+	if err := CheckRegister(bad); err == nil {
+		t.Fatal("bad history accepted under hint ordering")
+	}
+}
+
+func TestRegisterRecorder(t *testing.T) {
+	r := NewRegister()
+	r.Invoke(0, KindWrite, "v1", ms(0))
+	r.Complete(0, "", 7, ms(2))
+	r.Invoke(1, KindRead, "", ms(3))
+	r.Complete(1, "v1", 7, ms(4))
+	r.Invoke(2, KindWrite, "lost", ms(5))
+	r.Fail(2, ms(6))
+	r.Invoke(2, KindWrite, "v2", ms(7)) // restart: new op while old one pending
+	ops := r.Ops()
+	if len(ops) != 4 {
+		t.Fatalf("recorded %d ops, want 4", len(ops))
+	}
+	if !ops[0].Completed || ops[0].Order != 7 {
+		t.Fatalf("write not completed with order: %+v", ops[0])
+	}
+	if ops[1].Value != "v1" {
+		t.Fatalf("read value %q", ops[1].Value)
+	}
+	if ops[2].Completed || ops[3].Completed {
+		t.Fatal("failed/open ops must stay pending")
+	}
+	if err := CheckRegister(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutexOverlap(t *testing.T) {
+	m := NewMutex()
+	m.Acquire(1, ms(0))
+	m.Release(1, ms(10))
+	m.Acquire(2, ms(5)) // overlaps node 1
+	m.Release(2, ms(7))
+	vs := m.Check(ms(100))
+	if len(vs) != 1 {
+		t.Fatalf("violations %v, want 1", vs)
+	}
+}
+
+func TestMutexShortIntervalDoesNotMaskLongOne(t *testing.T) {
+	// A long hold, then a short contained hold, then a third overlapping
+	// only the long one: adjacent-pair checking would miss it.
+	ivs := []HoldInterval{
+		{Node: 1, Acquire: ms(0), Release: ms(100), Released: true},
+		{Node: 2, Acquire: ms(1), Release: ms(2), Released: true},
+		{Node: 3, Acquire: ms(50), Release: ms(60), Released: true},
+	}
+	if vs := CheckMutex(ivs); len(vs) != 2 {
+		t.Fatalf("violations %v, want 2", vs)
+	}
+}
+
+func TestMutexCrashTruncates(t *testing.T) {
+	m := NewMutex()
+	m.Acquire(1, ms(0))
+	m.Crash(1, ms(5)) // dead holder: the lock is logically free
+	m.Acquire(2, ms(8))
+	m.Release(2, ms(9))
+	if vs := m.Check(ms(100)); len(vs) != 0 {
+		t.Fatalf("crash truncation failed: %v", vs)
+	}
+}
+
+func TestMutexTouchingEndpointsOK(t *testing.T) {
+	ivs := []HoldInterval{
+		{Node: 1, Acquire: ms(0), Release: ms(5), Released: true},
+		{Node: 2, Acquire: ms(5), Release: ms(9), Released: true},
+	}
+	if vs := CheckMutex(ivs); len(vs) != 0 {
+		t.Fatalf("touching endpoints flagged: %v", vs)
+	}
+}
+
+func TestMutexStructuralFaults(t *testing.T) {
+	m := NewMutex()
+	m.Acquire(1, ms(0))
+	m.Acquire(1, ms(2)) // double acquire
+	m.Release(1, ms(3))
+	m.Release(2, ms(4)) // release without hold
+	if vs := m.Check(ms(10)); len(vs) < 2 {
+		t.Fatalf("structural faults missed: %v", vs)
+	}
+}
+
+func TestMutexOpenIntervalAtHorizon(t *testing.T) {
+	m := NewMutex()
+	m.Acquire(1, ms(0)) // never released
+	m.Acquire(2, ms(5))
+	m.Release(2, ms(6))
+	if vs := m.Check(ms(100)); len(vs) != 1 {
+		t.Fatalf("open interval overlap missed: %v", vs)
+	}
+}
+
+func TestSpanOf(t *testing.T) {
+	ops := []Op{
+		completed(0, KindWrite, "a", 3, 9),
+		pending(1, KindWrite, "b", 1),
+	}
+	from, to := SpanOf(ops)
+	if from != ms(1) || to != ms(9) {
+		t.Fatalf("span [%v..%v]", from, to)
+	}
+}

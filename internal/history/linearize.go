@@ -1,0 +1,294 @@
+// Register-linearizability checking: a Wing–Gong style search specialized
+// to read/write registers with unique write values, the shape of history
+// the rkv protocol produces (every write value is distinct, and versions
+// give a search-ordering hint). See DESIGN.md for the algorithm and its
+// complexity bound.
+package history
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// ErrUndecided is returned when the search exceeds its state budget
+// without a verdict (it never triggers on the histories the nemesis
+// scenarios produce, but the bound keeps adversarial input from running
+// forever).
+var ErrUndecided = errors.New("history: linearizability search exceeded state budget")
+
+// DefaultStateLimit bounds the number of distinct memoized search states.
+const DefaultStateLimit = 1 << 20
+
+// CheckRegister reports whether the history is linearizable with respect
+// to a single read/write register with initial value "". It returns nil
+// when a linearization exists, a *RegisterViolation when none does, and
+// ErrUndecided if the search state budget is exhausted.
+//
+// Preconditions: write values must be unique ("" is reserved for the
+// initial value). Pending operations (crashed or failed clients) are
+// handled per Wing–Gong: a pending write may take effect at any point
+// after its invocation or never; pending reads are ignored.
+func CheckRegister(ops []Op) error { return CheckRegisterLimited(ops, DefaultStateLimit) }
+
+// RegisterViolation describes a non-linearizable history.
+type RegisterViolation struct {
+	// Reason is a human-readable diagnosis.
+	Reason string
+	// Stuck lists the completed operations the best search frontier could
+	// not linearize.
+	Stuck []Op
+}
+
+// Error implements error.
+func (v *RegisterViolation) Error() string {
+	if len(v.Stuck) == 0 {
+		return "history: not linearizable: " + v.Reason
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "history: not linearizable: %s; unplaceable ops:", v.Reason)
+	for _, o := range v.Stuck {
+		fmt.Fprintf(&b, "\n  %v", o)
+	}
+	return b.String()
+}
+
+// linOp is the checker's working form of an operation.
+type linOp struct {
+	Op
+	idx    int // index in the working slice
+	writer int // for reads: index of the matching write, -1 for initial
+}
+
+// CheckRegisterLimited is CheckRegister with an explicit state budget.
+func CheckRegisterLimited(ops []Op, stateLimit int) error {
+	// Working set: completed ops plus pending writes; pending reads carry
+	// no information.
+	var work []linOp
+	for _, o := range ops {
+		if !o.Completed && o.Kind == KindRead {
+			continue
+		}
+		work = append(work, linOp{Op: o, idx: len(work)})
+	}
+	// Unique-value precondition and read/write matching.
+	writeByValue := make(map[string]int)
+	for _, o := range work {
+		if o.Kind != KindWrite {
+			continue
+		}
+		if o.Value == "" {
+			return fmt.Errorf("history: write of reserved initial value %q", "")
+		}
+		if prev, dup := writeByValue[o.Value]; dup {
+			return fmt.Errorf("history: duplicate write value %q (ops %v and %v)", o.Value, work[prev], o.Op)
+		}
+		writeByValue[o.Value] = o.idx
+	}
+	for i := range work {
+		o := &work[i]
+		if o.Kind != KindRead {
+			continue
+		}
+		if o.Value == "" {
+			o.writer = -1
+			continue
+		}
+		w, ok := writeByValue[o.Value]
+		if !ok {
+			return &RegisterViolation{
+				Reason: fmt.Sprintf("read returned %q, which no operation wrote", o.Value),
+				Stuck:  []Op{o.Op},
+			}
+		}
+		o.writer = w
+	}
+	if len(work) == 0 {
+		return nil
+	}
+	s := &linSearch{ops: work, stateLimit: stateLimit, seen: make(map[string]bool)}
+	s.best = make([]bool, len(work))
+	// Order candidate writes by version hint (then invocation) — the
+	// protocol linearizes writes in version order almost always, so trying
+	// that order first makes the search effectively linear.
+	for _, o := range work {
+		if o.Kind == KindWrite {
+			s.writes = append(s.writes, o.idx)
+		}
+	}
+	sort.Slice(s.writes, func(a, b int) bool {
+		oa, ob := s.ops[s.writes[a]], s.ops[s.writes[b]]
+		if oa.Order != ob.Order {
+			return oa.Order < ob.Order
+		}
+		return oa.Invoke < ob.Invoke
+	})
+	done := make([]bool, len(work))
+	if s.dfs(done, -1, 0) {
+		return nil
+	}
+	if s.overBudget {
+		return ErrUndecided
+	}
+	var stuck []Op
+	for i, o := range s.ops {
+		if o.Completed && !s.best[i] {
+			stuck = append(stuck, o.Op)
+		}
+	}
+	return &RegisterViolation{
+		Reason: fmt.Sprintf("no valid order for %d of %d operations", len(stuck), len(work)),
+		Stuck:  stuck,
+	}
+}
+
+type linSearch struct {
+	ops        []linOp
+	writes     []int // write indices in version-hint order
+	seen       map[string]bool
+	stateLimit int
+	overBudget bool
+	best       []bool // deepest frontier reached (for diagnostics)
+	bestDone   int
+}
+
+// allowed reports whether op i may be linearized next: no other completed,
+// not-yet-linearized operation finished strictly before i was invoked.
+func (s *linSearch) allowed(done []bool, i int) bool {
+	inv := s.ops[i].Invoke
+	for j := range s.ops {
+		if j == i || done[j] || !s.ops[j].Completed {
+			continue
+		}
+		if s.ops[j].Return < inv {
+			return false
+		}
+	}
+	return true
+}
+
+// dfs tries to linearize the remaining operations given that the register
+// currently holds the value written by op `last` (-1 = initial "").
+// `done` is mutated in place and restored on backtrack; `ndone` counts
+// linearized completed ops.
+func (s *linSearch) dfs(done []bool, last int, ndone int) bool {
+	// Greedy closure: a read matching the current value that is allowed
+	// now must be linearized before the next write anyway (values are
+	// unique, so the register never returns to a previous value), and
+	// linearizing it early only relaxes real-time constraints. So take
+	// all such reads without branching.
+	var taken []int
+	for {
+		progress := false
+		for i := range s.ops {
+			o := &s.ops[i]
+			if done[i] || o.Kind != KindRead || o.writer != last {
+				continue
+			}
+			if !s.allowed(done, i) {
+				continue
+			}
+			done[i] = true
+			taken = append(taken, i)
+			ndone++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	undo := func() {
+		for _, i := range taken {
+			done[i] = false
+		}
+	}
+
+	if ndone > s.bestDone {
+		s.bestDone = ndone
+		s.best = append([]bool(nil), done...)
+	}
+	if s.completeDone(done) {
+		return true
+	}
+	key := s.key(done, last)
+	if s.seen[key] {
+		undo()
+		return false
+	}
+	if len(s.seen) >= s.stateLimit {
+		s.overBudget = true
+		undo()
+		return false
+	}
+	s.seen[key] = true
+
+	// Branch on the next write, version-hint order first.
+	for _, w := range s.writes {
+		if done[w] || !s.allowed(done, w) {
+			continue
+		}
+		done[w] = true
+		if s.dfs(done, w, ndone+boolToInt(s.ops[w].Completed)) {
+			return true
+		}
+		done[w] = false
+	}
+	undo()
+	return false
+}
+
+// completeDone reports whether every completed operation is linearized.
+func (s *linSearch) completeDone(done []bool) bool {
+	for i, o := range s.ops {
+		if o.Completed && !done[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// key canonicalizes a search state. The linearized set alone does not
+// determine the register value (it says which writes happened, not which
+// was last), so the last write is part of the key.
+func (s *linSearch) key(done []bool, last int) string {
+	b := make([]byte, (len(done)+7)/8+4)
+	for i, d := range done {
+		if d {
+			b[i/8] |= 1 << (i % 8)
+		}
+	}
+	n := len(done) / 8
+	if len(done)%8 != 0 {
+		n++
+	}
+	b[n] = byte(last)
+	b[n+1] = byte(last >> 8)
+	b[n+2] = byte(last >> 16)
+	b[n+3] = byte(last >> 24)
+	return string(b[:n+4])
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// SpanOf returns the real-time span [first invoke, last return] covered by
+// a history — handy for choosing simulation horizons in tests.
+func SpanOf(ops []Op) (from, to time.Duration) {
+	first := true
+	for _, o := range ops {
+		if first || o.Invoke < from {
+			from = o.Invoke
+		}
+		if o.Completed && o.Return > to {
+			to = o.Return
+		}
+		first = false
+	}
+	return from, to
+}

@@ -1,0 +1,143 @@
+// Mutual-exclusion checking: hold intervals recorded from dmutex hooks
+// must never overlap. A crash while holding truncates the interval at the
+// crash instant (the holder is dead; its lock is reclaimable), which is
+// exactly the event a nemesis schedule reports to the recorder.
+package history
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// HoldInterval is one critical-section occupancy.
+type HoldInterval struct {
+	Node    int
+	Acquire time.Duration
+	Release time.Duration
+	// Released distinguishes a clean release from a truncation (crash, or
+	// still holding at the end of the run).
+	Released bool
+}
+
+func (h HoldInterval) String() string {
+	end := fmt.Sprintf("%v", h.Release)
+	if !h.Released {
+		end += " (truncated)"
+	}
+	return fmt.Sprintf("node %d held [%v..%s]", h.Node, h.Acquire, end)
+}
+
+// MutexViolation is a pair of overlapping hold intervals (or a structural
+// fault such as a double acquire).
+type MutexViolation struct {
+	A, B   HoldInterval
+	Reason string
+}
+
+// Error implements error.
+func (v MutexViolation) Error() string {
+	return fmt.Sprintf("history: mutual exclusion violated: %s: %v overlaps %v", v.Reason, v.A, v.B)
+}
+
+// Mutex records lock hold intervals, one open interval per node.
+type Mutex struct {
+	intervals []HoldInterval
+	open      map[int]int // node -> index into intervals
+	faults    []MutexViolation
+}
+
+// NewMutex returns an empty mutex history recorder.
+func NewMutex() *Mutex {
+	return &Mutex{open: make(map[int]int)}
+}
+
+// Acquire records a critical-section entry.
+func (m *Mutex) Acquire(node int, at time.Duration) {
+	if i, ok := m.open[node]; ok {
+		// Double acquire without release: structurally broken. Close the
+		// stale interval and flag it.
+		m.intervals[i].Release = at
+		prev := m.intervals[i]
+		m.faults = append(m.faults, MutexViolation{
+			A: prev, B: HoldInterval{Node: node, Acquire: at},
+			Reason: fmt.Sprintf("node %d acquired twice without releasing", node),
+		})
+	}
+	m.open[node] = len(m.intervals)
+	m.intervals = append(m.intervals, HoldInterval{Node: node, Acquire: at})
+}
+
+// Release records a clean critical-section exit.
+func (m *Mutex) Release(node int, at time.Duration) {
+	i, ok := m.open[node]
+	if !ok {
+		m.faults = append(m.faults, MutexViolation{
+			A:      HoldInterval{Node: node, Acquire: at, Release: at},
+			Reason: fmt.Sprintf("node %d released without holding", node),
+		})
+		return
+	}
+	delete(m.open, node)
+	m.intervals[i].Release = at
+	m.intervals[i].Released = true
+}
+
+// Crash truncates the node's open hold interval (if any) at the crash
+// instant: a dead holder excludes nobody.
+func (m *Mutex) Crash(node int, at time.Duration) {
+	i, ok := m.open[node]
+	if !ok {
+		return
+	}
+	delete(m.open, node)
+	m.intervals[i].Release = at
+}
+
+// Intervals returns the recorded history, closing still-open intervals at
+// the given horizon.
+func (m *Mutex) Intervals(horizon time.Duration) []HoldInterval {
+	out := make([]HoldInterval, len(m.intervals))
+	copy(out, m.intervals)
+	for _, i := range m.open {
+		out[i].Release = horizon
+	}
+	return out
+}
+
+// Check returns every overlap (and structural fault) in the recorded
+// history; an empty result means mutual exclusion held throughout.
+func (m *Mutex) Check(horizon time.Duration) []MutexViolation {
+	out := append([]MutexViolation(nil), m.faults...)
+	return append(out, CheckMutex(m.Intervals(horizon))...)
+}
+
+// CheckMutex reports every pair of overlapping hold intervals. Touching
+// endpoints (release at the exact instant of the next acquire) do not
+// overlap.
+func CheckMutex(intervals []HoldInterval) []MutexViolation {
+	sorted := append([]HoldInterval(nil), intervals...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Acquire != sorted[j].Acquire {
+			return sorted[i].Acquire < sorted[j].Acquire
+		}
+		return sorted[i].Node < sorted[j].Node
+	})
+	var out []MutexViolation
+	for i := 1; i < len(sorted); i++ {
+		// Compare against the longest-reaching earlier interval, not just
+		// the immediate predecessor (a short interval in between must not
+		// mask an overlap with a long one). Any overlap with an earlier
+		// interval implies an overlap with the longest one.
+		longest := sorted[0]
+		for j := 1; j < i; j++ {
+			if sorted[j].Release > longest.Release {
+				longest = sorted[j]
+			}
+		}
+		if sorted[i].Acquire < longest.Release {
+			out = append(out, MutexViolation{A: longest, B: sorted[i], Reason: "concurrent holders"})
+		}
+	}
+	return out
+}

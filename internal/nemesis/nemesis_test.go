@@ -1,0 +1,175 @@
+package nemesis
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/rkv"
+)
+
+// TestSchedulesWellFormed: every stock schedule validates, keeps all
+// actions inside its horizon, and ends with the cluster fully recovered
+// (every crash matched by a restart, every partition healed).
+func TestSchedulesWellFormed(t *testing.T) {
+	for _, n := range []int{9, 16} {
+		scheds := append(DefaultSchedules(n), ColumnCut(4, 4))
+		for _, s := range scheds {
+			if err := s.Validate(); err != nil {
+				t.Errorf("n=%d %s: %v", n, s.Name, err)
+			}
+			down := map[cluster.NodeID]bool{}
+			partitioned := false
+			for _, a := range s.Actions {
+				for _, id := range a.Crash {
+					if down[id] {
+						t.Errorf("n=%d %s: node %d crashed twice without restart", n, s.Name, id)
+					}
+					down[id] = true
+				}
+				for _, id := range a.Restart {
+					if !down[id] {
+						t.Errorf("n=%d %s: node %d restarted while up", n, s.Name, id)
+					}
+					delete(down, id)
+				}
+				if a.Heal {
+					partitioned = false
+				}
+				if len(a.Partition) > 0 {
+					partitioned = true
+				}
+			}
+			if len(down) > 0 {
+				t.Errorf("n=%d %s: schedule ends with crashed nodes %v", n, s.Name, down)
+			}
+			if partitioned {
+				t.Errorf("n=%d %s: schedule ends partitioned", n, s.Name)
+			}
+		}
+	}
+}
+
+// TestApplyRejectsOverlappingPartition: a malformed schedule is rejected
+// up front and registers nothing.
+func TestApplyRejectsOverlappingPartition(t *testing.T) {
+	bad := Schedule{
+		Name: "bad",
+		Actions: []Action{
+			{At: time.Second, Partition: [][]cluster.NodeID{{0, 1}, {1, 2}}},
+		},
+		Horizon: 5 * time.Second,
+	}
+	if err := Apply(cluster.New(), bad, nil); err == nil {
+		t.Fatal("overlapping partition groups not rejected")
+	}
+	late := Schedule{
+		Name:    "late",
+		Actions: []Action{{At: 6 * time.Second, Heal: true}},
+		Horizon: 5 * time.Second,
+	}
+	if err := Apply(cluster.New(), late, nil); err == nil {
+		t.Fatal("action past horizon not rejected")
+	}
+}
+
+// TestRunRKVFaultFree: with an empty schedule every operation completes
+// and the history is linearizable.
+func TestRunRKVFaultFree(t *testing.T) {
+	res, err := RunRKV(RKVRun{
+		Store:    rkv.HGridStore{H: hgrid.Auto(4, 4)},
+		Seed:     1,
+		Schedule: Schedule{Name: "calm", Horizon: 5 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("fault-free history not linearizable: %v", res.Err)
+	}
+	if want := 16 * 6; res.Completed != want || res.Failed != 0 || res.Pending != 0 {
+		t.Fatalf("completed=%d failed=%d pending=%d, want %d/0/0",
+			res.Completed, res.Failed, res.Pending, want)
+	}
+}
+
+// TestRunRKVColumnCut: the full-line-killing partition makes writes fail
+// with typed errors, but the history stays linearizable and the cluster
+// finishes its workload after the heal.
+func TestRunRKVColumnCut(t *testing.T) {
+	res, err := RunRKV(RKVRun{
+		Store:    rkv.HGridStore{H: hgrid.Auto(4, 4)},
+		Seed:     3,
+		Schedule: ColumnCut(4, 4),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("column-cut history not linearizable: %v", res.Err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+}
+
+// TestRunMutexCrashStorm: correlated crashes (including holders) must not
+// produce overlapping holds, and the survivors keep entering.
+func TestRunMutexCrashStorm(t *testing.T) {
+	res, err := RunMutex(MutexRun{
+		System:   htgrid.Auto(3, 3),
+		Seed:     5,
+		Schedule: CrashStorm(9),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("mutual exclusion violated: %v", res.Violations[0])
+	}
+	if res.Entries == 0 {
+		t.Fatal("no critical sections entered")
+	}
+}
+
+// TestSweepDeterministic: the same sweep produces byte-identical
+// summaries — chaos results are diffable artifacts.
+func TestSweepDeterministic(t *testing.T) {
+	store := rkv.HGridStore{H: hgrid.Auto(4, 4)}
+	cases := []RKVCase{{
+		Name:      "h-grid-4x4",
+		Store:     store,
+		Schedules: []Schedule{CrashStorm(16), LinkFlap(16)},
+	}}
+	mcases := []MutexCase{{
+		Name:      "h-grid-3x3",
+		System:    htgrid.Auto(3, 3),
+		Schedules: []Schedule{RollingRestart(9)},
+	}}
+	opt := SweepOptions{Seeds: 3}
+	render := func() string {
+		sum, err := SweepRKV(cases, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		msum, err := SweepMutex(mcases, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Merge(msum)
+		if sum.Violations() != 0 {
+			t.Fatalf("sweep found violations:\n%s", sum)
+		}
+		return sum.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("summary not deterministic:\n--- first\n%s--- second\n%s", a, b)
+	}
+	if !strings.Contains(a, "crash-storm") || !strings.Contains(a, "rolling-restart") {
+		t.Fatalf("summary missing schedule lines:\n%s", a)
+	}
+}

@@ -1,0 +1,280 @@
+package nemesis
+
+import (
+	"fmt"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/dmutex"
+	"hquorum/internal/history"
+	"hquorum/internal/quorum"
+	"hquorum/internal/rkv"
+)
+
+// drainBudget bounds how long past the schedule horizon a runner keeps
+// the simulation going waiting for workloads to finish. Operations are
+// deadline-bounded, so a live cluster always drains well within it.
+const drainBudget = 60 * time.Second
+
+// drain advances the simulation in half-second slices until done reports
+// true or the budget runs out.
+func drain(net *cluster.Network, done func() bool, budget time.Duration) {
+	deadline := net.Now() + budget
+	for net.Now() < deadline && !done() {
+		net.Run(net.Now() + 500*time.Millisecond)
+	}
+}
+
+// window returns the schedule's active fault window: the time of its last
+// action plus recovery slack. Runners pace their workloads across it so
+// operations are in flight when faults land — a workload that finishes
+// before the first crash tests nothing.
+func window(s Schedule) time.Duration {
+	var last time.Duration
+	for _, a := range s.Actions {
+		if a.At > last {
+			last = a.At
+		}
+	}
+	return last + 2*time.Second
+}
+
+// RKVRun parameterizes one chaotic replicated-register run.
+type RKVRun struct {
+	Store    rkv.Store
+	Seed     int64
+	Schedule Schedule
+	// OpsPerNode is each node's workload length, alternating writes of
+	// globally unique values with reads (default 6).
+	OpsPerNode int
+	// Timeout is the per-attempt quorum patience (default 100ms).
+	Timeout time.Duration
+	// OpDeadline bounds each operation across retries (default 2s).
+	OpDeadline time.Duration
+	// StateLimit caps the linearizability search (default
+	// history.DefaultStateLimit).
+	StateLimit int
+}
+
+// RKVResult reports one chaotic register run.
+type RKVResult struct {
+	// Completed and Failed count operations that returned ok / with an
+	// error; Pending counts invocations with no return at all (crashed
+	// clients and the tail of failed ops — failed ops are "maybe" ops, so
+	// they also appear pending in the history).
+	Completed, Failed, Pending int
+	Messages, Dropped          uint64
+	// Ops is the recorded history.
+	Ops []history.Op
+	// Err is the linearizability verdict: nil, a
+	// *history.RegisterViolation, or history.ErrUndecided.
+	Err error
+}
+
+// RunRKV drives every node through an alternating write/read workload
+// while the schedule injects faults, then checks the recorded history for
+// linearizability. Write values are globally unique ("n<node>.<index>"),
+// which keeps the checker fast; reads use write-back so crashed writers
+// cannot cause read inversions.
+func RunRKV(r RKVRun) (RKVResult, error) {
+	if r.Store == nil {
+		return RKVResult{}, fmt.Errorf("nemesis: RunRKV needs a store")
+	}
+	if r.OpsPerNode <= 0 {
+		r.OpsPerNode = 6
+	}
+	if r.Timeout <= 0 {
+		r.Timeout = 100 * time.Millisecond
+	}
+	if r.OpDeadline <= 0 {
+		r.OpDeadline = 2 * time.Second
+	}
+	if r.StateLimit <= 0 {
+		r.StateLimit = history.DefaultStateLimit
+	}
+	univ := r.Store.Universe()
+	net := cluster.New(cluster.WithSeed(r.Seed))
+	rec := history.NewRegister()
+	var res RKVResult
+	gap := window(r.Schedule) / time.Duration(r.OpsPerNode)
+	nodes := make([]*rkv.Node, univ)
+	for i := 0; i < univ; i++ {
+		id := cluster.NodeID(i)
+		ops := make([]rkv.Op, r.OpsPerNode)
+		for k := range ops {
+			if k%2 == 0 {
+				ops[k] = rkv.Op{Kind: rkv.OpWrite, Value: fmt.Sprintf("n%d.%d", i, k)}
+			} else {
+				ops[k] = rkv.Op{Kind: rkv.OpRead}
+			}
+		}
+		node, err := rkv.NewNode(id, rkv.Config{
+			Store:         r.Store,
+			Ops:           ops,
+			Timeout:       r.Timeout,
+			OpDeadline:    r.OpDeadline,
+			OpGap:         gap,
+			ReadWriteback: true,
+			OnInvoke: func(node cluster.NodeID, kind rkv.OpKind, value string, at time.Duration) {
+				k := history.KindWrite
+				if kind == rkv.OpRead {
+					k = history.KindRead
+				}
+				rec.Invoke(int(node), k, value, at)
+			},
+			OnResult: func(rr rkv.Result) {
+				if rr.Err != nil {
+					res.Failed++
+					rec.Fail(int(rr.Node), rr.At)
+					return
+				}
+				res.Completed++
+				order := rr.Version.Counter<<8 | uint64(rr.Version.Writer)&0xff
+				rec.Complete(int(rr.Node), rr.Value, order, rr.At)
+			},
+		})
+		if err != nil {
+			return RKVResult{}, err
+		}
+		nodes[i] = node
+		if err := net.AddNode(id, node); err != nil {
+			return RKVResult{}, err
+		}
+		// Stagger starts across one gap so invocations are spread evenly
+		// over the fault window rather than arriving in lockstep.
+		if err := net.StartTimer(id, gap*time.Duration(i)/time.Duration(univ), node.StartToken()); err != nil {
+			return RKVResult{}, err
+		}
+	}
+	if err := Apply(net, r.Schedule, nil); err != nil {
+		return RKVResult{}, err
+	}
+	net.Run(r.Schedule.Horizon)
+	drain(net, func() bool {
+		for i, node := range nodes {
+			if net.Crashed(cluster.NodeID(i)) {
+				continue
+			}
+			if !node.Done() {
+				return false
+			}
+		}
+		return true
+	}, drainBudget)
+
+	res.Ops = rec.Ops()
+	for _, op := range res.Ops {
+		if !op.Completed {
+			res.Pending++
+		}
+	}
+	res.Messages, res.Dropped = net.Messages(), net.Dropped()
+	res.Err = history.CheckRegisterLimited(res.Ops, r.StateLimit)
+	return res, nil
+}
+
+// MutexRun parameterizes one chaotic distributed-lock run.
+type MutexRun struct {
+	System   quorum.System
+	Seed     int64
+	Schedule Schedule
+	// Count is each node's number of critical sections (default 2).
+	Count int
+	// RetryTimeout is the per-attempt patience (default 100ms); the
+	// node's grantee-probe and reclamation timers scale from it.
+	RetryTimeout time.Duration
+	// AcquireDeadline bounds each acquisition across retries (default 3s).
+	AcquireDeadline time.Duration
+}
+
+// MutexResult reports one chaotic lock run.
+type MutexResult struct {
+	// Entries counts critical sections entered; Failures counts
+	// acquisitions abandoned at their deadline.
+	Entries, Failures int
+	Messages, Dropped uint64
+	// Intervals is the recorded hold history (crash-truncated).
+	Intervals []history.HoldInterval
+	// Violations lists overlapping holds — mutual-exclusion breaches.
+	Violations []history.MutexViolation
+}
+
+// RunMutex drives every node through Count critical sections while the
+// schedule injects faults, then checks the recorded hold intervals for
+// overlap. Crashes truncate the victim's hold at the crash instant, so a
+// crashed holder is not blamed for the reclaimed grant that follows.
+func RunMutex(r MutexRun) (MutexResult, error) {
+	if r.System == nil {
+		return MutexResult{}, fmt.Errorf("nemesis: RunMutex needs a quorum system")
+	}
+	if r.Count <= 0 {
+		r.Count = 2
+	}
+	if r.RetryTimeout <= 0 {
+		r.RetryTimeout = 100 * time.Millisecond
+	}
+	if r.AcquireDeadline <= 0 {
+		r.AcquireDeadline = 3 * time.Second
+	}
+	univ := r.System.Universe()
+	net := cluster.New(cluster.WithSeed(r.Seed))
+	rec := history.NewMutex()
+	var res MutexResult
+	think := window(r.Schedule) / time.Duration(r.Count)
+	nodes := make([]*dmutex.Node, univ)
+	for i := 0; i < univ; i++ {
+		id := cluster.NodeID(i)
+		node, err := dmutex.NewNode(id, dmutex.Config{
+			System:          r.System,
+			RetryTimeout:    r.RetryTimeout,
+			AcquireDeadline: r.AcquireDeadline,
+			Workload:        dmutex.Workload{Count: r.Count, Hold: 2 * time.Millisecond, Think: think},
+			OnAcquire: func(id cluster.NodeID, at time.Duration) {
+				rec.Acquire(int(id), at)
+			},
+			OnRelease: func(id cluster.NodeID, at time.Duration) {
+				rec.Release(int(id), at)
+			},
+			OnFail: func(id cluster.NodeID, at time.Duration, err error) {
+				res.Failures++
+			},
+		})
+		if err != nil {
+			return MutexResult{}, err
+		}
+		nodes[i] = node
+		if err := net.AddNode(id, node); err != nil {
+			return MutexResult{}, err
+		}
+		// Stagger starts across one think period so acquisitions spread
+		// over the fault window instead of arriving in lockstep.
+		if err := net.StartTimer(id, think*time.Duration(i)/time.Duration(univ), node.StartToken()); err != nil {
+			return MutexResult{}, err
+		}
+	}
+	if err := Apply(net, r.Schedule, func(id cluster.NodeID, at time.Duration) {
+		rec.Crash(int(id), at)
+	}); err != nil {
+		return MutexResult{}, err
+	}
+	net.Run(r.Schedule.Horizon)
+	drain(net, func() bool {
+		for i, node := range nodes {
+			if net.Crashed(cluster.NodeID(i)) {
+				continue
+			}
+			if !node.Done() {
+				return false
+			}
+		}
+		return true
+	}, drainBudget)
+
+	for _, node := range nodes {
+		res.Entries += node.Entries
+	}
+	res.Messages, res.Dropped = net.Messages(), net.Dropped()
+	res.Intervals = rec.Intervals(net.Now())
+	res.Violations = rec.Check(net.Now())
+	return res, nil
+}

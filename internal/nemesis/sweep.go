@@ -1,0 +1,185 @@
+package nemesis
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hquorum/internal/history"
+	"hquorum/internal/quorum"
+	"hquorum/internal/rkv"
+)
+
+// RKVCase names a register configuration to sweep, with the schedules to
+// run it under.
+type RKVCase struct {
+	Name      string
+	Store     rkv.Store
+	Schedules []Schedule
+}
+
+// MutexCase names a lock configuration to sweep, with the schedules to
+// run it under.
+type MutexCase struct {
+	Name      string
+	System    quorum.System
+	Schedules []Schedule
+}
+
+// SweepOptions parameterizes a sweep. Zero values pick the runner
+// defaults; Seeds defaults to 20 starting at SeedBase 1.
+type SweepOptions struct {
+	Seeds      int
+	SeedBase   int64
+	OpsPerNode int // register workload length per node
+	Count      int // lock critical sections per node
+	StateLimit int // linearizability search budget
+}
+
+func (o *SweepOptions) fill() {
+	if o.Seeds <= 0 {
+		o.Seeds = 20
+	}
+	if o.SeedBase == 0 {
+		o.SeedBase = 1
+	}
+}
+
+// Line aggregates one (protocol, case, schedule) cell of a sweep over all
+// its seeds. For the register, Completed/Failed/Pending count operations
+// and Undecided counts runs whose linearizability search exceeded its
+// budget; for the lock, Completed counts critical-section entries and
+// Failed abandoned acquisitions. Violations counts runs with a safety
+// breach; FirstViolation describes the first one (seed included) so a
+// red sweep is immediately reproducible.
+type Line struct {
+	Proto, Case, Schedule      string
+	Runs                       int
+	Completed, Failed, Pending int
+	Undecided, Violations      int
+	FirstViolation             string
+}
+
+// Summary is a deterministic sweep report: same cases, schedules and
+// seeds always produce byte-identical String output.
+type Summary struct {
+	Lines []Line
+}
+
+// Violations sums safety breaches across all lines.
+func (s *Summary) Violations() int {
+	total := 0
+	for _, l := range s.Lines {
+		total += l.Violations
+	}
+	return total
+}
+
+// Undecided sums budget-exceeded checker runs across all lines.
+func (s *Summary) Undecided() int {
+	total := 0
+	for _, l := range s.Lines {
+		total += l.Undecided
+	}
+	return total
+}
+
+// Merge appends another summary's lines.
+func (s *Summary) Merge(o *Summary) {
+	s.Lines = append(s.Lines, o.Lines...)
+}
+
+// String renders the report, one line per (protocol, case, schedule).
+func (s *Summary) String() string {
+	var b strings.Builder
+	for _, l := range s.Lines {
+		switch l.Proto {
+		case "mutex":
+			fmt.Fprintf(&b, "%-5s %-14s %-18s seeds=%-4d entries=%-6d failures=%-5d violations=%d\n",
+				l.Proto, l.Case, l.Schedule, l.Runs, l.Completed, l.Failed, l.Violations)
+		default:
+			fmt.Fprintf(&b, "%-5s %-14s %-18s seeds=%-4d ok=%-6d failed=%-5d pending=%-5d undecided=%-3d violations=%d\n",
+				l.Proto, l.Case, l.Schedule, l.Runs, l.Completed, l.Failed, l.Pending, l.Undecided, l.Violations)
+		}
+		if l.FirstViolation != "" {
+			fmt.Fprintf(&b, "      first: %s\n", l.FirstViolation)
+		}
+	}
+	return b.String()
+}
+
+// SweepRKV runs every (case, schedule, seed) register combination and
+// aggregates the outcomes.
+func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
+	opt.fill()
+	sum := &Summary{}
+	for _, c := range cases {
+		for _, sched := range c.Schedules {
+			line := Line{Proto: "rkv", Case: c.Name, Schedule: sched.Name}
+			for si := 0; si < opt.Seeds; si++ {
+				seed := opt.SeedBase + int64(si)
+				res, err := RunRKV(RKVRun{
+					Store:      c.Store,
+					Seed:       seed,
+					Schedule:   sched,
+					OpsPerNode: opt.OpsPerNode,
+					StateLimit: opt.StateLimit,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)
+				}
+				line.Runs++
+				line.Completed += res.Completed
+				line.Failed += res.Failed
+				line.Pending += res.Pending
+				switch {
+				case res.Err == nil:
+				case errors.Is(res.Err, history.ErrUndecided):
+					line.Undecided++
+				default:
+					line.Violations++
+					if line.FirstViolation == "" {
+						line.FirstViolation = fmt.Sprintf("seed %d: %v", seed, res.Err)
+					}
+				}
+			}
+			sum.Lines = append(sum.Lines, line)
+		}
+	}
+	return sum, nil
+}
+
+// SweepMutex runs every (case, schedule, seed) lock combination and
+// aggregates the outcomes.
+func SweepMutex(cases []MutexCase, opt SweepOptions) (*Summary, error) {
+	opt.fill()
+	sum := &Summary{}
+	for _, c := range cases {
+		for _, sched := range c.Schedules {
+			line := Line{Proto: "mutex", Case: c.Name, Schedule: sched.Name}
+			for si := 0; si < opt.Seeds; si++ {
+				seed := opt.SeedBase + int64(si)
+				res, err := RunMutex(MutexRun{
+					System:   c.System,
+					Seed:     seed,
+					Schedule: sched,
+					Count:    opt.Count,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)
+				}
+				line.Runs++
+				line.Completed += res.Entries
+				line.Failed += res.Failures
+				if len(res.Violations) > 0 {
+					line.Violations++
+					if line.FirstViolation == "" {
+						line.FirstViolation = fmt.Sprintf("seed %d: %v", seed, res.Violations[0])
+					}
+				}
+			}
+			sum.Lines = append(sum.Lines, line)
+		}
+	}
+	return sum, nil
+}

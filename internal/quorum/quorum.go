@@ -25,6 +25,13 @@ import (
 // ErrNoQuorum is returned by Pick when the live set contains no quorum.
 var ErrNoQuorum = errors.New("quorum: no quorum available among live nodes")
 
+// ErrDegraded is returned by protocol operations that give up on their
+// deadline while a quorum still exists among trusted (unsuspected) nodes:
+// the system is structurally available but too slow or contended to finish
+// in time. Contrast with ErrNoQuorum, which means every quorum of the
+// configuration includes a node currently believed dead.
+var ErrDegraded = errors.New("quorum: operation deadline exceeded in degraded cluster")
+
 // System is a quorum system construction over a fixed universe.
 type System interface {
 	// Name identifies the construction (for tables and logs).

@@ -191,28 +191,64 @@ type Op struct {
 	Value string // for writes
 }
 
-// Result reports a completed operation to the driver.
+// Result reports a completed (or failed) operation to the driver.
 type Result struct {
 	Node    cluster.NodeID
 	Kind    OpKind
 	Value   string // for reads: the value returned
 	Version Version
-	At      time.Duration
+	Start   time.Duration // invocation time
+	At      time.Duration // completion time
 	Retries int
+	// Err is non-nil when the operation gave up at its OpDeadline:
+	// quorum.ErrNoQuorum when every quorum includes a suspected-dead
+	// replica, quorum.ErrDegraded when a quorum of trusted replicas exists
+	// but did not answer in time. The operation may still have taken
+	// partial effect (failed writes are "maybe" writes).
+	Err error
 }
 
 // Config parameterizes a replica node.
 type Config struct {
 	Store Store
-	// Timeout bounds one quorum attempt (default 300ms).
+	// Timeout bounds one quorum attempt (default 300ms). Attempts whose
+	// quorum went entirely silent back off exponentially — with jitter
+	// drawn from the node's deterministic rng — up to MaxTimeout;
+	// attempts that got any reply retry at the base patience, since loss
+	// is recovered by re-picking around silent replicas, not waiting.
 	Timeout time.Duration
+	// MaxTimeout caps the per-attempt backoff (default 8×Timeout).
+	MaxTimeout time.Duration
+	// OpDeadline bounds one client operation across all its retries. When
+	// it expires the operation fails with a typed Result.Err instead of
+	// retrying forever; the workload then moves on to the next operation.
+	// Zero means no deadline (retry until the cluster heals).
+	OpDeadline time.Duration
+	// SuspectTTL ages out crash suspicions, so a crashed-then-restarted
+	// replica rejoins quorum picks without operator intervention (default
+	// 4×Timeout; negative disables decay).
+	SuspectTTL time.Duration
 	// ReadRepair pushes the winning version back to read-quorum members
 	// that reported older data (fire-and-forget), so reads heal replicas
 	// that missed a write quorum.
 	ReadRepair bool
+	// ReadWriteback makes a read complete only after storing the version
+	// it observed on a full write quorum (ABD-style write-back). Without
+	// it a read concurrent with a partially-applied write can be followed
+	// by a read observing the older value — a linearizability violation.
+	// Costs one write round per read; the nemesis chaos scenarios enable
+	// it because their checker demands linearizability.
+	ReadWriteback bool
 	// Ops is the node's client workload, executed sequentially.
 	Ops []Op
-	// OnResult observes completed operations.
+	// OpGap is the pause between consecutive workload operations
+	// (default 1ms). Chaos runs stretch it so the workload stays active
+	// across a whole fault schedule instead of finishing before the
+	// first fault lands.
+	OpGap time.Duration
+	// OnInvoke observes operation starts (history recording).
+	OnInvoke func(node cluster.NodeID, kind OpKind, value string, at time.Duration)
+	// OnResult observes completed and failed operations.
 	OnResult func(Result)
 }
 
@@ -236,17 +272,22 @@ type Node struct {
 	clock   uint64
 
 	// Client state.
-	opIndex  int
-	seq      uint64
-	ph       phase
-	quorum   bitset.Set
-	pending  bitset.Set // members not yet answered
-	replies  map[cluster.NodeID]Version
-	bestVer  Version
-	bestVal  string
-	retries  int
-	suspects bitset.Set
-	started  time.Duration
+	opIndex     int
+	seq         uint64
+	ph          phase
+	writeback   bool // current write phase is a read's ABD write-back
+	quorum      bitset.Set
+	pending     bitset.Set // members not yet answered
+	replies     map[cluster.NodeID]Version
+	bestVer     Version
+	bestVal     string
+	retries     int
+	backoff     int // consecutive attempts with a fully silent quorum
+	suspects    bitset.Set
+	suspectAt   []time.Duration // when each suspicion was recorded
+	opSuspects  bitset.Set      // everyone silent during the current op (no decay)
+	started     time.Duration
+	sawNoQuorum bool // this op once found no quorum among trusted replicas
 }
 
 var _ cluster.Handler = (*Node)(nil)
@@ -262,7 +303,22 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 300 * time.Millisecond
 	}
-	return &Node{id: id, cfg: cfg, suspects: bitset.New(cfg.Store.Universe())}, nil
+	if cfg.MaxTimeout <= 0 {
+		cfg.MaxTimeout = 8 * cfg.Timeout
+	}
+	if cfg.SuspectTTL == 0 {
+		cfg.SuspectTTL = 4 * cfg.Timeout
+	}
+	if cfg.OpGap <= 0 {
+		cfg.OpGap = time.Millisecond
+	}
+	return &Node{
+		id:         id,
+		cfg:        cfg,
+		suspects:   bitset.New(cfg.Store.Universe()),
+		opSuspects: bitset.New(cfg.Store.Universe()),
+		suspectAt:  make([]time.Duration, cfg.Store.Universe()),
+	}, nil
 }
 
 // Start schedules the node's client workload.
@@ -329,13 +385,23 @@ func (n *Node) beginOp(env cluster.Env) {
 		return
 	}
 	n.retries = 0
+	n.backoff = 0
 	n.started = env.Now()
+	n.sawNoQuorum = false
+	n.opSuspects.Clear()
 	op := n.currentOp()
+	if n.cfg.OnInvoke != nil {
+		value := op.Value
+		if op.Kind == OpRead {
+			value = ""
+		}
+		n.cfg.OnInvoke(n.id, op.Kind, value, env.Now())
+	}
 	switch op.Kind {
 	case OpRead, OpWrite:
 		n.startReadPhase(env)
 	case OpBlindWrite:
-		n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value)
+		n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value, false)
 	}
 }
 
@@ -348,35 +414,80 @@ func (n *Node) nextClock() uint64 {
 func (n *Node) startReadPhase(env cluster.Env) {
 	n.seq++
 	n.ph = phaseReadVersions
+	n.writeback = false
 	n.bestVer = Version{}
 	n.bestVal = ""
 	n.replies = make(map[cluster.NodeID]Version)
 	q, err := n.pickWithFallback(env, true)
 	if err != nil {
-		panic("rkv: full universe has no read quorum")
+		n.failOp(env, err)
+		return
 	}
 	n.quorum = q
 	n.pending = q.Clone()
 	q.ForEach(func(m int) { env.Send(cluster.NodeID(m), msgReadVersion{Seq: n.seq}) })
-	env.After(n.cfg.Timeout, tokenOpDue{Seq: n.seq})
+	env.After(n.attemptTimeout(env), tokenOpDue{Seq: n.seq})
 }
 
-// startWritePhase stores a version on a write quorum.
-func (n *Node) startWritePhase(env cluster.Env, ver Version, val string) {
+// startWritePhase stores a version on a write quorum. When writeback is
+// true the phase is a read's ABD write-back: it re-stores the version the
+// read observed, and completion reports the read's result.
+func (n *Node) startWritePhase(env cluster.Env, ver Version, val string, writeback bool) {
 	n.seq++
 	n.ph = phaseWrite
+	n.writeback = writeback
 	n.bestVer = ver
 	n.bestVal = val
 	q, err := n.pickWithFallback(env, false)
 	if err != nil {
-		panic("rkv: full universe has no write quorum")
+		n.failOp(env, err)
+		return
 	}
 	n.quorum = q
 	n.pending = q.Clone()
 	q.ForEach(func(m int) {
 		env.Send(cluster.NodeID(m), msgWrite{Seq: n.seq, Version: ver, Value: val})
 	})
-	env.After(n.cfg.Timeout, tokenOpDue{Seq: n.seq})
+	env.After(n.attemptTimeout(env), tokenOpDue{Seq: n.seq})
+}
+
+// attemptTimeout returns the current attempt's patience: exponential
+// backoff from Timeout capped at MaxTimeout, plus up to 50% jitter so
+// colliding clients desynchronize, clamped so the attempt never outlives
+// the op deadline by more than one timer.
+func (n *Node) attemptTimeout(env cluster.Env) time.Duration {
+	shift := n.backoff
+	if shift > 16 {
+		shift = 16
+	}
+	d := n.cfg.Timeout << uint(shift)
+	if d <= 0 || d > n.cfg.MaxTimeout {
+		d = n.cfg.MaxTimeout
+	}
+	d += time.Duration(env.Rand().Int63n(int64(d)/2 + 1))
+	if n.cfg.OpDeadline > 0 {
+		if remaining := n.started + n.cfg.OpDeadline - env.Now(); remaining < d {
+			d = remaining
+		}
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+// decaySuspects ages out suspicions older than SuspectTTL, letting
+// crashed-then-restarted replicas rejoin quorum picks.
+func (n *Node) decaySuspects(env cluster.Env) {
+	if n.cfg.SuspectTTL < 0 {
+		return
+	}
+	now := env.Now()
+	n.suspects.ForEach(func(m int) {
+		if now-n.suspectAt[m] >= n.cfg.SuspectTTL {
+			n.suspects.Remove(m)
+		}
+	})
 }
 
 // pickWithFallback draws a quorum among unsuspected replicas, clearing
@@ -386,24 +497,73 @@ func (n *Node) pickWithFallback(env cluster.Env, read bool) (bitset.Set, error) 
 	if read {
 		pick = n.cfg.Store.PickRead
 	}
+	n.decaySuspects(env)
 	q, err := pick(env.Rand(), n.suspects.Complement())
 	if err != nil {
+		n.sawNoQuorum = true
 		n.suspects.Clear()
 		q, err = pick(env.Rand(), bitset.Universe(n.cfg.Store.Universe()))
 	}
 	return q, err
 }
 
-// retryPhase abandons the attempt, suspecting silent members.
+// retryPhase abandons the attempt, suspecting silent members; past the op
+// deadline it fails the operation with a typed error instead of retrying.
 func (n *Node) retryPhase(env cluster.Env) {
 	n.retries++
-	n.pending.ForEach(func(m int) { n.suspects.Add(m) })
+	// Back off only when the whole quorum went silent (we are cut off or
+	// it is dead); a partially answered attempt recovers by re-picking
+	// around the silent members at the base patience.
+	if n.pending.Count() == n.quorum.Count() {
+		n.backoff++
+	} else {
+		n.backoff = 0
+	}
+	now := env.Now()
+	n.pending.ForEach(func(m int) {
+		n.suspects.Add(m)
+		n.opSuspects.Add(m)
+		n.suspectAt[m] = now
+	})
+	if n.cfg.OpDeadline > 0 && now-n.started >= n.cfg.OpDeadline {
+		n.failOp(env, n.deadlineError(env))
+		return
+	}
 	switch n.ph {
 	case phaseReadVersions:
 		n.startReadPhase(env)
 	case phaseWrite:
-		n.startWritePhase(env, n.bestVer, n.bestVal)
+		n.startWritePhase(env, n.bestVer, n.bestVal, n.writeback)
 	}
+}
+
+// deadlineError diagnoses a deadline miss: ErrNoQuorum when every quorum
+// of the current phase's flavor includes a replica that went silent during
+// this operation (the cumulative per-op view — suspect decay and the
+// fallback path both shrink the instantaneous suspect set, which would
+// under-report), ErrDegraded when a quorum of replicas that never went
+// silent exists but the operation still ran out of time.
+func (n *Node) deadlineError(env cluster.Env) error {
+	if n.sawNoQuorum {
+		return quorum.ErrNoQuorum
+	}
+	pick := n.cfg.Store.PickWrite
+	if n.ph == phaseReadVersions {
+		pick = n.cfg.Store.PickRead
+	}
+	if _, err := pick(env.Rand(), n.opSuspects.Complement()); err != nil {
+		return quorum.ErrNoQuorum
+	}
+	return quorum.ErrDegraded
+}
+
+// failOp reports the operation's error and moves on to the next one.
+func (n *Node) failOp(env cluster.Env, err error) {
+	op := n.currentOp()
+	n.finishOp(env, Result{
+		Node: n.id, Kind: op.Kind, Err: err,
+		Start: n.started, At: env.Now(), Retries: n.retries,
+	})
 }
 
 func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersionReply) {
@@ -422,12 +582,18 @@ func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersion
 	// Read quorum complete.
 	op := n.currentOp()
 	if op.Kind == OpRead {
+		if n.cfg.ReadWriteback && n.bestVer != (Version{}) {
+			// ABD-style: re-store the observed maximum on a write quorum
+			// so no later read can observe an older value.
+			n.startWritePhase(env, n.bestVer, n.bestVal, true)
+			return
+		}
 		if n.cfg.ReadRepair {
 			n.repair(env)
 		}
 		n.finishOp(env, Result{
 			Node: n.id, Kind: OpRead, Value: n.bestVal, Version: n.bestVer,
-			At: env.Now(), Retries: n.retries,
+			Start: n.started, At: env.Now(), Retries: n.retries,
 		})
 		return
 	}
@@ -435,7 +601,7 @@ func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersion
 	if n.bestVer.Counter > n.clock {
 		n.clock = n.bestVer.Counter
 	}
-	n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value)
+	n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value, false)
 }
 
 func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
@@ -449,7 +615,7 @@ func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
 	op := n.currentOp()
 	n.finishOp(env, Result{
 		Node: n.id, Kind: op.Kind, Value: n.bestVal, Version: n.bestVer,
-		At: env.Now(), Retries: n.retries,
+		Start: n.started, At: env.Now(), Retries: n.retries,
 	})
 }
 
@@ -474,7 +640,24 @@ func (n *Node) finishOp(env cluster.Env, res Result) {
 		n.cfg.OnResult(res)
 	}
 	if n.opIndex < len(n.cfg.Ops) {
-		env.After(time.Millisecond, tokenNextOp{})
+		env.After(n.cfg.OpGap, tokenNextOp{})
+	}
+}
+
+// Restarted implements the cluster.Network restart hook: the crash killed
+// the node's volatile client state (its timers died with it), so any
+// in-flight operation is abandoned — its effects are undecided, which the
+// history layer records as a pending op — and the workload resumes with
+// the next operation. Replica state (version, value) survives, modeling
+// stable storage.
+func (n *Node) Restarted(env cluster.Env) {
+	if n.ph != phaseIdle {
+		n.ph = phaseIdle
+		n.seq++ // ignore replies addressed to the pre-crash attempt
+		n.opIndex++
+	}
+	if n.opIndex < len(n.cfg.Ops) {
+		env.After(n.cfg.OpGap, tokenNextOp{})
 	}
 }
 

@@ -1,7 +1,9 @@
 package rkv
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
 	"testing"
 	"time"
 
@@ -9,6 +11,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
+	"hquorum/internal/quorum"
 )
 
 // harness wires a 16-replica h-grid cluster; ops are assigned per node.
@@ -20,15 +23,22 @@ type harness struct {
 
 func newHarness(t *testing.T, seed int64, ops map[cluster.NodeID][]Op, crash []cluster.NodeID) *harness {
 	t.Helper()
+	return newHarnessCfg(t, seed, Config{}, ops, crash)
+}
+
+// newHarnessCfg is newHarness with a Config template (Store, Ops and
+// OnResult are filled in by the harness).
+func newHarnessCfg(t *testing.T, seed int64, base Config, ops map[cluster.NodeID][]Op, crash []cluster.NodeID) *harness {
+	t.Helper()
 	h := &harness{net: cluster.New(cluster.WithSeed(seed), cluster.WithLatency(time.Millisecond, 6*time.Millisecond))}
 	store := HGridStore{H: hgrid.Auto(4, 4)}
 	for i := 0; i < 16; i++ {
 		id := cluster.NodeID(i)
-		n, err := NewNode(id, Config{
-			Store:    store,
-			Ops:      ops[id],
-			OnResult: func(r Result) { h.results = append(h.results, r) },
-		})
+		cfg := base
+		cfg.Store = store
+		cfg.Ops = ops[id]
+		cfg.OnResult = func(r Result) { h.results = append(h.results, r) }
+		n, err := NewNode(id, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -424,5 +434,227 @@ func TestReadRepair(t *testing.T) {
 	}
 	if holders <= 4 {
 		t.Fatalf("only %d replicas hold the value after repair; expected the read quorum healed", holders)
+	}
+}
+
+// TestWriteNoQuorumAcrossFullLinePartition is the graceful-degradation
+// acceptance scenario: a partition that cuts column 0 off isolates every
+// full-line (each one needs a column-0 cell), so a majority-side Write
+// must give up with quorum.ErrNoQuorum within its OpDeadline instead of
+// hanging — while reads keep working — and after Heal a retried Write
+// succeeds without any operator intervention.
+func TestWriteNoQuorumAcrossFullLinePartition(t *testing.T) {
+	const deadline = 5 * time.Second
+	base := Config{Timeout: 100 * time.Millisecond, OpDeadline: deadline}
+	h := newHarnessCfg(t, 31, base, nil, nil)
+
+	col0 := []cluster.NodeID{0, 4, 8, 12}
+	rest := []cluster.NodeID{1, 2, 3, 5, 6, 7, 9, 10, 11, 13, 14, 15}
+
+	// Premise check: without column 0 there is no write quorum, but read
+	// quorums survive.
+	majority := bitset.Universe(16)
+	for _, id := range col0 {
+		majority.Remove(int(id))
+	}
+	store := HGridStore{H: hgrid.Auto(4, 4)}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := store.PickWrite(rng, majority); err == nil {
+		t.Fatal("a full-line avoids column 0; the partition premise is broken")
+	}
+	if _, err := store.PickRead(rng, majority); err != nil {
+		t.Fatalf("no row-cover in the majority side: %v", err)
+	}
+
+	if err := h.net.Partition(col0, rest); err != nil {
+		t.Fatal(err)
+	}
+	writer := h.nodes[5]
+	writer.Enqueue(Op{Kind: OpWrite, Value: "cut"}, Op{Kind: OpRead})
+	if err := writer.Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(30 * time.Second)
+
+	if len(h.results) != 2 {
+		t.Fatalf("results %d, want failed write + read", len(h.results))
+	}
+	res := h.results[0]
+	if !errors.Is(res.Err, quorum.ErrNoQuorum) {
+		t.Fatalf("partitioned write returned %v, want ErrNoQuorum", res.Err)
+	}
+	if took := res.At - res.Start; took > deadline+10*time.Millisecond {
+		t.Fatalf("write gave up after %v, deadline %v", took, deadline)
+	}
+	if h.results[1].Err != nil {
+		t.Fatalf("majority-side read failed during partition: %v", h.results[1].Err)
+	}
+
+	// Heal and retry: the client recovers on its own.
+	h.net.Heal()
+	writer.Enqueue(Op{Kind: OpWrite, Value: "healed"}, Op{Kind: OpRead})
+	if err := writer.Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.net.Run(h.net.Now() + time.Minute)
+	if len(h.results) != 4 {
+		t.Fatalf("results %d, want 4", len(h.results))
+	}
+	if err := h.results[2].Err; err != nil {
+		t.Fatalf("post-heal write failed: %v", err)
+	}
+	if got := h.results[3]; got.Err != nil || got.Value != "healed" {
+		t.Fatalf("post-heal read got %q (err %v), want healed", got.Value, got.Err)
+	}
+}
+
+// TestDeadlineErrorDiagnosis: an isolated client whose deadline expires
+// after a single attempt cannot tell dead replicas from a slow network and
+// reports ErrDegraded; with room to exhaust every quorum it reports
+// ErrNoQuorum.
+func TestDeadlineErrorDiagnosis(t *testing.T) {
+	run := func(deadline time.Duration, seed int64) error {
+		base := Config{Timeout: 50 * time.Millisecond, OpDeadline: deadline}
+		h := newHarnessCfg(t, seed, base, nil, nil)
+		if err := h.net.Partition([]cluster.NodeID{15}, []cluster.NodeID{
+			0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		h.nodes[15].Enqueue(Op{Kind: OpRead})
+		if err := h.nodes[15].Start(h.net); err != nil {
+			t.Fatal(err)
+		}
+		h.net.Run(time.Minute)
+		if len(h.results) != 1 {
+			t.Fatalf("results %d, want 1", len(h.results))
+		}
+		return h.results[0].Err
+	}
+	// One attempt's worth of evidence: only the picked quorum is suspect,
+	// other quorums might still answer — degraded, not partitioned.
+	if err := run(20*time.Millisecond, 41); !errors.Is(err, quorum.ErrDegraded) {
+		t.Fatalf("single-attempt deadline returned %v, want ErrDegraded", err)
+	}
+	// Two seconds of retries exhausts every row-cover: no quorum.
+	if err := run(2*time.Second, 42); !errors.Is(err, quorum.ErrNoQuorum) {
+		t.Fatalf("exhaustive retries returned %v, want ErrNoQuorum", err)
+	}
+}
+
+// TestReadWritebackMonotone: with a partially-applied write staged on one
+// replica, plain reads can observe the new value and then flip back to the
+// old one (read inversion); ABD-style write-back makes the read sequence
+// monotone because a read completes only after installing what it saw on a
+// full write quorum.
+func TestReadWritebackMonotone(t *testing.T) {
+	const reads = 12
+	runSeq := func(seed int64, writeback bool) []string {
+		ops := make([]Op, reads)
+		for i := range ops {
+			ops[i] = Op{Kind: OpRead}
+		}
+		base := Config{ReadWriteback: writeback}
+		h := newHarnessCfg(t, seed, base, map[cluster.NodeID][]Op{15: ops}, nil)
+		// Stage: everyone holds "base", but one replica saw a newer write
+		// that never reached a full quorum (its writer crashed mid-write).
+		for _, n := range h.nodes {
+			n.version = Version{Counter: 1, Writer: 2}
+			n.value = "base"
+		}
+		h.nodes[0].version = Version{Counter: 2, Writer: 3}
+		h.nodes[0].value = "staged"
+		h.net.Run(time.Minute)
+		var out []string
+		for _, r := range h.results {
+			out = append(out, r.Value)
+		}
+		return out
+	}
+	monotone := func(seq []string) bool {
+		sawStaged := false
+		for _, v := range seq {
+			if v == "staged" {
+				sawStaged = true
+			} else if sawStaged {
+				return false
+			}
+		}
+		return true
+	}
+
+	inverted, transitions := 0, 0
+	for seed := int64(1); seed <= 40; seed++ {
+		plain := runSeq(seed, false)
+		wb := runSeq(seed, true)
+		if len(plain) != reads || len(wb) != reads {
+			t.Fatalf("seed %d: %d/%d reads completed", seed, len(plain), len(wb))
+		}
+		if !monotone(plain) {
+			inverted++
+		}
+		if !monotone(wb) {
+			t.Fatalf("seed %d: write-back reads not monotone: %v", seed, wb)
+		}
+		if wb[0] == "base" && wb[reads-1] == "staged" {
+			transitions++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("no seed exhibited read inversion without write-back; staging is wrong")
+	}
+	if transitions == 0 {
+		t.Fatal("no write-back run ever observed the staged value; staging is wrong")
+	}
+}
+
+// TestSuspectDecayReadmitsRestartedReplica: suspicions age out after
+// SuspectTTL, so a crashed-then-restarted replica rejoins quorum picks
+// without operator intervention; with decay disabled it stays shunned.
+func TestSuspectDecayReadmitsRestartedReplica(t *testing.T) {
+	run := func(ttl time.Duration) (client, restarted *Node, results []Result, net *cluster.Network) {
+		base := Config{Timeout: 100 * time.Millisecond, SuspectTTL: ttl}
+		var ops []Op
+		for i := 0; i < 6; i++ {
+			ops = append(ops, Op{Kind: OpWrite, Value: fmt.Sprintf("a%d", i)})
+		}
+		h := newHarnessCfg(t, 17, base, map[cluster.NodeID][]Op{1: ops}, []cluster.NodeID{5})
+		h.run(t, 30*time.Second)
+
+		if !h.nodes[1].suspects.Contains(5) {
+			t.Fatal("crashed replica never suspected; pick a different seed")
+		}
+		h.net.Restart(5)
+		// Let the suspicion age well past any reasonable TTL, then write more.
+		h.net.Run(h.net.Now() + 2*time.Second)
+		for i := 0; i < 6; i++ {
+			h.nodes[1].Enqueue(Op{Kind: OpWrite, Value: fmt.Sprintf("b%d", i)})
+		}
+		if err := h.nodes[1].Start(h.net); err != nil {
+			t.Fatal(err)
+		}
+		h.run(t, h.net.Now()+30*time.Second)
+		return h.nodes[1], h.nodes[5], h.results, h.net
+	}
+
+	client, restarted, results, _ := run(0) // 0 = default TTL (4×Timeout)
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("write failed: %v", r.Err)
+		}
+	}
+	if client.suspects.Contains(5) {
+		t.Fatal("suspicion of the restarted replica never decayed")
+	}
+	if _, ver := restarted.Value(); ver.Counter == 0 {
+		t.Fatal("restarted replica never rejoined a write quorum")
+	}
+
+	client, restarted, _, _ = run(-1) // decay disabled
+	if !client.suspects.Contains(5) {
+		t.Fatal("suspicion decayed despite SuspectTTL < 0")
+	}
+	if _, ver := restarted.Value(); ver.Counter != 0 {
+		t.Fatal("shunned replica received writes with decay disabled")
 	}
 }

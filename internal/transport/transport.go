@@ -60,12 +60,24 @@ func WithDropRate(p float64) Option {
 	return func(n *Node) { n.dropRate = p }
 }
 
+// WithDialTimeout bounds outgoing connection attempts (default 1s). A dial
+// that times out only drops the message — quorum protocols retry — so a
+// short timeout keeps sends to dead peers from stalling the event loop.
+func WithDialTimeout(d time.Duration) Option {
+	return func(n *Node) {
+		if d > 0 {
+			n.dialTimeout = d
+		}
+	}
+}
+
 // Node hosts a protocol handler on a TCP listener.
 type Node struct {
-	id       cluster.NodeID
-	handler  cluster.Handler
-	seed     int64
-	dropRate float64
+	id          cluster.NodeID
+	handler     cluster.Handler
+	seed        int64
+	dropRate    float64
+	dialTimeout time.Duration
 
 	ln     net.Listener
 	start  time.Time
@@ -99,16 +111,17 @@ func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Op
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	n := &Node{
-		id:       id,
-		handler:  handler,
-		seed:     int64(id) + 1,
-		ln:       ln,
-		start:    time.Now(),
-		events:   make(chan event, 4096),
-		quit:     make(chan struct{}),
-		peers:    make(map[cluster.NodeID]string),
-		conns:    make(map[cluster.NodeID]*peerConn),
-		accepted: make(map[net.Conn]struct{}),
+		id:          id,
+		handler:     handler,
+		seed:        int64(id) + 1,
+		dialTimeout: time.Second,
+		ln:          ln,
+		start:       time.Now(),
+		events:      make(chan event, 4096),
+		quit:        make(chan struct{}),
+		peers:       make(map[cluster.NodeID]string),
+		conns:       make(map[cluster.NodeID]*peerConn),
+		accepted:    make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
 		o(n)
@@ -259,7 +272,7 @@ func (n *Node) peer(to cluster.NodeID) (*peerConn, error) {
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
-	c, err := net.DialTimeout("tcp", addr, time.Second)
+	c, err := net.DialTimeout("tcp", addr, n.dialTimeout)
 	if err != nil {
 		return nil, err
 	}

@@ -258,3 +258,84 @@ func TestRegisterOverTCP(t *testing.T) {
 		t.Fatalf("read returned %+v", results[1])
 	}
 }
+
+// TestRedialAfterPeerRestart: when a peer dies and comes back on the same
+// address, the cached connection fails its next encode, gets evicted, and
+// the following send re-dials — no operator intervention, no permanent
+// blackhole.
+func TestRedialAfterPeerRestart(t *testing.T) {
+	Register(ping{})
+	a := &echo{}
+	na, err := NewNode(1, a, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	b := &echo{}
+	nb, err := NewNode(2, b, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := nb.Addr()
+	na.Connect(map[cluster.NodeID]string{2: addr})
+	na.Start()
+	nb.Start()
+
+	// Prime the cached connection.
+	na.send(2, ping{Text: "before"})
+	waitFor(t, 5*time.Second, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.got) == 1
+	})
+
+	// Kill the peer and bring a fresh one up on the same address.
+	nb.Close()
+	b2 := &echo{}
+	nb2, err := NewNode(2, b2, addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb2.Close()
+	nb2.Start()
+
+	// Early sends hit the dead cached connection (dropped, evicted);
+	// subsequent sends must re-dial and get through.
+	waitFor(t, 10*time.Second, func() bool {
+		na.send(2, ping{Text: "after"})
+		b2.mu.Lock()
+		defer b2.mu.Unlock()
+		return len(b2.got) > 0
+	})
+}
+
+// TestWithDialTimeout: the dial timeout is configurable and a send to an
+// unreachable peer returns promptly (dropped, not wedged).
+func TestWithDialTimeout(t *testing.T) {
+	Register(ping{})
+	n, err := NewNode(1, &echo{}, "127.0.0.1:0", WithDialTimeout(50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if n.dialTimeout != 50*time.Millisecond {
+		t.Fatalf("dialTimeout %v, want 50ms", n.dialTimeout)
+	}
+	// A just-closed ephemeral port refuses connections: the send must
+	// return promptly and count as dropped, never wedge the caller.
+	dead, err := NewNode(3, &echo{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr()
+	dead.Close()
+	n.Connect(map[cluster.NodeID]string{2: deadAddr})
+	begin := time.Now()
+	n.send(2, ping{Text: "void"})
+	if elapsed := time.Since(begin); elapsed > 900*time.Millisecond {
+		t.Fatalf("send to unreachable peer took %v", elapsed)
+	}
+	if n.dropped == 0 {
+		t.Fatal("send to unreachable peer was not dropped")
+	}
+}

@@ -1,0 +1,21 @@
+#!/bin/sh
+# chaos.sh — the chaos gate: sweep the replicated register (h-grid and
+# h-T-grid write quorums) and the distributed lock across pinned seeds
+# under the standard nemesis schedules (crash storm, rolling restart,
+# link flap, minority partition, churn, column cut), and require
+#
+#   1. zero safety violations (linearizability and mutual exclusion), and
+#   2. a byte-identical summary across two back-to-back runs — the sweep
+#      is a deterministic regression artifact, not flaky noise.
+#
+# 200 seeds x 17 (case, schedule) cells = 3400 simulated runs; the whole
+# gate takes a few seconds of wall clock.
+set -eux
+cd "$(dirname "$0")/.."
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+go build -o "$out/chaos" ./cmd/chaos
+"$out/chaos" -seeds 200 >"$out/sweep.1"
+"$out/chaos" -seeds 200 >"$out/sweep.2"
+diff "$out/sweep.1" "$out/sweep.2"
+cat "$out/sweep.1"
