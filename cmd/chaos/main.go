@@ -43,6 +43,9 @@ func main() {
 	rkvCases := []nemesis.RKVCase{
 		{Name: "h-grid-4x4", Store: rkv.HGridStore{H: h44}, Schedules: gridSchedules},
 		{Name: "h-T-grid-4x4", Store: rkv.HTGridStore{Sys: htgrid.New(h44)}, Schedules: gridSchedules},
+		// Pipelined cell: each node keeps up to 4 operations in flight, so
+		// the checker exercises concurrent ops from one node under faults.
+		{Name: "h-grid-4x4/w4", Store: rkv.HGridStore{H: h44}, Window: 4, Schedules: gridSchedules},
 	}
 	mutexCases := []nemesis.MutexCase{
 		{Name: "h-grid-3x3", System: htgrid.Auto(3, 3), Schedules: nemesis.DefaultSchedules(9)},

@@ -33,6 +33,8 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -61,7 +63,17 @@ func main() {
 	attempt := flag.Duration("attempt-timeout", time.Second, "per-attempt quorum patience (grows with backoff and jitter)")
 	dialTimeout := flag.Duration("dial-timeout", time.Second, "TCP dial timeout for peer connections")
 	writeback := flag.Bool("writeback", true, "complete reads only after writing the observed version back to a write quorum (linearizable reads)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "kvd: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "kvd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	peers, err := loadPeers(*peersPath)
 	if err != nil {

@@ -1,0 +1,430 @@
+// Command loadgen drives the replicated register with closed-loop clients
+// and reports throughput plus latency quantiles from an HDR-style
+// histogram. It is the measurement half of the live-path engine: the wire
+// codec, send coalescing and op pipelining exist to move these numbers.
+//
+// Two transports bound the measurement from both sides:
+//
+//   - tcp: a real loopback-TCP mesh (cmd/kvd's deployment path) — frames,
+//     bufio coalescing, syscalls. What a deployment would see.
+//   - mem: the same Handler/Env protocol code over in-process channels —
+//     no sockets, no frames. The protocol-scheduling ceiling; the gap
+//     between mem and tcp is the transport's cost.
+//
+// Clients are closed-loop with a configurable window: each client node
+// keeps up to -window operations in flight (window 1 is the classic
+// one-at-a-time client). The headline experiment is -suite, which runs
+// tcp/window=1, tcp/window=8 and mem/window=8 back to back and reports
+// the pipelining speedup; scripts/bench_live.sh wraps it and keeps the
+// result as a JSON artifact.
+//
+// Usage:
+//
+//	loadgen -suite -json BENCH_live.json
+//	loadgen -mode tcp -window 8 -ops 4000
+//	loadgen -suite -compare scripts/BENCH_live_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	_ "net/http/pprof"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/histo"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/rkv"
+	"hquorum/internal/transport"
+)
+
+type runSpec struct {
+	Name    string
+	Mode    string // "tcp" or "mem"
+	Store   string // "hgrid", "htgrid", "majority"
+	Rows    int
+	Cols    int
+	Clients int
+	Ops     int // operations per client
+	Window  int
+	Reads   float64 // fraction of reads in the workload
+	Value   int     // write value size in bytes
+	Seed    int64
+
+	Writeback  bool
+	Timeout    time.Duration
+	OpDeadline time.Duration
+	RunTimeout time.Duration
+}
+
+// runResult is one benchmark cell, JSON-stable for diffing against a
+// committed baseline.
+type runResult struct {
+	Name      string  `json:"name"`
+	Mode      string  `json:"mode"`
+	Window    int     `json:"window"`
+	Clients   int     `json:"clients"`
+	Nodes     int     `json:"nodes"`
+	Completed int     `json:"completed"`
+	Failed    int     `json:"failed"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+	P50us     float64 `json:"p50_us"`
+	P95us     float64 `json:"p95_us"`
+	P99us     float64 `json:"p99_us"`
+	P999us    float64 `json:"p999_us"`
+	MaxUs     float64 `json:"max_us"`
+	MeanUs    float64 `json:"mean_us"`
+	// Transport counters (zero in mem mode: no frames, no flushes).
+	MsgsSent uint64 `json:"msgs_sent"`
+	BytesOut uint64 `json:"bytes_out"`
+	Flushes  uint64 `json:"flushes"`
+}
+
+// report is the artifact bench_live.sh writes: the suite cells plus the
+// headline ratio the acceptance gate reads.
+type report struct {
+	GOOS            string      `json:"goos"`
+	GOARCH          string      `json:"goarch"`
+	CPUs            int         `json:"cpus"`
+	PipelineSpeedup float64     `json:"pipeline_speedup"` // tcp window=8 vs window=1
+	Runs            []runResult `json:"runs"`
+}
+
+func main() {
+	mode := flag.String("mode", "tcp", "transport: tcp (loopback mesh) or mem (in-process ceiling)")
+	store := flag.String("store", "hgrid", "quorum store: hgrid, htgrid or majority")
+	rows := flag.Int("rows", 4, "grid rows")
+	cols := flag.Int("cols", 4, "grid cols")
+	clients := flag.Int("clients", 1, "nodes that run a client workload (the rest are pure replicas)")
+	ops := flag.Int("ops", 2000, "operations per client")
+	window := flag.Int("window", 1, "client operations in flight per node")
+	reads := flag.Float64("reads", 0.5, "fraction of operations that are reads")
+	valueSize := flag.Int("value-size", 16, "write value size in bytes")
+	seed := flag.Int64("seed", 1, "workload rng seed")
+	writeback := flag.Bool("writeback", true, "linearizable reads (ABD write-back)")
+	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-attempt quorum patience")
+	opDeadline := flag.Duration("op-deadline", 15*time.Second, "per-operation deadline")
+	runTimeout := flag.Duration("run-timeout", 2*time.Minute, "hard wall-clock bound per benchmark run")
+	suite := flag.Bool("suite", false, "run the pipelining suite (tcp/w1, tcp/w8, mem/w8) instead of a single cell")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file")
+	comparePath := flag.String("compare", "", "baseline report JSON to compare against")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "loadgen: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "loadgen: pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	base := runSpec{
+		Mode: *mode, Store: *store, Rows: *rows, Cols: *cols,
+		Clients: *clients, Ops: *ops, Window: *window,
+		Reads: *reads, Value: *valueSize, Seed: *seed,
+		Writeback: *writeback, Timeout: *timeout,
+		OpDeadline: *opDeadline, RunTimeout: *runTimeout,
+	}
+
+	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
+	var specs []runSpec
+	if *suite {
+		w1, w8, mem := base, base, base
+		w1.Name, w1.Mode, w1.Window = "tcp/w1", "tcp", 1
+		w8.Name, w8.Mode, w8.Window = "tcp/w8", "tcp", 8
+		mem.Name, mem.Mode, mem.Window = "mem/w8", "mem", 8
+		specs = []runSpec{w1, w8, mem}
+	} else {
+		base.Name = fmt.Sprintf("%s/w%d", base.Mode, base.Window)
+		specs = []runSpec{base}
+	}
+
+	for _, spec := range specs {
+		res, err := runOnce(spec)
+		if err != nil {
+			fatal("%s: %v", spec.Name, err)
+		}
+		printResult(res)
+		rep.Runs = append(rep.Runs, res)
+	}
+	if *suite {
+		w1 := find(rep.Runs, "tcp/w1")
+		w8 := find(rep.Runs, "tcp/w8")
+		if w1 != nil && w8 != nil && w1.OpsPerSec > 0 {
+			rep.PipelineSpeedup = w8.OpsPerSec / w1.OpsPerSec
+			fmt.Printf("\npipelining speedup (tcp, window 8 vs 1): %.2fx\n", rep.PipelineSpeedup)
+		}
+	}
+
+	if *comparePath != "" {
+		if err := compare(*comparePath, &rep); err != nil {
+			fatal("compare: %v", err)
+		}
+	}
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
+	}
+}
+
+// runOnce executes one benchmark cell: build the cluster, kick the client
+// workloads, wait for every operation to resolve, aggregate.
+func runOnce(spec runSpec) (runResult, error) {
+	n := spec.Rows * spec.Cols
+	if spec.Clients < 1 || spec.Clients > n {
+		return runResult{}, fmt.Errorf("clients must be in [1, %d]", n)
+	}
+	if spec.Window < 1 {
+		return runResult{}, fmt.Errorf("window must be positive")
+	}
+	st, err := buildStore(spec.Store, spec.Rows, spec.Cols)
+	if err != nil {
+		return runResult{}, err
+	}
+
+	total := spec.Clients * spec.Ops
+	var remaining atomic.Int64
+	remaining.Store(int64(total))
+	done := make(chan struct{})
+
+	// Per-client state, touched only from that node's event loop; merged
+	// after the mesh has shut down.
+	type clientState struct {
+		hist      histo.Histogram
+		completed int
+		failed    int
+	}
+	states := make([]*clientState, spec.Clients)
+	handlers := make([]cluster.Handler, n)
+	nodes := make([]*rkv.Node, n)
+	var closeOnce sync.Once
+	for i := 0; i < n; i++ {
+		cfg := rkv.Config{
+			Store:         st,
+			Timeout:       spec.Timeout,
+			OpDeadline:    spec.OpDeadline,
+			ReadWriteback: spec.Writeback,
+			Window:        spec.Window,
+			OpGap:         -1, // load generation: no think time
+		}
+		if i < spec.Clients {
+			cs := &clientState{}
+			states[i] = cs
+			cfg.Ops = buildWorkload(spec, int64(i))
+			cfg.OnResult = func(r rkv.Result) {
+				cs.hist.RecordDuration(r.At - r.Start)
+				if r.Err != nil {
+					cs.failed++
+				} else {
+					cs.completed++
+				}
+				if remaining.Add(-1) == 0 {
+					closeOnce.Do(func() { close(done) })
+				}
+			}
+		}
+		node, err := rkv.NewNode(cluster.NodeID(i), cfg)
+		if err != nil {
+			return runResult{}, err
+		}
+		nodes[i] = node
+		handlers[i] = node
+	}
+
+	res := runResult{
+		Name: spec.Name, Mode: spec.Mode, Window: spec.Window,
+		Clients: spec.Clients, Nodes: n,
+	}
+	var elapsed time.Duration
+	switch spec.Mode {
+	case "tcp":
+		mesh, err := transport.NewMesh(handlers)
+		if err != nil {
+			return runResult{}, err
+		}
+		mesh.Start()
+		start := time.Now()
+		for i := 0; i < spec.Clients; i++ {
+			mesh.Node(i).Kick(0, nodes[i].StartToken())
+		}
+		if err := wait(done, spec.RunTimeout); err != nil {
+			mesh.Close()
+			return runResult{}, err
+		}
+		elapsed = time.Since(start)
+		stats := mesh.Stats()
+		mesh.Close()
+		res.MsgsSent, res.BytesOut, res.Flushes = stats.Sent, stats.BytesOut, stats.Flushes
+	case "mem":
+		mesh := transport.NewMemMesh(handlers)
+		start := time.Now()
+		for i := 0; i < spec.Clients; i++ {
+			mesh.Kick(i, 0, nodes[i].StartToken())
+		}
+		if err := wait(done, spec.RunTimeout); err != nil {
+			mesh.Close()
+			return runResult{}, err
+		}
+		elapsed = time.Since(start)
+		mesh.Close()
+	default:
+		return runResult{}, fmt.Errorf("unknown mode %q", spec.Mode)
+	}
+
+	// The mesh is closed: every event loop has exited, so the per-client
+	// state is quiescent and safe to merge from here.
+	var hist histo.Histogram
+	for _, cs := range states {
+		hist.Merge(&cs.hist)
+		res.Completed += cs.completed
+		res.Failed += cs.failed
+	}
+	res.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
+	if elapsed > 0 {
+		res.OpsPerSec = float64(res.Completed) / elapsed.Seconds()
+	}
+	us := func(v int64) float64 { return float64(v) / 1e3 }
+	res.P50us = us(hist.Quantile(0.50))
+	res.P95us = us(hist.Quantile(0.95))
+	res.P99us = us(hist.Quantile(0.99))
+	res.P999us = us(hist.Quantile(0.999))
+	res.MaxUs = us(hist.Max())
+	res.MeanUs = hist.Mean() / 1e3
+	return res, nil
+}
+
+// buildWorkload generates a client's deterministic op mix: a seeding write
+// first (so reads always observe data), then writes and reads drawn from
+// the read fraction, values of the configured size.
+func buildWorkload(spec runSpec, client int64) []rkv.Op {
+	rng := rand.New(rand.NewSource(spec.Seed*1000 + client))
+	value := func(i int) string {
+		b := make([]byte, spec.Value)
+		for j := range b {
+			b[j] = 'a' + byte((int(client)+i+j)%26)
+		}
+		return string(b)
+	}
+	ops := make([]rkv.Op, 0, spec.Ops)
+	for i := 0; i < spec.Ops; i++ {
+		if i > 0 && rng.Float64() < spec.Reads {
+			ops = append(ops, rkv.Op{Kind: rkv.OpRead})
+		} else {
+			ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Value: value(i)})
+		}
+	}
+	return ops
+}
+
+func buildStore(name string, rows, cols int) (rkv.Store, error) {
+	switch name {
+	case "hgrid":
+		return rkv.HGridStore{H: hgrid.Auto(rows, cols)}, nil
+	case "htgrid":
+		return rkv.HTGridStore{Sys: htgrid.New(hgrid.Auto(rows, cols))}, nil
+	case "majority":
+		n := rows * cols
+		return rkv.NewMajorityStore(n, n/2+1, n/2+1)
+	default:
+		return nil, fmt.Errorf("unknown store %q", name)
+	}
+}
+
+func wait(done <-chan struct{}, limit time.Duration) error {
+	select {
+	case <-done:
+		return nil
+	case <-time.After(limit):
+		return fmt.Errorf("run exceeded -run-timeout %v (cluster stuck?)", limit)
+	}
+}
+
+func find(runs []runResult, name string) *runResult {
+	for i := range runs {
+		if runs[i].Name == name {
+			return &runs[i]
+		}
+	}
+	return nil
+}
+
+func printResult(r runResult) {
+	fmt.Printf("%-8s nodes=%d clients=%d window=%d  ops=%d failed=%d  %8.0f ops/s  p50=%s p95=%s p99=%s p999=%s max=%s\n",
+		r.Name, r.Nodes, r.Clients, r.Window, r.Completed, r.Failed, r.OpsPerSec,
+		fmtUs(r.P50us), fmtUs(r.P95us), fmtUs(r.P99us), fmtUs(r.P999us), fmtUs(r.MaxUs))
+	if r.Mode == "tcp" {
+		perFlush := float64(0)
+		if r.Flushes > 0 {
+			perFlush = float64(r.MsgsSent) / float64(r.Flushes)
+		}
+		fmt.Printf("%-8s msgs=%d bytes_out=%d flushes=%d (%.1f msgs/flush)\n",
+			"", r.MsgsSent, r.BytesOut, r.Flushes, perFlush)
+	}
+}
+
+func fmtUs(us float64) string {
+	d := time.Duration(us * float64(time.Microsecond))
+	return d.Round(time.Microsecond).String()
+}
+
+// compare prints a benchstat-style old-vs-new table of the current report
+// against a committed baseline, matching cells by name.
+func compare(baselinePath string, cur *report) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var old report
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %w", baselinePath, err)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "\n%-8s  %14s  %14s  %8s    %12s  %12s  %8s\n",
+		"cell", "old ops/s", "new ops/s", "delta", "old p99", "new p99", "delta")
+	for i := range cur.Runs {
+		nr := &cur.Runs[i]
+		or := find(old.Runs, nr.Name)
+		if or == nil {
+			fmt.Fprintf(&b, "%-8s  %14s  %14.0f  %8s\n", nr.Name, "-", nr.OpsPerSec, "new")
+			continue
+		}
+		fmt.Fprintf(&b, "%-8s  %14.0f  %14.0f  %+7.1f%%    %12s  %12s  %+7.1f%%\n",
+			nr.Name, or.OpsPerSec, nr.OpsPerSec, pct(or.OpsPerSec, nr.OpsPerSec),
+			fmtUs(or.P99us), fmtUs(nr.P99us), pct(or.P99us, nr.P99us))
+	}
+	if old.PipelineSpeedup > 0 && cur.PipelineSpeedup > 0 {
+		fmt.Fprintf(&b, "speedup   %13.2fx  %13.2fx\n", old.PipelineSpeedup, cur.PipelineSpeedup)
+	}
+	fmt.Print(b.String())
+	return nil
+}
+
+func pct(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

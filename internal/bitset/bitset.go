@@ -153,6 +153,36 @@ func (s Set) Clone() Set {
 	return c
 }
 
+// CopyInto copies s into *dst, reusing dst's storage when the capacities
+// already match. It is the allocation-free path hot pick loops (the rkv
+// pick cache) use to hand out quorum sets without cloning per call.
+func (s Set) CopyInto(dst *Set) {
+	if dst.n != s.n || len(dst.words) != len(s.words) {
+		*dst = s.Clone()
+		return
+	}
+	copy(dst.words, s.words)
+}
+
+// Fingerprint returns a 64-bit FNV-1a style hash of the set's capacity and
+// contents. Two sets with equal capacity and membership always hash alike,
+// so the value works as a cheap cache key for membership-dependent
+// computations (e.g. quorum pick caching keyed by the suspect set).
+func (s Set) Fingerprint() uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	h ^= uint64(s.n)
+	h *= prime
+	for _, w := range s.words {
+		h ^= w
+		h *= prime
+	}
+	return h
+}
+
 // Clear removes all members, keeping capacity.
 func (s Set) Clear() {
 	for i := range s.words {

@@ -232,3 +232,56 @@ func BenchmarkIntersects(b *testing.B) {
 		}
 	}
 }
+
+func TestCopyInto(t *testing.T) {
+	src := FromIndices(100, 3, 64, 99)
+
+	// Matching capacity: storage is reused, contents replaced.
+	dst := FromIndices(100, 1, 2)
+	words := &dst.words[0]
+	src.CopyInto(&dst)
+	if !dst.Equal(src) {
+		t.Fatalf("CopyInto got %v, want %v", dst, src)
+	}
+	if &dst.words[0] != words {
+		t.Fatal("CopyInto reallocated despite matching capacity")
+	}
+
+	// Mismatched capacity (including the zero Set): falls back to Clone.
+	var zero Set
+	src.CopyInto(&zero)
+	if !zero.Equal(src) {
+		t.Fatalf("CopyInto into zero Set got %v, want %v", zero, src)
+	}
+
+	// The copy is independent of the source.
+	src.Add(50)
+	if zero.Contains(50) || dst.Contains(50) {
+		t.Fatal("CopyInto result aliases the source")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	a := FromIndices(100, 3, 64, 99)
+	b := FromIndices(100, 3, 64, 99)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("equal sets hash differently")
+	}
+	b.Add(7)
+	if a.Fingerprint() == b.Fingerprint() {
+		t.Fatal("membership change did not change the fingerprint")
+	}
+	// Capacity participates: an empty 64-set and an empty 65-set differ.
+	if New(64).Fingerprint() == New(65).Fingerprint() {
+		t.Fatal("capacity not mixed into the fingerprint")
+	}
+}
+
+func BenchmarkCopyInto(b *testing.B) {
+	src := Universe(64)
+	dst := New(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		src.CopyInto(&dst)
+	}
+}

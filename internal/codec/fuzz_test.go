@@ -1,0 +1,53 @@
+package codec
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeBody: frame bodies from the wire are attacker-ish input (a
+// corrupt peer, a truncated TCP stream) — decoding arbitrary bytes must
+// return an error or a value, never panic or over-read. The seed corpus
+// covers each registered tag, the gob fallback, and classic varint edge
+// cases; `go test` replays it even without -fuzz.
+func FuzzDecodeBody(f *testing.F) {
+	reg := testRegistry()
+
+	// Seed with well-formed frames of every kind...
+	seed := func(v any, force bool) {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf, reg)
+		enc.SetForceGob(force)
+		if _, err := enc.Encode(3, v); err != nil {
+			f.Fatal(err)
+		}
+		dec := NewDecoder(bufio.NewReader(&buf), reg)
+		// strip the length prefix by re-reading the body through Decode's
+		// framing: seed the raw body instead.
+		_ = dec
+		f.Add(buf.Bytes())
+	}
+	seed(tPing{Seq: 1, Text: "seed"}, false)
+	seed(tAck{Seq: 2}, false)
+	seed(tPing{Seq: 3, Text: "gob"}, true)
+	seed(tOdd{A: 4}, false)
+	// ...and with malformed ones.
+	f.Add([]byte{})
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // varint overflow
+	f.Add(AppendUvarint(AppendUvarint(nil, 1), 99))                           // unknown tag
+	f.Add(AppendString(AppendUvarint(AppendUvarint(nil, 1), 1), "x"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// As a raw body.
+		_, _, _ = DecodeBody(data, reg)
+		// As a framed stream (prefix may be embedded in data itself).
+		dec := NewDecoder(bufio.NewReader(bytes.NewReader(data)), reg)
+		for i := 0; i < 4; i++ {
+			if _, _, err := dec.Decode(); err != nil {
+				break
+			}
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package dmutex
+
+import (
+	"hquorum/internal/cluster"
+	"hquorum/internal/codec"
+)
+
+// Fixed wire tags for the mutex protocol. These are wire format: once
+// released they never change or get reused. The 0x20 block belongs to
+// dmutex (rkv owns 0x10).
+const (
+	tagRequest    = 0x20
+	tagGrant      = 0x21
+	tagFailed     = 0x22
+	tagInquire    = 0x23
+	tagRelinquish = 0x24
+	tagRelease    = 0x25
+	tagBusy       = 0x26
+)
+
+// RegisterBinaryWire registers hand-written varint codecs for the
+// protocol's wire messages, replacing the reflective gob fallback on the
+// live transport's hot path. Every message carries exactly one ReqID, so
+// the seven registrations share an encoder shape.
+func RegisterBinaryWire(reg *codec.Registry) {
+	register := func(tag uint64, sample any, wrap func(ReqID) any, id func(any) ReqID) {
+		reg.Register(tag, sample,
+			func(b []byte, v any) []byte {
+				r := id(v)
+				b = codec.AppendUvarint(b, r.TS)
+				return codec.AppendUvarint(b, uint64(r.Origin))
+			},
+			func(data []byte) (any, error) {
+				rd := codec.NewReader(data)
+				r := ReqID{TS: rd.Uvarint(), Origin: cluster.NodeID(rd.Uvarint())}
+				return wrap(r), rd.Err()
+			})
+	}
+	register(tagRequest, msgRequest{},
+		func(r ReqID) any { return msgRequest{ID: r} },
+		func(v any) ReqID { return v.(msgRequest).ID })
+	register(tagGrant, msgGrant{},
+		func(r ReqID) any { return msgGrant{ID: r} },
+		func(v any) ReqID { return v.(msgGrant).ID })
+	register(tagFailed, msgFailed{},
+		func(r ReqID) any { return msgFailed{ID: r} },
+		func(v any) ReqID { return v.(msgFailed).ID })
+	register(tagInquire, msgInquire{},
+		func(r ReqID) any { return msgInquire{ID: r} },
+		func(v any) ReqID { return v.(msgInquire).ID })
+	register(tagRelinquish, msgRelinquish{},
+		func(r ReqID) any { return msgRelinquish{ID: r} },
+		func(v any) ReqID { return v.(msgRelinquish).ID })
+	register(tagRelease, msgRelease{},
+		func(r ReqID) any { return msgRelease{ID: r} },
+		func(v any) ReqID { return v.(msgRelease).ID })
+	register(tagBusy, msgBusy{},
+		func(r ReqID) any { return msgBusy{ID: r} },
+		func(v any) ReqID { return v.(msgBusy).ID })
+}

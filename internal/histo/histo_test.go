@@ -1,0 +1,169 @@
+package histo
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestBucketRoundTrip(t *testing.T) {
+	// Every value maps to a bucket whose range contains it, and the bucket
+	// upper bound is within 1/64 relative error.
+	values := []int64{0, 1, 63, 64, 127, 128, 129, 1000, 4096, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	for _, v := range values {
+		i := bucketIndex(v)
+		upper := bucketUpper(i)
+		if upper < v {
+			t.Fatalf("value %d: bucket %d upper %d below value", v, i, upper)
+		}
+		if v >= 128 {
+			if rel := float64(upper-v) / float64(v); rel > 1.0/subCount {
+				t.Fatalf("value %d: upper %d relative error %f", v, upper, rel)
+			}
+		} else if upper != v {
+			t.Fatalf("small value %d not exact (upper %d)", v, upper)
+		}
+	}
+	// Bucket indices are monotone in the value.
+	prev := -1
+	for v := int64(0); v < 1<<20; v += 997 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d", v)
+		}
+		prev = i
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	var exact []int64
+	for i := 0; i < 50000; i++ {
+		// log-uniform latencies from 1µs to 1s
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3)
+		h.Record(v)
+		exact = append(exact, v)
+	}
+	sort.Slice(exact, func(i, j int) bool { return exact[i] < exact[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		want := exact[int(q*float64(len(exact)-1))]
+		got := h.Quantile(q)
+		rel := math.Abs(float64(got)-float64(want)) / float64(want)
+		if rel > 0.05 { // generous: bucket error + rank rounding
+			t.Fatalf("q=%v: got %d want %d (rel %f)", q, got, want, rel)
+		}
+	}
+	if h.Quantile(1) != h.Max() {
+		t.Fatalf("Quantile(1)=%d, Max=%d", h.Quantile(1), h.Max())
+	}
+	if h.Quantile(0) > exact[len(exact)/100] {
+		t.Fatalf("Quantile(0)=%d too high", h.Quantile(0))
+	}
+}
+
+func TestCountMeanMinMax(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram not all-zero")
+	}
+	for _, v := range []int64{10, 20, 30} {
+		h.Record(v)
+	}
+	h.RecordDuration(40 * time.Nanosecond)
+	if h.Count() != 4 || h.Mean() != 25 || h.Max() != 40 || h.Min() != 10 {
+		t.Fatalf("count=%d mean=%v max=%d min=%d", h.Count(), h.Mean(), h.Max(), h.Min())
+	}
+	h.Record(-5) // clamps to zero
+	if h.Min() != 0 {
+		t.Fatalf("negative record: min=%d", h.Min())
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b, both := New(), New(), New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1 << 30)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	a.Merge(nil)
+	a.Merge(New())
+	if a.Count() != both.Count() || a.Max() != both.Max() || a.Min() != both.Min() {
+		t.Fatalf("merge mismatch: count %d/%d max %d/%d", a.Count(), both.Count(), a.Max(), both.Max())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("q=%v: merged %d, direct %d", q, a.Quantile(q), both.Quantile(q))
+		}
+	}
+	// Merge into empty preserves min.
+	c := New()
+	c.Merge(both)
+	if c.Min() != both.Min() {
+		t.Fatalf("merge into empty: min %d want %d", c.Min(), both.Min())
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(123)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 || h.Quantile(0.9) != 0 {
+		t.Fatal("reset did not clear")
+	}
+	h.Record(5)
+	if h.Min() != 5 {
+		t.Fatalf("post-reset min %d", h.Min())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	h := New()
+	for i := 0; i < 1000; i++ {
+		h.RecordDuration(time.Millisecond)
+	}
+	s := h.Summary()
+	for _, want := range []string{"n=1000", "p50=", "p99=", "max=1ms"} {
+		if !containsStr(s, want) {
+			t.Fatalf("summary %q missing %q", s, want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i)*1003 + 17)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(1 << 32))
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.99)
+	}
+}

@@ -116,6 +116,27 @@ func TestRunRKVColumnCut(t *testing.T) {
 	}
 }
 
+// TestRunRKVPipelinedCrashStorm: with Window > 1 each node keeps several
+// client operations in flight; under correlated crashes the per-(node, op)
+// virtual clients must still yield a linearizable history.
+func TestRunRKVPipelinedCrashStorm(t *testing.T) {
+	res, err := RunRKV(RKVRun{
+		Store:    rkv.HGridStore{H: hgrid.Auto(4, 4)},
+		Seed:     7,
+		Schedule: CrashStorm(16),
+		Window:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("pipelined crash-storm history not linearizable: %v", res.Err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+}
+
 // TestRunMutexCrashStorm: correlated crashes (including holders) must not
 // produce overlapping holds, and the survivors keep entering.
 func TestRunMutexCrashStorm(t *testing.T) {

@@ -47,6 +47,12 @@ type RKVRun struct {
 	// OpsPerNode is each node's workload length, alternating writes of
 	// globally unique values with reads (default 6).
 	OpsPerNode int
+	// Window is each node's rkv.Config.Window: how many of its operations
+	// may be in flight at once (default 1). With Window > 1 a node's
+	// concurrent operations are recorded under distinct virtual history
+	// clients, since the linearizability checker requires each client's
+	// operations to be sequential.
+	Window int
 	// Timeout is the per-attempt quorum patience (default 100ms).
 	Timeout time.Duration
 	// OpDeadline bounds each operation across retries (default 2s).
@@ -97,6 +103,15 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 	rec := history.NewRegister()
 	var res RKVResult
 	gap := window(r.Schedule) / time.Duration(r.OpsPerNode)
+	// client maps an operation to its history client. Sequential nodes
+	// record under the node ID; pipelined nodes give every operation its
+	// own virtual client, because ops sharing a window are concurrent.
+	client := func(node cluster.NodeID, opID int) int {
+		if r.Window <= 1 {
+			return int(node)
+		}
+		return int(node)*r.OpsPerNode + opID
+	}
 	nodes := make([]*rkv.Node, univ)
 	for i := 0; i < univ; i++ {
 		id := cluster.NodeID(i)
@@ -114,23 +129,24 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			Timeout:       r.Timeout,
 			OpDeadline:    r.OpDeadline,
 			OpGap:         gap,
+			Window:        r.Window,
 			ReadWriteback: true,
-			OnInvoke: func(node cluster.NodeID, kind rkv.OpKind, value string, at time.Duration) {
+			OnInvoke: func(node cluster.NodeID, opID int, kind rkv.OpKind, value string, at time.Duration) {
 				k := history.KindWrite
 				if kind == rkv.OpRead {
 					k = history.KindRead
 				}
-				rec.Invoke(int(node), k, value, at)
+				rec.Invoke(client(node, opID), k, value, at)
 			},
 			OnResult: func(rr rkv.Result) {
 				if rr.Err != nil {
 					res.Failed++
-					rec.Fail(int(rr.Node), rr.At)
+					rec.Fail(client(rr.Node, rr.OpID), rr.At)
 					return
 				}
 				res.Completed++
 				order := rr.Version.Counter<<8 | uint64(rr.Version.Writer)&0xff
-				rec.Complete(int(rr.Node), rr.Value, order, rr.At)
+				rec.Complete(client(rr.Node, rr.OpID), rr.Value, order, rr.At)
 			},
 		})
 		if err != nil {

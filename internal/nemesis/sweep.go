@@ -11,10 +11,13 @@ import (
 )
 
 // RKVCase names a register configuration to sweep, with the schedules to
-// run it under.
+// run it under. Window > 1 runs the workload pipelined: each node keeps up
+// to Window client operations in flight, and the history checker sees one
+// virtual client per (node, op) slot.
 type RKVCase struct {
 	Name      string
 	Store     rkv.Store
+	Window    int
 	Schedules []Schedule
 }
 
@@ -124,6 +127,7 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					Schedule:   sched,
 					OpsPerNode: opt.OpsPerNode,
 					StateLimit: opt.StateLimit,
+					Window:     c.Window,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)

@@ -15,6 +15,12 @@
 //
 // Crashed replicas are tolerated with client-side timeouts and re-picked
 // quorums, exactly like package dmutex.
+//
+// A node runs up to Config.Window client operations concurrently: each
+// in-flight operation carries its own phase machine, quorum, deadline and
+// retry state in an op table keyed by attempt sequence number, so replies
+// and timers route to their operation in O(1) and a slow operation never
+// blocks the ones behind it.
 package rkv
 
 import (
@@ -193,7 +199,11 @@ type Op struct {
 
 // Result reports a completed (or failed) operation to the driver.
 type Result struct {
-	Node    cluster.NodeID
+	Node cluster.NodeID
+	// OpID is the operation's index in the node's workload. With Window > 1
+	// results complete out of order; OpID identifies which invocation each
+	// result belongs to.
+	OpID    int
 	Kind    OpKind
 	Value   string // for reads: the value returned
 	Version Version
@@ -239,27 +249,77 @@ type Config struct {
 	// Costs one write round per read; the nemesis chaos scenarios enable
 	// it because their checker demands linearizability.
 	ReadWriteback bool
-	// Ops is the node's client workload, executed sequentially.
+	// NoPickCache disables quorum-pick caching: every attempt draws a
+	// fresh random quorum. The cache (on by default) reuses the last
+	// successful pick of each flavor while the suspect set is unchanged,
+	// trading pick cost and allocation for load concentration — repeated
+	// ops from one client land on one quorum until something fails.
+	// Disable it to spread load across quorums, the property the paper's
+	// analysis chapters measure.
+	NoPickCache bool
+	// Window is the maximum number of client operations in flight at once
+	// (default 1: strictly sequential, the classic closed-loop client).
+	// Larger windows pipeline independent operations — each gets its own
+	// phases, quorums and deadline — which multiplies throughput when
+	// round-trips, not the replicas, are the bottleneck. Pipelined
+	// operations on one node are concurrent in the formal sense: a
+	// linearizability checker must treat them as separate clients.
+	Window int
+	// Ops is the node's client workload, launched in order.
 	Ops []Op
-	// OpGap is the pause between consecutive workload operations
-	// (default 1ms). Chaos runs stretch it so the workload stays active
-	// across a whole fault schedule instead of finishing before the
-	// first fault lands.
+	// OpGap is the pause between an operation finishing and the next
+	// launch (default 1ms; negative means none). Chaos runs stretch it so
+	// the workload stays active across a whole fault schedule instead of
+	// finishing before the first fault lands.
 	OpGap time.Duration
-	// OnInvoke observes operation starts (history recording).
-	OnInvoke func(node cluster.NodeID, kind OpKind, value string, at time.Duration)
+	// OnInvoke observes operation starts (history recording). opID is the
+	// operation's index in Ops, matching Result.OpID.
+	OnInvoke func(node cluster.NodeID, opID int, kind OpKind, value string, at time.Duration)
 	// OnResult observes completed and failed operations.
 	OnResult func(Result)
 }
 
-// phase of the in-flight client operation.
+// phase of an in-flight client operation.
 type phase int
 
 const (
-	phaseIdle phase = iota
-	phaseReadVersions
+	phaseReadVersions phase = iota + 1
 	phaseWrite
 )
+
+// opState is one in-flight client operation. The structs (and their
+// bitsets and reply maps) are recycled through the node's freelist, so a
+// steady-state operation allocates only what the quorum pick itself does.
+type opState struct {
+	id        int    // index in cfg.Ops
+	kind      OpKind //
+	value     string // for writes
+	seq       uint64 // current attempt's key in Node.inflight
+	ph        phase
+	writeback bool // current write phase is a read's ABD write-back
+
+	quorum  bitset.Set
+	pending bitset.Set // members not yet answered
+	replies map[cluster.NodeID]Version
+	bestVer Version
+	bestVal string
+
+	retries     int
+	backoff     int        // consecutive attempts with a fully silent quorum
+	opSuspects  bitset.Set // everyone silent during this op (no decay)
+	started     time.Duration
+	sawNoQuorum bool // this op once found no quorum among trusted replicas
+}
+
+// pickCache remembers the last successful quorum pick per flavor, keyed by
+// a fingerprint of the suspect set. Back-to-back operations against an
+// unchanged view reuse the set with one bitset copy — no rng draws, no
+// allocation; any timeout or suspicion change invalidates it.
+type pickCache struct {
+	valid bool
+	fp    uint64
+	q     bitset.Set
+}
 
 // Node is a replica (and optionally a client).
 type Node struct {
@@ -271,23 +331,18 @@ type Node struct {
 	value   string
 	clock   uint64
 
-	// Client state.
-	opIndex     int
-	seq         uint64
-	ph          phase
-	writeback   bool // current write phase is a read's ABD write-back
-	quorum      bitset.Set
-	pending     bitset.Set // members not yet answered
-	replies     map[cluster.NodeID]Version
-	bestVer     Version
-	bestVal     string
-	retries     int
-	backoff     int // consecutive attempts with a fully silent quorum
-	suspects    bitset.Set
-	suspectAt   []time.Duration // when each suspicion was recorded
-	opSuspects  bitset.Set      // everyone silent during the current op (no decay)
-	started     time.Duration
-	sawNoQuorum bool // this op once found no quorum among trusted replicas
+	// Client state: the op table. seq increments per quorum attempt and
+	// keys inflight, so a reply or timer either finds its exact attempt or
+	// nothing — stale messages miss the map instead of needing phase
+	// checks against a single current op.
+	nextOp   int // index of the next workload op to launch
+	seq      uint64
+	inflight map[uint64]*opState
+	free     []*opState
+
+	suspects  bitset.Set
+	suspectAt []time.Duration // when each suspicion was recorded
+	picks     [2]pickCache    // cached read [0] / write [1] quorum
 }
 
 var _ cluster.Handler = (*Node)(nil)
@@ -309,28 +364,34 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.SuspectTTL == 0 {
 		cfg.SuspectTTL = 4 * cfg.Timeout
 	}
-	if cfg.OpGap <= 0 {
+	if cfg.OpGap == 0 {
 		cfg.OpGap = time.Millisecond
 	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
 	return &Node{
-		id:         id,
-		cfg:        cfg,
-		suspects:   bitset.New(cfg.Store.Universe()),
-		opSuspects: bitset.New(cfg.Store.Universe()),
-		suspectAt:  make([]time.Duration, cfg.Store.Universe()),
+		id:        id,
+		cfg:       cfg,
+		inflight:  make(map[uint64]*opState),
+		suspects:  bitset.New(cfg.Store.Universe()),
+		suspectAt: make([]time.Duration, cfg.Store.Universe()),
 	}, nil
 }
 
 // Start schedules the node's client workload.
 func (n *Node) Start(net *cluster.Network) error {
-	if len(n.cfg.Ops) == 0 {
+	if n.nextOp >= len(n.cfg.Ops) {
 		return nil
 	}
 	return net.StartTimer(n.id, 0, tokenNextOp{})
 }
 
 // Done reports whether the workload completed.
-func (n *Node) Done() bool { return n.opIndex >= len(n.cfg.Ops) && n.ph == phaseIdle }
+func (n *Node) Done() bool { return n.nextOp >= len(n.cfg.Ops) && len(n.inflight) == 0 }
+
+// Inflight returns the number of client operations currently executing.
+func (n *Node) Inflight() int { return len(n.inflight) }
 
 // Enqueue appends client operations to the node's workload. If the node
 // had finished, call Start again to kick the new operations off.
@@ -368,40 +429,84 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 func (n *Node) Timer(env cluster.Env, token any) {
 	switch tk := token.(type) {
 	case tokenNextOp:
-		n.beginOp(env)
+		n.launchNext(env)
 	case tokenOpDue:
-		if n.ph != phaseIdle && tk.Seq == n.seq {
-			n.retryPhase(env)
+		if op, ok := n.inflight[tk.Seq]; ok {
+			n.retryPhase(env, op)
 		}
 	default:
 		panic(fmt.Sprintf("rkv: unknown timer token %T", token))
 	}
 }
 
-func (n *Node) currentOp() Op { return n.cfg.Ops[n.opIndex] }
-
-func (n *Node) beginOp(env cluster.Env) {
-	if n.opIndex >= len(n.cfg.Ops) {
-		return
+// launchNext starts workload operations while the window has room. With a
+// positive OpGap launches are spaced one per timer tick, keeping chaos
+// workloads stretched across their fault schedule; without a gap the
+// window fills immediately.
+func (n *Node) launchNext(env cluster.Env) {
+	for n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
+		n.launchOp(env)
+		if n.cfg.OpGap > 0 {
+			if n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
+				env.After(n.cfg.OpGap, tokenNextOp{})
+			}
+			return
+		}
 	}
-	n.retries = 0
-	n.backoff = 0
-	n.started = env.Now()
-	n.sawNoQuorum = false
-	n.opSuspects.Clear()
-	op := n.currentOp()
+}
+
+// getOp takes an opState from the freelist (or builds one); its bitsets
+// and reply map are already sized for the universe.
+func (n *Node) getOp() *opState {
+	if len(n.free) > 0 {
+		op := n.free[len(n.free)-1]
+		n.free = n.free[:len(n.free)-1]
+		return op
+	}
+	u := n.cfg.Store.Universe()
+	return &opState{
+		quorum:     bitset.New(u),
+		pending:    bitset.New(u),
+		opSuspects: bitset.New(u),
+		replies:    make(map[cluster.NodeID]Version),
+	}
+}
+
+func (n *Node) putOp(op *opState) {
+	op.seq = 0
+	op.ph = 0
+	op.writeback = false
+	op.bestVer = Version{}
+	op.bestVal = ""
+	op.value = ""
+	op.retries = 0
+	op.backoff = 0
+	op.sawNoQuorum = false
+	op.opSuspects.Clear()
+	clear(op.replies)
+	n.free = append(n.free, op)
+}
+
+func (n *Node) launchOp(env cluster.Env) {
+	spec := n.cfg.Ops[n.nextOp]
+	op := n.getOp()
+	op.id = n.nextOp
+	op.kind = spec.Kind
+	op.value = spec.Value
+	op.started = env.Now()
+	n.nextOp++
 	if n.cfg.OnInvoke != nil {
-		value := op.Value
-		if op.Kind == OpRead {
+		value := spec.Value
+		if spec.Kind == OpRead {
 			value = ""
 		}
-		n.cfg.OnInvoke(n.id, op.Kind, value, env.Now())
+		n.cfg.OnInvoke(n.id, op.id, spec.Kind, value, env.Now())
 	}
-	switch op.Kind {
+	switch spec.Kind {
 	case OpRead, OpWrite:
-		n.startReadPhase(env)
+		n.startReadPhase(env, op)
 	case OpBlindWrite:
-		n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value, false)
+		n.startWritePhase(env, op, Version{Counter: n.nextClock(), Writer: n.id}, spec.Value, false)
 	}
 }
 
@@ -410,53 +515,63 @@ func (n *Node) nextClock() uint64 {
 	return n.clock
 }
 
-// startReadPhase queries a read quorum for versions.
-func (n *Node) startReadPhase(env cluster.Env) {
+// rekey gives op a fresh attempt sequence number and files it in the op
+// table under it. Replies and timer tokens carrying any older seq now miss
+// the table entirely — that one lookup replaces all staleness checks.
+func (n *Node) rekey(op *opState) {
+	if op.seq != 0 {
+		delete(n.inflight, op.seq)
+	}
 	n.seq++
-	n.ph = phaseReadVersions
-	n.writeback = false
-	n.bestVer = Version{}
-	n.bestVal = ""
-	n.replies = make(map[cluster.NodeID]Version)
-	q, err := n.pickWithFallback(env, true)
-	if err != nil {
-		n.failOp(env, err)
+	op.seq = n.seq
+	n.inflight[op.seq] = op
+}
+
+// startReadPhase queries a read quorum for versions.
+func (n *Node) startReadPhase(env cluster.Env, op *opState) {
+	n.rekey(op)
+	op.ph = phaseReadVersions
+	op.writeback = false
+	op.bestVer = Version{}
+	op.bestVal = ""
+	clear(op.replies)
+	if err := n.pickQuorum(env, op, true); err != nil {
+		n.failOp(env, op, err)
 		return
 	}
-	n.quorum = q
-	n.pending = q.Clone()
-	q.ForEach(func(m int) { env.Send(cluster.NodeID(m), msgReadVersion{Seq: n.seq}) })
-	env.After(n.attemptTimeout(env), tokenOpDue{Seq: n.seq})
+	op.quorum.CopyInto(&op.pending)
+	seq := op.seq
+	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msgReadVersion{Seq: seq}) })
+	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: seq})
 }
 
 // startWritePhase stores a version on a write quorum. When writeback is
 // true the phase is a read's ABD write-back: it re-stores the version the
 // read observed, and completion reports the read's result.
-func (n *Node) startWritePhase(env cluster.Env, ver Version, val string, writeback bool) {
-	n.seq++
-	n.ph = phaseWrite
-	n.writeback = writeback
-	n.bestVer = ver
-	n.bestVal = val
-	q, err := n.pickWithFallback(env, false)
-	if err != nil {
-		n.failOp(env, err)
+func (n *Node) startWritePhase(env cluster.Env, op *opState, ver Version, val string, writeback bool) {
+	n.rekey(op)
+	op.ph = phaseWrite
+	op.writeback = writeback
+	op.bestVer = ver
+	op.bestVal = val
+	if err := n.pickQuorum(env, op, false); err != nil {
+		n.failOp(env, op, err)
 		return
 	}
-	n.quorum = q
-	n.pending = q.Clone()
-	q.ForEach(func(m int) {
-		env.Send(cluster.NodeID(m), msgWrite{Seq: n.seq, Version: ver, Value: val})
+	op.quorum.CopyInto(&op.pending)
+	seq := op.seq
+	op.quorum.ForEach(func(m int) {
+		env.Send(cluster.NodeID(m), msgWrite{Seq: seq, Version: ver, Value: val})
 	})
-	env.After(n.attemptTimeout(env), tokenOpDue{Seq: n.seq})
+	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: seq})
 }
 
 // attemptTimeout returns the current attempt's patience: exponential
 // backoff from Timeout capped at MaxTimeout, plus up to 50% jitter so
 // colliding clients desynchronize, clamped so the attempt never outlives
 // the op deadline by more than one timer.
-func (n *Node) attemptTimeout(env cluster.Env) time.Duration {
-	shift := n.backoff
+func (n *Node) attemptTimeout(env cluster.Env, op *opState) time.Duration {
+	shift := op.backoff
 	if shift > 16 {
 		shift = 16
 	}
@@ -466,7 +581,7 @@ func (n *Node) attemptTimeout(env cluster.Env) time.Duration {
 	}
 	d += time.Duration(env.Rand().Int63n(int64(d)/2 + 1))
 	if n.cfg.OpDeadline > 0 {
-		if remaining := n.started + n.cfg.OpDeadline - env.Now(); remaining < d {
+		if remaining := op.started + n.cfg.OpDeadline - env.Now(); remaining < d {
 			d = remaining
 		}
 		if d < 0 {
@@ -490,50 +605,73 @@ func (n *Node) decaySuspects(env cluster.Env) {
 	})
 }
 
-// pickWithFallback draws a quorum among unsuspected replicas, clearing
-// suspicions if none remains.
-func (n *Node) pickWithFallback(env cluster.Env, read bool) (bitset.Set, error) {
-	pick := n.cfg.Store.PickWrite
+func (n *Node) invalidatePicks() {
+	n.picks[0].valid = false
+	n.picks[1].valid = false
+}
+
+// pickQuorum draws a quorum among unsuspected replicas into op.quorum,
+// clearing suspicions if none remains. Consecutive picks of one flavor
+// against an unchanged suspect set are served from the pick cache.
+func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
+	pick, c := n.cfg.Store.PickWrite, &n.picks[1]
 	if read {
-		pick = n.cfg.Store.PickRead
+		pick, c = n.cfg.Store.PickRead, &n.picks[0]
 	}
 	n.decaySuspects(env)
+	fp := n.suspects.Fingerprint()
+	if !n.cfg.NoPickCache && c.valid && c.fp == fp {
+		c.q.CopyInto(&op.quorum)
+		return nil
+	}
 	q, err := pick(env.Rand(), n.suspects.Complement())
 	if err != nil {
-		n.sawNoQuorum = true
+		op.sawNoQuorum = true
 		n.suspects.Clear()
+		n.invalidatePicks()
 		q, err = pick(env.Rand(), bitset.Universe(n.cfg.Store.Universe()))
+		if err != nil {
+			return err
+		}
+		q.CopyInto(&op.quorum)
+		return nil
 	}
-	return q, err
+	q.CopyInto(&op.quorum)
+	q.CopyInto(&c.q)
+	c.fp, c.valid = fp, true
+	return nil
 }
 
 // retryPhase abandons the attempt, suspecting silent members; past the op
 // deadline it fails the operation with a typed error instead of retrying.
-func (n *Node) retryPhase(env cluster.Env) {
-	n.retries++
+func (n *Node) retryPhase(env cluster.Env, op *opState) {
+	op.retries++
 	// Back off only when the whole quorum went silent (we are cut off or
 	// it is dead); a partially answered attempt recovers by re-picking
 	// around the silent members at the base patience.
-	if n.pending.Count() == n.quorum.Count() {
-		n.backoff++
+	if op.pending.Count() == op.quorum.Count() {
+		op.backoff++
 	} else {
-		n.backoff = 0
+		op.backoff = 0
 	}
 	now := env.Now()
-	n.pending.ForEach(func(m int) {
+	op.pending.ForEach(func(m int) {
 		n.suspects.Add(m)
-		n.opSuspects.Add(m)
+		op.opSuspects.Add(m)
 		n.suspectAt[m] = now
 	})
-	if n.cfg.OpDeadline > 0 && now-n.started >= n.cfg.OpDeadline {
-		n.failOp(env, n.deadlineError(env))
+	// The attempt's quorum let us down: any cached pick may be built on
+	// the same dead members, so force a fresh draw.
+	n.invalidatePicks()
+	if n.cfg.OpDeadline > 0 && now-op.started >= n.cfg.OpDeadline {
+		n.failOp(env, op, n.deadlineError(env, op))
 		return
 	}
-	switch n.ph {
+	switch op.ph {
 	case phaseReadVersions:
-		n.startReadPhase(env)
+		n.startReadPhase(env, op)
 	case phaseWrite:
-		n.startWritePhase(env, n.bestVer, n.bestVal, n.writeback)
+		n.startWritePhase(env, op, op.bestVer, op.bestVal, op.writeback)
 	}
 }
 
@@ -543,121 +681,130 @@ func (n *Node) retryPhase(env cluster.Env) {
 // fallback path both shrink the instantaneous suspect set, which would
 // under-report), ErrDegraded when a quorum of replicas that never went
 // silent exists but the operation still ran out of time.
-func (n *Node) deadlineError(env cluster.Env) error {
-	if n.sawNoQuorum {
+func (n *Node) deadlineError(env cluster.Env, op *opState) error {
+	if op.sawNoQuorum {
 		return quorum.ErrNoQuorum
 	}
 	pick := n.cfg.Store.PickWrite
-	if n.ph == phaseReadVersions {
+	if op.ph == phaseReadVersions {
 		pick = n.cfg.Store.PickRead
 	}
-	if _, err := pick(env.Rand(), n.opSuspects.Complement()); err != nil {
+	if _, err := pick(env.Rand(), op.opSuspects.Complement()); err != nil {
 		return quorum.ErrNoQuorum
 	}
 	return quorum.ErrDegraded
 }
 
-// failOp reports the operation's error and moves on to the next one.
-func (n *Node) failOp(env cluster.Env, err error) {
-	op := n.currentOp()
-	n.finishOp(env, Result{
-		Node: n.id, Kind: op.Kind, Err: err,
-		Start: n.started, At: env.Now(), Retries: n.retries,
+// failOp reports the operation's error and retires it.
+func (n *Node) failOp(env cluster.Env, op *opState, err error) {
+	n.finishOp(env, op, Result{
+		Node: n.id, OpID: op.id, Kind: op.kind, Err: err,
+		Start: op.started, At: env.Now(), Retries: op.retries,
 	})
 }
 
 func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersionReply) {
-	if n.ph != phaseReadVersions || m.Seq != n.seq || !n.pending.Contains(int(from)) {
+	op, ok := n.inflight[m.Seq]
+	if !ok || op.ph != phaseReadVersions || !op.pending.Contains(int(from)) {
 		return
 	}
-	n.pending.Remove(int(from))
-	n.replies[from] = m.Version
-	if n.bestVer.Less(m.Version) {
-		n.bestVer = m.Version
-		n.bestVal = m.Value
+	op.pending.Remove(int(from))
+	op.replies[from] = m.Version
+	if op.bestVer.Less(m.Version) {
+		op.bestVer = m.Version
+		op.bestVal = m.Value
 	}
-	if !n.pending.Empty() {
+	if !op.pending.Empty() {
 		return
 	}
 	// Read quorum complete.
-	op := n.currentOp()
-	if op.Kind == OpRead {
-		if n.cfg.ReadWriteback && n.bestVer != (Version{}) {
+	if op.kind == OpRead {
+		if n.cfg.ReadWriteback && op.bestVer != (Version{}) {
 			// ABD-style: re-store the observed maximum on a write quorum
 			// so no later read can observe an older value.
-			n.startWritePhase(env, n.bestVer, n.bestVal, true)
+			n.startWritePhase(env, op, op.bestVer, op.bestVal, true)
 			return
 		}
 		if n.cfg.ReadRepair {
-			n.repair(env)
+			n.repair(env, op)
 		}
-		n.finishOp(env, Result{
-			Node: n.id, Kind: OpRead, Value: n.bestVal, Version: n.bestVer,
-			Start: n.started, At: env.Now(), Retries: n.retries,
+		n.finishOp(env, op, Result{
+			Node: n.id, OpID: op.id, Kind: OpRead, Value: op.bestVal, Version: op.bestVer,
+			Start: op.started, At: env.Now(), Retries: op.retries,
 		})
 		return
 	}
 	// Read-write: bump the counter past everything the read quorum saw.
-	if n.bestVer.Counter > n.clock {
-		n.clock = n.bestVer.Counter
+	if op.bestVer.Counter > n.clock {
+		n.clock = op.bestVer.Counter
 	}
-	n.startWritePhase(env, Version{Counter: n.nextClock(), Writer: n.id}, op.Value, false)
+	n.startWritePhase(env, op, Version{Counter: n.nextClock(), Writer: n.id}, op.value, false)
 }
 
 func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
-	if n.ph != phaseWrite || m.Seq != n.seq || !n.pending.Contains(int(from)) {
+	op, ok := n.inflight[m.Seq]
+	if !ok || op.ph != phaseWrite || !op.pending.Contains(int(from)) {
 		return
 	}
-	n.pending.Remove(int(from))
-	if !n.pending.Empty() {
+	op.pending.Remove(int(from))
+	if !op.pending.Empty() {
 		return
 	}
-	op := n.currentOp()
-	n.finishOp(env, Result{
-		Node: n.id, Kind: op.Kind, Value: n.bestVal, Version: n.bestVer,
-		Start: n.started, At: env.Now(), Retries: n.retries,
+	n.finishOp(env, op, Result{
+		Node: n.id, OpID: op.id, Kind: op.kind, Value: op.bestVal, Version: op.bestVer,
+		Start: op.started, At: env.Now(), Retries: op.retries,
 	})
 }
 
 // repair fire-and-forgets the winning version to read-quorum members that
 // reported something older.
-func (n *Node) repair(env cluster.Env) {
-	if n.bestVer == (Version{}) {
+func (n *Node) repair(env cluster.Env, op *opState) {
+	if op.bestVer == (Version{}) {
 		return // nothing written yet
 	}
-	n.seq++ // a fresh sequence so stale acks are ignored
-	for member, ver := range n.replies {
-		if ver.Less(n.bestVer) {
-			env.Send(member, msgWrite{Seq: n.seq, Version: n.bestVer, Value: n.bestVal})
+	// A fresh, unfiled sequence number: the acks find no op-table entry
+	// and are dropped.
+	n.seq++
+	for member, ver := range op.replies {
+		if ver.Less(op.bestVer) {
+			env.Send(member, msgWrite{Seq: n.seq, Version: op.bestVer, Value: op.bestVal})
 		}
 	}
 }
 
-func (n *Node) finishOp(env cluster.Env, res Result) {
-	n.ph = phaseIdle
-	n.opIndex++
+func (n *Node) finishOp(env cluster.Env, op *opState, res Result) {
+	delete(n.inflight, op.seq)
+	n.putOp(op)
 	if n.cfg.OnResult != nil {
 		n.cfg.OnResult(res)
 	}
-	if n.opIndex < len(n.cfg.Ops) {
-		env.After(n.cfg.OpGap, tokenNextOp{})
+	if n.nextOp < len(n.cfg.Ops) {
+		gap := n.cfg.OpGap
+		if gap < 0 {
+			gap = 0
+		}
+		env.After(gap, tokenNextOp{})
 	}
 }
 
 // Restarted implements the cluster.Network restart hook: the crash killed
-// the node's volatile client state (its timers died with it), so any
+// the node's volatile client state (its timers died with it), so every
 // in-flight operation is abandoned — its effects are undecided, which the
 // history layer records as a pending op — and the workload resumes with
 // the next operation. Replica state (version, value) survives, modeling
 // stable storage.
 func (n *Node) Restarted(env cluster.Env) {
-	if n.ph != phaseIdle {
-		n.ph = phaseIdle
-		n.seq++ // ignore replies addressed to the pre-crash attempt
-		n.opIndex++
+	for seq, op := range n.inflight {
+		delete(n.inflight, seq)
+		n.putOp(op)
 	}
-	if n.opIndex < len(n.cfg.Ops) {
-		env.After(n.cfg.OpGap, tokenNextOp{})
+	n.invalidatePicks()
+	if n.nextOp < len(n.cfg.Ops) {
+		gap := n.cfg.OpGap
+		if gap < 0 {
+			gap = 0
+		}
+		env.After(gap, tokenNextOp{})
 	}
 }
 

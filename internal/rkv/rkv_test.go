@@ -554,7 +554,10 @@ func TestReadWritebackMonotone(t *testing.T) {
 		for i := range ops {
 			ops[i] = Op{Kind: OpRead}
 		}
-		base := Config{ReadWriteback: writeback}
+		// The pick cache would pin one row-cover for the whole read
+		// sequence, hiding the inversion this test stages; disable it so
+		// every read draws a fresh quorum like independent clients would.
+		base := Config{ReadWriteback: writeback, NoPickCache: true}
 		h := newHarnessCfg(t, seed, base, map[cluster.NodeID][]Op{15: ops}, nil)
 		// Stage: everyone holds "base", but one replica saw a newer write
 		// that never reached a full quorum (its writer crashed mid-write).
@@ -656,5 +659,183 @@ func TestSuspectDecayReadmitsRestartedReplica(t *testing.T) {
 	}
 	if _, ver := restarted.Value(); ver.Counter != 0 {
 		t.Fatal("shunned replica received writes with decay disabled")
+	}
+}
+
+// TestWindowPipelining: with Window > 1 and no op gap a node keeps several
+// operations in flight at once; all complete exactly once, identified by
+// OpID, and at least some genuinely overlapped.
+func TestWindowPipelining(t *testing.T) {
+	const nOps = 12
+	ops := make([]Op, nOps)
+	for i := range ops {
+		if i%3 == 2 {
+			ops[i] = Op{Kind: OpRead}
+		} else {
+			ops[i] = Op{Kind: OpWrite, Value: fmt.Sprintf("w%d", i)}
+		}
+	}
+	base := Config{Window: 4, OpGap: -1}
+	h := newHarnessCfg(t, 51, base, map[cluster.NodeID][]Op{3: ops}, nil)
+	h.run(t, time.Minute)
+
+	if len(h.results) != nOps {
+		t.Fatalf("results %d, want %d", len(h.results), nOps)
+	}
+	seen := make(map[int]bool)
+	overlaps := 0
+	for _, r := range h.results {
+		if r.Err != nil {
+			t.Fatalf("op %d failed: %v", r.OpID, r.Err)
+		}
+		if seen[r.OpID] {
+			t.Fatalf("op %d completed twice", r.OpID)
+		}
+		seen[r.OpID] = true
+		// r overlapped with any other op whose window intersects r's.
+		for _, o := range h.results {
+			if o.OpID != r.OpID && o.Start < r.At && r.Start < o.At {
+				overlaps++
+				break
+			}
+		}
+	}
+	for i := 0; i < nOps; i++ {
+		if !seen[i] {
+			t.Fatalf("op %d never completed", i)
+		}
+	}
+	if overlaps == 0 {
+		t.Fatal("window=4 produced no overlapping operations")
+	}
+	// Writes all landed: a final read observes the highest-version write.
+	h.nodes[9].Enqueue(Op{Kind: OpRead})
+	if err := h.nodes[9].Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, h.net.Now()+time.Minute)
+	last := h.results[len(h.results)-1]
+	if last.Value == "" {
+		t.Fatalf("final read observed nothing: %+v", last)
+	}
+}
+
+// TestWindowOneStaysSequential: the default window executes the workload
+// strictly one at a time — no operation starts before its predecessor
+// finishes, and results arrive in workload order.
+func TestWindowOneStaysSequential(t *testing.T) {
+	ops := make([]Op, 8)
+	for i := range ops {
+		ops[i] = Op{Kind: OpWrite, Value: fmt.Sprintf("s%d", i)}
+	}
+	h := newHarness(t, 52, map[cluster.NodeID][]Op{6: ops}, nil)
+	h.run(t, time.Minute)
+	if len(h.results) != len(ops) {
+		t.Fatalf("results %d", len(h.results))
+	}
+	for i, r := range h.results {
+		if r.OpID != i {
+			t.Fatalf("result %d has OpID %d; window=1 must be in order", i, r.OpID)
+		}
+		if i > 0 && r.Start < h.results[i-1].At {
+			t.Fatalf("op %d started before op %d completed", i, i-1)
+		}
+	}
+}
+
+// TestWindowPipeliningUnderCrashes: pipelined operations still finish (or
+// fail with typed errors) when replicas crash mid-window.
+func TestWindowPipeliningUnderCrashes(t *testing.T) {
+	ops := make([]Op, 10)
+	for i := range ops {
+		ops[i] = Op{Kind: OpWrite, Value: fmt.Sprintf("c%d", i)}
+	}
+	base := Config{Window: 5, OpGap: -1, Timeout: 100 * time.Millisecond}
+	h := newHarnessCfg(t, 53, base, map[cluster.NodeID][]Op{0: ops}, []cluster.NodeID{2, 7})
+	h.net.Run(2 * time.Minute)
+	if !h.nodes[0].Done() {
+		t.Fatal("pipelined client did not finish under crashes")
+	}
+	if len(h.results) != len(ops) {
+		t.Fatalf("results %d", len(h.results))
+	}
+	for _, r := range h.results {
+		if r.Err != nil {
+			t.Fatalf("op %d failed: %v", r.OpID, r.Err)
+		}
+	}
+}
+
+// fakeEnv is a minimal cluster.Env for benchmarking node internals.
+type fakeEnv struct {
+	rng *rand.Rand
+	now time.Duration
+}
+
+func (e *fakeEnv) ID() cluster.NodeID               { return 0 }
+func (e *fakeEnv) Now() time.Duration               { return e.now }
+func (e *fakeEnv) Send(to cluster.NodeID, msg any)  {}
+func (e *fakeEnv) After(d time.Duration, token any) {}
+func (e *fakeEnv) Rand() *rand.Rand                 { return e.rng }
+
+// TestPickCacheInvalidation: cache hits return the same quorum; a new
+// suspicion forces a fresh pick that avoids the suspect.
+func TestPickCacheInvalidation(t *testing.T) {
+	n, err := NewNode(0, Config{Store: HGridStore{H: hgrid.Auto(4, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &fakeEnv{rng: rand.New(rand.NewSource(9))}
+	a, b := n.getOp(), n.getOp()
+	if err := n.pickQuorum(env, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.pickQuorum(env, b, true); err != nil {
+		t.Fatal(err)
+	}
+	if !a.quorum.Equal(b.quorum) {
+		t.Fatalf("cache miss on unchanged view: %v vs %v", a.quorum, b.quorum)
+	}
+	// Suspect a member of the cached quorum: the next pick must avoid it.
+	victim := a.quorum.Indices()[0]
+	n.suspects.Add(victim)
+	n.suspectAt[victim] = env.Now()
+	if err := n.pickQuorum(env, b, true); err != nil {
+		t.Fatal(err)
+	}
+	if b.quorum.Contains(victim) {
+		t.Fatalf("pick after suspicion still contains suspect %d", victim)
+	}
+	// And the refreshed pick is cached again under the new fingerprint.
+	if err := n.pickQuorum(env, a, true); err != nil {
+		t.Fatal(err)
+	}
+	if !a.quorum.Equal(b.quorum) {
+		t.Fatal("refreshed pick was not cached")
+	}
+}
+
+// BenchmarkPickQuorum measures the cached against the uncached pick path;
+// the cache hit must be allocation-free (run with -benchmem).
+func BenchmarkPickQuorum(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "cached"
+		if !cached {
+			name = "uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			n, err := NewNode(0, Config{Store: HGridStore{H: hgrid.Auto(4, 4)}, NoPickCache: !cached})
+			if err != nil {
+				b.Fatal(err)
+			}
+			env := &fakeEnv{rng: rand.New(rand.NewSource(9))}
+			op := n.getOp()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := n.pickQuorum(env, op, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

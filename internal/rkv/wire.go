@@ -1,0 +1,79 @@
+package rkv
+
+import (
+	"hquorum/internal/cluster"
+	"hquorum/internal/codec"
+)
+
+// Fixed wire tags for the register protocol. These are wire format: once
+// released they never change or get reused. The 0x10 block belongs to rkv
+// (dmutex owns 0x20).
+const (
+	tagReadVersion  = 0x10
+	tagVersionReply = 0x11
+	tagWrite        = 0x12
+	tagWriteAck     = 0x13
+)
+
+// RegisterBinaryWire registers hand-written varint codecs for the
+// protocol's wire messages, replacing the reflective gob fallback on the
+// live transport's hot path.
+func RegisterBinaryWire(reg *codec.Registry) {
+	reg.Register(tagReadVersion, msgReadVersion{},
+		func(b []byte, v any) []byte {
+			return codec.AppendUvarint(b, v.(msgReadVersion).Seq)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgReadVersion{Seq: r.Uvarint()}
+			return m, r.Err()
+		})
+	reg.Register(tagVersionReply, msgVersionReply{},
+		func(b []byte, v any) []byte {
+			m := v.(msgVersionReply)
+			return appendVersioned(b, m.Seq, m.Version, m.Value)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			var m msgVersionReply
+			m.Seq, m.Version, m.Value = readVersioned(r)
+			return m, r.Err()
+		})
+	reg.Register(tagWrite, msgWrite{},
+		func(b []byte, v any) []byte {
+			m := v.(msgWrite)
+			return appendVersioned(b, m.Seq, m.Version, m.Value)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			var m msgWrite
+			m.Seq, m.Version, m.Value = readVersioned(r)
+			return m, r.Err()
+		})
+	reg.Register(tagWriteAck, msgWriteAck{},
+		func(b []byte, v any) []byte {
+			return codec.AppendUvarint(b, v.(msgWriteAck).Seq)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgWriteAck{Seq: r.Uvarint()}
+			return m, r.Err()
+		})
+}
+
+// appendVersioned encodes the common {Seq, Version, Value} payload shared
+// by msgVersionReply and msgWrite.
+func appendVersioned(b []byte, seq uint64, ver Version, val string) []byte {
+	b = codec.AppendUvarint(b, seq)
+	b = codec.AppendUvarint(b, ver.Counter)
+	b = codec.AppendUvarint(b, uint64(ver.Writer))
+	return codec.AppendString(b, val)
+}
+
+func readVersioned(r *codec.Reader) (seq uint64, ver Version, val string) {
+	seq = r.Uvarint()
+	ver.Counter = r.Uvarint()
+	ver.Writer = cluster.NodeID(r.Uvarint())
+	val = r.String()
+	return seq, ver, val
+}

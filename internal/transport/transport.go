@@ -4,38 +4,76 @@
 // mutual-exclusion (dmutex) and replicated-register (rkv) nodes run
 // unchanged over loopback or LAN sockets: each node owns a listener and a
 // single event loop that serializes message deliveries and timer callbacks
-// (handlers still need no locking). Messages are gob-encoded; payload
-// types must be registered once via Register (dmutex.RegisterWire and
-// rkv.RegisterWire do this for the built-in protocols).
+// (handlers still need no locking).
 //
-// The transport is deliberately failure-friendly: sends to unreachable
-// peers are dropped (quorum protocols tolerate loss by design), and
-// connections are re-dialed on the next send.
+// Messages travel as length-prefixed binary frames (package codec).
+// Protocol types registered with a codec.Registry — rkv.RegisterBinaryWire
+// and dmutex.RegisterBinaryWire feed DefaultRegistry — use hand-written
+// varint codecs; everything else rides the reflective gob fallback (such
+// types must be gob-registered via Register). Binary and gob senders
+// interoperate frame-by-frame on one connection, so a fleet can be
+// upgraded incrementally; WithGobWire forces a node to send gob-only.
+//
+// Each peer gets a dedicated writer goroutine behind a buffered queue:
+// Env.Send never blocks the event loop on dials, slow peers or dead
+// sockets (a full queue drops, which quorum protocols tolerate by
+// design). The writer drains its queue in bursts through a bufio.Writer
+// and flushes when the queue goes momentarily idle, coalescing the
+// request fan-out of a quorum round into one syscall instead of one per
+// message.
 package transport
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hquorum/internal/cluster"
+	"hquorum/internal/codec"
+	"hquorum/internal/dmutex"
+	"hquorum/internal/rkv"
 )
 
-// Register makes payload types encodable. Call once per wire type before
-// starting nodes.
+// Register makes payload types encodable by the gob fallback. Call once
+// per wire type that has no binary registration, before starting nodes.
 func Register(values ...any) {
 	for _, v := range values {
 		gob.Register(v)
 	}
 }
 
-// envelope is the wire frame.
-type envelope struct {
-	From    cluster.NodeID
-	Payload any
+var (
+	defaultReg     *codec.Registry
+	defaultRegOnce sync.Once
+)
+
+// DefaultRegistry returns the shared codec registry with every built-in
+// protocol's binary wire format registered. Nodes use it unless
+// WithRegistry overrides.
+func DefaultRegistry() *codec.Registry {
+	defaultRegOnce.Do(func() {
+		defaultReg = codec.NewRegistry()
+		rkv.RegisterBinaryWire(defaultReg)
+		dmutex.RegisterBinaryWire(defaultReg)
+	})
+	return defaultReg
+}
+
+// Stats are a node's transport counters. Byte counts cover frame bytes on
+// the wire (flushed writes and decoded reads); Flushes counts writer
+// syscall batches, so Sent/Flushes is the average coalescing factor.
+type Stats struct {
+	Sent     uint64 // messages handed to the transport (incl. self-sends)
+	Received uint64 // frames decoded from peers
+	Dropped  uint64 // messages lost to dial failures, full queues, dead conns
+	BytesOut uint64
+	BytesIn  uint64
+	Flushes  uint64
 }
 
 // event is a queued delivery or timer callback.
@@ -60,9 +98,10 @@ func WithDropRate(p float64) Option {
 	return func(n *Node) { n.dropRate = p }
 }
 
-// WithDialTimeout bounds outgoing connection attempts (default 1s). A dial
-// that times out only drops the message — quorum protocols retry — so a
-// short timeout keeps sends to dead peers from stalling the event loop.
+// WithDialTimeout bounds outgoing connection attempts and per-flush write
+// stalls (default 1s). Dials and writes happen on per-peer writer
+// goroutines, so a dead or black-holed peer only ever delays (then drops)
+// its own traffic, never the event loop.
 func WithDialTimeout(d time.Duration) Option {
 	return func(n *Node) {
 		if d > 0 {
@@ -71,6 +110,25 @@ func WithDialTimeout(d time.Duration) Option {
 	}
 }
 
+// WithRegistry overrides the binary wire registry (default
+// DefaultRegistry()).
+func WithRegistry(reg *codec.Registry) Option {
+	return func(n *Node) { n.reg = reg }
+}
+
+// WithGobWire makes the node send every message through the gob fallback
+// frame, ignoring binary registrations. Receiving still understands both,
+// so gob-wire and binary-wire nodes interoperate — the knob exists for
+// cross-checking the two formats and for measuring the binary path's win.
+func WithGobWire() Option {
+	return func(n *Node) { n.forceGob = true }
+}
+
+// writerQueue is each peer writer's buffer depth. Sized for several
+// pipelined quorum fan-outs; overflow drops (loss, not backpressure — the
+// event loop must never block).
+const writerQueue = 1024
+
 // Node hosts a protocol handler on a TCP listener.
 type Node struct {
 	id          cluster.NodeID
@@ -78,6 +136,8 @@ type Node struct {
 	seed        int64
 	dropRate    float64
 	dialTimeout time.Duration
+	reg         *codec.Registry
+	forceGob    bool
 
 	ln     net.Listener
 	start  time.Time
@@ -87,17 +147,16 @@ type Node struct {
 
 	mu       sync.Mutex
 	peers    map[cluster.NodeID]string
-	conns    map[cluster.NodeID]*peerConn
+	writers  map[cluster.NodeID]*peerWriter
 	accepted map[net.Conn]struct{}
 	rng      *rand.Rand // used only from the event loop
 
-	sent    uint64
-	dropped uint64
-}
-
-type peerConn struct {
-	c   net.Conn
-	enc *gob.Encoder
+	sent     atomic.Uint64
+	received atomic.Uint64
+	dropped  atomic.Uint64
+	bytesOut atomic.Uint64
+	bytesIn  atomic.Uint64
+	flushes  atomic.Uint64
 }
 
 // NewNode creates a node listening on addr ("127.0.0.1:0" for an ephemeral
@@ -115,12 +174,13 @@ func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Op
 		handler:     handler,
 		seed:        int64(id) + 1,
 		dialTimeout: time.Second,
+		reg:         DefaultRegistry(),
 		ln:          ln,
 		start:       time.Now(),
 		events:      make(chan event, 4096),
 		quit:        make(chan struct{}),
 		peers:       make(map[cluster.NodeID]string),
-		conns:       make(map[cluster.NodeID]*peerConn),
+		writers:     make(map[cluster.NodeID]*peerWriter),
 		accepted:    make(map[net.Conn]struct{}),
 	}
 	for _, o := range opts {
@@ -160,19 +220,36 @@ func (n *Node) Close() {
 	close(n.quit)
 	n.ln.Close()
 	n.mu.Lock()
-	for _, pc := range n.conns {
-		pc.c.Close()
+	writers := make([]*peerWriter, 0, len(n.writers))
+	for _, w := range n.writers {
+		writers = append(writers, w)
 	}
-	n.conns = map[cluster.NodeID]*peerConn{}
+	n.writers = map[cluster.NodeID]*peerWriter{}
 	for c := range n.accepted {
 		c.Close()
 	}
 	n.mu.Unlock()
+	for _, w := range writers {
+		w.close()
+	}
 	n.wg.Wait()
 }
 
-// Sent returns the number of messages handed to the network.
-func (n *Node) Sent() uint64 { return n.sent }
+// Sent returns the number of messages handed to the transport.
+func (n *Node) Sent() uint64 { return n.sent.Load() }
+
+// Stats returns a snapshot of the node's transport counters. Safe to call
+// concurrently with a running node.
+func (n *Node) Stats() Stats {
+	return Stats{
+		Sent:     n.sent.Load(),
+		Received: n.received.Load(),
+		Dropped:  n.dropped.Load(),
+		BytesOut: n.bytesOut.Load(),
+		BytesIn:  n.bytesIn.Load(),
+		Flushes:  n.flushes.Load(),
+	}
+}
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -197,14 +274,18 @@ func (n *Node) readLoop(c net.Conn) {
 		delete(n.accepted, c)
 		n.mu.Unlock()
 	}()
-	dec := gob.NewDecoder(c)
+	dec := codec.NewDecoder(bufio.NewReaderSize(c, 64<<10), n.reg)
+	var consumed uint64
 	for {
-		var env envelope
-		if err := dec.Decode(&env); err != nil {
+		from, msg, err := dec.Decode()
+		n.bytesIn.Add(dec.BytesRead() - consumed)
+		consumed = dec.BytesRead()
+		if err != nil {
 			return
 		}
+		n.received.Add(1)
 		select {
-		case n.events <- event{kind: 0, from: env.From, msg: env.Payload}:
+		case n.events <- event{kind: 0, from: cluster.NodeID(from), msg: msg}:
 		case <-n.quit:
 			return
 		}
@@ -229,11 +310,13 @@ func (n *Node) eventLoop() {
 	}
 }
 
-// send delivers a message to a peer (or locally), dropping on any failure.
+// send hands a message to a peer's writer queue (or the local event
+// queue). It never blocks on the network: a missing peer or a full queue
+// drops the message, which the quorum protocols absorb as loss.
 func (n *Node) send(to cluster.NodeID, msg any) {
-	n.sent++
+	n.sent.Add(1)
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
-		n.dropped++
+		n.dropped.Add(1)
 		return
 	}
 	if to == n.id {
@@ -243,48 +326,160 @@ func (n *Node) send(to cluster.NodeID, msg any) {
 		}
 		return
 	}
-	pc, err := n.peer(to)
+	w, err := n.writer(to)
 	if err != nil {
-		n.dropped++
+		n.dropped.Add(1)
 		return
 	}
-	if err := pc.enc.Encode(envelope{From: n.id, Payload: msg}); err != nil {
-		// Connection went bad: forget it so the next send re-dials.
-		n.mu.Lock()
-		if n.conns[to] == pc {
-			delete(n.conns, to)
-		}
-		n.mu.Unlock()
-		pc.c.Close()
-		n.dropped++
+	select {
+	case w.ch <- msg:
+	default:
+		n.dropped.Add(1) // writer wedged or flooded: shed, don't stall
 	}
 }
 
-// peer returns (dialing if needed) the outgoing connection to a peer.
-func (n *Node) peer(to cluster.NodeID) (*peerConn, error) {
+// writer returns (starting if needed) the peer's writer goroutine.
+func (n *Node) writer(to cluster.NodeID) (*peerWriter, error) {
 	n.mu.Lock()
-	if pc, ok := n.conns[to]; ok {
-		n.mu.Unlock()
-		return pc, nil
+	defer n.mu.Unlock()
+	if w, ok := n.writers[to]; ok {
+		return w, nil
 	}
 	addr, ok := n.peers[to]
-	n.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("transport: unknown peer %d", to)
 	}
-	c, err := net.DialTimeout("tcp", addr, n.dialTimeout)
-	if err != nil {
-		return nil, err
+	select {
+	case <-n.quit:
+		return nil, fmt.Errorf("transport: node closed")
+	default:
 	}
-	pc := &peerConn{c: c, enc: gob.NewEncoder(c)}
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if existing, ok := n.conns[to]; ok {
-		c.Close()
-		return existing, nil
+	w := &peerWriter{n: n, addr: addr, ch: make(chan any, writerQueue), done: make(chan struct{})}
+	n.writers[to] = w
+	n.wg.Add(1)
+	go w.run()
+	return w, nil
+}
+
+// peerWriter owns one peer's outgoing connection: it dials, encodes and
+// flushes on its own goroutine so connection trouble is invisible to the
+// event loop.
+type peerWriter struct {
+	n    *Node
+	addr string
+	ch   chan any
+	done chan struct{}
+
+	mu   sync.Mutex
+	conn net.Conn // current connection, for Close to unwedge blocked writes
+}
+
+func (w *peerWriter) setConn(c net.Conn) {
+	w.mu.Lock()
+	w.conn = c
+	w.mu.Unlock()
+}
+
+// close interrupts any in-flight write and waits for the goroutine.
+func (w *peerWriter) close() {
+	w.mu.Lock()
+	if w.conn != nil {
+		w.conn.Close()
 	}
-	n.conns[to] = pc
-	return pc, nil
+	w.mu.Unlock()
+	<-w.done
+}
+
+// drain empties the queue, returning the number of messages discarded —
+// called after a failure so a dead peer costs one dial per burst, not one
+// per message.
+func (w *peerWriter) drain() uint64 {
+	var m uint64
+	for {
+		select {
+		case <-w.ch:
+			m++
+		default:
+			return m
+		}
+	}
+}
+
+func (w *peerWriter) run() {
+	defer w.n.wg.Done()
+	defer close(w.done)
+	var conn net.Conn
+	var bw *bufio.Writer
+	var enc *codec.Encoder
+	fail := func(batched uint64) {
+		if conn != nil {
+			conn.Close()
+			w.setConn(nil)
+			conn = nil
+		}
+		w.n.dropped.Add(batched + w.drain())
+	}
+	for {
+		var msg any
+		select {
+		case msg = <-w.ch:
+		case <-w.n.quit:
+			fail(0)
+			return
+		}
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", w.addr, w.n.dialTimeout)
+			if err != nil {
+				fail(1)
+				continue
+			}
+			conn = c
+			w.setConn(c)
+			bw = bufio.NewWriterSize(countingWriter{w: conn, count: &w.n.bytesOut}, 64<<10)
+			enc = codec.NewEncoder(bw, w.n.reg)
+			enc.SetForceGob(w.n.forceGob)
+		}
+		// Coalesce: encode into the buffer while messages keep coming,
+		// flush once the queue goes idle. bufio flushes itself mid-burst
+		// if the batch outgrows the buffer.
+		var batched uint64
+		encodeFailed := false
+		for {
+			if _, err := enc.Encode(uint64(w.n.id), msg); err != nil {
+				fail(batched + 1)
+				encodeFailed = true
+				break
+			}
+			batched++
+			select {
+			case msg = <-w.ch:
+				continue
+			default:
+			}
+			break
+		}
+		if encodeFailed {
+			continue
+		}
+		conn.SetWriteDeadline(time.Now().Add(w.n.dialTimeout))
+		if err := bw.Flush(); err != nil {
+			fail(batched)
+			continue
+		}
+		w.n.flushes.Add(1)
+	}
+}
+
+// countingWriter tallies bytes that actually reach the socket.
+type countingWriter struct {
+	w     net.Conn
+	count *atomic.Uint64
+}
+
+func (cw countingWriter) Write(p []byte) (int, error) {
+	m, err := cw.w.Write(p)
+	cw.count.Add(uint64(m))
+	return m, err
 }
 
 func (n *Node) after(d time.Duration, token any) {

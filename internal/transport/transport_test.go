@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -335,7 +336,232 @@ func TestWithDialTimeout(t *testing.T) {
 	if elapsed := time.Since(begin); elapsed > 900*time.Millisecond {
 		t.Fatalf("send to unreachable peer took %v", elapsed)
 	}
-	if n.dropped == 0 {
-		t.Fatal("send to unreachable peer was not dropped")
+	// The dial happens on the peer's writer goroutine; the drop lands
+	// once it times out.
+	waitFor(t, 5*time.Second, func() bool { return n.Stats().Dropped > 0 })
+}
+
+// TestBlackHoledPeerDoesNotStallOthers is the regression test for the
+// send-path stall: a peer that accepts TCP connections but never reads
+// (black hole) used to wedge the shared send path once kernel buffers
+// filled. With per-peer writer goroutines, traffic to healthy peers keeps
+// flowing while the black hole's queue sheds.
+func TestBlackHoledPeerDoesNotStallOthers(t *testing.T) {
+	Register(ping{})
+	// The black hole: a listener whose connections are never read.
+	hole, err := newBlackHole()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+
+	healthy := &echo{}
+	nb, err := NewNode(2, healthy, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+
+	na, err := NewNode(1, &echo{}, "127.0.0.1:0", WithDialTimeout(500*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	na.Connect(map[cluster.NodeID]string{2: nb.Addr(), 3: hole.Addr().String()})
+	na.Start()
+	nb.Start()
+
+	// Flood the black hole with large payloads until its socket buffers
+	// must be full many times over.
+	big := string(make([]byte, 256<<10))
+	for i := 0; i < 64; i++ {
+		na.send(3, ping{Text: big})
+	}
+	// Sends to the healthy peer must still go through promptly.
+	begin := time.Now()
+	na.send(2, ping{Text: "alive"})
+	waitFor(t, 5*time.Second, func() bool {
+		healthy.mu.Lock()
+		defer healthy.mu.Unlock()
+		return len(healthy.got) == 1
+	})
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("healthy peer delivery took %v behind a black-holed peer", elapsed)
+	}
+}
+
+// newBlackHole listens and accepts but never reads.
+func newBlackHole() (net.Listener, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = c // held open, never read
+		}
+	}()
+	return ln, nil
+}
+
+// TestCoalescingStats: a quorum-style fan-out of back-to-back sends lands
+// in fewer flushes than messages, and the byte counters line up on both
+// ends of each connection.
+func TestCoalescingStats(t *testing.T) {
+	Register(ping{})
+	sink := &echo{}
+	nb, err := NewNode(2, sink, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nb.Close()
+	na, err := NewNode(1, &echo{}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer na.Close()
+	na.Connect(map[cluster.NodeID]string{2: nb.Addr()})
+	na.Start()
+	nb.Start()
+
+	const burst = 200
+	for i := 0; i < burst; i++ {
+		na.send(2, ping{Text: "x"})
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		return len(sink.got) == burst
+	})
+	sa, sb := na.Stats(), nb.Stats()
+	if sa.Sent != burst || sa.Dropped != 0 {
+		t.Fatalf("sender stats %+v", sa)
+	}
+	if sb.Received != burst {
+		t.Fatalf("receiver got %d frames, want %d", sb.Received, burst)
+	}
+	if sa.Flushes == 0 || sa.Flushes >= burst {
+		t.Fatalf("flushes %d for %d messages: coalescing not happening", sa.Flushes, burst)
+	}
+	if sa.BytesOut == 0 || sa.BytesOut != sb.BytesIn {
+		t.Fatalf("bytes out %d != bytes in %d", sa.BytesOut, sb.BytesIn)
+	}
+}
+
+// runRegisterWorkload drives one writer+reader rkv workload over a mesh
+// and returns the results, for the binary/gob cross-check.
+func runRegisterWorkload(t *testing.T, opts ...Option) []rkv.Result {
+	t.Helper()
+	store := rkv.HGridStore{H: hgrid.Auto(4, 4)}
+	var mu sync.Mutex
+	var results []rkv.Result
+	var replicas []*rkv.Node
+	var handlers []cluster.Handler
+	for i := 0; i < 16; i++ {
+		var ops []rkv.Op
+		if i == 0 {
+			ops = []rkv.Op{
+				{Kind: rkv.OpWrite, Value: "w1"},
+				{Kind: rkv.OpBlindWrite, Value: "w2"},
+				{Kind: rkv.OpRead},
+			}
+		}
+		rn, err := rkv.NewNode(cluster.NodeID(i), rkv.Config{
+			Store: store,
+			Ops:   ops,
+			OnResult: func(r rkv.Result) {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas = append(replicas, rn)
+		handlers = append(handlers, rn)
+	}
+	mesh, err := NewMesh(handlers, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	mesh.Start()
+	mesh.Node(0).Kick(0, replicas[0].StartToken())
+	waitFor(t, 30*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(results) == 3
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	return results
+}
+
+// TestBinaryAndGobWireAgree: the same workload over the binary wire and
+// over the forced-gob wire reaches identical protocol outcomes — kinds,
+// values and versions — so the codec swap cannot have changed semantics.
+func TestBinaryAndGobWireAgree(t *testing.T) {
+	rkv.RegisterWire(Register) // the gob run needs fallback registrations
+	bin := runRegisterWorkload(t)
+	gob := runRegisterWorkload(t, WithGobWire())
+	if len(bin) != len(gob) {
+		t.Fatalf("result counts differ: %d vs %d", len(bin), len(gob))
+	}
+	for i := range bin {
+		if bin[i].Kind != gob[i].Kind || bin[i].Err != gob[i].Err {
+			t.Fatalf("result %d differs: %+v vs %+v", i, bin[i], gob[i])
+		}
+	}
+	// The final read must observe the blind write on both wires.
+	if bin[2].Value != "w2" || gob[2].Value != "w2" {
+		t.Fatalf("reads returned %q (binary) / %q (gob), want w2", bin[2].Value, gob[2].Value)
+	}
+}
+
+// TestMemMesh: the in-process mesh runs the same protocols with no
+// sockets at all.
+func TestMemMesh(t *testing.T) {
+	store := rkv.HGridStore{H: hgrid.Auto(4, 4)}
+	var mu sync.Mutex
+	var results []rkv.Result
+	var replicas []*rkv.Node
+	var handlers []cluster.Handler
+	for i := 0; i < 16; i++ {
+		var ops []rkv.Op
+		if i == 0 {
+			ops = []rkv.Op{{Kind: rkv.OpWrite, Value: "mem"}, {Kind: rkv.OpRead}}
+		}
+		rn, err := rkv.NewNode(cluster.NodeID(i), rkv.Config{
+			Store: store,
+			Ops:   ops,
+			OnResult: func(r rkv.Result) {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replicas = append(replicas, rn)
+		handlers = append(handlers, rn)
+	}
+	mesh := NewMemMesh(handlers)
+	defer mesh.Close()
+	mesh.Kick(0, 0, replicas[0].StartToken())
+	waitFor(t, 10*time.Second, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(results) == 2
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if results[1].Value != "mem" {
+		t.Fatalf("in-process read returned %+v", results[1])
 	}
 }

@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench_live.sh — run the live-path throughput suite and write the report
+# to BENCH_live.json (in the repo root, or $1 if given).
+#
+# The suite measures the replicated register end to end with closed-loop
+# clients on three cells:
+#
+#   tcp/w1  loopback-TCP mesh, one op in flight   (the classic client)
+#   tcp/w8  loopback-TCP mesh, window of 8        (pipelined)
+#   mem/w8  in-process channels, window of 8      (no-syscall ceiling)
+#
+# and reports ops/sec plus p50/p95/p99/p999 latency from the HDR-style
+# histogram, per-cell transport counters (messages, bytes, flushes — the
+# msgs/flush ratio is the coalescing win), and the headline
+# pipeline_speedup = tcp/w8 over tcp/w1, which the acceptance gate
+# requires to be >= 3x.
+#
+# The run is compared against the committed pre-change snapshot
+# scripts/BENCH_live_baseline.json (benchstat-style old/new/delta table).
+# Refresh the baseline by copying a trusted BENCH_live.json over it.
+set -eu
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_live.json}"
+go build -o /tmp/hquorum-loadgen ./cmd/loadgen
+if [ -f scripts/BENCH_live_baseline.json ]; then
+	/tmp/hquorum-loadgen -suite -json "$out" -compare scripts/BENCH_live_baseline.json
+else
+	/tmp/hquorum-loadgen -suite -json "$out"
+fi
+echo "wrote $out" >&2

@@ -8,7 +8,8 @@
 #   2. a byte-identical summary across two back-to-back runs — the sweep
 #      is a deterministic regression artifact, not flaky noise.
 #
-# 200 seeds x 17 (case, schedule) cells = 3400 simulated runs; the whole
+# 200 seeds x 23 (case, schedule) cells = 4600 simulated runs — including
+# a pipelined register cell (window=4, concurrent ops per node); the whole
 # gate takes a few seconds of wall clock.
 set -eux
 cd "$(dirname "$0")/.."
