@@ -46,6 +46,9 @@ func main() {
 		// Pipelined cell: each node keeps up to 4 operations in flight, so
 		// the checker exercises concurrent ops from one node under faults.
 		{Name: "h-grid-4x4/w4", Store: rkv.HGridStore{H: h44}, Window: 4, Schedules: gridSchedules},
+		// Multi-key batched cell: the workload spans 8 keys with 4 ops
+		// coalesced per quorum round; linearizability is checked per key.
+		{Name: "h-grid-4x4/k8b4", Store: rkv.HGridStore{H: h44}, Window: 2, Batch: 4, Keys: 8, Schedules: gridSchedules},
 	}
 	mutexCases := []nemesis.MutexCase{
 		{Name: "h-grid-3x3", System: htgrid.Auto(3, 3), Schedules: nemesis.DefaultSchedules(9)},

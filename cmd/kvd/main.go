@@ -18,7 +18,12 @@
 //
 // A replica with -write/-read flags performs those client operations
 // against the cluster and prints the results; without them it serves
-// forever.
+// forever. -key names the key the operations target (the store is
+// multi-key: replicas hold a hash-sharded keyed map, -shards wide), so
+//
+//	$ kvd -id 0 -peers peers.txt -rows 2 -cols 2 -key user:42 -write hello -then-read
+//
+// reads back "hello" from key "user:42" without disturbing other keys.
 //
 // The client path degrades gracefully instead of hanging: every
 // operation is bounded by -op-deadline and fails with a typed quorum
@@ -55,6 +60,8 @@ func main() {
 	rows := flag.Int("rows", 4, "grid rows (rows*cols must equal the replica count)")
 	cols := flag.Int("cols", 4, "grid cols")
 	useHTGrid := flag.Bool("htgrid", false, "write through h-T-grid quorums instead of full-lines")
+	key := flag.String("key", "", "key the client operations target (empty = the classic single register)")
+	shards := flag.Int("shards", 0, "replica store shard count (0 = rkv default; more shards = less lock contention across keys)")
 	write := flag.String("write", "", "perform a read-write update with this value")
 	read := flag.Bool("read", false, "perform a read")
 	thenRead := flag.Bool("then-read", false, "follow the write with a read")
@@ -95,10 +102,10 @@ func main() {
 
 	var ops []rkv.Op
 	if *write != "" {
-		ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Value: *write})
+		ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Key: *key, Value: *write})
 	}
 	if *read || (*thenRead && *write != "") {
-		ops = append(ops, rkv.Op{Kind: rkv.OpRead})
+		ops = append(ops, rkv.Op{Kind: rkv.OpRead, Key: *key})
 	}
 
 	done := make(chan struct{})
@@ -106,17 +113,22 @@ func main() {
 	failed := false
 	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
 		Store:         store,
+		Shards:        *shards,
 		Ops:           ops,
 		Timeout:       *attempt,
 		OpDeadline:    *opDeadline,
 		ReadWriteback: *writeback,
 		OnResult: func(r rkv.Result) {
+			label := r.Kind.String()
+			if r.Key != "" {
+				label = fmt.Sprintf("%v(%s)", r.Kind, r.Key)
+			}
 			if r.Err != nil {
 				failed = true
-				fmt.Printf("%-11s -> FAILED: %v (%d retries, t=%v)\n", r.Kind, r.Err, r.Retries, r.At)
+				fmt.Printf("%-11s -> FAILED: %v (%d retries, t=%v)\n", label, r.Err, r.Retries, r.At)
 			} else {
 				fmt.Printf("%-11s -> %q (version %d.%d, %d retries, t=%v)\n",
-					r.Kind, r.Value, r.Version.Counter, r.Version.Writer, r.Retries, r.At)
+					label, r.Value, r.Version.Counter, r.Version.Writer, r.Retries, r.At)
 			}
 			remaining--
 			if remaining == 0 {

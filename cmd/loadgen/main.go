@@ -1,7 +1,8 @@
-// Command loadgen drives the replicated register with closed-loop clients
+// Command loadgen drives the replicated store with closed-loop clients
 // and reports throughput plus latency quantiles from an HDR-style
 // histogram. It is the measurement half of the live-path engine: the wire
-// codec, send coalescing and op pipelining exist to move these numbers.
+// codec, send coalescing, op pipelining and multi-key batching exist to
+// move these numbers.
 //
 // Two transports bound the measurement from both sides:
 //
@@ -11,18 +12,25 @@
 //     no sockets, no frames. The protocol-scheduling ceiling; the gap
 //     between mem and tcp is the transport's cost.
 //
-// Clients are closed-loop with a configurable window: each client node
-// keeps up to -window operations in flight (window 1 is the classic
-// one-at-a-time client). The headline experiment is -suite, which runs
-// tcp/window=1, tcp/window=8 and mem/window=8 back to back and reports
-// the pipelining speedup; scripts/bench_live.sh wraps it and keeps the
-// result as a JSON artifact.
+// Clients are closed-loop with a configurable window and batch: each
+// client node keeps up to -window quorum rounds in flight, each round
+// coalescing up to -batch consecutive operations (one quorum pick, one
+// frame per peer, K keys amortized). The workload spans -keys keys drawn
+// uniformly or zipfian (-zipf); keys=1 is the paper's single register.
+//
+// The headline experiment is -suite, which runs tcp/window=1, tcp/window=8,
+// the batched multi-key cell tcp/w8/k64b8 and their mem counterparts back
+// to back and reports the pipelining and batching speedups;
+// scripts/bench_live.sh wraps it, keeps the result as a JSON artifact, and
+// fails on regressions beyond -tolerance against the committed baseline.
+// -suite-batch and -suite-keys sweep batch size and keyspace size so the
+// JSON records throughput per batch size and per key count.
 //
 // Usage:
 //
 //	loadgen -suite -json BENCH_live.json
-//	loadgen -mode tcp -window 8 -ops 4000
-//	loadgen -suite -compare scripts/BENCH_live_baseline.json
+//	loadgen -mode tcp -window 8 -keys 64 -batch 8 -zipf 1.2 -ops 4000
+//	loadgen -suite -suite-batch -suite-keys -compare scripts/BENCH_live_baseline.json -tolerance 0.1
 package main
 
 import (
@@ -56,9 +64,13 @@ type runSpec struct {
 	Clients int
 	Ops     int // operations per client
 	Window  int
+	Batch   int     // ops coalesced per quorum round
+	Keys    int     // keyspace size (1 = single register)
+	Zipf    float64 // key skew (0 = uniform, else > 1)
 	Reads   float64 // fraction of reads in the workload
 	Value   int     // write value size in bytes
 	Seed    int64
+	Shards  int // replica store shards (0 = rkv default)
 
 	Writeback  bool
 	Timeout    time.Duration
@@ -67,11 +79,15 @@ type runSpec struct {
 }
 
 // runResult is one benchmark cell, JSON-stable for diffing against a
-// committed baseline.
+// committed baseline. Keys and Batch make the per-key-count and
+// per-batch-size sweeps self-describing in the artifact.
 type runResult struct {
 	Name      string  `json:"name"`
 	Mode      string  `json:"mode"`
 	Window    int     `json:"window"`
+	Batch     int     `json:"batch"`
+	Keys      int     `json:"keys"`
+	Zipf      float64 `json:"zipf,omitempty"`
 	Clients   int     `json:"clients"`
 	Nodes     int     `json:"nodes"`
 	Completed int     `json:"completed"`
@@ -91,12 +107,13 @@ type runResult struct {
 }
 
 // report is the artifact bench_live.sh writes: the suite cells plus the
-// headline ratio the acceptance gate reads.
+// headline ratios the acceptance gates read.
 type report struct {
 	GOOS            string      `json:"goos"`
 	GOARCH          string      `json:"goarch"`
 	CPUs            int         `json:"cpus"`
 	PipelineSpeedup float64     `json:"pipeline_speedup"` // tcp window=8 vs window=1
+	BatchSpeedup    float64     `json:"batch_speedup"`    // tcp w8/k64b8 vs w8 single-key
 	Runs            []runResult `json:"runs"`
 }
 
@@ -107,17 +124,24 @@ func main() {
 	cols := flag.Int("cols", 4, "grid cols")
 	clients := flag.Int("clients", 1, "nodes that run a client workload (the rest are pure replicas)")
 	ops := flag.Int("ops", 2000, "operations per client")
-	window := flag.Int("window", 1, "client operations in flight per node")
+	window := flag.Int("window", 1, "client quorum rounds in flight per node")
+	batch := flag.Int("batch", 1, "consecutive operations coalesced into one quorum round")
+	keys := flag.Int("keys", 1, "keyspace size (1 = the classic single register)")
+	zipf := flag.Float64("zipf", 0, "zipfian key skew s (0 = uniform; otherwise must be > 1)")
 	reads := flag.Float64("reads", 0.5, "fraction of operations that are reads")
 	valueSize := flag.Int("value-size", 16, "write value size in bytes")
 	seed := flag.Int64("seed", 1, "workload rng seed")
+	shards := flag.Int("shards", 0, "replica store shard count (0 = rkv default)")
 	writeback := flag.Bool("writeback", true, "linearizable reads (ABD write-back)")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-attempt quorum patience")
 	opDeadline := flag.Duration("op-deadline", 15*time.Second, "per-operation deadline")
 	runTimeout := flag.Duration("run-timeout", 2*time.Minute, "hard wall-clock bound per benchmark run")
-	suite := flag.Bool("suite", false, "run the pipelining suite (tcp/w1, tcp/w8, mem/w8) instead of a single cell")
+	suite := flag.Bool("suite", false, "run the headline suite (tcp/w1, tcp/w8, tcp/w8/k64b8, mem/w8, mem/w8/k64b8)")
+	suiteBatch := flag.Bool("suite-batch", false, "sweep batch sizes 1,2,4,8,16 at keys=64 window=8 (tcp)")
+	suiteKeys := flag.Bool("suite-keys", false, "sweep key counts 1,4,16,64,256 at batch=8 window=8 (tcp)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	comparePath := flag.String("compare", "", "baseline report JSON to compare against")
+	tolerance := flag.Float64("tolerance", 0.10, "max fractional ops/s regression vs -compare baseline before exiting nonzero")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	flag.Parse()
 
@@ -129,47 +153,81 @@ func main() {
 		}()
 		fmt.Fprintf(os.Stderr, "loadgen: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
+	if *zipf != 0 && *zipf <= 1 {
+		fatal("-zipf must be 0 (uniform) or > 1 (rand.Zipf's domain), got %v", *zipf)
+	}
+	if *keys < 1 || *batch < 1 || *window < 1 {
+		fatal("-keys, -batch and -window must be positive")
+	}
 
 	base := runSpec{
 		Mode: *mode, Store: *store, Rows: *rows, Cols: *cols,
 		Clients: *clients, Ops: *ops, Window: *window,
-		Reads: *reads, Value: *valueSize, Seed: *seed,
+		Batch: *batch, Keys: *keys, Zipf: *zipf,
+		Reads: *reads, Value: *valueSize, Seed: *seed, Shards: *shards,
 		Writeback: *writeback, Timeout: *timeout,
 		OpDeadline: *opDeadline, RunTimeout: *runTimeout,
 	}
 
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
 	var specs []runSpec
+	cell := func(mode string, window, keys, batch int) runSpec {
+		s := base
+		s.Mode, s.Window, s.Keys, s.Batch = mode, window, keys, batch
+		s.Name = cellName(mode, window, keys, batch)
+		return s
+	}
 	if *suite {
-		w1, w8, mem := base, base, base
-		w1.Name, w1.Mode, w1.Window = "tcp/w1", "tcp", 1
-		w8.Name, w8.Mode, w8.Window = "tcp/w8", "tcp", 8
-		mem.Name, mem.Mode, mem.Window = "mem/w8", "mem", 8
-		specs = []runSpec{w1, w8, mem}
-	} else {
-		base.Name = fmt.Sprintf("%s/w%d", base.Mode, base.Window)
+		specs = append(specs,
+			cell("tcp", 1, 1, 1),
+			cell("tcp", 8, 1, 1),
+			cell("tcp", 8, 64, 8),
+			cell("mem", 8, 1, 1),
+			cell("mem", 8, 64, 8),
+		)
+	}
+	if *suiteBatch {
+		for _, b := range []int{1, 2, 4, 8, 16} {
+			specs = append(specs, cell("tcp", 8, 64, b))
+		}
+	}
+	if *suiteKeys {
+		for _, k := range []int{1, 4, 16, 64, 256} {
+			specs = append(specs, cell("tcp", 8, k, 8))
+		}
+	}
+	if len(specs) == 0 {
+		base.Name = cellName(base.Mode, base.Window, base.Keys, base.Batch)
 		specs = []runSpec{base}
+	} else {
+		specs = dedupe(specs)
 	}
 
+	// One scratch histogram reused (histo.Reset) across every cell: the
+	// merge target never reallocates its ~30KB bucket array per run.
+	var scratch histo.Histogram
 	for _, spec := range specs {
-		res, err := runOnce(spec)
+		res, err := runOnce(spec, &scratch)
 		if err != nil {
 			fatal("%s: %v", spec.Name, err)
 		}
 		printResult(res)
 		rep.Runs = append(rep.Runs, res)
 	}
-	if *suite {
-		w1 := find(rep.Runs, "tcp/w1")
-		w8 := find(rep.Runs, "tcp/w8")
-		if w1 != nil && w8 != nil && w1.OpsPerSec > 0 {
-			rep.PipelineSpeedup = w8.OpsPerSec / w1.OpsPerSec
-			fmt.Printf("\npipelining speedup (tcp, window 8 vs 1): %.2fx\n", rep.PipelineSpeedup)
-		}
+	if w1, w8 := find(rep.Runs, "tcp/w1"), find(rep.Runs, "tcp/w8"); w1 != nil && w8 != nil && w1.OpsPerSec > 0 {
+		rep.PipelineSpeedup = w8.OpsPerSec / w1.OpsPerSec
+		fmt.Printf("\npipelining speedup (tcp, window 8 vs 1): %.2fx\n", rep.PipelineSpeedup)
+	}
+	if w8, kb := find(rep.Runs, "tcp/w8"), find(rep.Runs, "tcp/w8/k64b8"); w8 != nil && kb != nil && w8.OpsPerSec > 0 {
+		rep.BatchSpeedup = kb.OpsPerSec / w8.OpsPerSec
+		fmt.Printf("batching speedup (tcp/w8, 64 keys batch 8 vs single-key): %.2fx\n", rep.BatchSpeedup)
 	}
 
+	var regressions []string
 	if *comparePath != "" {
-		if err := compare(*comparePath, &rep); err != nil {
+		var err error
+		regressions, err = compare(*comparePath, &rep, *tolerance)
+		if err != nil {
 			fatal("compare: %v", err)
 		}
 	}
@@ -183,17 +241,43 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "loadgen: wrote %s\n", *jsonPath)
 	}
+	if len(regressions) > 0 {
+		fatal("throughput regressed beyond %.0f%% tolerance: %s",
+			*tolerance*100, strings.Join(regressions, ", "))
+	}
+}
+
+// cellName renders a cell's canonical name: mode/window plus a /kKbB
+// suffix when the cell is keyed or batched (tcp/w8, tcp/w8/k64b8).
+func cellName(mode string, window, keys, batch int) string {
+	name := fmt.Sprintf("%s/w%d", mode, window)
+	if keys > 1 || batch > 1 {
+		name += fmt.Sprintf("/k%db%d", keys, batch)
+	}
+	return name
+}
+
+// dedupe drops repeated cell names when sweeps overlap (e.g. -suite and
+// -suite-keys both contain tcp/w8/k64b8), keeping first occurrences.
+func dedupe(specs []runSpec) []runSpec {
+	seen := make(map[string]bool, len(specs))
+	out := specs[:0]
+	for _, s := range specs {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			out = append(out, s)
+		}
+	}
+	return out
 }
 
 // runOnce executes one benchmark cell: build the cluster, kick the client
-// workloads, wait for every operation to resolve, aggregate.
-func runOnce(spec runSpec) (runResult, error) {
+// workloads, wait for every operation to resolve, aggregate into hist
+// (Reset first — the caller reuses it across cells).
+func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	n := spec.Rows * spec.Cols
 	if spec.Clients < 1 || spec.Clients > n {
 		return runResult{}, fmt.Errorf("clients must be in [1, %d]", n)
-	}
-	if spec.Window < 1 {
-		return runResult{}, fmt.Errorf("window must be positive")
 	}
 	st, err := buildStore(spec.Store, spec.Rows, spec.Cols)
 	if err != nil {
@@ -219,10 +303,12 @@ func runOnce(spec runSpec) (runResult, error) {
 	for i := 0; i < n; i++ {
 		cfg := rkv.Config{
 			Store:         st,
+			Shards:        spec.Shards,
 			Timeout:       spec.Timeout,
 			OpDeadline:    spec.OpDeadline,
 			ReadWriteback: spec.Writeback,
 			Window:        spec.Window,
+			Batch:         spec.Batch,
 			OpGap:         -1, // load generation: no think time
 		}
 		if i < spec.Clients {
@@ -251,6 +337,7 @@ func runOnce(spec runSpec) (runResult, error) {
 
 	res := runResult{
 		Name: spec.Name, Mode: spec.Mode, Window: spec.Window,
+		Batch: spec.Batch, Keys: spec.Keys, Zipf: spec.Zipf,
 		Clients: spec.Clients, Nodes: n,
 	}
 	var elapsed time.Duration
@@ -291,7 +378,7 @@ func runOnce(spec runSpec) (runResult, error) {
 
 	// The mesh is closed: every event loop has exited, so the per-client
 	// state is quiescent and safe to merge from here.
-	var hist histo.Histogram
+	hist.Reset()
 	for _, cs := range states {
 		hist.Merge(&cs.hist)
 		res.Completed += cs.completed
@@ -311,9 +398,11 @@ func runOnce(spec runSpec) (runResult, error) {
 	return res, nil
 }
 
-// buildWorkload generates a client's deterministic op mix: a seeding write
-// first (so reads always observe data), then writes and reads drawn from
-// the read fraction, values of the configured size.
+// buildWorkload generates a client's deterministic op mix over the
+// keyspace: keys drawn uniformly or zipfian (rank 0 hottest), reads drawn
+// from the read fraction but forced to writes until the client has written
+// that key once (so reads always observe data), values of the configured
+// size.
 func buildWorkload(spec runSpec, client int64) []rkv.Op {
 	rng := rand.New(rand.NewSource(spec.Seed*1000 + client))
 	value := func(i int) string {
@@ -323,12 +412,30 @@ func buildWorkload(spec runSpec, client int64) []rkv.Op {
 		}
 		return string(b)
 	}
+	names := make([]string, spec.Keys)
+	for i := range names {
+		if spec.Keys > 1 {
+			names[i] = fmt.Sprintf("k%03d", i)
+		}
+	}
+	pickKey := func() string { return names[0] }
+	if spec.Keys > 1 {
+		if spec.Zipf > 1 {
+			z := rand.NewZipf(rng, spec.Zipf, 1, uint64(spec.Keys-1))
+			pickKey = func() string { return names[z.Uint64()] }
+		} else {
+			pickKey = func() string { return names[rng.Intn(spec.Keys)] }
+		}
+	}
+	written := make(map[string]bool, spec.Keys)
 	ops := make([]rkv.Op, 0, spec.Ops)
 	for i := 0; i < spec.Ops; i++ {
-		if i > 0 && rng.Float64() < spec.Reads {
-			ops = append(ops, rkv.Op{Kind: rkv.OpRead})
+		k := pickKey()
+		if written[k] && rng.Float64() < spec.Reads {
+			ops = append(ops, rkv.Op{Kind: rkv.OpRead, Key: k})
 		} else {
-			ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Value: value(i)})
+			written[k] = true
+			ops = append(ops, rkv.Op{Kind: rkv.OpWrite, Key: k, Value: value(i)})
 		}
 	}
 	return ops
@@ -367,15 +474,15 @@ func find(runs []runResult, name string) *runResult {
 }
 
 func printResult(r runResult) {
-	fmt.Printf("%-8s nodes=%d clients=%d window=%d  ops=%d failed=%d  %8.0f ops/s  p50=%s p95=%s p99=%s p999=%s max=%s\n",
-		r.Name, r.Nodes, r.Clients, r.Window, r.Completed, r.Failed, r.OpsPerSec,
+	fmt.Printf("%-14s nodes=%d clients=%d window=%d batch=%d keys=%d  ops=%d failed=%d  %8.0f ops/s  p50=%s p95=%s p99=%s p999=%s max=%s\n",
+		r.Name, r.Nodes, r.Clients, r.Window, r.Batch, r.Keys, r.Completed, r.Failed, r.OpsPerSec,
 		fmtUs(r.P50us), fmtUs(r.P95us), fmtUs(r.P99us), fmtUs(r.P999us), fmtUs(r.MaxUs))
 	if r.Mode == "tcp" {
 		perFlush := float64(0)
 		if r.Flushes > 0 {
 			perFlush = float64(r.MsgsSent) / float64(r.Flushes)
 		}
-		fmt.Printf("%-8s msgs=%d bytes_out=%d flushes=%d (%.1f msgs/flush)\n",
+		fmt.Printf("%-14s msgs=%d bytes_out=%d flushes=%d (%.1f msgs/flush)\n",
 			"", r.MsgsSent, r.BytesOut, r.Flushes, perFlush)
 	}
 }
@@ -386,35 +493,44 @@ func fmtUs(us float64) string {
 }
 
 // compare prints a benchstat-style old-vs-new table of the current report
-// against a committed baseline, matching cells by name.
-func compare(baselinePath string, cur *report) error {
+// against a committed baseline, matching cells by name, and returns the
+// cells whose throughput regressed beyond the tolerance fraction — the CI
+// gate's trip wire. Cells absent from the baseline are "new", never
+// regressions.
+func compare(baselinePath string, cur *report, tolerance float64) ([]string, error) {
 	data, err := os.ReadFile(baselinePath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var old report
 	if err := json.Unmarshal(data, &old); err != nil {
-		return fmt.Errorf("%s: %w", baselinePath, err)
+		return nil, fmt.Errorf("%s: %w", baselinePath, err)
 	}
+	var regressions []string
 	var b strings.Builder
-	fmt.Fprintf(&b, "\n%-8s  %14s  %14s  %8s    %12s  %12s  %8s\n",
+	fmt.Fprintf(&b, "\n%-14s  %14s  %14s  %8s    %12s  %12s  %8s\n",
 		"cell", "old ops/s", "new ops/s", "delta", "old p99", "new p99", "delta")
 	for i := range cur.Runs {
 		nr := &cur.Runs[i]
 		or := find(old.Runs, nr.Name)
 		if or == nil {
-			fmt.Fprintf(&b, "%-8s  %14s  %14.0f  %8s\n", nr.Name, "-", nr.OpsPerSec, "new")
+			fmt.Fprintf(&b, "%-14s  %14s  %14.0f  %8s\n", nr.Name, "-", nr.OpsPerSec, "new")
 			continue
 		}
-		fmt.Fprintf(&b, "%-8s  %14.0f  %14.0f  %+7.1f%%    %12s  %12s  %+7.1f%%\n",
+		mark := ""
+		if or.OpsPerSec > 0 && nr.OpsPerSec < or.OpsPerSec*(1-tolerance) {
+			mark = "  <-- REGRESSION"
+			regressions = append(regressions, nr.Name)
+		}
+		fmt.Fprintf(&b, "%-14s  %14.0f  %14.0f  %+7.1f%%    %12s  %12s  %+7.1f%%%s\n",
 			nr.Name, or.OpsPerSec, nr.OpsPerSec, pct(or.OpsPerSec, nr.OpsPerSec),
-			fmtUs(or.P99us), fmtUs(nr.P99us), pct(or.P99us, nr.P99us))
+			fmtUs(or.P99us), fmtUs(nr.P99us), pct(or.P99us, nr.P99us), mark)
 	}
 	if old.PipelineSpeedup > 0 && cur.PipelineSpeedup > 0 {
-		fmt.Fprintf(&b, "speedup   %13.2fx  %13.2fx\n", old.PipelineSpeedup, cur.PipelineSpeedup)
+		fmt.Fprintf(&b, "speedup   %19.2fx  %13.2fx\n", old.PipelineSpeedup, cur.PipelineSpeedup)
 	}
 	fmt.Print(b.String())
-	return nil
+	return regressions, nil
 }
 
 func pct(old, new float64) float64 {

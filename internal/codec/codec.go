@@ -327,6 +327,12 @@ func (r *Reader) Len() int {
 	return len(r.data) - r.off
 }
 
+// Fail poisons the reader: subsequent reads return zero values and Err
+// reports ErrTruncated. Decoders call it to reject structurally invalid
+// payloads — e.g. an element count exceeding the bytes left — through the
+// same sticky-error path as truncation.
+func (r *Reader) Fail() { r.fail = true }
+
 // Err returns ErrTruncated if any read ran past the payload.
 func (r *Reader) Err() error {
 	if r.fail {

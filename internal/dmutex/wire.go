@@ -58,3 +58,15 @@ func RegisterBinaryWire(reg *codec.Registry) {
 		func(r ReqID) any { return msgBusy{ID: r} },
 		func(v any) ReqID { return v.(msgBusy).ID })
 }
+
+// WireSamples returns one well-formed instance of every dmutex wire
+// message, for seeding fuzz corpora over the real registry (see
+// internal/codec's seed-corpus test).
+func WireSamples() []any {
+	id := ReqID{TS: 42, Origin: 3}
+	return []any{
+		msgRequest{ID: id}, msgGrant{ID: id}, msgFailed{ID: id},
+		msgInquire{ID: id}, msgRelinquish{ID: id}, msgRelease{ID: id},
+		msgBusy{ID: id},
+	}
+}

@@ -113,6 +113,68 @@ func TestMerge(t *testing.T) {
 	}
 }
 
+// TestMergeEdgeCases pins the degenerate merges loadgen's per-window
+// aggregation hits: empty↔empty, empty↔one-sample, one-sample↔one-sample.
+// The min sentinel (-1 when empty) must never leak into a merged result.
+func TestMergeEdgeCases(t *testing.T) {
+	// Empty into empty: still empty, still all-zero accessors.
+	e1, e2 := New(), New()
+	e1.Merge(e2)
+	if e1.Count() != 0 || e1.Min() != 0 || e1.Max() != 0 || e1.Quantile(0.5) != 0 {
+		t.Fatal("empty+empty not empty")
+	}
+	// One sample into empty: the sample's stats survive exactly.
+	one := New()
+	one.Record(777)
+	e1.Merge(one)
+	if e1.Count() != 1 || e1.Min() != 777 || e1.Max() != 777 || e1.Mean() != 777 {
+		t.Fatalf("empty+one: count=%d min=%d max=%d mean=%v",
+			e1.Count(), e1.Min(), e1.Max(), e1.Mean())
+	}
+	if q := e1.Quantile(0.5); q != 777 {
+		t.Fatalf("empty+one: q50=%d", q)
+	}
+	// Empty into one sample: identity.
+	one.Merge(New())
+	if one.Count() != 1 || one.Min() != 777 || one.Max() != 777 {
+		t.Fatal("one+empty changed the histogram")
+	}
+	// One sample into one sample, including a zero observation — Min must
+	// become 0, not stay at the other histogram's value.
+	zero := New()
+	zero.Record(0)
+	one.Merge(zero)
+	if one.Count() != 2 || one.Min() != 0 || one.Max() != 777 {
+		t.Fatalf("one+zero: count=%d min=%d max=%d", one.Count(), one.Min(), one.Max())
+	}
+}
+
+// TestResetReuse: the loadgen pattern — one histogram Reset and refilled
+// per window — must be indistinguishable from a fresh histogram.
+func TestResetReuse(t *testing.T) {
+	reused, fresh := New(), New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		reused.Record(rng.Int63n(1 << 20))
+	}
+	reused.Reset()
+	rng2 := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		v := rng2.Int63n(1 << 20)
+		reused.Record(v)
+		fresh.Record(v)
+	}
+	if reused.Count() != fresh.Count() || reused.Min() != fresh.Min() ||
+		reused.Max() != fresh.Max() || reused.Mean() != fresh.Mean() {
+		t.Fatal("reset-reused histogram diverges from fresh")
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if reused.Quantile(q) != fresh.Quantile(q) {
+			t.Fatalf("q=%v: reused %d fresh %d", q, reused.Quantile(q), fresh.Quantile(q))
+		}
+	}
+}
+
 func TestReset(t *testing.T) {
 	h := New()
 	h.Record(123)

@@ -39,6 +39,10 @@ func (k Kind) String() string {
 type Op struct {
 	Client int
 	Kind   Kind
+	// Key names the register the operation targets; "" is the classic
+	// single register. Multi-key histories are checked per key (each key
+	// is an independent register — see CheckRegisterPerKey).
+	Key string
 	// Value is the value written (writes) or returned (completed reads).
 	Value string
 	// Order is an optional hint ordering writes (the protocol's version
@@ -54,6 +58,9 @@ func (o Op) String() string {
 	span := fmt.Sprintf("[%v..%v]", o.Invoke, o.Return)
 	if !o.Completed {
 		span = fmt.Sprintf("[%v..?]", o.Invoke)
+	}
+	if o.Key != "" {
+		return fmt.Sprintf("client %d %v(%q=%q) %s", o.Client, o.Kind, o.Key, o.Value, span)
 	}
 	return fmt.Sprintf("client %d %v(%q) %s", o.Client, o.Kind, o.Value, span)
 }
@@ -74,9 +81,15 @@ func NewRegister() *Register {
 // client (possible after a crash-and-restart skipped its completion) is
 // left pending.
 func (r *Register) Invoke(client int, kind Kind, value string, at time.Duration) {
+	r.InvokeKeyed(client, kind, "", value, at)
+}
+
+// InvokeKeyed records an operation start against a named key ("" is the
+// classic single register).
+func (r *Register) InvokeKeyed(client int, kind Kind, key, value string, at time.Duration) {
 	delete(r.open, client)
 	r.open[client] = len(r.ops)
-	r.ops = append(r.ops, Op{Client: client, Kind: kind, Value: value, Invoke: at})
+	r.ops = append(r.ops, Op{Client: client, Kind: kind, Key: key, Value: value, Invoke: at})
 }
 
 // Complete records a successful completion. For reads, value is the value

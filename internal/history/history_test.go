@@ -72,6 +72,74 @@ func TestReadInversionViolation(t *testing.T) {
 	}
 }
 
+func keyed(key string, op Op) Op {
+	op.Key = key
+	return op
+}
+
+// TestPerKeyLinearizable: operations on distinct keys are independent
+// registers — a history that interleaves keys is fine as long as each
+// key's projection linearizes.
+func TestPerKeyLinearizable(t *testing.T) {
+	ops := []Op{
+		keyed("a", completed(0, KindWrite, "a1", 0, 1)),
+		keyed("b", completed(1, KindWrite, "b1", 0, 1)),
+		keyed("a", completed(1, KindRead, "a1", 2, 3)),
+		keyed("b", completed(0, KindRead, "b1", 2, 3)),
+		// Same value timeline on different keys never conflicts.
+		keyed("b", completed(2, KindRead, "b1", 4, 5)),
+	}
+	if err := CheckRegisterPerKey(ops); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPerKeyViolationNamesKey: a stale read on one key fails the check and
+// the error says which key, while the other key's clean history passes.
+func TestPerKeyViolationNamesKey(t *testing.T) {
+	ops := []Op{
+		keyed("good", completed(0, KindWrite, "g1", 0, 1)),
+		keyed("good", completed(1, KindRead, "g1", 2, 3)),
+		keyed("bad", completed(0, KindWrite, "b1", 4, 5)),
+		keyed("bad", completed(1, KindRead, "", 6, 7)), // stale
+	}
+	err := CheckRegisterPerKey(ops)
+	if err == nil {
+		t.Fatal("per-key stale read accepted")
+	}
+	if !strings.Contains(err.Error(), `key "bad"`) {
+		t.Fatalf("violation does not name the key: %v", err)
+	}
+	var v *RegisterViolation
+	if !errors.As(err, &v) {
+		t.Fatalf("per-key violation not unwrappable: %v", err)
+	}
+}
+
+// TestPerKeyEmptyKeyIsClassicCheck: with every op on key "" the per-key
+// check is exactly the single-register check, violations included.
+func TestPerKeyEmptyKeyIsClassicCheck(t *testing.T) {
+	good := []Op{
+		completed(0, KindWrite, "a", 0, 1),
+		completed(1, KindRead, "a", 2, 3),
+	}
+	if err := CheckRegisterPerKey(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Op{
+		completed(0, KindWrite, "a", 0, 1),
+		completed(1, KindRead, "", 2, 3),
+	}
+	errPlain := CheckRegister(bad)
+	errKeyed := CheckRegisterPerKey(bad)
+	if errPlain == nil || errKeyed == nil {
+		t.Fatal("stale read accepted")
+	}
+	if errPlain.Error() != errKeyed.Error() {
+		t.Fatalf("empty-key per-key check diverges: %v vs %v", errKeyed, errPlain)
+	}
+}
+
 func TestConcurrentOpsAnyOrder(t *testing.T) {
 	// Two overlapping writes and an overlapping read: some order works.
 	ops := []Op{

@@ -277,6 +277,41 @@ func boolToInt(b bool) int {
 	return 0
 }
 
+// CheckRegisterPerKey checks a multi-key history: each key's operations
+// are projected out and checked as an independent register. This is sound
+// and complete by linearizability's locality property (Herlihy–Wing): a
+// history over independent objects is linearizable iff each per-object
+// projection is. The projection preserves per-client real-time order, and
+// clients that interleave keys only add cross-key constraints — which
+// locality says are never needed for independent registers.
+func CheckRegisterPerKey(ops []Op) error {
+	return CheckRegisterPerKeyLimited(ops, DefaultStateLimit)
+}
+
+// CheckRegisterPerKeyLimited is CheckRegisterPerKey with an explicit state
+// budget per key. Keys are checked in sorted order, so the verdict — and
+// which key a violation is attributed to — is deterministic.
+func CheckRegisterPerKeyLimited(ops []Op, stateLimit int) error {
+	byKey := make(map[string][]Op)
+	keys := make([]string, 0, 8)
+	for _, o := range ops {
+		if _, ok := byKey[o.Key]; !ok {
+			keys = append(keys, o.Key)
+		}
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if err := CheckRegisterLimited(byKey[k], stateLimit); err != nil {
+			if k == "" {
+				return err
+			}
+			return fmt.Errorf("key %q: %w", k, err)
+		}
+	}
+	return nil
+}
+
 // SpanOf returns the real-time span [first invoke, last return] covered by
 // a history — handy for choosing simulation horizons in tests.
 func SpanOf(ops []Op) (from, to time.Duration) {

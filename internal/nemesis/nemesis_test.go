@@ -1,6 +1,7 @@
 package nemesis
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -134,6 +135,45 @@ func TestRunRKVPipelinedCrashStorm(t *testing.T) {
 	}
 	if res.Completed == 0 {
 		t.Fatal("no operations completed")
+	}
+}
+
+// TestRunRKVMultiKeyBatched: a keyed workload with batched quorum rounds
+// under correlated crashes — per-key linearizability must hold, every key
+// must actually be exercised, and the run must stay deterministic.
+func TestRunRKVMultiKeyBatched(t *testing.T) {
+	run := func() RKVResult {
+		res, err := RunRKV(RKVRun{
+			Store:      rkv.HGridStore{H: hgrid.Auto(4, 4)},
+			Seed:       11,
+			Schedule:   CrashStorm(16),
+			OpsPerNode: 8,
+			Window:     2,
+			Batch:      4,
+			Keys:       8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Err != nil {
+		t.Fatalf("multi-key batched history not per-key linearizable: %v", res.Err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	keys := map[string]bool{}
+	for _, op := range res.Ops {
+		keys[op.Key] = true
+	}
+	if len(keys) != 8 {
+		t.Fatalf("workload touched %d keys, want 8", len(keys))
+	}
+	again := run()
+	if fmt.Sprint(res.Ops) != fmt.Sprint(again.Ops) {
+		t.Fatal("multi-key batched run not deterministic")
 	}
 }
 

@@ -53,6 +53,14 @@ type RKVRun struct {
 	// clients, since the linearizability checker requires each client's
 	// operations to be sequential.
 	Window int
+	// Batch is each node's rkv.Config.Batch: how many consecutive
+	// operations share one quorum round (default 1). Batched operations
+	// are concurrent, so like Window > 1 they get virtual history clients.
+	Batch int
+	// Keys spreads the workload across this many keys (default 1: the
+	// classic single register, key ""). With Keys > 1 the history is
+	// checked for linearizability per key.
+	Keys int
 	// Timeout is the per-attempt quorum patience (default 100ms).
 	Timeout time.Duration
 	// OpDeadline bounds each operation across retries (default 2s).
@@ -98,19 +106,31 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 	if r.StateLimit <= 0 {
 		r.StateLimit = history.DefaultStateLimit
 	}
+	if r.Keys <= 0 {
+		r.Keys = 1
+	}
 	univ := r.Store.Universe()
 	net := cluster.New(cluster.WithSeed(r.Seed))
 	rec := history.NewRegister()
 	var res RKVResult
 	gap := window(r.Schedule) / time.Duration(r.OpsPerNode)
 	// client maps an operation to its history client. Sequential nodes
-	// record under the node ID; pipelined nodes give every operation its
-	// own virtual client, because ops sharing a window are concurrent.
+	// record under the node ID; pipelined or batched nodes give every
+	// operation its own virtual client, because ops sharing a window or a
+	// batch round are concurrent.
 	client := func(node cluster.NodeID, opID int) int {
-		if r.Window <= 1 {
+		if r.Window <= 1 && r.Batch <= 1 {
 			return int(node)
 		}
 		return int(node)*r.OpsPerNode + opID
+	}
+	// key spreads node i's op k across the keyspace; the rotation by node
+	// makes every key contested across nodes, not partitioned per node.
+	key := func(i, k int) string {
+		if r.Keys <= 1 {
+			return ""
+		}
+		return fmt.Sprintf("k%d", (i+k)%r.Keys)
 	}
 	nodes := make([]*rkv.Node, univ)
 	for i := 0; i < univ; i++ {
@@ -118,9 +138,9 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		ops := make([]rkv.Op, r.OpsPerNode)
 		for k := range ops {
 			if k%2 == 0 {
-				ops[k] = rkv.Op{Kind: rkv.OpWrite, Value: fmt.Sprintf("n%d.%d", i, k)}
+				ops[k] = rkv.Op{Kind: rkv.OpWrite, Key: key(i, k), Value: fmt.Sprintf("n%d.%d", i, k)}
 			} else {
-				ops[k] = rkv.Op{Kind: rkv.OpRead}
+				ops[k] = rkv.Op{Kind: rkv.OpRead, Key: key(i, k)}
 			}
 		}
 		node, err := rkv.NewNode(id, rkv.Config{
@@ -130,13 +150,14 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			OpDeadline:    r.OpDeadline,
 			OpGap:         gap,
 			Window:        r.Window,
+			Batch:         r.Batch,
 			ReadWriteback: true,
-			OnInvoke: func(node cluster.NodeID, opID int, kind rkv.OpKind, value string, at time.Duration) {
+			OnInvoke: func(node cluster.NodeID, opID int, kind rkv.OpKind, key, value string, at time.Duration) {
 				k := history.KindWrite
 				if kind == rkv.OpRead {
 					k = history.KindRead
 				}
-				rec.Invoke(client(node, opID), k, value, at)
+				rec.InvokeKeyed(client(node, opID), k, key, value, at)
 			},
 			OnResult: func(rr rkv.Result) {
 				if rr.Err != nil {
@@ -185,7 +206,9 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		}
 	}
 	res.Messages, res.Dropped = net.Messages(), net.Dropped()
-	res.Err = history.CheckRegisterLimited(res.Ops, r.StateLimit)
+	// Per-key checking: with Keys <= 1 every op targets key "" and this is
+	// exactly the single-register check.
+	res.Err = history.CheckRegisterPerKeyLimited(res.Ops, r.StateLimit)
 	return res, nil
 }
 

@@ -13,11 +13,16 @@ import (
 // RKVCase names a register configuration to sweep, with the schedules to
 // run it under. Window > 1 runs the workload pipelined: each node keeps up
 // to Window client operations in flight, and the history checker sees one
-// virtual client per (node, op) slot.
+// virtual client per (node, op) slot. Batch > 1 coalesces consecutive
+// operations into shared quorum rounds (also one virtual client per op),
+// and Keys > 1 spreads the workload over a keyspace with linearizability
+// checked per key.
 type RKVCase struct {
 	Name      string
 	Store     rkv.Store
 	Window    int
+	Batch     int
+	Keys      int
 	Schedules []Schedule
 }
 
@@ -128,6 +133,8 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					OpsPerNode: opt.OpsPerNode,
 					StateLimit: opt.StateLimit,
 					Window:     c.Window,
+					Batch:      c.Batch,
+					Keys:       c.Keys,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)

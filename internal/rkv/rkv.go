@@ -1,31 +1,42 @@
 // Package rkv implements the replicated-data protocol the hierarchical
 // grid was designed for (Kumar–Cheung '91, summarized in §4.1 of the
-// paper): a replicated register with three operations backed by two quorum
-// flavors.
+// paper), grown from the paper's single register into a multi-key store:
+// every operation names a key (the empty key is the classic register),
+// replicas hold a hash-sharded keyed store, and a client batches many
+// keys' operations into one quorum round.
 //
 //   - Read: query a read quorum (a hierarchical row-cover) and return the
-//     value with the highest version.
+//     key's value with the highest version.
 //   - BlindWrite: stamp the value with the writer's logical clock and store
 //     it on a write quorum (a hierarchical full-line); concurrent blind
 //     writes are allowed and converge to the highest stamp.
-//   - Write (read-write): learn the current version from a read quorum,
-//     then store version+1 on a write quorum. Every row-cover intersects
-//     every full-line, so a read that follows a completed write always
-//     observes it.
+//   - Write (read-write): learn the key's current version from a read
+//     quorum, then store version+1 on a write quorum. Every row-cover
+//     intersects every full-line, so a read that follows a completed write
+//     always observes it.
+//
+// Quorum intersection is per-replica-set, not per-key, so one quorum round
+// can carry any number of keys: a batch of K operations costs the same two
+// phases — one read-quorum round trip, one write-quorum round trip — as a
+// single operation, with the per-key payloads riding the same frames
+// (messages msgReadBatch/msgWriteBatch). Batching composes with the
+// pipelined op table: a node runs up to Config.Window batches concurrently,
+// each batch carrying up to Config.Batch operations.
+//
+// Replica-side state is a sharded map (Config.Shards shards, per-shard
+// mutex, versioned entries): replica processing takes no global lock, so
+// the live transport delivers replica messages straight from its socket
+// reader goroutines (FastDeliver) and keys on different shards proceed in
+// parallel across connections.
 //
 // Crashed replicas are tolerated with client-side timeouts and re-picked
 // quorums, exactly like package dmutex.
-//
-// A node runs up to Config.Window client operations concurrently: each
-// in-flight operation carries its own phase machine, quorum, deadline and
-// retry state in an op table keyed by attempt sequence number, so replies
-// and timers route to their operation in O(1) and a slow operation never
-// blocks the ones behind it.
 package rkv
 
 import (
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"hquorum/internal/bitset"
@@ -145,7 +156,11 @@ func pickThreshold(rng *rand.Rand, live bitset.Set, n, k int) (bitset.Set, error
 	return out, nil
 }
 
-// Wire messages.
+// Wire messages. The single-key messages (tags 0x10-0x13) are the paper's
+// register protocol operating on the empty key; the batch messages carry
+// many keys' payloads in one frame. Batch slices are parallel arrays built
+// once per phase and never mutated after sending — messages may outlive
+// the op that sent them (simulated networks deliver by reference).
 type (
 	msgReadVersion  struct{ Seq uint64 }
 	msgVersionReply struct {
@@ -159,6 +174,28 @@ type (
 		Value   string
 	}
 	msgWriteAck struct{ Seq uint64 }
+
+	// msgReadBatch asks for the versions of many keys at once (phase 1 of
+	// a batched round).
+	msgReadBatch struct {
+		Seq  uint64
+		Keys []string
+	}
+	// msgReadBatchReply answers a msgReadBatch; Vers/Vals are parallel to
+	// the request's Keys.
+	msgReadBatchReply struct {
+		Seq  uint64
+		Vers []Version
+		Vals []string
+	}
+	// msgWriteBatch stores many keys' versioned values at once (phase 2);
+	// the replica acks with msgWriteAck.
+	msgWriteBatch struct {
+		Seq  uint64
+		Keys []string
+		Vers []Version
+		Vals []string
+	}
 )
 
 // Timer tokens.
@@ -191,9 +228,10 @@ func (k OpKind) String() string {
 	}
 }
 
-// Op is one client operation.
+// Op is one client operation. Key "" is the classic single register.
 type Op struct {
 	Kind  OpKind
+	Key   string
 	Value string // for writes
 }
 
@@ -201,10 +239,11 @@ type Op struct {
 type Result struct {
 	Node cluster.NodeID
 	// OpID is the operation's index in the node's workload. With Window > 1
-	// results complete out of order; OpID identifies which invocation each
-	// result belongs to.
+	// or Batch > 1 results complete out of order; OpID identifies which
+	// invocation each result belongs to.
 	OpID    int
 	Kind    OpKind
+	Key     string
 	Value   string // for reads: the value returned
 	Version Version
 	Start   time.Duration // invocation time
@@ -221,6 +260,11 @@ type Result struct {
 // Config parameterizes a replica node.
 type Config struct {
 	Store Store
+	// Shards is the replica store's shard count (default DefaultShards,
+	// rounded up to a power of two). More shards means less lock
+	// contention when the transport delivers replica messages from many
+	// reader goroutines at once.
+	Shards int
 	// Timeout bounds one quorum attempt (default 300ms). Attempts whose
 	// quorum went entirely silent back off exponentially — with jitter
 	// drawn from the node's deterministic rng — up to MaxTimeout;
@@ -257,29 +301,34 @@ type Config struct {
 	// Disable it to spread load across quorums, the property the paper's
 	// analysis chapters measure.
 	NoPickCache bool
-	// Window is the maximum number of client operations in flight at once
+	// Window is the maximum number of client rounds in flight at once
 	// (default 1: strictly sequential, the classic closed-loop client).
-	// Larger windows pipeline independent operations — each gets its own
+	// Larger windows pipeline independent rounds — each gets its own
 	// phases, quorums and deadline — which multiplies throughput when
-	// round-trips, not the replicas, are the bottleneck. Pipelined
-	// operations on one node are concurrent in the formal sense: a
-	// linearizability checker must treat them as separate clients.
+	// round-trips, not the replicas, are the bottleneck.
 	Window int
+	// Batch is the maximum number of consecutive workload operations
+	// coalesced into one quorum round (default 1). A batch shares one
+	// quorum pick and one frame per peer per phase: K keys amortize the
+	// round's fixed cost. Operations sharing a batch are concurrent in
+	// the formal sense — like pipelined windows, a linearizability
+	// checker must treat them as separate clients.
+	Batch int
 	// Ops is the node's client workload, launched in order.
 	Ops []Op
-	// OpGap is the pause between an operation finishing and the next
-	// launch (default 1ms; negative means none). Chaos runs stretch it so
-	// the workload stays active across a whole fault schedule instead of
+	// OpGap is the pause between a round finishing and the next launch
+	// (default 1ms; negative means none). Chaos runs stretch it so the
+	// workload stays active across a whole fault schedule instead of
 	// finishing before the first fault lands.
 	OpGap time.Duration
 	// OnInvoke observes operation starts (history recording). opID is the
 	// operation's index in Ops, matching Result.OpID.
-	OnInvoke func(node cluster.NodeID, opID int, kind OpKind, value string, at time.Duration)
+	OnInvoke func(node cluster.NodeID, opID int, kind OpKind, key, value string, at time.Duration)
 	// OnResult observes completed and failed operations.
 	OnResult func(Result)
 }
 
-// phase of an in-flight client operation.
+// phase of an in-flight client round.
 type phase int
 
 const (
@@ -287,32 +336,58 @@ const (
 	phaseWrite
 )
 
-// opState is one in-flight client operation. The structs (and their
-// bitsets and reply maps) are recycled through the node's freelist, so a
-// steady-state operation allocates only what the quorum pick itself does.
+// subOp is one workload operation inside a batch round.
+type subOp struct {
+	id     int    // index in cfg.Ops
+	kind   OpKind //
+	key    string
+	value  string // for writes: the value to install
+	needP1 bool   // participates in the version-read phase
+	done   bool   // result already reported (plain reads finish at phase 1)
+
+	bestVer Version // highest version observed (reads) or stamped (writes)
+	bestVal string
+}
+
+// opState is one in-flight batch round: up to Config.Batch sub-operations
+// sharing the phase machine, quorum, deadline and retry state. The struct
+// (and its bitsets) are recycled through the node's freelist; the wire
+// slices (p1Keys, p2*) are built fresh per batch because sent messages
+// alias them.
 type opState struct {
-	id        int    // index in cfg.Ops
-	kind      OpKind //
-	value     string // for writes
-	seq       uint64 // current attempt's key in Node.inflight
-	ph        phase
-	writeback bool // current write phase is a read's ABD write-back
+	subs []subOp
+	seq  uint64 // current attempt's key in Node.inflight
+	ph   phase
 
 	quorum  bitset.Set
 	pending bitset.Set // members not yet answered
-	replies map[cluster.NodeID]Version
-	bestVer Version
-	bestVal string
+
+	p1Subs []int    // indices into subs, parallel to p1Keys
+	p1Keys []string // phase-1 wire keys (immutable once built)
+	p2Keys []string // phase-2 wire payload (immutable once built)
+	p2Vers []Version
+	p2Vals []string
+	// shippedP1/shippedP2 record that a batch frame aliasing the phase's
+	// slices was actually sent. One-op classic-register rounds ship the
+	// compact single-key messages instead, so their slices never escape
+	// and the freelist can keep the backing arrays.
+	shippedP1 bool
+	shippedP2 bool
+
+	// replies remembers each read-quorum member's reported versions
+	// (parallel to p1Keys) so read repair can target stale members; only
+	// populated when ReadRepair is on.
+	replies map[cluster.NodeID][]Version
 
 	retries     int
 	backoff     int        // consecutive attempts with a fully silent quorum
-	opSuspects  bitset.Set // everyone silent during this op (no decay)
+	opSuspects  bitset.Set // everyone silent during this round (no decay)
 	started     time.Duration
-	sawNoQuorum bool // this op once found no quorum among trusted replicas
+	sawNoQuorum bool // this round once found no quorum among trusted replicas
 }
 
 // pickCache remembers the last successful quorum pick per flavor, keyed by
-// a fingerprint of the suspect set. Back-to-back operations against an
+// a fingerprint of the suspect set. Back-to-back rounds against an
 // unchanged view reuse the set with one bitset copy — no rng draws, no
 // allocation; any timeout or suspicion change invalidates it.
 type pickCache struct {
@@ -326,10 +401,12 @@ type Node struct {
 	id  cluster.NodeID
 	cfg Config
 
-	// Replica state.
-	version Version
-	value   string
-	clock   uint64
+	// Replica state: the sharded keyed store plus the logical clock.
+	// Both are safe for concurrent use — the transport's fast path
+	// (FastDeliver) runs replica processing on its reader goroutines
+	// while the event loop runs the client machine.
+	store *shardedMap
+	clock atomic.Uint64
 
 	// Client state: the op table. seq increments per quorum attempt and
 	// keys inflight, so a reply or timer either finds its exact attempt or
@@ -355,6 +432,9 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if int(id) < 0 || int(id) >= cfg.Store.Universe() {
 		return nil, fmt.Errorf("rkv: node %d outside universe %d", id, cfg.Store.Universe())
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = DefaultShards
+	}
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = 300 * time.Millisecond
 	}
@@ -370,9 +450,13 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.Window <= 0 {
 		cfg.Window = 1
 	}
+	if cfg.Batch <= 0 {
+		cfg.Batch = 1
+	}
 	return &Node{
 		id:        id,
 		cfg:       cfg,
+		store:     newShardedMap(cfg.Shards),
 		inflight:  make(map[uint64]*opState),
 		suspects:  bitset.New(cfg.Store.Universe()),
 		suspectAt: make([]time.Duration, cfg.Store.Universe()),
@@ -390,7 +474,7 @@ func (n *Node) Start(net *cluster.Network) error {
 // Done reports whether the workload completed.
 func (n *Node) Done() bool { return n.nextOp >= len(n.cfg.Ops) && len(n.inflight) == 0 }
 
-// Inflight returns the number of client operations currently executing.
+// Inflight returns the number of client rounds currently executing.
 func (n *Node) Inflight() int { return len(n.inflight) }
 
 // Enqueue appends client operations to the node's workload. If the node
@@ -399,25 +483,89 @@ func (n *Node) Enqueue(ops ...Op) {
 	n.cfg.Ops = append(n.cfg.Ops, ops...)
 }
 
-// Value returns the replica's stored value and version (for tests).
-func (n *Node) Value() (string, Version) { return n.value, n.version }
+// Value returns the replica's stored value and version for the classic
+// register (key ""), for tests.
+func (n *Node) Value() (string, Version) {
+	ver, val := n.store.get("")
+	return val, ver
+}
+
+// ValueKey returns the replica's stored value and version for a key.
+func (n *Node) ValueKey(key string) (string, Version) {
+	ver, val := n.store.get(key)
+	return val, ver
+}
+
+// mergeClock raises the logical clock to at least c.
+func (n *Node) mergeClock(c uint64) {
+	for {
+		cur := n.clock.Load()
+		if c <= cur || n.clock.CompareAndSwap(cur, c) {
+			return
+		}
+	}
+}
+
+func (n *Node) nextClock() uint64 { return n.clock.Add(1) }
+
+// handleReplica processes the replica half of the protocol. It touches
+// only the sharded store and the atomic clock, so it is safe to call
+// concurrently from transport reader goroutines (FastDeliver) as well as
+// from the event loop. Reports whether msg was a replica message.
+func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool {
+	switch m := msg.(type) {
+	case msgReadVersion:
+		ver, val := n.store.get("")
+		env.Send(from, msgVersionReply{Seq: m.Seq, Version: ver, Value: val})
+	case msgWrite:
+		n.mergeClock(m.Version.Counter)
+		n.store.apply("", m.Version, m.Value)
+		env.Send(from, msgWriteAck{Seq: m.Seq})
+	case msgReadBatch:
+		vers := make([]Version, len(m.Keys))
+		vals := make([]string, len(m.Keys))
+		for i, k := range m.Keys {
+			vers[i], vals[i] = n.store.get(k)
+		}
+		env.Send(from, msgReadBatchReply{Seq: m.Seq, Vers: vers, Vals: vals})
+	case msgWriteBatch:
+		if len(m.Vers) != len(m.Keys) || len(m.Vals) != len(m.Keys) {
+			return true // malformed (hostile frame): ignore, still a replica msg
+		}
+		var maxC uint64
+		for i, k := range m.Keys {
+			if m.Vers[i].Counter > maxC {
+				maxC = m.Vers[i].Counter
+			}
+			n.store.apply(k, m.Vers[i], m.Vals[i])
+		}
+		n.mergeClock(maxC)
+		env.Send(from, msgWriteAck{Seq: m.Seq})
+	default:
+		return false
+	}
+	return true
+}
+
+// FastDeliver implements the transport's optional fast-path interface:
+// replica messages are handled inline on the transport's reader goroutine
+// — sharded store, no event-loop hop — while client messages (replies,
+// acks) return false and take the ordered event queue. See
+// transport.FastDeliverer.
+func (n *Node) FastDeliver(env cluster.Env, from cluster.NodeID, msg any) bool {
+	return n.handleReplica(env, from, msg)
+}
 
 // Deliver implements cluster.Handler.
 func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
+	if n.handleReplica(env, from, msg) {
+		return
+	}
 	switch m := msg.(type) {
-	case msgReadVersion:
-		env.Send(from, msgVersionReply{Seq: m.Seq, Version: n.version, Value: n.value})
-	case msgWrite:
-		if m.Version.Counter > n.clock {
-			n.clock = m.Version.Counter
-		}
-		if n.version.Less(m.Version) {
-			n.version = m.Version
-			n.value = m.Value
-		}
-		env.Send(from, msgWriteAck{Seq: m.Seq})
 	case msgVersionReply:
 		n.onVersionReply(env, from, m)
+	case msgReadBatchReply:
+		n.onReadBatchReply(env, from, m)
 	case msgWriteAck:
 		n.onWriteAck(env, from, m)
 	default:
@@ -439,13 +587,13 @@ func (n *Node) Timer(env cluster.Env, token any) {
 	}
 }
 
-// launchNext starts workload operations while the window has room. With a
+// launchNext starts workload rounds while the window has room. With a
 // positive OpGap launches are spaced one per timer tick, keeping chaos
 // workloads stretched across their fault schedule; without a gap the
 // window fills immediately.
 func (n *Node) launchNext(env cluster.Env) {
 	for n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
-		n.launchOp(env)
+		n.launchBatch(env)
 		if n.cfg.OpGap > 0 {
 			if n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
 				env.After(n.cfg.OpGap, tokenNextOp{})
@@ -456,7 +604,7 @@ func (n *Node) launchNext(env cluster.Env) {
 }
 
 // getOp takes an opState from the freelist (or builds one); its bitsets
-// and reply map are already sized for the universe.
+// are already sized for the universe.
 func (n *Node) getOp() *opState {
 	if len(n.free) > 0 {
 		op := n.free[len(n.free)-1]
@@ -468,51 +616,87 @@ func (n *Node) getOp() *opState {
 		quorum:     bitset.New(u),
 		pending:    bitset.New(u),
 		opSuspects: bitset.New(u),
-		replies:    make(map[cluster.NodeID]Version),
 	}
 }
 
 func (n *Node) putOp(op *opState) {
+	op.subs = op.subs[:0]
 	op.seq = 0
 	op.ph = 0
-	op.writeback = false
-	op.bestVer = Version{}
-	op.bestVal = ""
-	op.value = ""
 	op.retries = 0
 	op.backoff = 0
 	op.sawNoQuorum = false
 	op.opSuspects.Clear()
-	clear(op.replies)
+	op.p1Subs = op.p1Subs[:0]
+	// Wire slices that were aliased by a sent batch frame must be dropped
+	// (messages may outlive the op); unshipped ones keep their backing
+	// arrays so the single-key hot path recycles them allocation-free.
+	if op.shippedP1 {
+		op.p1Keys = nil
+	} else {
+		op.p1Keys = op.p1Keys[:0]
+	}
+	if op.shippedP2 {
+		op.p2Keys, op.p2Vers, op.p2Vals = nil, nil, nil
+	} else {
+		op.p2Keys, op.p2Vers, op.p2Vals = op.p2Keys[:0], op.p2Vers[:0], op.p2Vals[:0]
+	}
+	op.shippedP1, op.shippedP2 = false, false
+	op.replies = nil
 	n.free = append(n.free, op)
 }
 
-func (n *Node) launchOp(env cluster.Env) {
-	spec := n.cfg.Ops[n.nextOp]
+// launchBatch pulls up to Config.Batch consecutive workload operations
+// into one quorum round and starts its first phase.
+func (n *Node) launchBatch(env cluster.Env) {
 	op := n.getOp()
-	op.id = n.nextOp
-	op.kind = spec.Kind
-	op.value = spec.Value
 	op.started = env.Now()
-	n.nextOp++
-	if n.cfg.OnInvoke != nil {
-		value := spec.Value
-		if spec.Kind == OpRead {
-			value = ""
+	k := len(n.cfg.Ops) - n.nextOp
+	if k > n.cfg.Batch {
+		k = n.cfg.Batch
+	}
+	for j := 0; j < k; j++ {
+		spec := n.cfg.Ops[n.nextOp]
+		sub := subOp{id: n.nextOp, kind: spec.Kind, key: spec.Key, value: spec.Value}
+		n.nextOp++
+		switch spec.Kind {
+		case OpRead, OpWrite:
+			sub.needP1 = true
+		case OpBlindWrite:
+			// Stamped at launch; rides phase 2 only.
+			sub.bestVer = Version{Counter: n.nextClock(), Writer: n.id}
+			sub.bestVal = spec.Value
 		}
-		n.cfg.OnInvoke(n.id, op.id, spec.Kind, value, env.Now())
+		op.subs = append(op.subs, sub)
+		if n.cfg.OnInvoke != nil {
+			value := spec.Value
+			if spec.Kind == OpRead {
+				value = ""
+			}
+			n.cfg.OnInvoke(n.id, sub.id, spec.Kind, spec.Key, value, env.Now())
+		}
 	}
-	switch spec.Kind {
-	case OpRead, OpWrite:
+	// Phase-1 membership and wire keys are fixed for the batch's lifetime;
+	// retries resend the same (immutable) slice.
+	for i := range op.subs {
+		if op.subs[i].needP1 {
+			op.p1Subs = append(op.p1Subs, i)
+		}
+	}
+	if len(op.p1Subs) > 0 {
+		op.p1Keys = op.p1Keys[:0]
+		for _, i := range op.p1Subs {
+			op.p1Keys = append(op.p1Keys, op.subs[i].key)
+		}
+		if n.cfg.ReadRepair {
+			op.replies = make(map[cluster.NodeID][]Version)
+		}
 		n.startReadPhase(env, op)
-	case OpBlindWrite:
-		n.startWritePhase(env, op, Version{Counter: n.nextClock(), Writer: n.id}, spec.Value, false)
+		return
 	}
-}
-
-func (n *Node) nextClock() uint64 {
-	n.clock++
-	return n.clock
+	// All blind writes: straight to phase 2.
+	n.buildPhase2(op)
+	n.startWritePhase(env, op)
 }
 
 // rekey gives op a fresh attempt sequence number and files it in the op
@@ -527,43 +711,98 @@ func (n *Node) rekey(op *opState) {
 	n.inflight[op.seq] = op
 }
 
-// startReadPhase queries a read quorum for versions.
+// startReadPhase queries a read quorum for the batch's keys' versions. A
+// round of exactly one classic-register operation rides the compact
+// single-key message (tag 0x10, one varint) instead of the batch frame —
+// the unbatched hot path stays as cheap as it was before the keyspace.
 func (n *Node) startReadPhase(env cluster.Env, op *opState) {
 	n.rekey(op)
 	op.ph = phaseReadVersions
-	op.writeback = false
-	op.bestVer = Version{}
-	op.bestVal = ""
-	clear(op.replies)
 	if err := n.pickQuorum(env, op, true); err != nil {
 		n.failOp(env, op, err)
 		return
 	}
 	op.quorum.CopyInto(&op.pending)
-	seq := op.seq
-	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msgReadVersion{Seq: seq}) })
-	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: seq})
+	var msg any
+	if len(op.p1Keys) == 1 && op.p1Keys[0] == "" {
+		msg = msgReadVersion{Seq: op.seq}
+	} else {
+		msg = msgReadBatch{Seq: op.seq, Keys: op.p1Keys}
+		op.shippedP1 = true
+	}
+	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msg) })
+	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: op.seq})
 }
 
-// startWritePhase stores a version on a write quorum. When writeback is
-// true the phase is a read's ABD write-back: it re-stores the version the
-// read observed, and completion reports the read's result.
-func (n *Node) startWritePhase(env cluster.Env, op *opState, ver Version, val string, writeback bool) {
+// buildPhase2 assembles the batch's write payload: read write-backs keep
+// the version they observed, read-write updates stamp a fresh clock past
+// everything phase 1 saw, blind writes carry their launch stamp. Plain
+// reads (no write-back) finish here.
+func (n *Node) buildPhase2(op *opState) {
+	count := 0
+	for i := range op.subs {
+		sub := &op.subs[i]
+		if sub.done {
+			continue
+		}
+		if sub.kind == OpRead && !(n.cfg.ReadWriteback && sub.bestVer != (Version{})) {
+			continue
+		}
+		count++
+	}
+	if count == 0 {
+		return
+	}
+	op.p2Keys = op.p2Keys[:0]
+	op.p2Vers = op.p2Vers[:0]
+	op.p2Vals = op.p2Vals[:0]
+	for i := range op.subs {
+		sub := &op.subs[i]
+		if sub.done {
+			continue
+		}
+		switch sub.kind {
+		case OpRead:
+			if !(n.cfg.ReadWriteback && sub.bestVer != (Version{})) {
+				continue
+			}
+			// ABD write-back: re-store the observed maximum so no later
+			// read can observe an older value.
+		case OpWrite:
+			// Bump the clock past everything the read quorum saw for this
+			// key, then stamp.
+			n.mergeClock(sub.bestVer.Counter)
+			sub.bestVer = Version{Counter: n.nextClock(), Writer: n.id}
+			sub.bestVal = sub.value
+		case OpBlindWrite:
+			// Stamped at launch.
+		}
+		op.p2Keys = append(op.p2Keys, sub.key)
+		op.p2Vers = append(op.p2Vers, sub.bestVer)
+		op.p2Vals = append(op.p2Vals, sub.bestVal)
+	}
+}
+
+// startWritePhase stores the batch's phase-2 payload on a write quorum.
+// Like startReadPhase, a one-op classic-register payload uses the compact
+// single-key write message.
+func (n *Node) startWritePhase(env cluster.Env, op *opState) {
 	n.rekey(op)
 	op.ph = phaseWrite
-	op.writeback = writeback
-	op.bestVer = ver
-	op.bestVal = val
 	if err := n.pickQuorum(env, op, false); err != nil {
 		n.failOp(env, op, err)
 		return
 	}
 	op.quorum.CopyInto(&op.pending)
-	seq := op.seq
-	op.quorum.ForEach(func(m int) {
-		env.Send(cluster.NodeID(m), msgWrite{Seq: seq, Version: ver, Value: val})
-	})
-	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: seq})
+	var msg any
+	if len(op.p2Keys) == 1 && op.p2Keys[0] == "" {
+		msg = msgWrite{Seq: op.seq, Version: op.p2Vers[0], Value: op.p2Vals[0]}
+	} else {
+		msg = msgWriteBatch{Seq: op.seq, Keys: op.p2Keys, Vers: op.p2Vers, Vals: op.p2Vals}
+		op.shippedP2 = true
+	}
+	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msg) })
+	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: op.seq})
 }
 
 // attemptTimeout returns the current attempt's patience: exponential
@@ -612,7 +851,9 @@ func (n *Node) invalidatePicks() {
 
 // pickQuorum draws a quorum among unsuspected replicas into op.quorum,
 // clearing suspicions if none remains. Consecutive picks of one flavor
-// against an unchanged suspect set are served from the pick cache.
+// against an unchanged suspect set are served from the pick cache; any
+// change to the suspect set — a new suspicion or a SuspectTTL expiry —
+// changes the fingerprint and forces a fresh draw.
 func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 	pick, c := n.cfg.Store.PickWrite, &n.picks[1]
 	if read {
@@ -643,7 +884,7 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 }
 
 // retryPhase abandons the attempt, suspecting silent members; past the op
-// deadline it fails the operation with a typed error instead of retrying.
+// deadline it fails the round with a typed error instead of retrying.
 func (n *Node) retryPhase(env cluster.Env, op *opState) {
 	op.retries++
 	// Back off only when the whole quorum went silent (we are cut off or
@@ -671,16 +912,16 @@ func (n *Node) retryPhase(env cluster.Env, op *opState) {
 	case phaseReadVersions:
 		n.startReadPhase(env, op)
 	case phaseWrite:
-		n.startWritePhase(env, op, op.bestVer, op.bestVal, op.writeback)
+		n.startWritePhase(env, op)
 	}
 }
 
 // deadlineError diagnoses a deadline miss: ErrNoQuorum when every quorum
 // of the current phase's flavor includes a replica that went silent during
-// this operation (the cumulative per-op view — suspect decay and the
-// fallback path both shrink the instantaneous suspect set, which would
+// this round (the cumulative per-op view — suspect decay and the fallback
+// path both shrink the instantaneous suspect set, which would
 // under-report), ErrDegraded when a quorum of replicas that never went
-// silent exists but the operation still ran out of time.
+// silent exists but the round still ran out of time.
 func (n *Node) deadlineError(env cluster.Env, op *opState) error {
 	if op.sawNoQuorum {
 		return quorum.ErrNoQuorum
@@ -695,50 +936,92 @@ func (n *Node) deadlineError(env cluster.Env, op *opState) error {
 	return quorum.ErrDegraded
 }
 
-// failOp reports the operation's error and retires it.
+// reportSub delivers one sub-operation's result.
+func (n *Node) reportSub(env cluster.Env, op *opState, sub *subOp, err error) {
+	sub.done = true
+	if n.cfg.OnResult == nil {
+		return
+	}
+	res := Result{
+		Node: n.id, OpID: sub.id, Kind: sub.kind, Key: sub.key,
+		Start: op.started, At: env.Now(), Retries: op.retries, Err: err,
+	}
+	if err == nil {
+		res.Value = sub.bestVal
+		res.Version = sub.bestVer
+	}
+	n.cfg.OnResult(res)
+}
+
+// failOp reports the round's error for every unfinished sub-operation and
+// retires the round.
 func (n *Node) failOp(env cluster.Env, op *opState, err error) {
-	n.finishOp(env, op, Result{
-		Node: n.id, OpID: op.id, Kind: op.kind, Err: err,
-		Start: op.started, At: env.Now(), Retries: op.retries,
-	})
+	for i := range op.subs {
+		if !op.subs[i].done {
+			n.reportSub(env, op, &op.subs[i], err)
+		}
+	}
+	n.finishOp(env, op)
 }
 
 func (n *Node) onVersionReply(env cluster.Env, from cluster.NodeID, m msgVersionReply) {
+	// Legacy single-register reply: treat as a one-item batch reply for
+	// the empty key (old replicas answering a msgReadVersion probe).
 	op, ok := n.inflight[m.Seq]
 	if !ok || op.ph != phaseReadVersions || !op.pending.Contains(int(from)) {
 		return
 	}
+	if len(op.p1Keys) != 1 || op.p1Keys[0] != "" {
+		return
+	}
+	n.onReadBatchReply(env, from, msgReadBatchReply{
+		Seq: m.Seq, Vers: []Version{m.Version}, Vals: []string{m.Value},
+	})
+}
+
+func (n *Node) onReadBatchReply(env cluster.Env, from cluster.NodeID, m msgReadBatchReply) {
+	op, ok := n.inflight[m.Seq]
+	if !ok || op.ph != phaseReadVersions || !op.pending.Contains(int(from)) {
+		return
+	}
+	if len(m.Vers) != len(op.p1Keys) || len(m.Vals) != len(op.p1Keys) {
+		return // malformed reply: keep waiting, the timer re-picks
+	}
 	op.pending.Remove(int(from))
-	op.replies[from] = m.Version
-	if op.bestVer.Less(m.Version) {
-		op.bestVer = m.Version
-		op.bestVal = m.Value
+	for j, i := range op.p1Subs {
+		sub := &op.subs[i]
+		if sub.bestVer.Less(m.Vers[j]) {
+			sub.bestVer = m.Vers[j]
+			sub.bestVal = m.Vals[j]
+		}
+	}
+	if op.replies != nil {
+		vers := make([]Version, len(m.Vers))
+		copy(vers, m.Vers)
+		op.replies[from] = vers
 	}
 	if !op.pending.Empty() {
 		return
 	}
 	// Read quorum complete.
-	if op.kind == OpRead {
-		if n.cfg.ReadWriteback && op.bestVer != (Version{}) {
-			// ABD-style: re-store the observed maximum on a write quorum
-			// so no later read can observe an older value.
-			n.startWritePhase(env, op, op.bestVer, op.bestVal, true)
-			return
+	if op.replies != nil {
+		n.repair(env, op)
+	}
+	if !n.cfg.ReadWriteback {
+		// Plain reads finish at phase 1; their round may still continue
+		// into phase 2 for the batch's writes.
+		for _, i := range op.p1Subs {
+			if sub := &op.subs[i]; sub.kind == OpRead {
+				n.reportSub(env, op, sub, nil)
+			}
 		}
-		if n.cfg.ReadRepair {
-			n.repair(env, op)
-		}
-		n.finishOp(env, op, Result{
-			Node: n.id, OpID: op.id, Kind: OpRead, Value: op.bestVal, Version: op.bestVer,
-			Start: op.started, At: env.Now(), Retries: op.retries,
-		})
+	}
+	n.buildPhase2(op)
+	if len(op.p2Keys) == 0 {
+		n.finishRound(env, op)
 		return
 	}
-	// Read-write: bump the counter past everything the read quorum saw.
-	if op.bestVer.Counter > n.clock {
-		n.clock = op.bestVer.Counter
-	}
-	n.startWritePhase(env, op, Version{Counter: n.nextClock(), Writer: n.id}, op.value, false)
+	n.startWritePhase(env, op)
 }
 
 func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
@@ -750,34 +1033,47 @@ func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
 	if !op.pending.Empty() {
 		return
 	}
-	n.finishOp(env, op, Result{
-		Node: n.id, OpID: op.id, Kind: op.kind, Value: op.bestVal, Version: op.bestVer,
-		Start: op.started, At: env.Now(), Retries: op.retries,
-	})
+	n.finishRound(env, op)
 }
 
-// repair fire-and-forgets the winning version to read-quorum members that
-// reported something older.
-func (n *Node) repair(env cluster.Env, op *opState) {
-	if op.bestVer == (Version{}) {
-		return // nothing written yet
+// finishRound reports every unfinished sub-operation as successful and
+// retires the round.
+func (n *Node) finishRound(env cluster.Env, op *opState) {
+	for i := range op.subs {
+		if !op.subs[i].done {
+			n.reportSub(env, op, &op.subs[i], nil)
+		}
 	}
+	n.finishOp(env, op)
+}
+
+// repair fire-and-forgets the winning versions to read-quorum members
+// that reported something older (ReadRepair mode).
+func (n *Node) repair(env cluster.Env, op *opState) {
 	// A fresh, unfiled sequence number: the acks find no op-table entry
 	// and are dropped.
 	n.seq++
-	for member, ver := range op.replies {
-		if ver.Less(op.bestVer) {
-			env.Send(member, msgWrite{Seq: n.seq, Version: op.bestVer, Value: op.bestVal})
+	for member, vers := range op.replies {
+		var keys []string
+		var wVers []Version
+		var vals []string
+		for j, i := range op.p1Subs {
+			sub := &op.subs[i]
+			if sub.bestVer != (Version{}) && vers[j].Less(sub.bestVer) {
+				keys = append(keys, sub.key)
+				wVers = append(wVers, sub.bestVer)
+				vals = append(vals, sub.bestVal)
+			}
+		}
+		if len(keys) > 0 {
+			env.Send(member, msgWriteBatch{Seq: n.seq, Keys: keys, Vers: wVers, Vals: vals})
 		}
 	}
 }
 
-func (n *Node) finishOp(env cluster.Env, op *opState, res Result) {
+func (n *Node) finishOp(env cluster.Env, op *opState) {
 	delete(n.inflight, op.seq)
 	n.putOp(op)
-	if n.cfg.OnResult != nil {
-		n.cfg.OnResult(res)
-	}
 	if n.nextOp < len(n.cfg.Ops) {
 		gap := n.cfg.OpGap
 		if gap < 0 {
@@ -789,9 +1085,9 @@ func (n *Node) finishOp(env cluster.Env, op *opState, res Result) {
 
 // Restarted implements the cluster.Network restart hook: the crash killed
 // the node's volatile client state (its timers died with it), so every
-// in-flight operation is abandoned — its effects are undecided, which the
-// history layer records as a pending op — and the workload resumes with
-// the next operation. Replica state (version, value) survives, modeling
+// in-flight round is abandoned — its effects are undecided, which the
+// history layer records as pending ops — and the workload resumes with
+// the next operation. Replica state (the keyed store) survives, modeling
 // stable storage.
 func (n *Node) Restarted(env cluster.Env) {
 	for seq, op := range n.inflight {
@@ -811,7 +1107,8 @@ func (n *Node) Restarted(env cluster.Env) {
 // RegisterWire registers the protocol's wire messages with a gob-based
 // transport (e.g. transport.Register).
 func RegisterWire(register func(values ...any)) {
-	register(msgReadVersion{}, msgVersionReply{}, msgWrite{}, msgWriteAck{})
+	register(msgReadVersion{}, msgVersionReply{}, msgWrite{}, msgWriteAck{},
+		msgReadBatch{}, msgReadBatchReply{}, msgWriteBatch{})
 }
 
 // StartToken returns the timer token that kicks off the node's client

@@ -562,11 +562,9 @@ func TestReadWritebackMonotone(t *testing.T) {
 		// Stage: everyone holds "base", but one replica saw a newer write
 		// that never reached a full quorum (its writer crashed mid-write).
 		for _, n := range h.nodes {
-			n.version = Version{Counter: 1, Writer: 2}
-			n.value = "base"
+			n.store.apply("", Version{Counter: 1, Writer: 2}, "base")
 		}
-		h.nodes[0].version = Version{Counter: 2, Writer: 3}
-		h.nodes[0].value = "staged"
+		h.nodes[0].store.apply("", Version{Counter: 2, Writer: 3}, "staged")
 		h.net.Run(time.Minute)
 		var out []string
 		for _, r := range h.results {

@@ -1,0 +1,106 @@
+package rkv
+
+import (
+	"sync"
+)
+
+// DefaultShards is the replica store's default shard count.
+const DefaultShards = 16
+
+// entry is one key's replica state: the highest version observed and the
+// value stamped with it.
+type entry struct {
+	ver Version
+	val string
+}
+
+// shardedMap is the replica-side keyed store: keys hash-partition across
+// shards, each shard guarded by its own mutex. The protocol's replica
+// operations (lookup, monotonic merge) touch exactly one shard, so
+// concurrent operations on different keys proceed in parallel — the
+// transport's fast-path delivery (see FastDeliver) calls in from multiple
+// reader goroutines at once, and no global lock serializes them.
+//
+// Merges are monotonic (higher Version wins, see Version.Less), so any
+// interleaving of concurrent applies converges to the same state — the
+// store needs mutexes only for memory safety, never for ordering.
+type shardedMap struct {
+	shards []mapShard
+	mask   uint64
+}
+
+type mapShard struct {
+	mu sync.Mutex
+	m  map[string]entry
+}
+
+// newShardedMap builds a store with n shards, rounded up to a power of
+// two (minimum 1) so shard selection is a mask, not a modulo.
+func newShardedMap(n int) *shardedMap {
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	s := &shardedMap{shards: make([]mapShard, size), mask: uint64(size - 1)}
+	for i := range s.shards {
+		s.shards[i].m = make(map[string]entry)
+	}
+	return s
+}
+
+// hashKey is FNV-1a; inlined rather than hash/fnv to keep the per-message
+// path allocation-free.
+func hashKey(key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+func (s *shardedMap) shard(key string) *mapShard {
+	return &s.shards[hashKey(key)&s.mask]
+}
+
+// get returns the key's current version and value (zero Version and ""
+// for a key never written).
+func (s *shardedMap) get(key string) (Version, string) {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	e := sh.m[key]
+	sh.mu.Unlock()
+	return e.ver, e.val
+}
+
+// apply merges a versioned write: the value is installed iff ver is newer
+// than what the shard holds. Reports whether the entry changed.
+func (s *shardedMap) apply(key string, ver Version, val string) bool {
+	sh := s.shard(key)
+	sh.mu.Lock()
+	e, ok := sh.m[key]
+	if !ok || e.ver.Less(ver) {
+		sh.m[key] = entry{ver: ver, val: val}
+		sh.mu.Unlock()
+		return true
+	}
+	sh.mu.Unlock()
+	return false
+}
+
+// lenKeys counts stored keys across all shards (tests and introspection;
+// not a hot path).
+func (s *shardedMap) lenKeys() int {
+	total := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
+}

@@ -13,6 +13,9 @@ const (
 	tagVersionReply = 0x11
 	tagWrite        = 0x12
 	tagWriteAck     = 0x13
+	tagReadBatch    = 0x14
+	tagReadBatchRep = 0x15
+	tagWriteBatch   = 0x16
 )
 
 // RegisterBinaryWire registers hand-written varint codecs for the
@@ -59,6 +62,119 @@ func RegisterBinaryWire(reg *codec.Registry) {
 			m := msgWriteAck{Seq: r.Uvarint()}
 			return m, r.Err()
 		})
+	reg.Register(tagReadBatch, msgReadBatch{},
+		func(b []byte, v any) []byte {
+			m := v.(msgReadBatch)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, uint64(len(m.Keys)))
+			for _, k := range m.Keys {
+				b = codec.AppendString(b, k)
+			}
+			return b
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgReadBatch{Seq: r.Uvarint()}
+			if n, ok := batchLen(r); ok {
+				m.Keys = make([]string, n)
+				for i := range m.Keys {
+					m.Keys[i] = r.String()
+				}
+			}
+			return m, r.Err()
+		})
+	reg.Register(tagReadBatchRep, msgReadBatchReply{},
+		func(b []byte, v any) []byte {
+			m := v.(msgReadBatchReply)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, uint64(len(m.Vers)))
+			for i, ver := range m.Vers {
+				b = codec.AppendUvarint(b, ver.Counter)
+				b = codec.AppendUvarint(b, uint64(ver.Writer))
+				b = codec.AppendString(b, m.Vals[i])
+			}
+			return b
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgReadBatchReply{Seq: r.Uvarint()}
+			if n, ok := batchLen(r); ok {
+				m.Vers = make([]Version, n)
+				m.Vals = make([]string, n)
+				for i := range m.Vers {
+					m.Vers[i].Counter = r.Uvarint()
+					m.Vers[i].Writer = cluster.NodeID(r.Uvarint())
+					m.Vals[i] = r.String()
+				}
+			}
+			return m, r.Err()
+		})
+	reg.Register(tagWriteBatch, msgWriteBatch{},
+		func(b []byte, v any) []byte {
+			m := v.(msgWriteBatch)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, uint64(len(m.Keys)))
+			for i, k := range m.Keys {
+				b = codec.AppendString(b, k)
+				b = codec.AppendUvarint(b, m.Vers[i].Counter)
+				b = codec.AppendUvarint(b, uint64(m.Vers[i].Writer))
+				b = codec.AppendString(b, m.Vals[i])
+			}
+			return b
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgWriteBatch{Seq: r.Uvarint()}
+			if n, ok := batchLen(r); ok {
+				m.Keys = make([]string, n)
+				m.Vers = make([]Version, n)
+				m.Vals = make([]string, n)
+				for i := range m.Keys {
+					m.Keys[i] = r.String()
+					m.Vers[i].Counter = r.Uvarint()
+					m.Vers[i].Writer = cluster.NodeID(r.Uvarint())
+					m.Vals[i] = r.String()
+				}
+			}
+			return m, r.Err()
+		})
+}
+
+// batchLen reads a batch element count and sanity-checks it against the
+// remaining payload: every element costs at least one byte on the wire, so
+// a count exceeding the bytes left is a hostile frame — reject it before
+// allocating, rather than make()ing gigabytes on a 10-byte input.
+func batchLen(r *codec.Reader) (int, bool) {
+	n := r.Uvarint()
+	if n > uint64(r.Len()) {
+		r.Fail()
+		return 0, false
+	}
+	return int(n), n > 0
+}
+
+// WireSamples returns one well-formed instance of every rkv wire message,
+// for seeding fuzz corpora over the real registry (see internal/codec's
+// seed-corpus test).
+func WireSamples() []any {
+	return []any{
+		msgReadVersion{Seq: 7},
+		msgVersionReply{Seq: 7, Version: Version{Counter: 3, Writer: 2}, Value: "v3"},
+		msgWrite{Seq: 8, Version: Version{Counter: 4, Writer: 1}, Value: "v4"},
+		msgWriteAck{Seq: 8},
+		msgReadBatch{Seq: 9, Keys: []string{"", "k1", "k2"}},
+		msgReadBatchReply{
+			Seq:  9,
+			Vers: []Version{{Counter: 1, Writer: 0}, {}, {Counter: 5, Writer: 3}},
+			Vals: []string{"a", "", "c"},
+		},
+		msgWriteBatch{
+			Seq:  10,
+			Keys: []string{"k1", "k2"},
+			Vers: []Version{{Counter: 6, Writer: 1}, {Counter: 7, Writer: 2}},
+			Vals: []string{"x", "y"},
+		},
+	}
 }
 
 // appendVersioned encodes the common {Seq, Version, Value} payload shared

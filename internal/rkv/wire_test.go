@@ -27,6 +27,19 @@ func TestBinaryWireRoundTrip(t *testing.T) {
 		msgWrite{Seq: 1, Version: Version{Counter: 1 << 40, Writer: 3}, Value: string(make([]byte, 4096))},
 		msgWrite{Seq: 2, Version: Version{Counter: 5}, Value: "日本語 value"},
 		msgWriteAck{Seq: 3},
+		msgReadBatch{Seq: 4, Keys: []string{"", "k1", "日本語 key"}},
+		msgReadBatch{Seq: 5}, // empty batch round-trips as nil
+		msgReadBatchReply{
+			Seq:  6,
+			Vers: []Version{{Counter: 9, Writer: 15}, {}},
+			Vals: []string{"x", ""},
+		},
+		msgWriteBatch{
+			Seq:  7,
+			Keys: []string{"a", "b"},
+			Vers: []Version{{Counter: 1 << 40, Writer: 3}, {Counter: 2, Writer: 0}},
+			Vals: []string{string(make([]byte, 2048)), ""},
+		},
 	}
 	var buf bytes.Buffer
 	enc := codec.NewEncoder(&buf, reg)
@@ -43,6 +56,25 @@ func TestBinaryWireRoundTrip(t *testing.T) {
 		}
 		if from != uint64(i) || !reflect.DeepEqual(got, want) {
 			t.Fatalf("decode %d: from=%d got %#v want %#v", i, from, got, want)
+		}
+	}
+}
+
+// TestBatchDecodeRejectsHostileCount: a frame claiming more batch elements
+// than its payload could possibly hold must fail cleanly instead of
+// allocating element slices sized by the attacker.
+func TestBatchDecodeRejectsHostileCount(t *testing.T) {
+	reg := codec.NewRegistry()
+	RegisterBinaryWire(reg)
+	for _, tag := range []uint64{tagReadBatch, tagReadBatchRep, tagWriteBatch} {
+		// Body: from=1, tag, then payload {seq=1, count=2^40} and nothing else.
+		var body []byte
+		body = codec.AppendUvarint(body, 1)
+		body = codec.AppendUvarint(body, tag)
+		body = codec.AppendUvarint(body, 1)
+		body = codec.AppendUvarint(body, 1<<40)
+		if _, _, err := codec.DecodeBody(body, reg); err == nil {
+			t.Fatalf("tag %#x: hostile element count decoded without error", tag)
 		}
 	}
 }

@@ -60,6 +60,7 @@ func (m *Mesh) Stats() Stats {
 		total.Sent += s.Sent
 		total.Received += s.Received
 		total.Dropped += s.Dropped
+		total.FastPath += s.FastPath
 		total.BytesOut += s.BytesOut
 		total.BytesIn += s.BytesIn
 		total.Flushes += s.Flushes
@@ -88,23 +89,35 @@ type memNode struct {
 	m       *MemMesh
 	id      cluster.NodeID
 	handler cluster.Handler
+	fast    FastDeliverer // non-nil iff handler opts in
+	env     *memEnv       // the node's Env, shared by loop and fast path
 	events  chan event
 	rng     *rand.Rand
 	start   time.Time
 }
 
 // NewMemMesh builds and starts an in-process mesh over the handlers.
+// Handlers implementing FastDeliverer get their thread-safe half run
+// inline on the sender's goroutine: a quorum request is processed — and
+// its reply queued — within the sender's Env.Send, skipping the receiving
+// event loop entirely. The same contract as the TCP fast path applies
+// (FastDeliver must not call Rand or After).
 func NewMemMesh(handlers []cluster.Handler) *MemMesh {
 	m := &MemMesh{quit: make(chan struct{})}
 	for i, h := range handlers {
-		m.nodes = append(m.nodes, &memNode{
+		node := &memNode{
 			m:       m,
 			id:      cluster.NodeID(i),
 			handler: h,
 			events:  make(chan event, 4096),
 			rng:     rand.New(rand.NewSource(int64(i) + 1)),
 			start:   time.Now(),
-		})
+		}
+		node.env = &memEnv{n: node}
+		if f, ok := h.(FastDeliverer); ok {
+			node.fast = f
+		}
+		m.nodes = append(m.nodes, node)
 	}
 	for _, node := range m.nodes {
 		m.wg.Add(1)
@@ -126,7 +139,6 @@ func (m *MemMesh) Close() {
 
 func (n *memNode) loop() {
 	defer n.m.wg.Done()
-	env := &memEnv{n: n}
 	for {
 		select {
 		case <-n.m.quit:
@@ -134,9 +146,9 @@ func (n *memNode) loop() {
 		case e := <-n.events:
 			switch e.kind {
 			case 0:
-				n.handler.Deliver(env, e.from, e.msg)
+				n.handler.Deliver(n.env, e.from, e.msg)
 			case 1:
-				n.handler.Timer(env, e.token)
+				n.handler.Timer(n.env, e.token)
 			}
 		}
 	}
@@ -146,10 +158,17 @@ func (n *memNode) send(to cluster.NodeID, msg any) {
 	if int(to) < 0 || int(to) >= len(n.m.nodes) {
 		return
 	}
+	target := n.m.nodes[to]
+	// Fast path: run the receiver's thread-safe half right here on the
+	// sender's goroutine. The reply it sends lands back on our event
+	// channel — one channel hop per round trip instead of two.
+	if target.fast != nil && target.fast.FastDeliver(target.env, n.id, msg) {
+		return
+	}
 	// Non-blocking: two saturated event loops sending into each other
 	// must shed load, not deadlock. Protocols treat the drop as loss.
 	select {
-	case n.m.nodes[to].events <- event{kind: 0, from: n.id, msg: msg}:
+	case target.events <- event{kind: 0, from: n.id, msg: msg}:
 	default:
 	}
 }

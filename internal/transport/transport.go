@@ -64,6 +64,25 @@ func DefaultRegistry() *codec.Registry {
 	return defaultReg
 }
 
+// FastDeliverer is an optional second interface for handlers whose
+// messages split into a thread-safe half and an event-loop half. When the
+// handler implements it, the transport offers every received message to
+// FastDeliver on the reader goroutine that decoded it; returning true
+// consumes the message there — no event-queue hop, and readers from
+// different peers proceed in parallel — while returning false routes it
+// through the ordered event loop as usual.
+//
+// FastDeliver runs concurrently with the event loop and with itself, so it
+// must only touch state safe for that (rkv replicas: the sharded store and
+// an atomic clock). The env it receives supports ID, Now and Send; it must
+// not call Rand or After, which belong to the event loop.
+//
+// The fast path is disabled under WithDropRate: drop sampling uses the
+// event loop's rng, which is not goroutine-safe.
+type FastDeliverer interface {
+	FastDeliver(env cluster.Env, from cluster.NodeID, msg any) bool
+}
+
 // Stats are a node's transport counters. Byte counts cover frame bytes on
 // the wire (flushed writes and decoded reads); Flushes counts writer
 // syscall batches, so Sent/Flushes is the average coalescing factor.
@@ -71,6 +90,7 @@ type Stats struct {
 	Sent     uint64 // messages handed to the transport (incl. self-sends)
 	Received uint64 // frames decoded from peers
 	Dropped  uint64 // messages lost to dial failures, full queues, dead conns
+	FastPath uint64 // received messages consumed on the reader goroutine (FastDeliverer)
 	BytesOut uint64
 	BytesIn  uint64
 	Flushes  uint64
@@ -133,6 +153,7 @@ const writerQueue = 1024
 type Node struct {
 	id          cluster.NodeID
 	handler     cluster.Handler
+	fast        FastDeliverer // non-nil iff handler opts in and dropRate == 0
 	seed        int64
 	dropRate    float64
 	dialTimeout time.Duration
@@ -154,6 +175,7 @@ type Node struct {
 	sent     atomic.Uint64
 	received atomic.Uint64
 	dropped  atomic.Uint64
+	fastPath atomic.Uint64
 	bytesOut atomic.Uint64
 	bytesIn  atomic.Uint64
 	flushes  atomic.Uint64
@@ -185,6 +207,9 @@ func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Op
 	}
 	for _, o := range opts {
 		o(n)
+	}
+	if f, ok := handler.(FastDeliverer); ok && n.dropRate == 0 {
+		n.fast = f
 	}
 	n.rng = rand.New(rand.NewSource(n.seed))
 	return n, nil
@@ -245,6 +270,7 @@ func (n *Node) Stats() Stats {
 		Sent:     n.sent.Load(),
 		Received: n.received.Load(),
 		Dropped:  n.dropped.Load(),
+		FastPath: n.fastPath.Load(),
 		BytesOut: n.bytesOut.Load(),
 		BytesIn:  n.bytesIn.Load(),
 		Flushes:  n.flushes.Load(),
@@ -275,6 +301,7 @@ func (n *Node) readLoop(c net.Conn) {
 		n.mu.Unlock()
 	}()
 	dec := codec.NewDecoder(bufio.NewReaderSize(c, 64<<10), n.reg)
+	env := &liveEnv{n: n} // fast-path env: ID/Now/Send only (see FastDeliverer)
 	var consumed uint64
 	for {
 		from, msg, err := dec.Decode()
@@ -284,6 +311,10 @@ func (n *Node) readLoop(c net.Conn) {
 			return
 		}
 		n.received.Add(1)
+		if n.fast != nil && n.fast.FastDeliver(env, cluster.NodeID(from), msg) {
+			n.fastPath.Add(1)
+			continue
+		}
 		select {
 		case n.events <- event{kind: 0, from: cluster.NodeID(from), msg: msg}:
 		case <-n.quit:

@@ -260,6 +260,79 @@ func TestRegisterOverTCP(t *testing.T) {
 	}
 }
 
+// TestFastPathServesReplicaMessages: rkv implements FastDeliverer, so
+// replica-side messages (batch reads/writes) are consumed on the reader
+// goroutines — visible in Stats().FastPath — while results stay correct.
+// WithDropRate must disable the fast path (drop sampling needs the event
+// loop's rng).
+func TestFastPathServesReplicaMessages(t *testing.T) {
+	rkv.RegisterWire(Register)
+	store := rkv.HGridStore{H: hgrid.Auto(4, 4)}
+	run := func(opts ...Option) uint64 {
+		var mu sync.Mutex
+		var results []rkv.Result
+		handlers := make([]cluster.Handler, 16)
+		var replicas []*rkv.Node
+		for i := 0; i < 16; i++ {
+			var ops []rkv.Op
+			if i == 0 {
+				ops = []rkv.Op{
+					{Kind: rkv.OpWrite, Key: "a", Value: "fast-a"},
+					{Kind: rkv.OpWrite, Key: "b", Value: "fast-b"},
+					{Kind: rkv.OpRead, Key: "a"},
+					{Kind: rkv.OpRead, Key: "b"},
+				}
+			}
+			rn, err := rkv.NewNode(cluster.NodeID(i), rkv.Config{
+				Store: store,
+				Ops:   ops,
+				Batch: 2,
+				OnResult: func(r rkv.Result) {
+					mu.Lock()
+					results = append(results, r)
+					mu.Unlock()
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			handlers[i] = rn
+			replicas = append(replicas, rn)
+		}
+		mesh, err := NewMesh(handlers, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer mesh.Close()
+		mesh.Start()
+		mesh.Node(0).Kick(0, replicas[0].StartToken())
+		waitFor(t, 30*time.Second, func() bool {
+			mu.Lock()
+			defer mu.Unlock()
+			return len(results) == 4
+		})
+		mu.Lock()
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("op %d failed: %v", r.OpID, r.Err)
+			}
+			if r.Kind == rkv.OpRead && r.Value != "fast-"+r.Key {
+				t.Fatalf("read %q returned %q", r.Key, r.Value)
+			}
+		}
+		mu.Unlock()
+		return mesh.Stats().FastPath
+	}
+	if fast := run(); fast == 0 {
+		t.Fatal("no message took the fast path")
+	}
+	// A vanishingly small drop rate never actually drops here, but its
+	// mere presence must force every message through the event loop.
+	if fast := run(WithDropRate(1e-12)); fast != 0 {
+		t.Fatalf("fast path served %d messages despite WithDropRate", fast)
+	}
+}
+
 // TestRedialAfterPeerRestart: when a peer dies and comes back on the same
 // address, the cached connection fails its next encode, gets evicted, and
 // the following send re-dials — no operator intervention, no permanent

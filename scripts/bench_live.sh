@@ -2,29 +2,43 @@
 # bench_live.sh — run the live-path throughput suite and write the report
 # to BENCH_live.json (in the repo root, or $1 if given).
 #
-# The suite measures the replicated register end to end with closed-loop
-# clients on three cells:
+# The suite measures the replicated store end to end with closed-loop
+# clients on the headline cells
 #
-#   tcp/w1  loopback-TCP mesh, one op in flight   (the classic client)
-#   tcp/w8  loopback-TCP mesh, window of 8        (pipelined)
-#   mem/w8  in-process channels, window of 8      (no-syscall ceiling)
+#   tcp/w1         loopback-TCP mesh, one op in flight      (classic client)
+#   tcp/w8         loopback-TCP mesh, window of 8           (pipelined)
+#   tcp/w8/k64b8   window 8 over 64 keys, 8 ops per quorum
+#                  round                                    (batched multi-key)
+#   mem/w8         in-process channels, window of 8         (no-syscall ceiling)
+#   mem/w8/k64b8   batched multi-key at the mem ceiling
 #
-# and reports ops/sec plus p50/p95/p99/p999 latency from the HDR-style
-# histogram, per-cell transport counters (messages, bytes, flushes — the
-# msgs/flush ratio is the coalescing win), and the headline
-# pipeline_speedup = tcp/w8 over tcp/w1, which the acceptance gate
-# requires to be >= 3x.
+# plus the per-batch-size sweep tcp/w8/k64b{1,2,4,8,16} and the
+# per-key-count sweep tcp/w8/k{1,4,16,64,256}b8, and reports ops/sec with
+# p50/p95/p99/p999 latency from the HDR-style histogram, per-cell
+# transport counters (messages, bytes, flushes — the msgs/flush ratio is
+# the coalescing win), and two headline ratios:
+#
+#   pipeline_speedup  tcp/w8 over tcp/w1        (acceptance gate: >= 3x)
+#   batch_speedup     tcp/w8/k64b8 over tcp/w8  (acceptance gate: >= 2x)
 #
 # The run is compared against the committed pre-change snapshot
-# scripts/BENCH_live_baseline.json (benchstat-style old/new/delta table).
-# Refresh the baseline by copying a trusted BENCH_live.json over it.
+# scripts/BENCH_live_baseline.json (benchstat-style old/new/delta table)
+# and THE SCRIPT EXITS NONZERO if any cell's throughput regressed more
+# than the tolerance (default 10%; override with TOLERANCE=0.15 or
+# whatever fraction), so CI can use it as a perf gate. Refresh the
+# baseline by copying a trusted BENCH_live.json over it.
 set -eu
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_live.json}"
+tol="${TOLERANCE:-0.10}"
+# 8000 ops/client: batched cells push >200k ops/s, so short runs would
+# measure scheduler jitter, not the protocol.
+ops="${OPS:-8000}"
 go build -o /tmp/hquorum-loadgen ./cmd/loadgen
 if [ -f scripts/BENCH_live_baseline.json ]; then
-	/tmp/hquorum-loadgen -suite -json "$out" -compare scripts/BENCH_live_baseline.json
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -ops "$ops" -json "$out" \
+		-compare scripts/BENCH_live_baseline.json -tolerance "$tol"
 else
-	/tmp/hquorum-loadgen -suite -json "$out"
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -ops "$ops" -json "$out"
 fi
 echo "wrote $out" >&2

@@ -11,7 +11,10 @@ go test ./...
 go test -race ./internal/analysis/...
 # The protocol and chaos layers share state with test harnesses
 # (recorders, result slices) and the transport is genuinely concurrent:
-# run them under the race detector too.
+# run them under the race detector too. rkv's sharded replica store and
+# batched rounds (shards.go / batch_test.go) are exercised from multiple
+# transport reader goroutines via the fast path, so the rkv and transport
+# entries here are load-bearing for the multi-key engine.
 go test -race ./internal/dmutex/... ./internal/rkv/... ./internal/transport/... ./internal/nemesis/... ./internal/history/...
 # The live-path engine's codec and histogram are shared by concurrent
 # transport readers/writers and per-worker recorders: race them too.
