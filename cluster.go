@@ -3,6 +3,7 @@ package hquorum
 import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/dmutex"
+	"hquorum/internal/epoch"
 	"hquorum/internal/rkv"
 )
 
@@ -75,3 +76,53 @@ const (
 func NewReplica(id NodeID, cfg ReplicaConfig) (*Replica, error) {
 	return rkv.NewNode(id, cfg)
 }
+
+// Epoch-versioned cluster configuration (see internal/epoch). The root
+// package only delegates: internal/epoch is the single source of truth
+// for config values, validation, wire encoding and quorum construction.
+type (
+	// ClusterParams is one configuration a cluster can run: a quorum
+	// flavor, its shape, and the member set as global node IDs.
+	ClusterParams = epoch.Params
+	// ClusterConfig is an epoch-versioned configuration; during a
+	// reconfiguration it is "joint" and quorums span old and new.
+	ClusterConfig = epoch.Config
+	// EpochStore is a node's home for the current ClusterConfig.
+	EpochStore = epoch.Store
+	// QuorumFlavor names a construction the live protocols can run.
+	QuorumFlavor = epoch.Flavor
+)
+
+// The live-path quorum flavors.
+const (
+	FlavorMajority = epoch.FlavorMajority
+	FlavorHGrid    = epoch.FlavorHGrid
+	FlavorHTGrid   = epoch.FlavorHTGrid
+	FlavorHTriang  = epoch.FlavorHTriang
+)
+
+// ErrStaleEpoch reports an operation rejected for being issued under an
+// older configuration epoch than the receiver's.
+var ErrStaleEpoch = epoch.ErrStaleEpoch
+
+// Config helpers, delegated to internal/epoch.
+var (
+	// ParseFlavor parses a flavor name (majority|hgrid|htgrid|htriang).
+	ParseFlavor = epoch.ParseFlavor
+	// ParseMembers parses a member spec like "0-8" or "0-3,6,9-11".
+	ParseMembers = epoch.ParseMembers
+	// MemberRange returns the member list [lo, hi).
+	MemberRange = epoch.MemberRange
+)
+
+// NewEpochStore builds a node's epoch store over a global ID space,
+// starting from the initial configuration at epoch 1. Pass it to a
+// ReplicaConfig (Epochs field) or MutexConfig to make the node
+// epoch-versioned.
+func NewEpochStore(space int, initial ClusterParams) (*EpochStore, error) {
+	return epoch.NewStore(space, initial)
+}
+
+// ReconfigToken returns the timer token that makes the receiving replica
+// coordinate a live reconfiguration to target.
+func ReconfigToken(target ClusterParams) any { return rkv.ReconfigToken(target) }

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"os"
 
+	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/nemesis"
@@ -40,6 +42,14 @@ func main() {
 
 	h44 := hgrid.Auto(4, 4)
 	gridSchedules := append(nemesis.DefaultSchedules(16), nemesis.ColumnCut(4, 4))
+	// Reconfiguration cells: epoch-versioned clusters whose schedules kick
+	// a live config change mid-workload. Every run must settle at epoch 3
+	// (stable → joint → stable) with a linearizable history across the
+	// boundary, or the sweep counts a violation.
+	initGrid := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	initMaj := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 9)}
+	toHTGrid := epoch.Params{Flavor: epoch.FlavorHTGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	toGrid := initGrid
 	rkvCases := []nemesis.RKVCase{
 		{Name: "h-grid-4x4", Store: rkv.HGridStore{H: h44}, Schedules: gridSchedules},
 		{Name: "h-T-grid-4x4", Store: rkv.HTGridStore{Sys: htgrid.New(h44)}, Schedules: gridSchedules},
@@ -49,6 +59,19 @@ func main() {
 		// Multi-key batched cell: the workload spans 8 keys with 4 ops
 		// coalesced per quorum round; linearizability is checked per key.
 		{Name: "h-grid-4x4/k8b4", Store: rkv.HGridStore{H: h44}, Window: 2, Batch: 4, Keys: 8, Schedules: gridSchedules},
+		// Flavor swap under crashes: h-grid → h-T-grid on fixed membership
+		// while two nodes are dark around the transition.
+		{Name: "rc/h44-hT44", Initial: &initGrid, Space: 16, WantEpoch: 3,
+			Schedules: []nemesis.Schedule{
+				nemesis.ReconfigQuiet(0, toHTGrid),
+				nemesis.ReconfigMidCrash(0, toHTGrid, []cluster.NodeID{5, 6}),
+			}},
+		// Growth under crashes: majority-9 → h-grid over all 16 nodes with
+		// an incoming member down for the transition window.
+		{Name: "rc/maj9-h44", Initial: &initMaj, Space: 16, WantEpoch: 3,
+			Schedules: []nemesis.Schedule{
+				nemesis.ReconfigMidCrash(0, toGrid, []cluster.NodeID{12}),
+			}},
 	}
 	mutexCases := []nemesis.MutexCase{
 		{Name: "h-grid-3x3", System: htgrid.Auto(3, 3), Schedules: nemesis.DefaultSchedules(9)},

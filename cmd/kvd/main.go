@@ -3,8 +3,10 @@
 // this repository analyzes and simulates.
 //
 // A cluster is described by a peers file with one "id host:port" line per
-// replica; the grid dimensions are derived from the replica count (the
-// universe must be rows×cols of the chosen grid). Example, a 2×2 grid:
+// replica. The quorum construction is epoch-versioned: every replica
+// starts from the same initial configuration (-store, -rows/-cols,
+// -members) and a running cluster can be moved to a different flavor or
+// member set with `quorumctl reconfig` — no restarts. Example, a 2×2 grid:
 //
 //	$ cat peers.txt
 //	0 127.0.0.1:7000
@@ -12,16 +14,22 @@
 //	2 127.0.0.1:7002
 //	3 127.0.0.1:7003
 //
-//	$ kvd -id 1 -peers peers.txt -rows 2 -cols 2 &
+//	$ kvd -id 1 -peers peers.txt -store hgrid -rows 2 -cols 2 &
 //	... (start every replica) ...
-//	$ kvd -id 0 -peers peers.txt -rows 2 -cols 2 -write hello -then-read
+//	$ kvd -id 0 -peers peers.txt -store hgrid -rows 2 -cols 2 -write hello -then-read
+//
+// -members restricts the initial configuration to a subset of the peers
+// file ("0-8" on a 16-entry file starts a majority-9 cluster with seven
+// standby replicas — grow it later by reconfiguring to a 16-member
+// config). Every process in the peers file must be started with the same
+// initial configuration flags; the epoch store takes over from there.
 //
 // A replica with -write/-read flags performs those client operations
 // against the cluster and prints the results; without them it serves
 // forever. -key names the key the operations target (the store is
 // multi-key: replicas hold a hash-sharded keyed map, -shards wide), so
 //
-//	$ kvd -id 0 -peers peers.txt -rows 2 -cols 2 -key user:42 -write hello -then-read
+//	$ kvd -id 0 -peers peers.txt -key user:42 -write hello -then-read
 //
 // reads back "hello" from key "user:42" without disturbing other keys.
 //
@@ -35,21 +43,17 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
 	"os/signal"
-	"strconv"
-	"strings"
 	"syscall"
 	"time"
 
 	"hquorum/internal/cluster"
-	"hquorum/internal/hgrid"
-	"hquorum/internal/htgrid"
+	"hquorum/internal/epoch"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 )
@@ -57,9 +61,11 @@ import (
 func main() {
 	id := flag.Int("id", -1, "this replica's ID (must appear in the peers file)")
 	peersPath := flag.String("peers", "", "peers file: one 'id host:port' per line")
-	rows := flag.Int("rows", 4, "grid rows (rows*cols must equal the replica count)")
+	store := flag.String("store", "hgrid", "initial quorum flavor: majority, hgrid, htgrid or htriang")
+	rows := flag.Int("rows", 4, "grid rows (rows*cols must equal the member count; htriang's k)")
 	cols := flag.Int("cols", 4, "grid cols")
-	useHTGrid := flag.Bool("htgrid", false, "write through h-T-grid quorums instead of full-lines")
+	useHTGrid := flag.Bool("htgrid", false, "deprecated: same as -store htgrid")
+	members := flag.String("members", "", "initial member IDs, e.g. '0-8' or '0-3,6' (default: every peer)")
 	key := flag.String("key", "", "key the client operations target (empty = the classic single register)")
 	shards := flag.Int("shards", 0, "replica store shard count (0 = rkv default; more shards = less lock contention across keys)")
 	write := flag.String("write", "", "perform a read-write update with this value")
@@ -82,7 +88,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvd: pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 
-	peers, err := loadPeers(*peersPath)
+	peers, err := transport.LoadPeers(*peersPath)
 	if err != nil {
 		fatal("peers: %v", err)
 	}
@@ -90,14 +96,25 @@ func main() {
 	if !ok {
 		fatal("replica %d is not in the peers file", *id)
 	}
-	if len(peers) != *rows**cols {
-		fatal("%d peers but a %dx%d grid needs %d", len(peers), *rows, *cols, *rows**cols)
-	}
 
-	h := hgrid.Auto(*rows, *cols)
-	var store rkv.Store = rkv.HGridStore{H: h}
+	flavorName := *store
 	if *useHTGrid {
-		store = rkv.HTGridStore{Sys: htgrid.New(h)}
+		flavorName = "htgrid"
+	}
+	flavor, err := epoch.ParseFlavor(flavorName)
+	if err != nil {
+		fatal("%v", err)
+	}
+	memberIDs := transport.PeerIDs(peers)
+	if *members != "" {
+		if memberIDs, err = epoch.ParseMembers(*members); err != nil {
+			fatal("%v", err)
+		}
+	}
+	initial := epoch.Params{Flavor: flavor, Rows: *rows, Cols: *cols, Members: memberIDs}
+	epochs, err := epoch.NewStore(transport.IDSpace(peers), initial)
+	if err != nil {
+		fatal("%v", err)
 	}
 
 	var ops []rkv.Op
@@ -112,7 +129,7 @@ func main() {
 	remaining := len(ops)
 	failed := false
 	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
-		Store:         store,
+		Epochs:        epochs,
 		Shards:        *shards,
 		Ops:           ops,
 		Timeout:       *attempt,
@@ -148,8 +165,8 @@ func main() {
 	defer tn.Close()
 	tn.Connect(peers)
 	tn.Start()
-	fmt.Fprintf(os.Stderr, "kvd: replica %d serving on %s (%s over %dx%d grid)\n",
-		*id, tn.Addr(), storeName(*useHTGrid), *rows, *cols)
+	fmt.Fprintf(os.Stderr, "kvd: replica %d serving on %s (epoch %d: %v)\n",
+		*id, tn.Addr(), epochs.Epoch(), initial)
 
 	if len(ops) > 0 {
 		tn.Kick(0, node.StartToken())
@@ -169,54 +186,6 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "kvd: shutting down")
-}
-
-func storeName(htg bool) string {
-	if htg {
-		return "row-cover reads / h-T-grid writes"
-	}
-	return "row-cover reads / full-line writes"
-}
-
-// loadPeers parses the peers file.
-func loadPeers(path string) (map[cluster.NodeID]string, error) {
-	if path == "" {
-		return nil, fmt.Errorf("missing -peers file")
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	peers := make(map[cluster.NodeID]string)
-	sc := bufio.NewScanner(f)
-	line := 0
-	for sc.Scan() {
-		line++
-		text := strings.TrimSpace(sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
-			continue
-		}
-		fields := strings.Fields(text)
-		if len(fields) != 2 {
-			return nil, fmt.Errorf("line %d: want 'id host:port'", line)
-		}
-		id, err := strconv.Atoi(fields[0])
-		if err != nil {
-			return nil, fmt.Errorf("line %d: bad id %q", line, fields[0])
-		}
-		if _, dup := peers[cluster.NodeID(id)]; dup {
-			return nil, fmt.Errorf("line %d: duplicate id %d", line, id)
-		}
-		peers[cluster.NodeID(id)] = fields[1]
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(peers) == 0 {
-		return nil, fmt.Errorf("no peers in %s", path)
-	}
-	return peers, nil
 }
 
 func fatal(format string, args ...any) {

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/histo"
 	"hquorum/internal/htgrid"
@@ -76,6 +77,13 @@ type runSpec struct {
 	Timeout    time.Duration
 	OpDeadline time.Duration
 	RunTimeout time.Duration
+
+	// ReconfigAt, when positive, makes the cluster epoch-versioned (the
+	// nodes start on Store as their initial config) and fires a live swap
+	// to ReconfigTo once that many operations have completed cluster-wide.
+	// tcp mode only.
+	ReconfigAt int
+	ReconfigTo string
 }
 
 // runResult is one benchmark cell, JSON-stable for diffing against a
@@ -104,6 +112,15 @@ type runResult struct {
 	MsgsSent uint64 `json:"msgs_sent"`
 	BytesOut uint64 `json:"bytes_out"`
 	Flushes  uint64 `json:"flushes"`
+	// Reconfiguration cell fields (zero unless -reconfig-at fired): the
+	// throughput before and after the swap was kicked, the number of
+	// operations that failed during the transition window, and the epoch
+	// the cluster settled at.
+	ReconfigAt     int     `json:"reconfig_at,omitempty"`
+	PreOpsPerSec   float64 `json:"pre_ops_per_sec,omitempty"`
+	PostOpsPerSec  float64 `json:"post_ops_per_sec,omitempty"`
+	TransitionErrs int     `json:"transition_errs,omitempty"`
+	FinalEpoch     uint64  `json:"final_epoch,omitempty"`
 }
 
 // report is the artifact bench_live.sh writes: the suite cells plus the
@@ -132,6 +149,8 @@ func main() {
 	valueSize := flag.Int("value-size", 16, "write value size in bytes")
 	seed := flag.Int64("seed", 1, "workload rng seed")
 	shards := flag.Int("shards", 0, "replica store shard count (0 = rkv default)")
+	reconfigAt := flag.Int("reconfig-at", 0, "fire a live config swap after this many completed operations (0 = off; tcp mode only)")
+	reconfigTo := flag.String("reconfig-to", "htgrid", "target quorum flavor for -reconfig-at (majority, hgrid or htgrid; same grid shape)")
 	writeback := flag.Bool("writeback", true, "linearizable reads (ABD write-back)")
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-attempt quorum patience")
 	opDeadline := flag.Duration("op-deadline", 15*time.Second, "per-operation deadline")
@@ -167,6 +186,7 @@ func main() {
 		Reads: *reads, Value: *valueSize, Seed: *seed, Shards: *shards,
 		Writeback: *writeback, Timeout: *timeout,
 		OpDeadline: *opDeadline, RunTimeout: *runTimeout,
+		ReconfigAt: *reconfigAt, ReconfigTo: *reconfigTo,
 	}
 
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH, CPUs: runtime.NumCPU()}
@@ -174,6 +194,7 @@ func main() {
 	cell := func(mode string, window, keys, batch int) runSpec {
 		s := base
 		s.Mode, s.Window, s.Keys, s.Batch = mode, window, keys, batch
+		s.ReconfigAt = 0 // sweep cells never reconfigure; the rc cell opts in below
 		s.Name = cellName(mode, window, keys, batch)
 		return s
 	}
@@ -185,6 +206,16 @@ func main() {
 			cell("mem", 8, 1, 1),
 			cell("mem", 8, 64, 8),
 		)
+		// Steady-state-after-reconfig cell: start on majority, swap to the
+		// h-T-grid a quarter of the way in, and let the remaining three
+		// quarters measure the post-swap steady state. Gated against the
+		// committed baseline like every other cell.
+		rc := cell("tcp", 8, 1, 1)
+		rc.Name = "tcp/w8/rc"
+		rc.Store = "majority"
+		rc.ReconfigAt = rc.Clients * rc.Ops / 4
+		rc.ReconfigTo = "htgrid"
+		specs = append(specs, rc)
 	}
 	if *suiteBatch {
 		for _, b := range []int{1, 2, 4, 8, 16} {
@@ -198,6 +229,9 @@ func main() {
 	}
 	if len(specs) == 0 {
 		base.Name = cellName(base.Mode, base.Window, base.Keys, base.Batch)
+		if base.ReconfigAt > 0 {
+			base.Name += "/rc"
+		}
 		specs = []runSpec{base}
 	} else {
 		specs = dedupe(specs)
@@ -271,6 +305,29 @@ func dedupe(specs []runSpec) []runSpec {
 	return out
 }
 
+// reconfigCtl coordinates a -reconfig-at swap: counts completions across
+// every client's OnResult (which run on different event loops), fires the
+// coordinator kick exactly once at the threshold, and records the split
+// point for pre/post throughput plus the transition error count.
+type reconfigCtl struct {
+	at         int64
+	done       atomic.Int64
+	kicked     atomic.Bool
+	errs       atomic.Int64
+	preElapsed atomic.Int64 // nanoseconds from workload start to the kick
+	start      time.Time
+	kick       func() // set before the mesh starts, so OnResult sees it
+	once       sync.Once
+}
+
+func (rc *reconfigCtl) fire() {
+	rc.once.Do(func() {
+		rc.preElapsed.Store(int64(time.Since(rc.start)))
+		rc.kicked.Store(true)
+		rc.kick()
+	})
+}
+
 // runOnce executes one benchmark cell: build the cluster, kick the client
 // workloads, wait for every operation to resolve, aggregate into hist
 // (Reset first — the caller reuses it across cells).
@@ -279,9 +336,30 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	if spec.Clients < 1 || spec.Clients > n {
 		return runResult{}, fmt.Errorf("clients must be in [1, %d]", n)
 	}
-	st, err := buildStore(spec.Store, spec.Rows, spec.Cols)
-	if err != nil {
-		return runResult{}, err
+	var st rkv.Store
+	var rc *reconfigCtl
+	var initial, target epoch.Params
+	var stores []*epoch.Store
+	if spec.ReconfigAt > 0 {
+		if spec.Mode != "tcp" {
+			return runResult{}, fmt.Errorf("-reconfig-at requires tcp mode")
+		}
+		var err error
+		if initial, err = buildParams(spec.Store, spec.Rows, spec.Cols, n); err != nil {
+			return runResult{}, err
+		}
+		if target, err = buildParams(spec.ReconfigTo, spec.Rows, spec.Cols, n); err != nil {
+			return runResult{}, err
+		}
+		if initial.Equal(target) {
+			return runResult{}, fmt.Errorf("-reconfig-to %q is already the initial config", spec.ReconfigTo)
+		}
+		rc = &reconfigCtl{at: int64(spec.ReconfigAt)}
+	} else {
+		var err error
+		if st, err = buildStore(spec.Store, spec.Rows, spec.Cols); err != nil {
+			return runResult{}, err
+		}
 	}
 
 	total := spec.Clients * spec.Ops
@@ -311,6 +389,14 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			Batch:         spec.Batch,
 			OpGap:         -1, // load generation: no think time
 		}
+		if rc != nil {
+			es, err := epoch.NewStore(n, initial)
+			if err != nil {
+				return runResult{}, err
+			}
+			cfg.Store, cfg.Epochs = nil, es
+			stores = append(stores, es)
+		}
 		if i < spec.Clients {
 			cs := &clientState{}
 			states[i] = cs
@@ -321,6 +407,14 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 					cs.failed++
 				} else {
 					cs.completed++
+				}
+				if rc != nil {
+					if r.Err != nil && rc.kicked.Load() {
+						rc.errs.Add(1)
+					}
+					if rc.done.Add(1) == rc.at {
+						rc.fire()
+					}
 				}
 				if remaining.Add(-1) == 0 {
 					closeOnce.Do(func() { close(done) })
@@ -347,8 +441,15 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		if err != nil {
 			return runResult{}, err
 		}
+		if rc != nil {
+			coord := mesh.Node(0)
+			rc.kick = func() { coord.Kick(0, rkv.ReconfigToken(target)) }
+		}
 		mesh.Start()
 		start := time.Now()
+		if rc != nil {
+			rc.start = start
+		}
 		for i := 0; i < spec.Clients; i++ {
 			mesh.Node(i).Kick(0, nodes[i].StartToken())
 		}
@@ -357,6 +458,14 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			return runResult{}, err
 		}
 		elapsed = time.Since(start)
+		if rc != nil {
+			// Let the coordinator finish spreading the final config before
+			// tearing the mesh down, so FinalEpoch reports the settled state.
+			if err := waitSettled(stores, 10*time.Second); err != nil {
+				mesh.Close()
+				return runResult{}, err
+			}
+		}
 		stats := mesh.Stats()
 		mesh.Close()
 		res.MsgsSent, res.BytesOut, res.Flushes = stats.Sent, stats.BytesOut, stats.Flushes
@@ -395,7 +504,58 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	res.P999us = us(hist.Quantile(0.999))
 	res.MaxUs = us(hist.Max())
 	res.MeanUs = hist.Mean() / 1e3
+	if rc != nil {
+		res.ReconfigAt = spec.ReconfigAt
+		res.TransitionErrs = int(rc.errs.Load())
+		res.FinalEpoch = stores[0].Epoch()
+		pre := time.Duration(rc.preElapsed.Load())
+		if pre > 0 {
+			res.PreOpsPerSec = float64(spec.ReconfigAt) / pre.Seconds()
+		}
+		if post := elapsed - pre; pre > 0 && post > 0 {
+			res.PostOpsPerSec = float64(total-spec.ReconfigAt) / post.Seconds()
+		}
+	}
 	return res, nil
+}
+
+// buildParams maps a -store/-reconfig-to flavor name onto epoch params
+// over the dense member set 0..n-1 (the mesh's node IDs).
+func buildParams(name string, rows, cols, n int) (epoch.Params, error) {
+	flavor, err := epoch.ParseFlavor(name)
+	if err != nil {
+		return epoch.Params{}, err
+	}
+	p := epoch.Params{Flavor: flavor, Members: epoch.MemberRange(0, n)}
+	switch flavor {
+	case epoch.FlavorHGrid, epoch.FlavorHTGrid:
+		p.Rows, p.Cols = rows, cols
+	case epoch.FlavorHTriang:
+		return epoch.Params{}, fmt.Errorf("htriang is not supported by -reconfig-at (needs k(k+1)/2 nodes)")
+	}
+	return p, nil
+}
+
+// waitSettled polls every epoch store until all run a stable (non-joint)
+// config at the coordinator's final epoch.
+func waitSettled(stores []*epoch.Store, limit time.Duration) error {
+	deadline := time.Now().Add(limit)
+	for {
+		settled := true
+		for _, es := range stores {
+			if snap := es.Snapshot(); snap.Joint() || snap.Epoch < 3 {
+				settled = false
+				break
+			}
+		}
+		if settled {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster did not settle on the target config within %v", limit)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // buildWorkload generates a client's deterministic op mix over the
@@ -484,6 +644,10 @@ func printResult(r runResult) {
 		}
 		fmt.Printf("%-14s msgs=%d bytes_out=%d flushes=%d (%.1f msgs/flush)\n",
 			"", r.MsgsSent, r.BytesOut, r.Flushes, perFlush)
+	}
+	if r.ReconfigAt > 0 {
+		fmt.Printf("%-14s reconfig@%d: pre %.0f ops/s, post %.0f ops/s, transition errs %d, settled epoch %d\n",
+			"", r.ReconfigAt, r.PreOpsPerSec, r.PostOpsPerSec, r.TransitionErrs, r.FinalEpoch)
 	}
 }
 

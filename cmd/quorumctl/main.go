@@ -12,6 +12,7 @@
 //	quorumctl compare <system> -- <system>  failure curves + crossover
 //	quorumctl byz <f> <class> <system> [args]  lift to a Byzantine system
 //	quorumctl render figure1|figure2   the paper's figures
+//	quorumctl reconfig [flags] <flavor> [shape]  live config swap on a TCP cluster
 //	quorumctl list                     available systems
 //
 // Systems and their arguments:
@@ -19,6 +20,18 @@
 //	majority n | hqs levels degree | grouped-hqs groups size | cwlog n |
 //	hgrid rows cols | flatgrid rows cols | htgrid rows cols |
 //	htriang k | paths ell | y k
+//
+// reconfig drives a running kvd cluster (see cmd/kvd) to a new
+// epoch-versioned configuration through the two-phase joint-config
+// handoff — no restarts, reads and writes linearizable across the swap:
+//
+//	quorumctl reconfig -peers peers.txt -id 16 -contact 0 \
+//	    -target-members 0-15 htgrid 4 4
+//
+// The client's own -id must appear in the peers file (replicas reply over
+// their address book). -target-members defaults to every peer except the
+// client itself. The target flavor takes its shape positionally:
+// majority | hgrid rows cols | htgrid rows cols | htriang k.
 package main
 
 import (
@@ -27,11 +40,14 @@ import (
 	"math/rand"
 	"os"
 	"strconv"
+	"time"
 
 	"hquorum/internal/analysis"
 	"hquorum/internal/bitset"
 	"hquorum/internal/bqs"
+	"hquorum/internal/cluster"
 	"hquorum/internal/cwlog"
+	"hquorum/internal/epoch"
 	"hquorum/internal/experiments"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/hqs"
@@ -41,6 +57,8 @@ import (
 	"hquorum/internal/majority"
 	"hquorum/internal/paths"
 	"hquorum/internal/quorum"
+	"hquorum/internal/rkv"
+	"hquorum/internal/transport"
 	"hquorum/internal/ysys"
 )
 
@@ -54,6 +72,8 @@ func main() {
 		os.Exit(2)
 	}
 	switch args[0] {
+	case "reconfig":
+		reconfig(args[1:])
 	case "list":
 		fmt.Println("majority n | hqs levels degree | grouped-hqs groups size | cwlog n")
 		fmt.Println("hgrid rows cols | flatgrid rows cols | htgrid rows cols")
@@ -170,8 +190,116 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: quorumctl [flags] show|quorums|render|list ...")
+	fmt.Fprintln(os.Stderr, "usage: quorumctl [flags] show|quorums|render|reconfig|list ...")
 	flag.PrintDefaults()
+}
+
+// reconfig implements `quorumctl reconfig`: ask a running cluster's
+// coordinator to move to a new epoch-versioned configuration and wait for
+// the outcome.
+func reconfig(args []string) {
+	fs := flag.NewFlagSet("reconfig", flag.ExitOnError)
+	peersPath := fs.String("peers", "", "peers file of the running cluster (one 'id host:port' per line)")
+	id := fs.Int("id", -1, "this client's ID (must appear in the peers file; not a target member)")
+	contact := fs.Int("contact", -1, "replica to coordinate the change (default: lowest target member)")
+	targetMembers := fs.String("target-members", "", "target member IDs, e.g. '0-15' (default: every peer except -id)")
+	retry := fs.Duration("retry", time.Second, "request retry interval (the coordinator deduplicates)")
+	timeout := fs.Duration("timeout", time.Minute, "overall budget for the reconfiguration")
+	dialTimeout := fs.Duration("dial-timeout", time.Second, "TCP dial timeout for peer connections")
+	fs.Parse(args)
+
+	peers, err := transport.LoadPeers(*peersPath)
+	if err != nil {
+		fail("reconfig: peers: %v", err)
+	}
+	addr, ok := peers[cluster.NodeID(*id)]
+	if !ok {
+		fail("reconfig: client id %d is not in the peers file", *id)
+	}
+
+	target, err := parseTarget(fs.Args())
+	if err != nil {
+		fail("reconfig: %v", err)
+	}
+	if *targetMembers != "" {
+		if target.Members, err = epoch.ParseMembers(*targetMembers); err != nil {
+			fail("reconfig: %v", err)
+		}
+	} else {
+		for _, pid := range transport.PeerIDs(peers) {
+			if pid != cluster.NodeID(*id) {
+				target.Members = append(target.Members, pid)
+			}
+		}
+	}
+	if err := target.Validate(transport.IDSpace(peers)); err != nil {
+		fail("reconfig: %v", err)
+	}
+	coordinator := target.Members[0]
+	if *contact >= 0 {
+		coordinator = cluster.NodeID(*contact)
+	}
+	if _, ok := peers[coordinator]; !ok {
+		fail("reconfig: contact %d is not in the peers file", coordinator)
+	}
+
+	done := make(chan struct{})
+	var gotEpoch uint64
+	var gotErr string
+	client := rkv.NewReconfigClient(coordinator, target, *retry, func(epoch uint64, errText string) {
+		gotEpoch, gotErr = epoch, errText
+		close(done)
+	})
+	rkv.RegisterWire(transport.Register)
+	tn, err := transport.NewNode(cluster.NodeID(*id), client, addr, transport.WithDialTimeout(*dialTimeout))
+	if err != nil {
+		fail("reconfig: %v", err)
+	}
+	defer tn.Close()
+	tn.Connect(peers)
+	tn.Start()
+	tn.Kick(0, client.StartToken())
+
+	select {
+	case <-done:
+		if gotErr != "" {
+			fail("reconfig: coordinator %d: %s", coordinator, gotErr)
+		}
+		fmt.Printf("reconfigured: epoch %d now runs %v (coordinator %d)\n", gotEpoch, target, coordinator)
+	case <-time.After(*timeout):
+		fail("reconfig: no outcome within %v (is the cluster up?)", *timeout)
+	}
+}
+
+// parseTarget reads the positional target spec: a flavor name followed by
+// its shape (majority | hgrid rows cols | htgrid rows cols | htriang k).
+// Members are filled in by the caller.
+func parseTarget(args []string) (epoch.Params, error) {
+	if len(args) == 0 {
+		return epoch.Params{}, fmt.Errorf("missing target flavor (majority|hgrid|htgrid|htriang)")
+	}
+	flavor, err := epoch.ParseFlavor(args[0])
+	if err != nil {
+		return epoch.Params{}, err
+	}
+	p := epoch.Params{Flavor: flavor}
+	switch flavor {
+	case epoch.FlavorMajority:
+		if len(args) != 1 {
+			return epoch.Params{}, fmt.Errorf("majority takes no shape arguments")
+		}
+	case epoch.FlavorHGrid, epoch.FlavorHTGrid:
+		if len(args) != 3 {
+			return epoch.Params{}, fmt.Errorf("%s takes rows and cols", args[0])
+		}
+		p.Rows, p.Cols = intArg(args, 1), intArg(args, 2)
+	case epoch.FlavorHTriang:
+		if len(args) != 2 {
+			return epoch.Params{}, fmt.Errorf("htriang takes k")
+		}
+		p.Rows = intArg(args, 1)
+	}
+	return p, nil
 }
 
 func fail(format string, args ...any) {

@@ -154,3 +154,73 @@ func TestEndToEndRegister(t *testing.T) {
 		t.Fatalf("results %+v", results)
 	}
 }
+
+// TestEndToEndReconfig drives a live configuration swap entirely through
+// the facade: epoch-versioned replicas start on majority quorums, a
+// ReconfigToken moves them to the h-T-grid mid-workload, and the cluster
+// settles on the stable target config with every operation completing.
+func TestEndToEndReconfig(t *testing.T) {
+	initial := ClusterParams{Flavor: FlavorMajority, Members: MemberRange(0, 16)}
+	members, err := ParseMembers("0-15")
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := ClusterParams{Flavor: FlavorHTGrid, Rows: 4, Cols: 4, Members: members}
+
+	net := NewNetwork(WithSeed(11))
+	var results []RegisterResult
+	var stores []*EpochStore
+	var replicas []*Replica
+	for i := 0; i < 16; i++ {
+		es, err := NewEpochStore(16, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ops []RegisterOp
+		if i == 0 {
+			ops = []RegisterOp{
+				{Kind: OpWrite, Value: "pre"}, {Kind: OpRead},
+				{Kind: OpWrite, Value: "post"}, {Kind: OpRead},
+			}
+		}
+		r, err := NewReplica(NodeID(i), ReplicaConfig{
+			Epochs:   es,
+			Ops:      ops,
+			OnResult: func(res RegisterResult) { results = append(results, res) },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(NodeID(i), r); err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, es)
+		replicas = append(replicas, r)
+	}
+	for _, r := range replicas {
+		if err := r.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := net.StartTimer(1, 5*time.Millisecond, ReconfigToken(target)); err != nil {
+		t.Fatal(err)
+	}
+	net.Run(30 * time.Second)
+
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("op %d failed: %v", r.OpID, r.Err)
+		}
+	}
+	if results[3].Value != "post" {
+		t.Fatalf("final read %q, want %q", results[3].Value, "post")
+	}
+	for i, es := range stores {
+		if snap := es.Snapshot(); snap.Joint() || snap.Epoch != 3 || !snap.Cur.Equal(target) {
+			t.Fatalf("replica %d did not settle on the target: %+v", i, snap)
+		}
+	}
+}

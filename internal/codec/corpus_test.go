@@ -1,8 +1,9 @@
 // Seed fuzz corpus maintenance for FuzzDecodeBody. The corpus under
 // testdata/fuzz/FuzzDecodeBody is committed so `go test -fuzz` starts from
-// real frames of every protocol — rkv's register and batch messages (tags
-// 0x10-0x16), dmutex's seven mutex messages (0x20-0x26) and the gob
-// fallback (tag 0) — instead of rediscovering the wire format from zero.
+// real frames of every protocol — rkv's register, batch and
+// reconfiguration messages (tags 0x10-0x1e), dmutex's seven mutex
+// messages (0x20-0x26) and the gob fallback (tag 0) — instead of
+// rediscovering the wire format from zero.
 // Go's fuzzer replays the whole corpus on plain `go test` runs too, so a
 // decoder regression on any historical frame shape fails CI immediately.
 //
@@ -136,7 +137,7 @@ func TestSeedCorpusCoversAllTags(t *testing.T) {
 		t.Errorf("corpus holds %d seed files, want %d (run with -update-corpus)", seeds, len(frames))
 	}
 	want := []uint64{codec.TagGob}
-	for tag := uint64(0x10); tag <= 0x16; tag++ { // rkv: register + batch
+	for tag := uint64(0x10); tag <= 0x1e; tag++ { // rkv: register + batch + reconfig
 		want = append(want, tag)
 	}
 	for tag := uint64(0x20); tag <= 0x26; tag++ { // dmutex

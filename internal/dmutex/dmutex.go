@@ -16,10 +16,12 @@ package dmutex
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"hquorum/internal/bitset"
 	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
 	"hquorum/internal/quorum"
 )
 
@@ -38,18 +40,43 @@ func (r ReqID) Less(o ReqID) bool {
 	return r.Origin < o.Origin
 }
 
-// Wire messages.
+// Wire messages. Every message leads with the sender's configuration
+// epoch (0 when the node is not epoch-versioned, see Config.Epochs): a
+// stale-epoch REQUEST is rejected with an epoch-stamped FAILED, and busy
+// keep-alives let an arbiter track which epoch its grantee last proved it
+// was operating under.
 type (
-	msgRequest    struct{ ID ReqID }
-	msgGrant      struct{ ID ReqID }
-	msgFailed     struct{ ID ReqID }
-	msgInquire    struct{ ID ReqID }
-	msgRelinquish struct{ ID ReqID }
-	msgRelease    struct{ ID ReqID }
+	msgRequest struct {
+		Epoch uint64
+		ID    ReqID
+	}
+	msgGrant struct {
+		Epoch uint64
+		ID    ReqID
+	}
+	msgFailed struct {
+		Epoch uint64
+		ID    ReqID
+	}
+	msgInquire struct {
+		Epoch uint64
+		ID    ReqID
+	}
+	msgRelinquish struct {
+		Epoch uint64
+		ID    ReqID
+	}
+	msgRelease struct {
+		Epoch uint64
+		ID    ReqID
+	}
 	// msgBusy is a keep-alive: a grantee that received INQUIRE but keeps
 	// the grant (it is in the critical section, or still winning) answers
 	// busy so the arbiter can tell a live contender from a crashed one.
-	msgBusy struct{ ID ReqID }
+	msgBusy struct {
+		Epoch uint64
+		ID    ReqID
+	}
 )
 
 // Timer tokens.
@@ -72,7 +99,17 @@ type Workload struct {
 // Config parameterizes a node.
 type Config struct {
 	// System supplies quorums; all nodes must share the same construction.
+	// Optional when Epochs is set.
 	System quorum.System
+	// Epochs, when non-nil, makes the node epoch-versioned: quorum picks
+	// route through the store's current (possibly joint) configuration,
+	// every outgoing message is stamped with the store's epoch, stale-epoch
+	// requests are rejected with an epoch-stamped FAILED, and acquisitions
+	// that keep losing to a newer configuration fail with
+	// epoch.ErrStaleEpoch at their deadline. The store is shared with the
+	// co-located rkv node, which owns config distribution — dmutex only
+	// reads it. Takes precedence over System.
+	Epochs *epoch.Store
 	// RetryTimeout bounds how long a requester's attempt waits for a full
 	// quorum before releasing and retrying, and doubles as the arbiter's
 	// grantee-probe interval (default 500ms). Attempts whose quorum went
@@ -119,6 +156,15 @@ type arbiter struct {
 	inquired  bool          // INQUIRE outstanding for grantedTo
 	probing   bool          // periodic grantee probe armed
 	lastHeard time.Duration // when the grantee last proved it was alive
+	// grantEpoch is the configuration epoch the current grantee last
+	// proved it was operating under (from its REQUEST, refreshed by busy
+	// keep-alives); epochOf remembers the same for queued requests. A
+	// grant whose epoch lags the arbiter's store is probed immediately —
+	// the grantee either refreshes its epoch through a keep-alive or hands
+	// the grant back, so a lock granted under an old configuration cannot
+	// silently wedge the new one.
+	grantEpoch uint64
+	epochOf    map[ReqID]uint64
 }
 
 // requester is the per-node acquisition state.
@@ -137,6 +183,7 @@ type requester struct {
 	suspectAt   []time.Duration // when each suspicion was recorded
 	opSuspects  bitset.Set      // everyone silent during this acquisition (no decay)
 	sawNoQuorum bool            // this acquisition once found no quorum among trusted nodes
+	sawStale    bool            // this acquisition was rejected by a newer-epoch arbiter
 	attempt     int
 }
 
@@ -161,11 +208,17 @@ var _ cluster.Handler = (*Node)(nil)
 // NewNode builds a protocol node. Node IDs must be the quorum system's
 // element indices 0..n-1.
 func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
-	if cfg.System == nil {
-		return nil, fmt.Errorf("dmutex: config needs a quorum system")
+	if cfg.System == nil && cfg.Epochs == nil {
+		return nil, fmt.Errorf("dmutex: config needs a quorum system or an epoch store")
 	}
-	if int(id) < 0 || int(id) >= cfg.System.Universe() {
-		return nil, fmt.Errorf("dmutex: node %d outside universe %d", id, cfg.System.Universe())
+	universe := 0
+	if cfg.Epochs != nil {
+		universe = cfg.Epochs.Universe()
+	} else {
+		universe = cfg.System.Universe()
+	}
+	if int(id) < 0 || int(id) >= universe {
+		return nil, fmt.Errorf("dmutex: node %d outside universe %d", id, universe)
 	}
 	if cfg.RetryTimeout <= 0 {
 		cfg.RetryTimeout = 500 * time.Millisecond
@@ -180,11 +233,40 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 		cfg.GranteeTimeout = 8 * cfg.RetryTimeout
 	}
 	n := &Node{id: id, cfg: cfg}
-	n.req.suspects = bitset.New(cfg.System.Universe())
-	n.req.opSuspects = bitset.New(cfg.System.Universe())
-	n.req.suspectAt = make([]time.Duration, cfg.System.Universe())
+	n.req.suspects = bitset.New(universe)
+	n.req.opSuspects = bitset.New(universe)
+	n.req.suspectAt = make([]time.Duration, universe)
 	n.req.remaining = cfg.Workload.Count
 	return n, nil
+}
+
+// universe is the node ID space (the epoch store's space when
+// epoch-versioned, the quorum system's otherwise).
+func (n *Node) universe() int {
+	if n.cfg.Epochs != nil {
+		return n.cfg.Epochs.Universe()
+	}
+	return n.cfg.System.Universe()
+}
+
+// pick draws a mutex quorum under the current configuration. While the
+// epoch store holds a joint config this is the union of a quorum of the
+// old construction and one of the new — the two-phase handoff rule that
+// keeps mutual exclusion across a reconfiguration.
+func (n *Node) pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	if n.cfg.Epochs != nil {
+		return n.cfg.Epochs.Pick(rng, live)
+	}
+	return n.cfg.System.Pick(rng, live)
+}
+
+// epochNow is the node's current configuration epoch (0 when not
+// epoch-versioned).
+func (n *Node) epochNow() uint64 {
+	if n.cfg.Epochs == nil {
+		return 0
+	}
+	return n.cfg.Epochs.Epoch()
 }
 
 // Start schedules the node's workload on the network.
@@ -203,7 +285,15 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 	switch m := msg.(type) {
 	case msgRequest:
 		n.bump(m.ID.TS)
-		n.arbRequest(env, from, m.ID)
+		if n.cfg.Epochs != nil && m.Epoch < n.cfg.Epochs.Epoch() {
+			// The requester picked its quorum under a superseded
+			// configuration; its quorum may no longer intersect current
+			// ones. Reject with our epoch so it re-picks once its (shared)
+			// config store catches up — or fails with ErrStaleEpoch.
+			env.Send(from, msgFailed{Epoch: n.epochNow(), ID: m.ID})
+			return
+		}
+		n.arbRequest(env, from, m.ID, m.Epoch)
 	case msgRelease:
 		n.arbRelease(env, m.ID)
 	case msgRelinquish:
@@ -211,11 +301,11 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 	case msgGrant:
 		n.reqGrant(env, from, m.ID)
 	case msgFailed:
-		n.reqFailed(env, from, m.ID)
+		n.reqFailed(env, from, m.ID, m.Epoch)
 	case msgInquire:
 		n.reqInquire(env, from, m.ID)
 	case msgBusy:
-		n.arbBusy(env, m.ID)
+		n.arbBusy(env, m.ID, m.Epoch)
 	default:
 		panic(fmt.Sprintf("dmutex: unknown message %T", msg))
 	}
@@ -249,7 +339,7 @@ func (n *Node) bump(seen uint64) {
 
 // ---- Arbiter side ----
 
-func (n *Node) arbRequest(env cluster.Env, from cluster.NodeID, id ReqID) {
+func (n *Node) arbRequest(env cluster.Env, from cluster.NodeID, id ReqID, ep uint64) {
 	// A node has at most one outstanding request, so a request from the
 	// same origin supersedes any older one — the origin abandoned it and
 	// its RELEASE may have been lost. Conversely, a delayed *older*
@@ -260,26 +350,39 @@ func (n *Node) arbRequest(env cluster.Env, from cluster.NodeID, id ReqID) {
 	if n.arb.grantedTo == nil {
 		granted := id
 		n.arb.grantedTo = &granted
+		n.arb.grantEpoch = ep
 		n.arb.lastHeard = env.Now()
-		env.Send(id.Origin, msgGrant{ID: id})
+		env.Send(id.Origin, msgGrant{Epoch: n.epochNow(), ID: id})
 		return
 	}
 	if *n.arb.grantedTo == id {
 		// Duplicate (retry after timeout); re-grant.
-		env.Send(id.Origin, msgGrant{ID: id})
+		if ep > n.arb.grantEpoch {
+			n.arb.grantEpoch = ep
+		}
+		env.Send(id.Origin, msgGrant{Epoch: n.epochNow(), ID: id})
 		return
 	}
 	n.enqueue(id)
+	n.setReqEpoch(id, ep)
 	if id.Less(*n.arb.grantedTo) {
 		if !n.arb.inquired {
 			n.arb.inquired = true
-			env.Send(n.arb.grantedTo.Origin, msgInquire{ID: *n.arb.grantedTo})
+			env.Send(n.arb.grantedTo.Origin, msgInquire{Epoch: n.epochNow(), ID: *n.arb.grantedTo})
 		}
 	} else {
-		env.Send(id.Origin, msgFailed{ID: id})
+		env.Send(id.Origin, msgFailed{Epoch: n.epochNow(), ID: id})
 	}
 	n.armProbe(env)
 	_ = from
+}
+
+// setReqEpoch records the epoch a queued request arrived under.
+func (n *Node) setReqEpoch(id ReqID, ep uint64) {
+	if n.arb.epochOf == nil {
+		n.arb.epochOf = make(map[ReqID]uint64)
+	}
+	n.arb.epochOf[id] = ep
 }
 
 // armProbe schedules a periodic probe of the current grantee while
@@ -306,17 +409,28 @@ func (n *Node) arbProbe(env cluster.Env) {
 	if n.cfg.GranteeTimeout > 0 && env.Now()-n.arb.lastHeard >= n.cfg.GranteeTimeout {
 		n.grantNext(env)
 	} else {
-		env.Send(n.arb.grantedTo.Origin, msgInquire{ID: *n.arb.grantedTo})
+		// The INQUIRE doubles as epoch revalidation: a grantee that holds
+		// the lock across a reconfiguration answers busy stamped with its
+		// refreshed epoch, updating grantEpoch; one that never catches up
+		// keeps its stale stamp and stays first in line for reclamation
+		// scrutiny. Either way a waiting new-config request keeps the
+		// probe loop alive until the old-config grant resolves.
+		env.Send(n.arb.grantedTo.Origin, msgInquire{Epoch: n.epochNow(), ID: *n.arb.grantedTo})
 	}
 	if n.arb.grantedTo != nil && len(n.arb.queue) > 0 {
 		n.armProbe(env)
 	}
 }
 
-// arbBusy refreshes the grantee's liveness clock.
-func (n *Node) arbBusy(env cluster.Env, id ReqID) {
+// arbBusy refreshes the grantee's liveness clock — and its epoch: a busy
+// keep-alive stamped with a newer epoch proves the holder has adopted the
+// new configuration, so the grant is no longer an old-config straggler.
+func (n *Node) arbBusy(env cluster.Env, id ReqID, ep uint64) {
 	if n.arb.grantedTo != nil && *n.arb.grantedTo == id {
 		n.arb.lastHeard = env.Now()
+		if ep > n.arb.grantEpoch {
+			n.arb.grantEpoch = ep
+		}
 	}
 }
 
@@ -333,6 +447,7 @@ func (n *Node) supersede(env cluster.Env, id ReqID) bool {
 			return true // a newer request is already queued
 		}
 		n.arb.queue = append(n.arb.queue[:i], n.arb.queue[i+1:]...)
+		delete(n.arb.epochOf, q)
 		i--
 	}
 	if g := n.arb.grantedTo; g != nil && g.Origin == id.Origin && *g != id {
@@ -359,6 +474,7 @@ func (n *Node) enqueue(id ReqID) {
 }
 
 func (n *Node) dequeue(id ReqID) {
+	delete(n.arb.epochOf, id)
 	for i, q := range n.arb.queue {
 		if q == id {
 			n.arb.queue = append(n.arb.queue[:i], n.arb.queue[i+1:]...)
@@ -382,20 +498,24 @@ func (n *Node) arbRelinquish(env cluster.Env, id ReqID) {
 	// The relinquished request goes back to the queue and the best pending
 	// request gets the grant.
 	n.enqueue(id)
+	n.setReqEpoch(id, n.arb.grantEpoch)
 	n.grantNext(env)
 }
 
 func (n *Node) grantNext(env cluster.Env) {
 	n.arb.inquired = false
 	n.arb.grantedTo = nil
+	n.arb.grantEpoch = 0
 	if len(n.arb.queue) == 0 {
 		return
 	}
 	next := n.arb.queue[0]
 	n.arb.queue = n.arb.queue[1:]
 	n.arb.grantedTo = &next
+	n.arb.grantEpoch = n.arb.epochOf[next]
+	delete(n.arb.epochOf, next)
 	n.arb.lastHeard = env.Now()
-	env.Send(next.Origin, msgGrant{ID: next})
+	env.Send(next.Origin, msgGrant{Epoch: n.epochNow(), ID: next})
 }
 
 // ---- Requester side ----
@@ -407,6 +527,7 @@ func (n *Node) beginRequest(env cluster.Env) {
 	n.req.active = true
 	n.req.attempt = 0
 	n.req.sawNoQuorum = false
+	n.req.sawStale = false
 	n.req.opSuspects.Clear()
 	n.waitStart = env.Now()
 	n.issue(env)
@@ -457,26 +578,27 @@ func (n *Node) issue(env cluster.Env) {
 	n.req.id = ReqID{TS: n.clock, Origin: n.id}
 	n.req.failed = false
 	n.req.deferred = nil
-	n.req.grants = bitset.New(n.cfg.System.Universe())
-	n.req.owed = bitset.New(n.cfg.System.Universe())
-	n.req.responded = bitset.New(n.cfg.System.Universe())
+	n.req.grants = bitset.New(n.universe())
+	n.req.owed = bitset.New(n.universe())
+	n.req.responded = bitset.New(n.universe())
 
 	n.decaySuspects(env)
 	live := n.req.suspects.Complement()
-	q, err := n.cfg.System.Pick(env.Rand(), live)
+	q, err := n.pick(env.Rand(), live)
 	if err != nil {
 		// No quorum among unsuspected nodes: clear suspicions and retry
 		// from scratch (suspects may have recovered).
 		n.req.sawNoQuorum = true
 		n.req.suspects.Clear()
-		q, err = n.cfg.System.Pick(env.Rand(), bitset.Universe(n.cfg.System.Universe()))
+		q, err = n.pick(env.Rand(), bitset.Universe(n.universe()))
 		if err != nil {
 			panic("dmutex: full universe has no quorum")
 		}
 	}
+	ep := n.epochNow()
 	n.req.quorum = q
 	q.ForEach(func(member int) {
-		env.Send(cluster.NodeID(member), msgRequest{ID: n.req.id})
+		env.Send(cluster.NodeID(member), msgRequest{Epoch: ep, ID: n.req.id})
 	})
 	env.After(n.attemptTimeout(env), tokenRetry{ID: n.req.id})
 }
@@ -497,8 +619,9 @@ func (n *Node) retry(env cluster.Env) {
 		n.req.attempt = 0
 	}
 	now := env.Now()
+	ep := n.epochNow()
 	n.req.quorum.ForEach(func(member int) {
-		env.Send(cluster.NodeID(member), msgRelease{ID: n.req.id})
+		env.Send(cluster.NodeID(member), msgRelease{Epoch: ep, ID: n.req.id})
 		if !n.req.responded.Contains(member) {
 			// A member that sent nothing at all within the timeout is
 			// suspected crashed; contended members answer with GRANT,
@@ -516,16 +639,20 @@ func (n *Node) retry(env cluster.Env) {
 }
 
 // failAcquire abandons the acquisition at its deadline (the quorum was
-// already released by retry). ErrNoQuorum when every quorum contained a
-// node that went silent during the acquisition — judged on the cumulative
+// already released by retry). ErrStaleEpoch when the acquisition was
+// rejected by a newer-epoch arbiter and this node's config store never
+// caught up; otherwise ErrNoQuorum when every quorum contained a node
+// that went silent during the acquisition — judged on the cumulative
 // per-acquisition view, since decay and the fallback path shrink the
-// instantaneous suspect set — ErrDegraded otherwise. The workload moves on
-// so Done() still completes.
+// instantaneous suspect set — ErrDegraded when neither. The workload
+// moves on so Done() still completes.
 func (n *Node) failAcquire(env cluster.Env) {
 	err := quorum.ErrDegraded
-	if n.req.sawNoQuorum {
+	if n.req.sawStale {
+		err = epoch.ErrStaleEpoch
+	} else if n.req.sawNoQuorum {
 		err = quorum.ErrNoQuorum
-	} else if _, e := n.cfg.System.Pick(env.Rand(), n.req.opSuspects.Complement()); e != nil {
+	} else if _, e := n.pick(env.Rand(), n.req.opSuspects.Complement()); e != nil {
 		err = quorum.ErrNoQuorum
 	}
 	n.req.active = false
@@ -542,7 +669,7 @@ func (n *Node) reqGrant(env cluster.Env, from cluster.NodeID, id ReqID) {
 	if !n.req.active || n.req.inCS || id != n.req.id {
 		// Stale grant from an abandoned attempt: release it.
 		if id.Origin == n.id && (!n.req.active || id != n.req.id) {
-			env.Send(from, msgRelease{ID: id})
+			env.Send(from, msgRelease{Epoch: n.epochNow(), ID: id})
 		}
 		return
 	}
@@ -572,9 +699,16 @@ func (n *Node) markResponded(from cluster.NodeID) {
 	}
 }
 
-func (n *Node) reqFailed(env cluster.Env, from cluster.NodeID, id ReqID) {
+func (n *Node) reqFailed(env cluster.Env, from cluster.NodeID, id ReqID, ep uint64) {
 	if !n.req.active || n.req.inCS || id != n.req.id {
 		return
+	}
+	if n.cfg.Epochs != nil && ep > n.cfg.Epochs.Epoch() {
+		// An arbiter ahead of us rejected the request: our quorum was
+		// picked under a superseded config. Remember it so the deadline
+		// reports ErrStaleEpoch — retries re-pick through the shared
+		// store, which the co-located rkv node is catching up.
+		n.req.sawStale = true
 	}
 	n.markResponded(from)
 	n.req.failed = true
@@ -586,7 +720,7 @@ func (n *Node) reqFailed(env cluster.Env, from cluster.NodeID, id ReqID) {
 			n.req.owed.Add(int(a))
 		}
 		n.req.grants.Remove(int(a))
-		env.Send(a, msgRelinquish{ID: n.req.id})
+		env.Send(a, msgRelinquish{Epoch: n.epochNow(), ID: n.req.id})
 	}
 	n.req.deferred = nil
 	_ = from
@@ -599,14 +733,14 @@ func (n *Node) reqInquire(env cluster.Env, from cluster.NodeID, id ReqID) {
 	if id.Origin == n.id && (!n.req.active || id != n.req.id) {
 		// An INQUIRE for a request we abandoned (our RELEASE was lost):
 		// hand the grant back so the arbiter is not stuck forever.
-		env.Send(from, msgRelinquish{ID: id})
+		env.Send(from, msgRelinquish{Epoch: n.epochNow(), ID: id})
 		return
 	}
 	if !n.req.active || id != n.req.id || n.req.inCS {
 		// In the CS: the arbiter will get our RELEASE when we leave. Answer
 		// busy so a reclaiming arbiter does not mistake us for crashed.
 		if n.req.inCS && n.req.active && id == n.req.id {
-			env.Send(from, msgBusy{ID: id})
+			env.Send(from, msgBusy{Epoch: n.epochNow(), ID: id})
 		}
 		return
 	}
@@ -615,12 +749,12 @@ func (n *Node) reqInquire(env cluster.Env, from cluster.NodeID, id ReqID) {
 			n.req.owed.Add(int(from))
 		}
 		n.req.grants.Remove(int(from))
-		env.Send(from, msgRelinquish{ID: n.req.id})
+		env.Send(from, msgRelinquish{Epoch: n.epochNow(), ID: n.req.id})
 		return
 	}
 	// Still winning: keep the grant, but tell the arbiter we are alive
 	// (repeated probes must keep hearing busy, even once deferred).
-	env.Send(from, msgBusy{ID: id})
+	env.Send(from, msgBusy{Epoch: n.epochNow(), ID: id})
 	for _, a := range n.req.deferred {
 		if a == from {
 			return
@@ -641,8 +775,9 @@ func (n *Node) enterCS(env cluster.Env) {
 }
 
 func (n *Node) exitCS(env cluster.Env) {
+	ep := n.epochNow()
 	n.req.quorum.ForEach(func(member int) {
-		env.Send(cluster.NodeID(member), msgRelease{ID: n.req.id})
+		env.Send(cluster.NodeID(member), msgRelease{Epoch: ep, ID: n.req.id})
 	})
 	if n.cfg.OnRelease != nil {
 		n.cfg.OnRelease(n.id, env.Now())

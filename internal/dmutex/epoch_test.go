@@ -1,0 +1,185 @@
+package dmutex
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
+)
+
+// TestEpochSwapUnderLoad reconfigures a loaded cluster from majority over
+// nodes 0..8 to an h-grid over nodes 0..15 through a joint intermediate
+// config, asserting mutual exclusion never breaks across the epoch
+// boundary and every workload still completes. Config distribution is
+// simulated by installing on every node's store between deterministic sim
+// segments — the shape the shared rkv store produces in a real process.
+func TestEpochSwapUnderLoad(t *testing.T) {
+	const space = 16
+	oldP := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 9)}
+	newP := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+
+	net := cluster.New(cluster.WithSeed(11), cluster.WithLatency(time.Millisecond, 8*time.Millisecond))
+	g := &guard{t: t}
+	var nodes []*Node
+	var stores []*epoch.Store
+	for i := 0; i < space; i++ {
+		st, err := epoch.NewStore(space, oldP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stores = append(stores, st)
+		n, err := NewNode(cluster.NodeID(i), Config{
+			Epochs:       st,
+			RetryTimeout: 200 * time.Millisecond,
+			Workload:     Workload{Count: 3, Hold: 2 * time.Millisecond, Think: 5 * time.Millisecond},
+			OnAcquire:    g.acquire,
+			OnRelease:    g.release,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), n); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		if err := n.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	net.Run(400 * time.Millisecond)
+	joint := epoch.Config{Epoch: 2, Cur: newP, Old: &oldP}
+	for _, st := range stores {
+		if ok, err := st.Install(joint); !ok || err != nil {
+			t.Fatalf("install joint: ok=%v err=%v", ok, err)
+		}
+	}
+	net.Run(900 * time.Millisecond)
+	final := epoch.Config{Epoch: 3, Cur: newP}
+	for _, st := range stores {
+		if ok, err := st.Install(final); !ok || err != nil {
+			t.Fatalf("install final: ok=%v err=%v", ok, err)
+		}
+	}
+	net.Run(30 * time.Second)
+
+	total := 0
+	for _, n := range nodes {
+		if !n.Done() {
+			t.Fatalf("node %d did not finish (entries %d, retries %d)", n.id, n.Entries, n.Retries)
+		}
+		total += n.Entries
+	}
+	if total != space*3 {
+		t.Fatalf("entries = %d, want %d", total, space*3)
+	}
+}
+
+// TestStaleEpochRequestRejected pins a requester to a superseded config:
+// the arbiters, already at a newer epoch, reject every request, and the
+// acquisition surfaces epoch.ErrStaleEpoch at its deadline instead of
+// spinning forever.
+func TestStaleEpochRequestRejected(t *testing.T) {
+	const space = 3
+	p := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 3)}
+
+	net := cluster.New(cluster.WithSeed(5), cluster.WithLatency(time.Millisecond, 4*time.Millisecond))
+	var fails []error
+	for i := 0; i < space; i++ {
+		st, err := epoch.NewStore(space, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != 0 {
+			// Arbiters have moved on; requester node 0 has not.
+			if ok, err := st.Install(epoch.Config{Epoch: 4, Cur: p}); !ok || err != nil {
+				t.Fatalf("install: ok=%v err=%v", ok, err)
+			}
+		}
+		cfg := Config{Epochs: st, RetryTimeout: 50 * time.Millisecond}
+		if i == 0 {
+			cfg.Workload = Workload{Count: 1, Hold: time.Millisecond, Think: time.Millisecond}
+			cfg.AcquireDeadline = 2 * time.Second
+			cfg.OnFail = func(id cluster.NodeID, at time.Duration, err error) {
+				fails = append(fails, err)
+			}
+		}
+		n, err := NewNode(cluster.NodeID(i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), n); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(20 * time.Second)
+	if len(fails) != 1 {
+		t.Fatalf("fails = %v, want exactly one", fails)
+	}
+	if !errors.Is(fails[0], epoch.ErrStaleEpoch) {
+		t.Fatalf("fail error = %v, want ErrStaleEpoch", fails[0])
+	}
+}
+
+// TestStaleThenCatchUp lets the pinned requester's store catch up mid
+// acquisition: the retry re-picks under the new epoch and the lock is
+// acquired with no error.
+func TestStaleThenCatchUp(t *testing.T) {
+	const space = 3
+	p := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 3)}
+
+	net := cluster.New(cluster.WithSeed(5), cluster.WithLatency(time.Millisecond, 4*time.Millisecond))
+	acquired := 0
+	var fails []error
+	var lagging *epoch.Store
+	for i := 0; i < space; i++ {
+		st, err := epoch.NewStore(space, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i != 0 {
+			if ok, err := st.Install(epoch.Config{Epoch: 4, Cur: p}); !ok || err != nil {
+				t.Fatalf("install: ok=%v err=%v", ok, err)
+			}
+		} else {
+			lagging = st
+		}
+		cfg := Config{Epochs: st, RetryTimeout: 50 * time.Millisecond}
+		if i == 0 {
+			cfg.Workload = Workload{Count: 1, Hold: time.Millisecond, Think: time.Millisecond}
+			cfg.AcquireDeadline = 30 * time.Second
+			cfg.OnAcquire = func(id cluster.NodeID, at time.Duration) { acquired++ }
+			cfg.OnFail = func(id cluster.NodeID, at time.Duration, err error) {
+				fails = append(fails, err)
+			}
+		}
+		n, err := NewNode(cluster.NodeID(i), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.AddNode(cluster.NodeID(i), n); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Run(400 * time.Millisecond)
+	if acquired != 0 {
+		t.Fatal("stale requester acquired before catching up")
+	}
+	if ok, err := lagging.Install(epoch.Config{Epoch: 4, Cur: p}); !ok || err != nil {
+		t.Fatalf("catch-up install: ok=%v err=%v", ok, err)
+	}
+	net.Run(20 * time.Second)
+	if acquired != 1 || len(fails) != 0 {
+		t.Fatalf("acquired=%d fails=%v, want one clean acquisition", acquired, fails)
+	}
+}

@@ -20,43 +20,46 @@ const (
 
 // RegisterBinaryWire registers hand-written varint codecs for the
 // protocol's wire messages, replacing the reflective gob fallback on the
-// live transport's hot path. Every message carries exactly one ReqID, so
-// the seven registrations share an encoder shape.
+// live transport's hot path. Every message carries the sender's
+// configuration epoch and exactly one ReqID, so the seven registrations
+// share an encoder shape.
 func RegisterBinaryWire(reg *codec.Registry) {
-	register := func(tag uint64, sample any, wrap func(ReqID) any, id func(any) ReqID) {
+	register := func(tag uint64, sample any, wrap func(uint64, ReqID) any, fields func(any) (uint64, ReqID)) {
 		reg.Register(tag, sample,
 			func(b []byte, v any) []byte {
-				r := id(v)
+				ep, r := fields(v)
+				b = codec.AppendUvarint(b, ep)
 				b = codec.AppendUvarint(b, r.TS)
 				return codec.AppendUvarint(b, uint64(r.Origin))
 			},
 			func(data []byte) (any, error) {
 				rd := codec.NewReader(data)
+				ep := rd.Uvarint()
 				r := ReqID{TS: rd.Uvarint(), Origin: cluster.NodeID(rd.Uvarint())}
-				return wrap(r), rd.Err()
+				return wrap(ep, r), rd.Err()
 			})
 	}
 	register(tagRequest, msgRequest{},
-		func(r ReqID) any { return msgRequest{ID: r} },
-		func(v any) ReqID { return v.(msgRequest).ID })
+		func(ep uint64, r ReqID) any { return msgRequest{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgRequest); return m.Epoch, m.ID })
 	register(tagGrant, msgGrant{},
-		func(r ReqID) any { return msgGrant{ID: r} },
-		func(v any) ReqID { return v.(msgGrant).ID })
+		func(ep uint64, r ReqID) any { return msgGrant{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgGrant); return m.Epoch, m.ID })
 	register(tagFailed, msgFailed{},
-		func(r ReqID) any { return msgFailed{ID: r} },
-		func(v any) ReqID { return v.(msgFailed).ID })
+		func(ep uint64, r ReqID) any { return msgFailed{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgFailed); return m.Epoch, m.ID })
 	register(tagInquire, msgInquire{},
-		func(r ReqID) any { return msgInquire{ID: r} },
-		func(v any) ReqID { return v.(msgInquire).ID })
+		func(ep uint64, r ReqID) any { return msgInquire{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgInquire); return m.Epoch, m.ID })
 	register(tagRelinquish, msgRelinquish{},
-		func(r ReqID) any { return msgRelinquish{ID: r} },
-		func(v any) ReqID { return v.(msgRelinquish).ID })
+		func(ep uint64, r ReqID) any { return msgRelinquish{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgRelinquish); return m.Epoch, m.ID })
 	register(tagRelease, msgRelease{},
-		func(r ReqID) any { return msgRelease{ID: r} },
-		func(v any) ReqID { return v.(msgRelease).ID })
+		func(ep uint64, r ReqID) any { return msgRelease{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgRelease); return m.Epoch, m.ID })
 	register(tagBusy, msgBusy{},
-		func(r ReqID) any { return msgBusy{ID: r} },
-		func(v any) ReqID { return v.(msgBusy).ID })
+		func(ep uint64, r ReqID) any { return msgBusy{Epoch: ep, ID: r} },
+		func(v any) (uint64, ReqID) { m := v.(msgBusy); return m.Epoch, m.ID })
 }
 
 // WireSamples returns one well-formed instance of every dmutex wire
@@ -65,8 +68,9 @@ func RegisterBinaryWire(reg *codec.Registry) {
 func WireSamples() []any {
 	id := ReqID{TS: 42, Origin: 3}
 	return []any{
-		msgRequest{ID: id}, msgGrant{ID: id}, msgFailed{ID: id},
-		msgInquire{ID: id}, msgRelinquish{ID: id}, msgRelease{ID: id},
-		msgBusy{ID: id},
+		msgRequest{Epoch: 2, ID: id}, msgGrant{Epoch: 2, ID: id},
+		msgFailed{Epoch: 3, ID: id}, msgInquire{Epoch: 2, ID: id},
+		msgRelinquish{Epoch: 2, ID: id}, msgRelease{Epoch: 2, ID: id},
+		msgBusy{Epoch: 2, ID: id},
 	}
 }

@@ -1,0 +1,215 @@
+package epoch
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/cluster"
+)
+
+// Verdict is Serve's ruling on an incoming request's epoch.
+type Verdict int
+
+const (
+	// VerdictCurrent: epochs matched; the request was served.
+	VerdictCurrent Verdict = iota
+	// VerdictSenderStale: the sender's epoch is older than ours — reject
+	// and push our config so it can catch up.
+	VerdictSenderStale
+	// VerdictSelfStale: the sender is ahead of us — we need to fetch the
+	// newer config before we can serve it.
+	VerdictSelfStale
+)
+
+// Store is a node's view of the epoch-versioned cluster configuration:
+// a monotonic config register plus the quorum pickers derived from it.
+// It is safe for concurrent use — replica fast paths gate under a read
+// lock while Install (rare) takes the write lock, so a request that
+// passed the gate is fully applied before any newer config is visible.
+//
+// The ID space is fixed for the lifetime of the store: configs may
+// change members and flavor freely, but IDs never get renumbered, so
+// bitsets, suspect tables and transport peer slots stay valid across
+// epochs.
+type Store struct {
+	mu    sync.RWMutex
+	space int
+	cfg   Config
+	cur   *Pickers
+	old   *Pickers // non-nil while cfg is joint
+}
+
+// NewStore creates a store over a fixed ID space with initial installed
+// at epoch 1 (epoch 0 is reserved for "not epoch-versioned", so legacy
+// frames stamped 0 are distinguishable).
+func NewStore(space int, initial Params) (*Store, error) {
+	pk, err := NewPickers(space, initial)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{
+		space: space,
+		cfg:   Config{Epoch: 1, Cur: initial},
+		cur:   pk,
+	}, nil
+}
+
+// Universe returns the global ID space (constant across epochs).
+func (s *Store) Universe() int { return s.space }
+
+// Epoch returns the current configuration epoch.
+func (s *Store) Epoch() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cfg.Epoch
+}
+
+// Snapshot returns a copy of the current config.
+func (s *Store) Snapshot() Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cfg := s.cfg
+	if s.cfg.Old != nil {
+		old := *s.cfg.Old
+		cfg.Old = &old
+	}
+	return cfg
+}
+
+// Member reports whether id belongs to the current config (either side
+// while joint).
+func (s *Store) Member(id int) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, m := range s.cfg.Cur.Members {
+		if int(m) == id {
+			return true
+		}
+	}
+	if s.cfg.Old != nil {
+		for _, m := range s.cfg.Old.Members {
+			if int(m) == id {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Install adopts cfg if it is strictly newer than the current config;
+// older or equal epochs are ignored (monotonicity is what lets configs
+// be gossiped freely — redelivery and reordering are harmless). Returns
+// whether the config was adopted. Structurally invalid configs error
+// without changing state, so hostile wire input cannot wedge a node.
+func (s *Store) Install(cfg Config) (bool, error) {
+	cur, err := NewPickers(s.space, cfg.Cur)
+	if err != nil {
+		return false, err
+	}
+	var old *Pickers
+	if cfg.Old != nil {
+		if old, err = NewPickers(s.space, *cfg.Old); err != nil {
+			return false, err
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cfg.Epoch <= s.cfg.Epoch {
+		return false, nil
+	}
+	s.cfg = Config{Epoch: cfg.Epoch, Cur: cloneParams(cfg.Cur)}
+	if cfg.Old != nil {
+		o := cloneParams(*cfg.Old)
+		s.cfg.Old = &o
+	}
+	s.cur, s.old = cur, old
+	return true, nil
+}
+
+func cloneParams(p Params) Params {
+	p.Members = append([]cluster.NodeID(nil), p.Members...)
+	return p
+}
+
+// Serve runs fn under the store's read lock iff e equals the current
+// epoch. Holding the lock across fn is load-bearing for reconfiguration
+// safety: a request that passed the gate finishes applying before any
+// Install completes, so a snapshot taken under the new epoch observes
+// every write admitted under the old one.
+func (s *Store) Serve(e uint64, fn func()) Verdict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case e == s.cfg.Epoch:
+		fn()
+		return VerdictCurrent
+	case e < s.cfg.Epoch:
+		return VerdictSenderStale
+	default:
+		return VerdictSelfStale
+	}
+}
+
+const (
+	pickRead = iota
+	pickWrite
+	pickMutex
+)
+
+// pick draws a quorum under the current config. While the config is
+// joint this is the two-phase handoff rule: the result is the union of a
+// quorum of the new params and a quorum of the old, so concurrent
+// operations across the epoch boundary still intersect.
+func (s *Store) pickUnion(rng *rand.Rand, live bitset.Set, kind int) (bitset.Set, error) {
+	s.mu.RLock()
+	cur, old := s.cur, s.old
+	s.mu.RUnlock()
+	sel := func(p *Pickers) pickFn {
+		switch kind {
+		case pickRead:
+			return p.read
+		case pickWrite:
+			return p.write
+		default:
+			return p.mutex
+		}
+	}
+	q, err := sel(cur)(rng, live)
+	if err != nil || old == nil {
+		return q, err
+	}
+	q2, err := sel(old)(rng, live)
+	if err != nil {
+		return bitset.Set{}, err
+	}
+	q.UnionWith(q2)
+	return q, nil
+}
+
+// PickRead draws a read quorum (both-config union while joint). Together
+// with PickWrite and Universe this satisfies rkv.Store, so an epoch
+// store plugs straight into the replicated-store client.
+func (s *Store) PickRead(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.pickUnion(rng, live, pickRead)
+}
+
+// PickWrite draws a write quorum (both-config union while joint).
+func (s *Store) PickWrite(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.pickUnion(rng, live, pickWrite)
+}
+
+// Pick draws a symmetric mutex quorum (both-config union while joint).
+func (s *Store) Pick(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+	return s.pickUnion(rng, live, pickMutex)
+}
+
+// String renders the store state for logs.
+func (s *Store) String() string {
+	cfg := s.Snapshot()
+	if cfg.Joint() {
+		return fmt.Sprintf("epoch %d (joint): %v <- %v", cfg.Epoch, cfg.Cur, *cfg.Old)
+	}
+	return fmt.Sprintf("epoch %d: %v", cfg.Epoch, cfg.Cur)
+}

@@ -23,11 +23,23 @@ import (
 	"time"
 
 	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
 )
+
+// Reconfig asks a coordinator node to drive the cluster to a new
+// epoch-versioned configuration mid-run (see rkv's reconfiguration
+// protocol). Only runners wired for epoch-versioned clusters honor it.
+type Reconfig struct {
+	// Coordinator is the node kicked with the reconfiguration token.
+	Coordinator cluster.NodeID
+	// Target is the configuration to move to.
+	Target epoch.Params
+}
 
 // Action is one timed fault-injection step. Within an action, crashes are
 // applied first, then restarts, then Heal, then Partition — so a single
-// action can atomically swap one partition for another.
+// action can atomically swap one partition for another. Reconfig fires
+// after the fault steps.
 type Action struct {
 	// At is the virtual time the action fires.
 	At time.Duration
@@ -40,6 +52,8 @@ type Action struct {
 	// Partition installs a new partition; nodes absent from every group
 	// form an implicit extra group. Groups must be disjoint.
 	Partition [][]cluster.NodeID
+	// Reconfig, when non-nil, starts a live configuration change.
+	Reconfig *Reconfig
 }
 
 // Schedule is a named, replayable fault script.
@@ -74,12 +88,26 @@ func (s Schedule) Validate() error {
 	return nil
 }
 
+// Hooks observes schedule actions as they fire. OnCrash is called for
+// every crash — history recorders use it to truncate the victim's
+// in-flight critical section. OnReconfig is called for every Reconfig
+// action; runners that build epoch-versioned clusters use it to kick the
+// coordinator (a Reconfig action with no OnReconfig hook is ignored).
+type Hooks struct {
+	OnCrash    func(id cluster.NodeID, at time.Duration)
+	OnReconfig func(rc Reconfig, at time.Duration)
+}
+
 // Apply replays the schedule into the network: each action is registered
 // as a function event at its virtual timestamp. onCrash (optional) is
-// called for every crash as it happens — history recorders use it to
-// truncate the victim's in-flight critical section. Apply validates the
-// schedule and registers nothing on error.
+// called for every crash as it happens. Apply validates the schedule and
+// registers nothing on error.
 func Apply(net *cluster.Network, s Schedule, onCrash func(id cluster.NodeID, at time.Duration)) error {
+	return ApplyHooks(net, s, Hooks{OnCrash: onCrash})
+}
+
+// ApplyHooks is Apply with the full observer set.
+func ApplyHooks(net *cluster.Network, s Schedule, h Hooks) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
@@ -88,8 +116,8 @@ func Apply(net *cluster.Network, s Schedule, onCrash func(id cluster.NodeID, at 
 		net.Schedule(a.At, func() {
 			for _, id := range a.Crash {
 				net.Crash(id)
-				if onCrash != nil {
-					onCrash(id, net.Now())
+				if h.OnCrash != nil {
+					h.OnCrash(id, net.Now())
 				}
 			}
 			for _, id := range a.Restart {
@@ -101,6 +129,9 @@ func Apply(net *cluster.Network, s Schedule, onCrash func(id cluster.NodeID, at 
 			if len(a.Partition) > 0 {
 				// Disjointness was validated above; Partition cannot fail.
 				_ = net.Partition(a.Partition...)
+			}
+			if a.Reconfig != nil && h.OnReconfig != nil {
+				h.OnReconfig(*a.Reconfig, net.Now())
 			}
 		})
 	}
@@ -231,6 +262,33 @@ func ColumnCut(rows, cols int) Schedule {
 		Actions: []Action{
 			{At: 1 * time.Second, Partition: [][]cluster.NodeID{col0}},
 			{At: 4 * time.Second, Heal: true},
+		},
+		Horizon: 20 * time.Second,
+	}
+}
+
+// ReconfigMidCrash reconfigures to target mid-workload while nodes crash
+// around the transition: the listed nodes go down one second before the
+// coordinator is kicked and come back one second after, so the
+// configuration change runs with part of the cluster dark and must still
+// settle. The schedule's Horizon leaves room for stragglers to catch up
+// and the workload to drain under the new configuration.
+func ReconfigMidCrash(coordinator cluster.NodeID, target epoch.Params, crash []cluster.NodeID) Schedule {
+	acts := []Action{
+		{At: 1 * time.Second, Crash: crash},
+		{At: 2 * time.Second, Reconfig: &Reconfig{Coordinator: coordinator, Target: target}},
+		{At: 3 * time.Second, Restart: crash},
+	}
+	return Schedule{Name: "reconfig-crash", Actions: acts, Horizon: 25 * time.Second}
+}
+
+// ReconfigQuiet reconfigures to target mid-workload with no faults: the
+// baseline transition cell.
+func ReconfigQuiet(coordinator cluster.NodeID, target epoch.Params) Schedule {
+	return Schedule{
+		Name: "reconfig-quiet",
+		Actions: []Action{
+			{At: 2 * time.Second, Reconfig: &Reconfig{Coordinator: coordinator, Target: target}},
 		},
 		Horizon: 20 * time.Second,
 	}

@@ -1,0 +1,73 @@
+package nemesis
+
+import (
+	"testing"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
+)
+
+// runReconfig drives one epoch-versioned chaotic run and asserts it
+// settles at the expected epoch with a linearizable history.
+func runReconfig(t *testing.T, seed int64, initial epoch.Params, space int, sched Schedule) RKVResult {
+	t.Helper()
+	res, err := RunRKV(RKVRun{
+		Initial:  &initial,
+		Space:    space,
+		Seed:     seed,
+		Schedule: sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Err != nil {
+		t.Fatalf("history check: %v", res.Err)
+	}
+	if res.Joint {
+		t.Fatal("cluster still on a joint config after drain")
+	}
+	if res.Epoch != 3 {
+		t.Fatalf("final epoch = %d, want 3 (stable→joint→stable)", res.Epoch)
+	}
+	if res.Completed == 0 {
+		t.Fatal("no operations completed")
+	}
+	return res
+}
+
+// TestRunRKVReconfigSwap swaps the quorum flavor (h-grid → h-T-grid) on a
+// fixed membership mid-workload, quiet and with crashes around the
+// transition.
+func TestRunRKVReconfigSwap(t *testing.T) {
+	initial := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	target := epoch.Params{Flavor: epoch.FlavorHTGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	for seed := int64(1); seed <= 3; seed++ {
+		runReconfig(t, seed, initial, 16, ReconfigQuiet(0, target))
+		runReconfig(t, seed, initial, 16, ReconfigMidCrash(0, target, []cluster.NodeID{5, 6}))
+	}
+}
+
+// TestRunRKVReconfigGrow grows a majority-9 cluster into an h-grid over
+// all 16 nodes while one of the incoming members is down for the
+// transition window.
+func TestRunRKVReconfigGrow(t *testing.T) {
+	initial := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 9)}
+	target := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	for seed := int64(1); seed <= 3; seed++ {
+		runReconfig(t, seed, initial, 16, ReconfigMidCrash(0, target, []cluster.NodeID{12}))
+	}
+}
+
+// TestRunRKVReconfigDeterministic replays one (seed, schedule) pair and
+// requires identical outcomes — the property that makes the chaos gate a
+// diffable artifact.
+func TestRunRKVReconfigDeterministic(t *testing.T) {
+	initial := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 9)}
+	target := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	a := runReconfig(t, 7, initial, 16, ReconfigMidCrash(0, target, []cluster.NodeID{12}))
+	b := runReconfig(t, 7, initial, 16, ReconfigMidCrash(0, target, []cluster.NodeID{12}))
+	if a.Completed != b.Completed || a.Failed != b.Failed || a.Pending != b.Pending ||
+		a.Messages != b.Messages || a.Epoch != b.Epoch {
+		t.Fatalf("replay diverged: %+v vs %+v", a, b)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"hquorum/internal/cluster"
 	"hquorum/internal/dmutex"
+	"hquorum/internal/epoch"
 	"hquorum/internal/history"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
@@ -44,6 +45,16 @@ type RKVRun struct {
 	Store    rkv.Store
 	Seed     int64
 	Schedule Schedule
+	// Initial, when set, runs the cluster epoch-versioned: every node gets
+	// its own epoch store seeded with this configuration, operations carry
+	// epochs on the wire, and the schedule's Reconfig actions kick live
+	// configuration changes. Space is the node-ID space (the number of
+	// simulated nodes, which may exceed the initial member count so the
+	// cluster can grow); Store is ignored. The workload runs on the
+	// initial members only — non-members are pure replicas until a
+	// reconfiguration pulls them in.
+	Initial *epoch.Params
+	Space   int
 	// OpsPerNode is each node's workload length, alternating writes of
 	// globally unique values with reads (default 6).
 	OpsPerNode int
@@ -80,6 +91,12 @@ type RKVResult struct {
 	Messages, Dropped          uint64
 	// Ops is the recorded history.
 	Ops []history.Op
+	// Epoch and Joint describe the epoch-versioned cluster's final state
+	// (Initial runs only): the highest epoch any live node reached, and
+	// whether any live node was still on a joint config when the run
+	// drained — a completed reconfiguration leaves Joint false.
+	Epoch uint64
+	Joint bool
 	// Err is the linearizability verdict: nil, a
 	// *history.RegisterViolation, or history.ErrUndecided.
 	Err error
@@ -91,8 +108,16 @@ type RKVResult struct {
 // which keeps the checker fast; reads use write-back so crashed writers
 // cannot cause read inversions.
 func RunRKV(r RKVRun) (RKVResult, error) {
-	if r.Store == nil {
-		return RKVResult{}, fmt.Errorf("nemesis: RunRKV needs a store")
+	if r.Store == nil && r.Initial == nil {
+		return RKVResult{}, fmt.Errorf("nemesis: RunRKV needs a store or an initial epoch config")
+	}
+	if r.Initial != nil {
+		if r.Space <= 0 {
+			return RKVResult{}, fmt.Errorf("nemesis: epoch-versioned RunRKV needs Space")
+		}
+		if err := r.Initial.Validate(r.Space); err != nil {
+			return RKVResult{}, err
+		}
 	}
 	if r.OpsPerNode <= 0 {
 		r.OpsPerNode = 6
@@ -109,7 +134,21 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 	if r.Keys <= 0 {
 		r.Keys = 1
 	}
-	univ := r.Store.Universe()
+	univ := r.Space
+	if r.Initial == nil {
+		univ = r.Store.Universe()
+	}
+	member := func(i int) bool {
+		if r.Initial == nil {
+			return true
+		}
+		for _, m := range r.Initial.Members {
+			if int(m) == i {
+				return true
+			}
+		}
+		return false
+	}
 	net := cluster.New(cluster.WithSeed(r.Seed))
 	rec := history.NewRegister()
 	var res RKVResult
@@ -133,18 +172,31 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		return fmt.Sprintf("k%d", (i+k)%r.Keys)
 	}
 	nodes := make([]*rkv.Node, univ)
+	stores := make([]*epoch.Store, univ)
 	for i := 0; i < univ; i++ {
 		id := cluster.NodeID(i)
-		ops := make([]rkv.Op, r.OpsPerNode)
-		for k := range ops {
-			if k%2 == 0 {
-				ops[k] = rkv.Op{Kind: rkv.OpWrite, Key: key(i, k), Value: fmt.Sprintf("n%d.%d", i, k)}
-			} else {
-				ops[k] = rkv.Op{Kind: rkv.OpRead, Key: key(i, k)}
+		var ops []rkv.Op
+		if member(i) {
+			ops = make([]rkv.Op, r.OpsPerNode)
+			for k := range ops {
+				if k%2 == 0 {
+					ops[k] = rkv.Op{Kind: rkv.OpWrite, Key: key(i, k), Value: fmt.Sprintf("n%d.%d", i, k)}
+				} else {
+					ops[k] = rkv.Op{Kind: rkv.OpRead, Key: key(i, k)}
+				}
 			}
+		}
+		var epochs *epoch.Store
+		if r.Initial != nil {
+			var err error
+			if epochs, err = epoch.NewStore(r.Space, *r.Initial); err != nil {
+				return RKVResult{}, err
+			}
+			stores[i] = epochs
 		}
 		node, err := rkv.NewNode(id, rkv.Config{
 			Store:         r.Store,
+			Epochs:        epochs,
 			Ops:           ops,
 			Timeout:       r.Timeout,
 			OpDeadline:    r.OpDeadline,
@@ -177,13 +229,25 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		if err := net.AddNode(id, node); err != nil {
 			return RKVResult{}, err
 		}
-		// Stagger starts across one gap so invocations are spread evenly
-		// over the fault window rather than arriving in lockstep.
-		if err := net.StartTimer(id, gap*time.Duration(i)/time.Duration(univ), node.StartToken()); err != nil {
-			return RKVResult{}, err
+		if len(ops) > 0 {
+			// Stagger starts across one gap so invocations are spread evenly
+			// over the fault window rather than arriving in lockstep.
+			if err := net.StartTimer(id, gap*time.Duration(i)/time.Duration(univ), node.StartToken()); err != nil {
+				return RKVResult{}, err
+			}
 		}
 	}
-	if err := Apply(net, r.Schedule, nil); err != nil {
+	var reconfigs []cluster.NodeID
+	hooks := Hooks{}
+	if r.Initial != nil {
+		hooks.OnReconfig = func(rc Reconfig, at time.Duration) {
+			reconfigs = append(reconfigs, rc.Coordinator)
+			// Kick the coordinator with the reconfiguration token; the
+			// protocol spreads the config from there.
+			_ = net.StartTimer(rc.Coordinator, 0, rkv.ReconfigToken(rc.Target))
+		}
+	}
+	if err := ApplyHooks(net, r.Schedule, hooks); err != nil {
 		return RKVResult{}, err
 	}
 	net.Run(r.Schedule.Horizon)
@@ -196,9 +260,30 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 				return false
 			}
 		}
+		// The run is not settled while a live coordinator is still mid
+		// reconfiguration.
+		for _, c := range reconfigs {
+			if !net.Crashed(c) && nodes[c].Reconfiguring() {
+				return false
+			}
+		}
 		return true
 	}, drainBudget)
 
+	if r.Initial != nil {
+		for i, st := range stores {
+			if net.Crashed(cluster.NodeID(i)) {
+				continue
+			}
+			snap := st.Snapshot()
+			if snap.Epoch > res.Epoch {
+				res.Epoch = snap.Epoch
+			}
+			if snap.Joint() {
+				res.Joint = true
+			}
+		}
+	}
 	res.Ops = rec.Ops()
 	for _, op := range res.Ops {
 		if !op.Completed {

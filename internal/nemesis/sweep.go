@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"hquorum/internal/epoch"
 	"hquorum/internal/history"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
@@ -24,6 +25,14 @@ type RKVCase struct {
 	Batch     int
 	Keys      int
 	Schedules []Schedule
+	// Initial and Space run the case epoch-versioned (see RKVRun); the
+	// schedules' Reconfig actions then fire live configuration changes.
+	// WantEpoch, when non-zero, turns an unsettled reconfiguration into a
+	// sweep violation: every run must drain at exactly that epoch with no
+	// node left on a joint config.
+	Initial   *epoch.Params
+	Space     int
+	WantEpoch uint64
 }
 
 // MutexCase names a lock configuration to sweep, with the schedules to
@@ -130,6 +139,8 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					Store:      c.Store,
 					Seed:       seed,
 					Schedule:   sched,
+					Initial:    c.Initial,
+					Space:      c.Space,
 					OpsPerNode: opt.OpsPerNode,
 					StateLimit: opt.StateLimit,
 					Window:     c.Window,
@@ -151,6 +162,13 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					line.Violations++
 					if line.FirstViolation == "" {
 						line.FirstViolation = fmt.Sprintf("seed %d: %v", seed, res.Err)
+					}
+				}
+				if c.WantEpoch != 0 && (res.Joint || res.Epoch != c.WantEpoch) {
+					line.Violations++
+					if line.FirstViolation == "" {
+						line.FirstViolation = fmt.Sprintf("seed %d: reconfiguration unsettled (epoch %d joint %v, want epoch %d)",
+							seed, res.Epoch, res.Joint, c.WantEpoch)
 					}
 				}
 			}

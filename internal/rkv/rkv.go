@@ -41,6 +41,7 @@ import (
 
 	"hquorum/internal/bitset"
 	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/quorum"
@@ -161,40 +162,55 @@ func pickThreshold(rng *rand.Rand, live bitset.Set, n, k int) (bitset.Set, error
 // many keys' payloads in one frame. Batch slices are parallel arrays built
 // once per phase and never mutated after sending — messages may outlive
 // the op that sent them (simulated networks deliver by reference).
+//
+// Every message carries the sender's configuration epoch (0 on clusters
+// that are not epoch-versioned). Replicas serve a request only when the
+// epochs match; see Node.gate and package epoch.
 type (
-	msgReadVersion  struct{ Seq uint64 }
+	msgReadVersion struct {
+		Epoch uint64
+		Seq   uint64
+	}
 	msgVersionReply struct {
+		Epoch   uint64
 		Seq     uint64
 		Version Version
 		Value   string
 	}
 	msgWrite struct {
+		Epoch   uint64
 		Seq     uint64
 		Version Version
 		Value   string
 	}
-	msgWriteAck struct{ Seq uint64 }
+	msgWriteAck struct {
+		Epoch uint64
+		Seq   uint64
+	}
 
 	// msgReadBatch asks for the versions of many keys at once (phase 1 of
 	// a batched round).
 	msgReadBatch struct {
-		Seq  uint64
-		Keys []string
+		Epoch uint64
+		Seq   uint64
+		Keys  []string
 	}
 	// msgReadBatchReply answers a msgReadBatch; Vers/Vals are parallel to
 	// the request's Keys.
 	msgReadBatchReply struct {
-		Seq  uint64
-		Vers []Version
-		Vals []string
+		Epoch uint64
+		Seq   uint64
+		Vers  []Version
+		Vals  []string
 	}
 	// msgWriteBatch stores many keys' versioned values at once (phase 2);
 	// the replica acks with msgWriteAck.
 	msgWriteBatch struct {
-		Seq  uint64
-		Keys []string
-		Vers []Version
-		Vals []string
+		Epoch uint64
+		Seq   uint64
+		Keys  []string
+		Vers  []Version
+		Vals  []string
 	}
 )
 
@@ -260,6 +276,14 @@ type Result struct {
 // Config parameterizes a replica node.
 type Config struct {
 	Store Store
+	// Epochs, when set, makes the node epoch-versioned: quorum picks route
+	// through the epoch store (Store may be nil — the epoch store supplies
+	// the pickers, including the two-config union while a reconfiguration
+	// is in flight), every frame is stamped with the current epoch, and
+	// replica processing is gated on epoch equality with catch-up traffic
+	// for mismatches. Nil keeps the legacy fixed-config behavior: frames
+	// are stamped epoch 0 and the gate is disabled.
+	Epochs *epoch.Store
 	// Shards is the replica store's shard count (default DefaultShards,
 	// rounded up to a power of two). More shards means less lock
 	// contention when the transport delivers replica messages from many
@@ -387,11 +411,15 @@ type opState struct {
 }
 
 // pickCache remembers the last successful quorum pick per flavor, keyed by
-// a fingerprint of the suspect set. Back-to-back rounds against an
+// (epoch, suspect-set fingerprint). Back-to-back rounds against an
 // unchanged view reuse the set with one bitset copy — no rng draws, no
-// allocation; any timeout or suspicion change invalidates it.
+// allocation; any timeout, suspicion change or epoch bump changes the key
+// and forces a fresh draw (an epoch bump can change flavor and membership
+// wholesale, so a cached quorum from the previous config must never leak
+// into the new one).
 type pickCache struct {
 	valid bool
+	epoch uint64
 	fp    uint64
 	q     bitset.Set
 }
@@ -420,12 +448,22 @@ type Node struct {
 	suspects  bitset.Set
 	suspectAt []time.Duration // when each suspicion was recorded
 	picks     [2]pickCache    // cached read [0] / write [1] quorum
+
+	// rc is the reconfiguration coordinator's state machine (see
+	// reconfig.go); zero while no reconfiguration is being driven.
+	rc reconfigState
 }
 
 var _ cluster.Handler = (*Node)(nil)
 
 // NewNode builds a replica.
 func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
+	if cfg.Epochs != nil {
+		// The epoch store is the quorum source of truth; it satisfies Store
+		// (union picks while joint), so the rest of the client machine is
+		// oblivious to reconfiguration.
+		cfg.Store = cfg.Epochs
+	}
 	if cfg.Store == nil {
 		return nil, fmt.Errorf("rkv: config needs a store")
 	}
@@ -508,39 +546,91 @@ func (n *Node) mergeClock(c uint64) {
 
 func (n *Node) nextClock() uint64 { return n.clock.Add(1) }
 
+// epochNow returns the node's current configuration epoch (0 when not
+// epoch-versioned), stamped onto every outgoing frame.
+func (n *Node) epochNow() uint64 {
+	if n.cfg.Epochs == nil {
+		return 0
+	}
+	return n.cfg.Epochs.Epoch()
+}
+
+// gate runs serve iff the sender's configuration epoch matches ours.
+// A stale sender is rejected with our config attached (msgStaleEpoch) so
+// it can install it and retry under the new quorums; when we are the
+// stale side, the request is dropped and we ask the (newer) sender for
+// its config — the sender's attempt timeout covers the retry. serve runs
+// under the epoch store's read lock, so an admitted request finishes
+// applying before any concurrent config install completes (the ordering
+// the reconfiguration snapshot relies on).
+func (n *Node) gate(env cluster.Env, from cluster.NodeID, e, seq uint64, serve func()) {
+	if n.cfg.Epochs == nil {
+		serve()
+		return
+	}
+	switch n.cfg.Epochs.Serve(e, serve) {
+	case epoch.VerdictSenderStale:
+		cfg := n.cfg.Epochs.Snapshot()
+		env.Send(from, msgStaleEpoch{Seq: seq, Cfg: cfg.Encode(nil)})
+	case epoch.VerdictSelfStale:
+		env.Send(from, msgConfigReq{Epoch: n.cfg.Epochs.Epoch()})
+	}
+}
+
 // handleReplica processes the replica half of the protocol. It touches
-// only the sharded store and the atomic clock, so it is safe to call
-// concurrently from transport reader goroutines (FastDeliver) as well as
-// from the event loop. Reports whether msg was a replica message.
+// only the sharded store, the atomic clock and the (lock-guarded) epoch
+// store, so it is safe to call concurrently from transport reader
+// goroutines (FastDeliver) as well as from the event loop. Reports
+// whether msg was a replica message.
 func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool {
 	switch m := msg.(type) {
 	case msgReadVersion:
-		ver, val := n.store.get("")
-		env.Send(from, msgVersionReply{Seq: m.Seq, Version: ver, Value: val})
+		n.gate(env, from, m.Epoch, m.Seq, func() {
+			ver, val := n.store.get("")
+			env.Send(from, msgVersionReply{Epoch: m.Epoch, Seq: m.Seq, Version: ver, Value: val})
+		})
 	case msgWrite:
-		n.mergeClock(m.Version.Counter)
-		n.store.apply("", m.Version, m.Value)
-		env.Send(from, msgWriteAck{Seq: m.Seq})
+		n.gate(env, from, m.Epoch, m.Seq, func() {
+			n.mergeClock(m.Version.Counter)
+			n.store.apply("", m.Version, m.Value)
+			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
+		})
 	case msgReadBatch:
-		vers := make([]Version, len(m.Keys))
-		vals := make([]string, len(m.Keys))
-		for i, k := range m.Keys {
-			vers[i], vals[i] = n.store.get(k)
-		}
-		env.Send(from, msgReadBatchReply{Seq: m.Seq, Vers: vers, Vals: vals})
+		n.gate(env, from, m.Epoch, m.Seq, func() {
+			vers := make([]Version, len(m.Keys))
+			vals := make([]string, len(m.Keys))
+			for i, k := range m.Keys {
+				vers[i], vals[i] = n.store.get(k)
+			}
+			env.Send(from, msgReadBatchReply{Epoch: m.Epoch, Seq: m.Seq, Vers: vers, Vals: vals})
+		})
 	case msgWriteBatch:
 		if len(m.Vers) != len(m.Keys) || len(m.Vals) != len(m.Keys) {
 			return true // malformed (hostile frame): ignore, still a replica msg
 		}
-		var maxC uint64
-		for i, k := range m.Keys {
-			if m.Vers[i].Counter > maxC {
-				maxC = m.Vers[i].Counter
+		n.gate(env, from, m.Epoch, m.Seq, func() {
+			var maxC uint64
+			for i, k := range m.Keys {
+				if m.Vers[i].Counter > maxC {
+					maxC = m.Vers[i].Counter
+				}
+				n.store.apply(k, m.Vers[i], m.Vals[i])
 			}
-			n.store.apply(k, m.Vers[i], m.Vals[i])
-		}
-		n.mergeClock(maxC)
-		env.Send(from, msgWriteAck{Seq: m.Seq})
+			n.mergeClock(maxC)
+			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
+		})
+	case msgSnapReq:
+		// Reconfiguration state sync: served only at the exact (joint)
+		// epoch, so every write admitted under the old config is already
+		// applied when the snapshot is taken.
+		n.gate(env, from, m.Epoch, m.Seq, func() {
+			keys, vers, vals := n.store.dump()
+			env.Send(from, msgSnapReply{Seq: m.Seq, Keys: keys, Vers: vers, Vals: vals})
+		})
+	case msgConfigPush:
+		n.onConfigPush(env, from, m)
+	case msgConfigReq:
+		n.onConfigReq(env, from, m)
 	default:
 		return false
 	}
@@ -568,6 +658,17 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 		n.onReadBatchReply(env, from, m)
 	case msgWriteAck:
 		n.onWriteAck(env, from, m)
+	case msgStaleEpoch:
+		n.onStaleEpoch(env, m)
+	case msgConfigAck:
+		n.rcOnConfigAck(env, from, m)
+	case msgSnapReply:
+		n.rcOnSnapReply(env, from, m)
+	case msgReconfig:
+		n.onReconfigRequest(env, from, m)
+	case msgReconfigDone:
+		// Consumed by ReconfigClient handlers; a replica can hear a stray
+		// one when a requester retried through it — drop it.
 	default:
 		panic(fmt.Sprintf("rkv: unknown message %T", msg))
 	}
@@ -582,8 +683,46 @@ func (n *Node) Timer(env cluster.Env, token any) {
 		if op, ok := n.inflight[tk.Seq]; ok {
 			n.retryPhase(env, op)
 		}
+	case tokenReconfig:
+		n.startReconfig(env, tk.Target, 0, 0, false)
+	case tokenReconfigDue:
+		n.rcTimeout(env, tk.Seq)
 	default:
 		panic(fmt.Sprintf("rkv: unknown timer token %T", token))
+	}
+}
+
+// onStaleEpoch handles a replica's rejection of one of our frames: adopt
+// the newer config it attached, then immediately re-run the round's
+// current phase — fresh seq, fresh quorum under the new config. Only the
+// first rejection of an attempt restarts it (later ones carry a seq the
+// op table no longer knows). Past the op deadline the round fails with
+// the typed ErrStaleEpoch instead.
+func (n *Node) onStaleEpoch(env cluster.Env, m msgStaleEpoch) {
+	if n.cfg.Epochs == nil {
+		return
+	}
+	if cfg, err := epoch.DecodeConfig(m.Cfg); err == nil {
+		if _, err := n.cfg.Epochs.Install(cfg); err != nil {
+			return // hostile or malformed config: keep ours
+		}
+	} else {
+		return
+	}
+	op, ok := n.inflight[m.Seq]
+	if !ok {
+		return
+	}
+	op.retries++
+	if n.cfg.OpDeadline > 0 && env.Now()-op.started >= n.cfg.OpDeadline {
+		n.failOp(env, op, epoch.ErrStaleEpoch)
+		return
+	}
+	switch op.ph {
+	case phaseReadVersions:
+		n.startReadPhase(env, op)
+	case phaseWrite:
+		n.startWritePhase(env, op)
 	}
 }
 
@@ -725,9 +864,9 @@ func (n *Node) startReadPhase(env cluster.Env, op *opState) {
 	op.quorum.CopyInto(&op.pending)
 	var msg any
 	if len(op.p1Keys) == 1 && op.p1Keys[0] == "" {
-		msg = msgReadVersion{Seq: op.seq}
+		msg = msgReadVersion{Epoch: n.epochNow(), Seq: op.seq}
 	} else {
-		msg = msgReadBatch{Seq: op.seq, Keys: op.p1Keys}
+		msg = msgReadBatch{Epoch: n.epochNow(), Seq: op.seq, Keys: op.p1Keys}
 		op.shippedP1 = true
 	}
 	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msg) })
@@ -796,9 +935,9 @@ func (n *Node) startWritePhase(env cluster.Env, op *opState) {
 	op.quorum.CopyInto(&op.pending)
 	var msg any
 	if len(op.p2Keys) == 1 && op.p2Keys[0] == "" {
-		msg = msgWrite{Seq: op.seq, Version: op.p2Vers[0], Value: op.p2Vals[0]}
+		msg = msgWrite{Epoch: n.epochNow(), Seq: op.seq, Version: op.p2Vers[0], Value: op.p2Vals[0]}
 	} else {
-		msg = msgWriteBatch{Seq: op.seq, Keys: op.p2Keys, Vers: op.p2Vers, Vals: op.p2Vals}
+		msg = msgWriteBatch{Epoch: n.epochNow(), Seq: op.seq, Keys: op.p2Keys, Vers: op.p2Vers, Vals: op.p2Vals}
 		op.shippedP2 = true
 	}
 	op.quorum.ForEach(func(m int) { env.Send(cluster.NodeID(m), msg) })
@@ -861,7 +1000,8 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 	}
 	n.decaySuspects(env)
 	fp := n.suspects.Fingerprint()
-	if !n.cfg.NoPickCache && c.valid && c.fp == fp {
+	ep := n.epochNow()
+	if !n.cfg.NoPickCache && c.valid && c.fp == fp && c.epoch == ep {
 		c.q.CopyInto(&op.quorum)
 		return nil
 	}
@@ -879,7 +1019,7 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 	}
 	q.CopyInto(&op.quorum)
 	q.CopyInto(&c.q)
-	c.fp, c.valid = fp, true
+	c.fp, c.epoch, c.valid = fp, ep, true
 	return nil
 }
 
@@ -1025,6 +1165,9 @@ func (n *Node) onReadBatchReply(env cluster.Env, from cluster.NodeID, m msgReadB
 }
 
 func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
+	if n.rcOnWriteAck(env, from, m) {
+		return // ack for the reconfiguration coordinator's state push
+	}
 	op, ok := n.inflight[m.Seq]
 	if !ok || op.ph != phaseWrite || !op.pending.Contains(int(from)) {
 		return
@@ -1066,7 +1209,7 @@ func (n *Node) repair(env cluster.Env, op *opState) {
 			}
 		}
 		if len(keys) > 0 {
-			env.Send(member, msgWriteBatch{Seq: n.seq, Keys: keys, Vers: wVers, Vals: vals})
+			env.Send(member, msgWriteBatch{Epoch: n.epochNow(), Seq: n.seq, Keys: keys, Vers: wVers, Vals: vals})
 		}
 	}
 }
@@ -1094,6 +1237,11 @@ func (n *Node) Restarted(env cluster.Env) {
 		delete(n.inflight, seq)
 		n.putOp(op)
 	}
+	// A reconfiguration this node was coordinating dies with it. The
+	// cluster is left joint at worst — strictly more conservative quorums,
+	// still safe — and any coordinator (this one restarted, or another)
+	// can resume the transition to the same target later.
+	n.rc = reconfigState{}
 	n.invalidatePicks()
 	if n.nextOp < len(n.cfg.Ops) {
 		gap := n.cfg.OpGap
@@ -1108,7 +1256,9 @@ func (n *Node) Restarted(env cluster.Env) {
 // transport (e.g. transport.Register).
 func RegisterWire(register func(values ...any)) {
 	register(msgReadVersion{}, msgVersionReply{}, msgWrite{}, msgWriteAck{},
-		msgReadBatch{}, msgReadBatchReply{}, msgWriteBatch{})
+		msgReadBatch{}, msgReadBatchReply{}, msgWriteBatch{},
+		msgConfigPush{}, msgConfigAck{}, msgStaleEpoch{}, msgConfigReq{},
+		msgSnapReq{}, msgSnapReply{}, msgReconfig{}, msgReconfigDone{})
 }
 
 // StartToken returns the timer token that kicks off the node's client

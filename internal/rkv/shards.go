@@ -1,6 +1,7 @@
 package rkv
 
 import (
+	"sort"
 	"sync"
 )
 
@@ -90,6 +91,34 @@ func (s *shardedMap) apply(key string, ver Version, val string) bool {
 	}
 	sh.mu.Unlock()
 	return false
+}
+
+// dump snapshots every stored entry as parallel slices sorted by key —
+// deterministic iteration order for reconfiguration state sync. Each
+// shard is locked only while it is copied.
+func (s *shardedMap) dump() (keys []string, vers []Version, vals []string) {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for k, e := range sh.m {
+			keys = append(keys, k)
+			vers = append(vers, e.ver)
+			vals = append(vals, e.val)
+		}
+		sh.mu.Unlock()
+	}
+	order := make([]int, len(keys))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+	sk := make([]string, len(keys))
+	sv := make([]Version, len(keys))
+	sl := make([]string, len(keys))
+	for i, j := range order {
+		sk[i], sv[i], sl[i] = keys[j], vers[j], vals[j]
+	}
+	return sk, sv, sl
 }
 
 // lenKeys counts stored keys across all shards (tests and introspection;

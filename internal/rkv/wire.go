@@ -3,11 +3,14 @@ package rkv
 import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/codec"
+	"hquorum/internal/epoch"
 )
 
 // Fixed wire tags for the register protocol. These are wire format: once
 // released they never change or get reused. The 0x10 block belongs to rkv
-// (dmutex owns 0x20).
+// (dmutex owns 0x20). The epoch-versioned config refactor revised the
+// 0x10-0x16 bodies in place (a leading epoch varint) and claimed
+// 0x17-0x1e for configuration distribution and reconfiguration.
 const (
 	tagReadVersion  = 0x10
 	tagVersionReply = 0x11
@@ -16,6 +19,14 @@ const (
 	tagReadBatch    = 0x14
 	tagReadBatchRep = 0x15
 	tagWriteBatch   = 0x16
+	tagConfigPush   = 0x17
+	tagConfigAck    = 0x18
+	tagStaleEpoch   = 0x19
+	tagConfigReq    = 0x1a
+	tagSnapReq      = 0x1b
+	tagSnapReply    = 0x1c
+	tagReconfig     = 0x1d
+	tagReconfigDone = 0x1e
 )
 
 // RegisterBinaryWire registers hand-written varint codecs for the
@@ -24,47 +35,52 @@ const (
 func RegisterBinaryWire(reg *codec.Registry) {
 	reg.Register(tagReadVersion, msgReadVersion{},
 		func(b []byte, v any) []byte {
-			return codec.AppendUvarint(b, v.(msgReadVersion).Seq)
+			m := v.(msgReadVersion)
+			b = codec.AppendUvarint(b, m.Epoch)
+			return codec.AppendUvarint(b, m.Seq)
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
-			m := msgReadVersion{Seq: r.Uvarint()}
+			m := msgReadVersion{Epoch: r.Uvarint(), Seq: r.Uvarint()}
 			return m, r.Err()
 		})
 	reg.Register(tagVersionReply, msgVersionReply{},
 		func(b []byte, v any) []byte {
 			m := v.(msgVersionReply)
-			return appendVersioned(b, m.Seq, m.Version, m.Value)
+			return appendVersioned(b, m.Epoch, m.Seq, m.Version, m.Value)
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
 			var m msgVersionReply
-			m.Seq, m.Version, m.Value = readVersioned(r)
+			m.Epoch, m.Seq, m.Version, m.Value = readVersioned(r)
 			return m, r.Err()
 		})
 	reg.Register(tagWrite, msgWrite{},
 		func(b []byte, v any) []byte {
 			m := v.(msgWrite)
-			return appendVersioned(b, m.Seq, m.Version, m.Value)
+			return appendVersioned(b, m.Epoch, m.Seq, m.Version, m.Value)
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
 			var m msgWrite
-			m.Seq, m.Version, m.Value = readVersioned(r)
+			m.Epoch, m.Seq, m.Version, m.Value = readVersioned(r)
 			return m, r.Err()
 		})
 	reg.Register(tagWriteAck, msgWriteAck{},
 		func(b []byte, v any) []byte {
-			return codec.AppendUvarint(b, v.(msgWriteAck).Seq)
+			m := v.(msgWriteAck)
+			b = codec.AppendUvarint(b, m.Epoch)
+			return codec.AppendUvarint(b, m.Seq)
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
-			m := msgWriteAck{Seq: r.Uvarint()}
+			m := msgWriteAck{Epoch: r.Uvarint(), Seq: r.Uvarint()}
 			return m, r.Err()
 		})
 	reg.Register(tagReadBatch, msgReadBatch{},
 		func(b []byte, v any) []byte {
 			m := v.(msgReadBatch)
+			b = codec.AppendUvarint(b, m.Epoch)
 			b = codec.AppendUvarint(b, m.Seq)
 			b = codec.AppendUvarint(b, uint64(len(m.Keys)))
 			for _, k := range m.Keys {
@@ -74,7 +90,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
-			m := msgReadBatch{Seq: r.Uvarint()}
+			m := msgReadBatch{Epoch: r.Uvarint(), Seq: r.Uvarint()}
 			if n, ok := batchLen(r); ok {
 				m.Keys = make([]string, n)
 				for i := range m.Keys {
@@ -86,6 +102,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 	reg.Register(tagReadBatchRep, msgReadBatchReply{},
 		func(b []byte, v any) []byte {
 			m := v.(msgReadBatchReply)
+			b = codec.AppendUvarint(b, m.Epoch)
 			b = codec.AppendUvarint(b, m.Seq)
 			b = codec.AppendUvarint(b, uint64(len(m.Vers)))
 			for i, ver := range m.Vers {
@@ -97,7 +114,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
-			m := msgReadBatchReply{Seq: r.Uvarint()}
+			m := msgReadBatchReply{Epoch: r.Uvarint(), Seq: r.Uvarint()}
 			if n, ok := batchLen(r); ok {
 				m.Vers = make([]Version, n)
 				m.Vals = make([]string, n)
@@ -112,6 +129,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 	reg.Register(tagWriteBatch, msgWriteBatch{},
 		func(b []byte, v any) []byte {
 			m := v.(msgWriteBatch)
+			b = codec.AppendUvarint(b, m.Epoch)
 			b = codec.AppendUvarint(b, m.Seq)
 			b = codec.AppendUvarint(b, uint64(len(m.Keys)))
 			for i, k := range m.Keys {
@@ -124,7 +142,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 		},
 		func(data []byte) (any, error) {
 			r := codec.NewReader(data)
-			m := msgWriteBatch{Seq: r.Uvarint()}
+			m := msgWriteBatch{Epoch: r.Uvarint(), Seq: r.Uvarint()}
 			if n, ok := batchLen(r); ok {
 				m.Keys = make([]string, n)
 				m.Vers = make([]Version, n)
@@ -136,6 +154,120 @@ func RegisterBinaryWire(reg *codec.Registry) {
 					m.Vals[i] = r.String()
 				}
 			}
+			return m, r.Err()
+		})
+	registerReconfigWire(reg)
+}
+
+// registerReconfigWire registers the configuration-distribution and
+// reconfiguration messages (tags 0x17-0x1e). Configs travel as opaque
+// byte strings; their own decoder (epoch.DecodeConfig) carries the
+// hostile-input guards, so a frame here only needs string framing.
+func registerReconfigWire(reg *codec.Registry) {
+	reg.Register(tagConfigPush, msgConfigPush{},
+		func(b []byte, v any) []byte {
+			m := v.(msgConfigPush)
+			b = codec.AppendUvarint(b, m.Seq)
+			return codec.AppendString(b, string(m.Cfg))
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgConfigPush{Seq: r.Uvarint(), Cfg: []byte(r.String())}
+			return m, r.Err()
+		})
+	reg.Register(tagConfigAck, msgConfigAck{},
+		func(b []byte, v any) []byte {
+			m := v.(msgConfigAck)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, m.Epoch)
+			return codec.AppendUvarint(b, m.Fp)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgConfigAck{Seq: r.Uvarint(), Epoch: r.Uvarint(), Fp: r.Uvarint()}
+			return m, r.Err()
+		})
+	reg.Register(tagStaleEpoch, msgStaleEpoch{},
+		func(b []byte, v any) []byte {
+			m := v.(msgStaleEpoch)
+			b = codec.AppendUvarint(b, m.Seq)
+			return codec.AppendString(b, string(m.Cfg))
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgStaleEpoch{Seq: r.Uvarint(), Cfg: []byte(r.String())}
+			return m, r.Err()
+		})
+	reg.Register(tagConfigReq, msgConfigReq{},
+		func(b []byte, v any) []byte {
+			return codec.AppendUvarint(b, v.(msgConfigReq).Epoch)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgConfigReq{Epoch: r.Uvarint()}
+			return m, r.Err()
+		})
+	reg.Register(tagSnapReq, msgSnapReq{},
+		func(b []byte, v any) []byte {
+			m := v.(msgSnapReq)
+			b = codec.AppendUvarint(b, m.Epoch)
+			return codec.AppendUvarint(b, m.Seq)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgSnapReq{Epoch: r.Uvarint(), Seq: r.Uvarint()}
+			return m, r.Err()
+		})
+	reg.Register(tagSnapReply, msgSnapReply{},
+		func(b []byte, v any) []byte {
+			m := v.(msgSnapReply)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, uint64(len(m.Keys)))
+			for i, k := range m.Keys {
+				b = codec.AppendString(b, k)
+				b = codec.AppendUvarint(b, m.Vers[i].Counter)
+				b = codec.AppendUvarint(b, uint64(m.Vers[i].Writer))
+				b = codec.AppendString(b, m.Vals[i])
+			}
+			return b
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgSnapReply{Seq: r.Uvarint()}
+			if n, ok := batchLen(r); ok {
+				m.Keys = make([]string, n)
+				m.Vers = make([]Version, n)
+				m.Vals = make([]string, n)
+				for i := range m.Keys {
+					m.Keys[i] = r.String()
+					m.Vers[i].Counter = r.Uvarint()
+					m.Vers[i].Writer = cluster.NodeID(r.Uvarint())
+					m.Vals[i] = r.String()
+				}
+			}
+			return m, r.Err()
+		})
+	reg.Register(tagReconfig, msgReconfig{},
+		func(b []byte, v any) []byte {
+			m := v.(msgReconfig)
+			b = codec.AppendUvarint(b, m.Seq)
+			return codec.AppendString(b, string(m.Target))
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgReconfig{Seq: r.Uvarint(), Target: []byte(r.String())}
+			return m, r.Err()
+		})
+	reg.Register(tagReconfigDone, msgReconfigDone{},
+		func(b []byte, v any) []byte {
+			m := v.(msgReconfigDone)
+			b = codec.AppendUvarint(b, m.Seq)
+			b = codec.AppendUvarint(b, m.Epoch)
+			return codec.AppendString(b, m.Err)
+		},
+		func(data []byte) (any, error) {
+			r := codec.NewReader(data)
+			m := msgReconfigDone{Seq: r.Uvarint(), Epoch: r.Uvarint(), Err: r.String()}
 			return m, r.Err()
 		})
 }
@@ -157,39 +289,59 @@ func batchLen(r *codec.Reader) (int, bool) {
 // for seeding fuzz corpora over the real registry (see internal/codec's
 // seed-corpus test).
 func WireSamples() []any {
+	sampleOld := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 9)}
+	sampleNew := epoch.Params{Flavor: epoch.FlavorHGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+	joint := epoch.Config{Epoch: 2, Cur: sampleNew, Old: &sampleOld}
 	return []any{
-		msgReadVersion{Seq: 7},
-		msgVersionReply{Seq: 7, Version: Version{Counter: 3, Writer: 2}, Value: "v3"},
-		msgWrite{Seq: 8, Version: Version{Counter: 4, Writer: 1}, Value: "v4"},
-		msgWriteAck{Seq: 8},
-		msgReadBatch{Seq: 9, Keys: []string{"", "k1", "k2"}},
+		msgReadVersion{Epoch: 1, Seq: 7},
+		msgVersionReply{Epoch: 1, Seq: 7, Version: Version{Counter: 3, Writer: 2}, Value: "v3"},
+		msgWrite{Epoch: 1, Seq: 8, Version: Version{Counter: 4, Writer: 1}, Value: "v4"},
+		msgWriteAck{Epoch: 1, Seq: 8},
+		msgReadBatch{Epoch: 2, Seq: 9, Keys: []string{"", "k1", "k2"}},
 		msgReadBatchReply{
-			Seq:  9,
-			Vers: []Version{{Counter: 1, Writer: 0}, {}, {Counter: 5, Writer: 3}},
-			Vals: []string{"a", "", "c"},
+			Epoch: 2,
+			Seq:   9,
+			Vers:  []Version{{Counter: 1, Writer: 0}, {}, {Counter: 5, Writer: 3}},
+			Vals:  []string{"a", "", "c"},
 		},
 		msgWriteBatch{
-			Seq:  10,
-			Keys: []string{"k1", "k2"},
-			Vers: []Version{{Counter: 6, Writer: 1}, {Counter: 7, Writer: 2}},
-			Vals: []string{"x", "y"},
+			Epoch: 2,
+			Seq:   10,
+			Keys:  []string{"k1", "k2"},
+			Vers:  []Version{{Counter: 6, Writer: 1}, {Counter: 7, Writer: 2}},
+			Vals:  []string{"x", "y"},
 		},
+		msgConfigPush{Seq: 11, Cfg: joint.Encode(nil)},
+		msgConfigAck{Seq: 11, Epoch: 2, Fp: joint.Fingerprint()},
+		msgStaleEpoch{Seq: 12, Cfg: joint.Encode(nil)},
+		msgConfigReq{Epoch: 2},
+		msgSnapReq{Epoch: 2, Seq: 13},
+		msgSnapReply{
+			Seq:  13,
+			Keys: []string{"", "k1"},
+			Vers: []Version{{Counter: 2, Writer: 4}, {Counter: 9, Writer: 0}},
+			Vals: []string{"r", "s"},
+		},
+		msgReconfig{Seq: 1, Target: sampleNew.Encode(nil)},
+		msgReconfigDone{Seq: 1, Epoch: 3, Err: ""},
 	}
 }
 
-// appendVersioned encodes the common {Seq, Version, Value} payload shared
-// by msgVersionReply and msgWrite.
-func appendVersioned(b []byte, seq uint64, ver Version, val string) []byte {
+// appendVersioned encodes the common {Epoch, Seq, Version, Value} payload
+// shared by msgVersionReply and msgWrite.
+func appendVersioned(b []byte, ep, seq uint64, ver Version, val string) []byte {
+	b = codec.AppendUvarint(b, ep)
 	b = codec.AppendUvarint(b, seq)
 	b = codec.AppendUvarint(b, ver.Counter)
 	b = codec.AppendUvarint(b, uint64(ver.Writer))
 	return codec.AppendString(b, val)
 }
 
-func readVersioned(r *codec.Reader) (seq uint64, ver Version, val string) {
+func readVersioned(r *codec.Reader) (ep, seq uint64, ver Version, val string) {
+	ep = r.Uvarint()
 	seq = r.Uvarint()
 	ver.Counter = r.Uvarint()
 	ver.Writer = cluster.NodeID(r.Uvarint())
 	val = r.String()
-	return seq, ver, val
+	return ep, seq, ver, val
 }

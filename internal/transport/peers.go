@@ -1,0 +1,79 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hquorum/internal/cluster"
+)
+
+// LoadPeers parses a peers file — one "id host:port" line per node, blank
+// lines and #-comments ignored — into an address book for Connect. It is
+// the one place the deployment commands (kvd, quorumctl reconfig) agree on
+// what a cluster description looks like.
+func LoadPeers(path string) (map[cluster.NodeID]string, error) {
+	if path == "" {
+		return nil, fmt.Errorf("missing peers file")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	peers := make(map[cluster.NodeID]string)
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("line %d: want 'id host:port'", line)
+		}
+		id, err := strconv.Atoi(fields[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("line %d: bad id %q", line, fields[0])
+		}
+		if _, dup := peers[cluster.NodeID(id)]; dup {
+			return nil, fmt.Errorf("line %d: duplicate id %d", line, id)
+		}
+		peers[cluster.NodeID(id)] = fields[1]
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("no peers in %s", path)
+	}
+	return peers, nil
+}
+
+// PeerIDs returns the address book's node IDs, sorted ascending — the
+// default member list for a config built over a peers file.
+func PeerIDs(peers map[cluster.NodeID]string) []cluster.NodeID {
+	out := make([]cluster.NodeID, 0, len(peers))
+	for id := range peers {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// IDSpace returns the global ID space implied by an address book: the
+// highest peer ID plus one.
+func IDSpace(peers map[cluster.NodeID]string) int {
+	space := 0
+	for id := range peers {
+		if int(id)+1 > space {
+			space = int(id) + 1
+		}
+	}
+	return space
+}

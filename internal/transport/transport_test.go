@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"fmt"
 	"net"
 	"sync"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"hquorum/internal/cluster"
 	"hquorum/internal/dmutex"
+	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/htriang"
@@ -594,6 +596,115 @@ func TestBinaryAndGobWireAgree(t *testing.T) {
 	if bin[2].Value != "w2" || gob[2].Value != "w2" {
 		t.Fatalf("reads returned %q (binary) / %q (gob), want w2", bin[2].Value, gob[2].Value)
 	}
+}
+
+// TestReconfigOverTCP is the acceptance scenario live: a 16-replica
+// loopback-TCP cluster running majority quorums swaps to the h-T-grid
+// while a sequential write/read workload is in flight, driven by the same
+// ReconfigClient that backs `quorumctl reconfig`. Every operation must
+// complete, every read must observe its preceding write (linearizable
+// across the epoch boundary for this single-writer history), and every
+// replica must settle on the stable target config at epoch 3.
+func TestReconfigOverTCP(t *testing.T) {
+	rkv.RegisterWire(Register)
+	initial := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 16)}
+	target := epoch.Params{Flavor: epoch.FlavorHTGrid, Rows: 4, Cols: 4, Members: epoch.MemberRange(0, 16)}
+
+	const pairs = 20
+	var mu sync.Mutex
+	var results []rkv.Result
+	var stores []*epoch.Store
+	var replicas []*rkv.Node
+	handlers := make([]cluster.Handler, 17)
+	for i := 0; i < 16; i++ {
+		var ops []rkv.Op
+		if i == 0 {
+			for j := 0; j < pairs; j++ {
+				ops = append(ops,
+					rkv.Op{Kind: rkv.OpWrite, Value: fmt.Sprintf("v%03d", j)},
+					rkv.Op{Kind: rkv.OpRead})
+			}
+		}
+		es, err := epoch.NewStore(16, initial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rn, err := rkv.NewNode(cluster.NodeID(i), rkv.Config{
+			Epochs: es,
+			Ops:    ops,
+			OnResult: func(r rkv.Result) {
+				mu.Lock()
+				results = append(results, r)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		handlers[i] = rn
+		stores = append(stores, es)
+		replicas = append(replicas, rn)
+	}
+
+	// The reconfiguration client is node 16 — outside the member set, like
+	// a quorumctl process with its own peers-file entry. Node 1
+	// coordinates, so the swap and the workload drive different replicas.
+	swapped := make(chan struct{})
+	var rcEpoch uint64
+	var rcErr string
+	client := rkv.NewReconfigClient(1, target, 500*time.Millisecond, func(e uint64, errText string) {
+		rcEpoch, rcErr = e, errText
+		close(swapped)
+	})
+	handlers[16] = client
+
+	mesh, err := NewMesh(handlers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mesh.Close()
+	mesh.Start()
+	mesh.Node(0).Kick(0, replicas[0].StartToken())
+	mesh.Node(16).Kick(0, client.StartToken())
+
+	waitFor(t, 30*time.Second, func() bool {
+		select {
+		case <-swapped:
+		default:
+			return false
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		return len(results) == 2*pairs
+	})
+	if rcErr != "" {
+		t.Fatalf("reconfiguration failed: %s", rcErr)
+	}
+	if rcEpoch != 3 {
+		t.Fatalf("reconfiguration settled at epoch %d, want 3", rcEpoch)
+	}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("op %d failed across the swap: %v", r.OpID, r.Err)
+		}
+	}
+	// Window 1 keeps the workload sequential, so results arrive in op
+	// order: each read must return the value written just before it.
+	for i := 1; i < len(results); i += 2 {
+		if want := fmt.Sprintf("v%03d", i/2); results[i].Value != want {
+			t.Fatalf("read %d returned %q, want %q", i/2, results[i].Value, want)
+		}
+	}
+	// Every replica — not just the finalize quorum — catches up to the
+	// stable target config via the coordinator's best-effort pushes.
+	waitFor(t, 10*time.Second, func() bool {
+		for _, es := range stores {
+			if snap := es.Snapshot(); snap.Joint() || snap.Epoch != 3 || !snap.Cur.Equal(target) {
+				return false
+			}
+		}
+		return true
+	})
 }
 
 // TestMemMesh: the in-process mesh runs the same protocols with no

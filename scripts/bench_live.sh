@@ -11,6 +11,10 @@
 #                  round                                    (batched multi-key)
 #   mem/w8         in-process channels, window of 8         (no-syscall ceiling)
 #   mem/w8/k64b8   batched multi-key at the mem ceiling
+#   tcp/w8/rc      window 8 with a live majority→h-T-grid
+#                  reconfiguration a quarter of the way in  (steady state
+#                  after the swap; the cell also reports pre/post split
+#                  throughput and the transition error count)
 #
 # plus the per-batch-size sweep tcp/w8/k64b{1,2,4,8,16} and the
 # per-key-count sweep tcp/w8/k{1,4,16,64,256}b8, and reports ops/sec with

@@ -14,8 +14,10 @@ go test -race ./internal/analysis/...
 # run them under the race detector too. rkv's sharded replica store and
 # batched rounds (shards.go / batch_test.go) are exercised from multiple
 # transport reader goroutines via the fast path, so the rkv and transport
-# entries here are load-bearing for the multi-key engine.
-go test -race ./internal/dmutex/... ./internal/rkv/... ./internal/transport/... ./internal/nemesis/... ./internal/history/...
+# entries here are load-bearing for the multi-key engine. The epoch store
+# is read on replica fast paths while coordinators install configs, so it
+# races under real concurrency too.
+go test -race ./internal/epoch/... ./internal/dmutex/... ./internal/rkv/... ./internal/transport/... ./internal/nemesis/... ./internal/history/...
 # The live-path engine's codec and histogram are shared by concurrent
 # transport readers/writers and per-worker recorders: race them too.
 go test -race ./internal/codec/... ./internal/histo/...
