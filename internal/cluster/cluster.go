@@ -62,6 +62,18 @@ func WithDropRate(p float64) Option {
 	return func(n *Network) { n.dropRate = p }
 }
 
+// WithLinkLatency adds a per-link one-way delay on top of the base
+// jittered latency: a message from a to b arrives after
+// jitter(latMin..latMax) + fn(a, b). The function models a WAN topology
+// (e.g. a region-to-region latency matrix); it must be pure — the
+// simulation may call it any number of times — and fn(a, a) applies to
+// self-sends too (return 0 for the usual loopback). Determinism is
+// preserved: the delay depends only on the link, and the seeded jitter
+// stream is unchanged.
+func WithLinkLatency(fn func(from, to NodeID) time.Duration) Option {
+	return func(n *Network) { n.linkLat = fn }
+}
+
 // WithFIFO controls per-link FIFO ordering (default true, modeling
 // TCP-like channels: messages between the same ordered pair of nodes are
 // delivered in send order). Disable it to expose protocols to message
@@ -77,6 +89,7 @@ type Network struct {
 	latMax   time.Duration
 	dropRate float64
 	fifo     bool
+	linkLat  func(from, to NodeID) time.Duration
 
 	rng      *rand.Rand
 	now      time.Duration
@@ -246,6 +259,11 @@ func (n *Network) send(from, to NodeID, msg any) {
 	delay := n.latMin
 	if n.latMax > n.latMin {
 		delay += time.Duration(n.rng.Int63n(int64(n.latMax - n.latMin)))
+	}
+	if n.linkLat != nil {
+		if d := n.linkLat(from, to); d > 0 {
+			delay += d
+		}
 	}
 	at := n.now + delay
 	if n.fifo {

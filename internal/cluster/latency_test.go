@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// stampHandler records virtual delivery times.
+type stampHandler struct{ at []time.Duration }
+
+func (h *stampHandler) Deliver(env Env, from NodeID, msg any) { h.at = append(h.at, env.Now()) }
+func (h *stampHandler) Timer(env Env, token any)              { env.Send(token.(NodeID), "m") }
+
+// TestLinkLatencyAdds: a per-link delay shifts delivery by at least that
+// much on the configured link and not at all elsewhere, and the jitter
+// stream stays deterministic under the same seed.
+func TestLinkLatencyAdds(t *testing.T) {
+	const wan = 25 * time.Millisecond
+	run := func(withWAN bool) (slow, fast []time.Duration) {
+		opts := []Option{WithSeed(9), WithLatency(time.Millisecond, 2*time.Millisecond)}
+		if withWAN {
+			opts = append(opts, WithLinkLatency(func(from, to NodeID) time.Duration {
+				if from == 0 && to == 1 {
+					return wan
+				}
+				return 0
+			}))
+		}
+		n := New(opts...)
+		src, wanDst, lanDst := &stampHandler{}, &stampHandler{}, &stampHandler{}
+		for id, h := range map[NodeID]Handler{0: src, 1: wanDst, 2: lanDst} {
+			if err := n.AddNode(id, h); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 4; i++ {
+			n.StartTimer(0, time.Duration(i)*time.Millisecond, NodeID(1))
+			n.StartTimer(0, time.Duration(i)*time.Millisecond, NodeID(2))
+		}
+		n.RunAll()
+		return wanDst.at, lanDst.at
+	}
+	slow, fast := run(true)
+	if len(slow) != 4 || len(fast) != 4 {
+		t.Fatalf("deliveries %d/%d, want 4/4", len(slow), len(fast))
+	}
+	for i, at := range slow {
+		sent := time.Duration(i) * time.Millisecond
+		if at-sent < wan+time.Millisecond {
+			t.Fatalf("wan delivery %d at %v (sent %v), want ≥ %v later", i, at, sent, wan+time.Millisecond)
+		}
+	}
+	for i, at := range fast {
+		sent := time.Duration(i) * time.Millisecond
+		if at-sent >= wan {
+			t.Fatalf("lan delivery %d took %v — link latency leaked onto the wrong link", i, at-sent)
+		}
+	}
+	// Same seed, same schedule: the injected delay must be purely
+	// additive, leaving the jitter stream untouched.
+	slow2, fast2 := run(true)
+	if fmt.Sprint(slow, fast) != fmt.Sprint(slow2, fast2) {
+		t.Fatalf("link latency broke determinism: %v/%v vs %v/%v", slow, fast, slow2, fast2)
+	}
+	base, baseFast := run(false)
+	for i := range base {
+		if slow[i]-base[i] != wan {
+			t.Fatalf("wan delivery %d shifted by %v, want exactly %v (additive)", i, slow[i]-base[i], wan)
+		}
+		if fast[i] != baseFast[i] {
+			t.Fatalf("lan delivery %d moved (%v vs %v) — jitter stream disturbed", i, fast[i], baseFast[i])
+		}
+	}
+}

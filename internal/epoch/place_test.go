@@ -1,0 +1,115 @@
+package epoch
+
+import (
+	"testing"
+	"time"
+)
+
+// wanMatrix builds a symmetric latency matrix from a node→region map:
+// intra-region links cost intra, cross-region links cost the entry of
+// cross indexed by the two regions.
+func wanMatrix(region []int, intra time.Duration, cross [][]time.Duration) [][]time.Duration {
+	n := len(region)
+	lat := make([][]time.Duration, n)
+	for i := range lat {
+		lat[i] = make([]time.Duration, n)
+		for j := range lat[i] {
+			switch {
+			case i == j:
+				lat[i][j] = 0
+			case region[i] == region[j]:
+				lat[i][j] = intra
+			default:
+				lat[i][j] = cross[region[i]][region[j]]
+			}
+		}
+	}
+	return lat
+}
+
+// TestPlaceGridRegions scrambles a 3-region topology (8+4+4 nodes)
+// across node indices and checks that placement recovers it: every 2x2
+// block of the 4x4 grid must be region-pure, and the big region's two
+// blocks must share a band (so a full-line write quorum can stay inside
+// the region).
+func TestPlaceGridRegions(t *testing.T) {
+	// Region 0 is the 8-node "home" region; 1 and 2 are remote. The
+	// assignment deliberately interleaves regions across indices.
+	region := []int{0, 1, 2, 0, 1, 0, 0, 2, 1, 0, 0, 2, 0, 1, 2, 0}
+	cross := [][]time.Duration{
+		{0, 10 * time.Millisecond, 30 * time.Millisecond},
+		{10 * time.Millisecond, 0, 40 * time.Millisecond},
+		{30 * time.Millisecond, 40 * time.Millisecond, 0},
+	}
+	lat := wanMatrix(region, time.Millisecond, cross)
+	ids, err := PlaceGrid(lat, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node placed exactly once.
+	seen := make([]bool, 16)
+	for _, row := range ids {
+		for _, id := range row {
+			if id < 0 || id >= 16 || seen[id] {
+				t.Fatalf("bad placement %v", ids)
+			}
+			seen[id] = true
+		}
+	}
+	// Region purity of each 2x2 block, and band membership of region 0.
+	var homeBands []int
+	for _, br := range []int{0, 2} {
+		for _, bc := range []int{0, 2} {
+			reg := region[ids[br][bc]]
+			for r := br; r < br+2; r++ {
+				for c := bc; c < bc+2; c++ {
+					if region[ids[r][c]] != reg {
+						t.Fatalf("block (%d,%d) mixes regions: %v", br, bc, ids)
+					}
+				}
+			}
+			if reg == 0 {
+				homeBands = append(homeBands, br)
+			}
+		}
+	}
+	if len(homeBands) != 2 || homeBands[0] != homeBands[1] {
+		t.Fatalf("home region blocks not in one band (bands %v): %v", homeBands, ids)
+	}
+}
+
+// TestPlaceGridValidates rejects mis-shaped inputs.
+func TestPlaceGridValidates(t *testing.T) {
+	if _, err := PlaceGrid(make([][]time.Duration, 3), 2, 2); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+	bad := [][]time.Duration{{0, 0}, {0}, {0, 0}, {0, 0}}
+	if _, err := PlaceGrid(bad, 2, 2); err == nil {
+		t.Fatal("want ragged matrix error")
+	}
+	if _, err := PlaceGrid(nil, 0, 4); err == nil {
+		t.Fatal("want positive grid error")
+	}
+}
+
+// TestPlaceGridIdentity keeps an already-ordered topology in place:
+// with uniform latencies any placement is fine, but it must still be a
+// permutation and deterministic across calls.
+func TestPlaceGridIdentity(t *testing.T) {
+	lat := wanMatrix(make([]int, 16), time.Millisecond, [][]time.Duration{{0}})
+	a, err := PlaceGrid(lat, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PlaceGrid(lat, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range a {
+		for c := range a[r] {
+			if a[r][c] != b[r][c] {
+				t.Fatalf("placement not deterministic: %v vs %v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package gateway
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+
+	"hquorum/internal/rkv"
+)
+
+// ErrClosed reports a request that could not complete because the
+// connection died under it.
+var ErrClosed = errors.New("gateway: connection closed")
+
+// RemoteError is a StatusFailed response: the cluster-side operation
+// failed (no quorum, degraded, deadline) and the gateway relayed the
+// typed error's text.
+type RemoteError struct{ Text string }
+
+// Error implements error.
+func (e *RemoteError) Error() string { return "gateway: remote: " + e.Text }
+
+// Reply is a completed gateway operation.
+type Reply struct {
+	Value   string
+	Version rkv.Version
+}
+
+// Client is one gateway connection. Do may be called from any number of
+// goroutines: concurrent calls pipeline on the single connection, keyed
+// by request ID, and their writes coalesce — a dedicated writer drains
+// every queued request before flushing, so N concurrent calls cost one
+// syscall, not N. A Client holds one pending slot per in-flight call, so
+// keep concurrent calls within the gateway's ClientQueue budget or
+// expect ErrOverloaded.
+type Client struct {
+	nc     net.Conn
+	bw     *bufio.Writer // owned by writeLoop
+	wq     chan request
+	closed chan struct{} // closed once the read loop has torn down
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error // set once the read loop exits
+}
+
+// Dial connects to a gateway.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		nc:      nc,
+		bw:      bufio.NewWriterSize(nc, 4<<10),
+		wq:      make(chan request, 256),
+		closed:  make(chan struct{}),
+		pending: make(map[uint64]chan response),
+	}
+	go c.readLoop()
+	go c.writeLoop()
+	return c, nil
+}
+
+// Close drops the connection; in-flight calls fail with ErrClosed.
+func (c *Client) Close() { c.nc.Close() }
+
+// respChPool recycles Do's single-use response channels. A channel is
+// only returned to the pool after its one response has been consumed
+// (never after teardown closed it), so pooled channels are always open
+// and empty.
+var respChPool = sync.Pool{New: func() any { return make(chan response, 1) }}
+
+// Do runs one operation through the gateway and waits for its result.
+// ErrOverloaded means the gateway shed the request (back off and
+// retry); a *RemoteError means the cluster-side operation failed.
+func (c *Client) Do(op rkv.Op) (Reply, error) {
+	ch := respChPool.Get().(chan response)
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return Reply{}, err
+	}
+	c.nextID++
+	id := c.nextID
+	c.pending[id] = ch
+	c.mu.Unlock()
+
+	select {
+	case c.wq <- request{id: id, kind: op.Kind, key: op.Key, value: op.Value}:
+	case <-c.closed:
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return Reply{}, ErrClosed
+	}
+
+	resp, ok := <-ch
+	if !ok {
+		return Reply{}, ErrClosed
+	}
+	respChPool.Put(ch)
+	switch resp.status {
+	case StatusOK:
+		return Reply{Value: resp.value, Version: resp.version}, nil
+	case StatusOverloaded:
+		return Reply{}, ErrOverloaded
+	case StatusFailed:
+		return Reply{}, &RemoteError{Text: resp.errText}
+	default:
+		return Reply{}, ErrClosed
+	}
+}
+
+// writeLoop owns the buffered writer: it encodes every request already
+// queued before flushing, so pipelined callers share syscalls. On a
+// write error it drops the connection and keeps draining the queue
+// (pending slots are failed by the read loop's teardown).
+func (c *Client) writeLoop() {
+	dead := false
+	for {
+		select {
+		case req := <-c.wq:
+			if dead {
+				continue
+			}
+			if !c.pump(req) {
+				dead = true
+				c.nc.Close()
+			}
+		case <-c.closed:
+			return
+		}
+	}
+}
+
+// pump encodes req plus everything queued behind it, then flushes once.
+// Before paying for the flush syscall it yields once: callers that are
+// runnable but have not reached their enqueue yet get to add their
+// request to this flush instead of buying their own.
+func (c *Client) pump(req request) bool {
+	yielded := false
+	for {
+		if err := encodeRequest(c.bw, req); err != nil {
+			return false
+		}
+		select {
+		case req = <-c.wq:
+			continue
+		default:
+		}
+		if !yielded {
+			yielded = true
+			runtime.Gosched()
+			select {
+			case req = <-c.wq:
+				continue
+			default:
+			}
+		}
+		return c.bw.Flush() == nil
+	}
+}
+
+func (c *Client) readLoop() {
+	br := bufio.NewReaderSize(c.nc, 4<<10)
+	var cause error
+	for {
+		resp, err := decodeResponse(br)
+		if err != nil {
+			cause = ErrClosed
+			break
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[resp.id]
+		delete(c.pending, resp.id)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	c.nc.Close()
+	c.mu.Lock()
+	c.err = cause
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch) // zero-value response: Do maps it to ErrClosed
+	}
+	c.mu.Unlock()
+	close(c.closed) // releases Do senders and the write loop
+}

@@ -1,0 +1,289 @@
+package gateway
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hquorum/internal/epoch"
+	"hquorum/internal/rkv"
+)
+
+// fakeSession records submissions and hands each to fn on its own
+// goroutine (real sessions complete ops off the caller's stack too).
+type fakeSession struct {
+	mu    sync.Mutex
+	order []string // op values, in submission order
+	fn    func(n int, op rkv.Op, cb func(rkv.Result))
+}
+
+func (f *fakeSession) Submit(op rkv.Op, cb func(rkv.Result)) {
+	f.mu.Lock()
+	f.order = append(f.order, op.Value)
+	n := len(f.order)
+	fn := f.fn
+	f.mu.Unlock()
+	go fn(n, op, cb)
+}
+
+func (f *fakeSession) submitted() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]string(nil), f.order...)
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShedOverBudget floods one connection far past its pending budget
+// while the single session is stalled: the excess must come back as
+// typed ErrOverloaded sheds, and every admitted request must still
+// complete once the session resumes.
+func TestShedOverBudget(t *testing.T) {
+	release := make(chan struct{})
+	sess := &fakeSession{fn: func(_ int, op rkv.Op, cb func(rkv.Result)) {
+		<-release
+		cb(rkv.Result{Value: op.Value})
+	}}
+	s, err := Serve("127.0.0.1:0", Config{Sessions: []Session{sess}, SessionDepth: 2, ClientQueue: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const pipelined = 8
+	errs := make(chan error, pipelined)
+	for i := 0; i < pipelined; i++ {
+		go func() {
+			_, err := c.Do(rkv.Op{Kind: rkv.OpBlindWrite, Key: "k", Value: "v"})
+			errs <- err
+		}()
+	}
+	// All requests read; in-flight (2) + dispatcher's hand (1) + pending
+	// (2) bound admission at 5, so at least 3 must shed.
+	waitFor(t, "all requests read", func() bool { return s.Stats().Requests == pipelined })
+	waitFor(t, "sheds", func() bool { return s.Stats().Shed >= pipelined-5 })
+	close(release)
+
+	var ok, overloaded int
+	for i := 0; i < pipelined; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			ok++
+		case errors.Is(err, ErrOverloaded):
+			overloaded++
+		default:
+			t.Fatalf("unexpected error: %v", err)
+		}
+	}
+	if overloaded < pipelined-5 || ok+overloaded != pipelined {
+		t.Fatalf("ok=%d overloaded=%d, want all %d accounted and ≥%d shed", ok, overloaded, pipelined, pipelined-5)
+	}
+	if st := s.Stats(); st.Shed != uint64(overloaded) {
+		t.Fatalf("stats shed %d, client saw %d", st.Shed, overloaded)
+	}
+}
+
+// TestRoundRobinFairness parks six requests from a flooding connection
+// behind a stalled session, then adds one request from a second
+// connection: round-robin dispatch must interleave it near the front
+// instead of draining the flooder first.
+func TestRoundRobinFairness(t *testing.T) {
+	release := make(chan struct{})
+	sess := &fakeSession{fn: func(_ int, op rkv.Op, cb func(rkv.Result)) {
+		<-release
+		cb(rkv.Result{Value: op.Value})
+	}}
+	s, err := Serve("127.0.0.1:0", Config{Sessions: []Session{sess}, SessionDepth: 1, ClientQueue: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	flood, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer flood.Close()
+	const floodOps = 6
+	var wg sync.WaitGroup
+	for i := 0; i < floodOps; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			flood.Do(rkv.Op{Kind: rkv.OpBlindWrite, Key: "k", Value: "a"})
+		}()
+	}
+	waitFor(t, "flood requests read", func() bool { return s.Stats().Requests == floodOps })
+	waitFor(t, "first op in flight", func() bool { return len(sess.submitted()) == 1 })
+
+	polite, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer polite.Close()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		polite.Do(rkv.Op{Kind: rkv.OpBlindWrite, Key: "k", Value: "b"})
+	}()
+	waitFor(t, "polite request read", func() bool { return s.Stats().Requests == floodOps+1 })
+	time.Sleep(20 * time.Millisecond) // let the polite conn join the ready ring
+	close(release)
+	wg.Wait()
+
+	order := sess.submitted()
+	pos := -1
+	for i, v := range order {
+		if v == "b" {
+			pos = i
+		}
+	}
+	// One flood op was in flight and one sat popped in the dispatcher's
+	// hand before the polite request arrived; round-robin admits "b" on
+	// the next full turn — position 3 at the latest (0-based). FIFO
+	// draining would have put it last.
+	if pos < 0 || pos > 3 {
+		t.Fatalf("polite op dispatched at position %d of %v, want ≤3", pos, order)
+	}
+}
+
+// flakyStale fails the first submission with ErrStaleEpoch and completes
+// later ones.
+func flakyStale() *fakeSession {
+	f := &fakeSession{}
+	f.fn = func(n int, op rkv.Op, cb func(rkv.Result)) {
+		if n == 1 {
+			cb(rkv.Result{Err: epoch.ErrStaleEpoch})
+			return
+		}
+		cb(rkv.Result{Value: "fresh"})
+	}
+	return f
+}
+
+// TestRetryReadOnStaleEpoch: a read failed by a mid-reconfig session is
+// transparently resubmitted and succeeds.
+func TestRetryReadOnStaleEpoch(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Config{Sessions: []Session{flakyStale()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Do(rkv.Op{Kind: rkv.OpRead, Key: "k"})
+	if err != nil || rep.Value != "fresh" {
+		t.Fatalf("got (%+v, %v), want transparent retry success", rep, err)
+	}
+	if st := s.Stats(); st.Retries != 1 || st.Failed != 0 {
+		t.Fatalf("stats %+v, want 1 retry and no failures", st)
+	}
+}
+
+// TestWriteNotRetried: the same stale-epoch failure on a write surfaces
+// as a typed remote failure — a maybe-applied write must not re-execute.
+func TestWriteNotRetried(t *testing.T) {
+	s, err := Serve("127.0.0.1:0", Config{Sessions: []Session{flakyStale()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do(rkv.Op{Kind: rkv.OpWrite, Key: "k", Value: "v"})
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Text, "stale") {
+		t.Fatalf("got %v, want remote stale-epoch failure", err)
+	}
+	if st := s.Stats(); st.Retries != 0 || st.Failed != 1 {
+		t.Fatalf("stats %+v, want no retries and 1 failure", st)
+	}
+}
+
+// TestWatchdogFailsOverDeadSession: a session that never calls back
+// (dead coordinator) trips the per-op watchdog; the read retries on the
+// healthy session and the dead one is quarantined out of the rotation.
+func TestWatchdogFailsOverDeadSession(t *testing.T) {
+	dead := &fakeSession{fn: func(int, rkv.Op, func(rkv.Result)) {}}
+	live := &fakeSession{fn: func(_ int, op rkv.Op, cb func(rkv.Result)) {
+		cb(rkv.Result{Value: "live"})
+	}}
+	s, err := Serve("127.0.0.1:0", Config{
+		Sessions:  []Session{dead, live},
+		OpTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	rep, err := c.Do(rkv.Op{Kind: rkv.OpRead, Key: "k"}) // slot 0 → dead
+	if err != nil || rep.Value != "live" {
+		t.Fatalf("got (%+v, %v), want failover to live session", rep, err)
+	}
+	if st := s.Stats(); st.Retries != 1 {
+		t.Fatalf("stats %+v, want exactly 1 session-lost retry", st)
+	}
+	// The dead session is quarantined: the next slot-0 request must skip
+	// it and succeed immediately.
+	before := len(dead.submitted())
+	if _, err := c.Do(rkv.Op{Kind: rkv.OpRead, Key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(dead.submitted()); got != before {
+		t.Fatalf("quarantined session saw %d new submissions", got-before)
+	}
+}
+
+// TestWatchdogWriteFailsTyped: a write lost in a dead session comes back
+// as a typed session-lost failure (at-most-once), never a retry.
+func TestWatchdogWriteFailsTyped(t *testing.T) {
+	dead := &fakeSession{fn: func(int, rkv.Op, func(rkv.Result)) {}}
+	s, err := Serve("127.0.0.1:0", Config{
+		Sessions:  []Session{dead},
+		OpTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := Dial(s.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	_, err = c.Do(rkv.Op{Kind: rkv.OpBlindWrite, Key: "k", Value: "v"})
+	var remote *RemoteError
+	if !errors.As(err, &remote) || !strings.Contains(remote.Text, "session lost") {
+		t.Fatalf("got %v, want typed session-lost failure", err)
+	}
+	if st := s.Stats(); st.Retries != 0 || st.Failed != 1 {
+		t.Fatalf("stats %+v, want no retries and 1 failure", st)
+	}
+}

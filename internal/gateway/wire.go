@@ -1,0 +1,174 @@
+// Gateway client protocol: a deliberately tiny request/response wire,
+// self-delimiting varint records over one TCP connection per client.
+// Clients are cheap — a connection costs the gateway a read goroutine,
+// a write goroutine and a bounded queue — while all quorum machinery
+// (windows, batches, epochs) lives in the shared sessions behind the
+// gateway. Requests carry a client-chosen ID echoed on the response, so
+// a client may pipeline any number of requests (up to the gateway's
+// shed threshold) on one connection.
+package gateway
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/rkv"
+)
+
+// Response statuses.
+const (
+	StatusOK         = 0 // operation completed; version and value follow
+	StatusFailed     = 1 // operation failed (typed text follows): cluster unhealthy, deadline
+	StatusOverloaded = 2 // shed before execution: client exceeded its pending budget
+)
+
+// maxStringLen bounds decoded keys, values and error texts — a frame
+// claiming more is a corrupt or hostile stream, not a big record.
+const maxStringLen = 1 << 20
+
+// request is one client operation in flight through the gateway.
+type request struct {
+	id    uint64
+	kind  rkv.OpKind
+	key   string
+	value string
+}
+
+// response carries a completed (or shed) request back to the client.
+type response struct {
+	id      uint64
+	status  byte
+	version rkv.Version
+	value   string
+	errText string
+}
+
+// writeUvarint emits v byte-by-byte: WriteByte never escapes its
+// argument, whereas a stack varint buffer passed to bw.Write escapes
+// through the io.Writer interface and costs a heap allocation per call.
+func writeUvarint(bw *bufio.Writer, v uint64) error {
+	for v >= 0x80 {
+		if err := bw.WriteByte(byte(v) | 0x80); err != nil {
+			return err
+		}
+		v >>= 7
+	}
+	return bw.WriteByte(byte(v))
+}
+
+func writeString(bw *bufio.Writer, s string) error {
+	if err := writeUvarint(bw, uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := bw.WriteString(s)
+	return err
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("gateway: string length %d exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func encodeRequest(bw *bufio.Writer, r request) error {
+	if err := writeUvarint(bw, r.id); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(byte(r.kind)); err != nil {
+		return err
+	}
+	if err := writeString(bw, r.key); err != nil {
+		return err
+	}
+	return writeString(bw, r.value)
+}
+
+func decodeRequest(br *bufio.Reader) (request, error) {
+	var r request
+	var err error
+	if r.id, err = binary.ReadUvarint(br); err != nil {
+		return r, err
+	}
+	k, err := br.ReadByte()
+	if err != nil {
+		return r, err
+	}
+	r.kind = rkv.OpKind(k)
+	switch r.kind {
+	case rkv.OpRead, rkv.OpWrite, rkv.OpBlindWrite:
+	default:
+		return r, fmt.Errorf("gateway: unknown op kind %d", k)
+	}
+	if r.key, err = readString(br); err != nil {
+		return r, err
+	}
+	r.value, err = readString(br)
+	return r, err
+}
+
+func encodeResponse(bw *bufio.Writer, r response) error {
+	if err := writeUvarint(bw, r.id); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(r.status); err != nil {
+		return err
+	}
+	switch r.status {
+	case StatusOK:
+		if err := writeUvarint(bw, r.version.Counter); err != nil {
+			return err
+		}
+		if err := writeUvarint(bw, uint64(r.version.Writer)); err != nil {
+			return err
+		}
+		return writeString(bw, r.value)
+	case StatusFailed:
+		return writeString(bw, r.errText)
+	default:
+		return nil
+	}
+}
+
+func decodeResponse(br *bufio.Reader) (response, error) {
+	var r response
+	var err error
+	if r.id, err = binary.ReadUvarint(br); err != nil {
+		return r, err
+	}
+	if r.status, err = br.ReadByte(); err != nil {
+		return r, err
+	}
+	switch r.status {
+	case StatusOK:
+		c, err := binary.ReadUvarint(br)
+		if err != nil {
+			return r, err
+		}
+		w, err := binary.ReadUvarint(br)
+		if err != nil {
+			return r, err
+		}
+		r.version = rkv.Version{Counter: c, Writer: cluster.NodeID(w)}
+		r.value, err = readString(br)
+		return r, err
+	case StatusFailed:
+		r.errText, err = readString(br)
+		return r, err
+	case StatusOverloaded:
+		return r, nil
+	default:
+		return r, fmt.Errorf("gateway: unknown response status %d", r.status)
+	}
+}

@@ -1,0 +1,77 @@
+package gateway
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"hquorum/internal/rkv"
+)
+
+// TestWireRoundtrip pushes every request/response shape through one
+// buffer and checks field-for-field equality on the far side.
+func TestWireRoundtrip(t *testing.T) {
+	reqs := []request{
+		{id: 1, kind: rkv.OpRead, key: "k"},
+		{id: 1 << 40, kind: rkv.OpWrite, key: "a key", value: "a value"},
+		{id: 0, kind: rkv.OpBlindWrite, key: "", value: ""},
+	}
+	resps := []response{
+		{id: 1, status: StatusOK, version: rkv.Version{Counter: 7, Writer: 3}, value: "v"},
+		{id: 2, status: StatusFailed, errText: "no quorum"},
+		{id: 3, status: StatusOverloaded},
+	}
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	for _, r := range reqs {
+		if err := encodeRequest(bw, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range resps {
+		if err := encodeResponse(bw, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(&buf)
+	for i, want := range reqs {
+		got, err := decodeRequest(br)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("request %d: got %+v want %+v", i, got, want)
+		}
+	}
+	for i, want := range resps {
+		got, err := decodeResponse(br)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("response %d: got %+v want %+v", i, got, want)
+		}
+	}
+}
+
+// TestWireRejectsGarbage: unknown op kinds and statuses must error, not
+// silently pass through.
+func TestWireRejectsGarbage(t *testing.T) {
+	var buf bytes.Buffer
+	bw := bufio.NewWriter(&buf)
+	if err := encodeRequest(bw, request{id: 1, kind: rkv.OpKind(99), key: "k"}); err != nil {
+		t.Fatal(err)
+	}
+	bw.Flush()
+	if _, err := decodeRequest(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("want unknown-kind error")
+	}
+	buf.Reset()
+	buf.Write([]byte{1, 77}) // id 1, status 77
+	if _, err := decodeResponse(bufio.NewReader(&buf)); err == nil {
+		t.Fatal("want unknown-status error")
+	}
+}

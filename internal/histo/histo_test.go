@@ -229,3 +229,42 @@ func BenchmarkQuantile(b *testing.B) {
 		h.Quantile(0.99)
 	}
 }
+
+// TestMergeManyClients folds a gateway-scale fan of per-client
+// histograms — skewed so clients see very different latency ranges —
+// into one, and checks it is indistinguishable from a histogram that
+// saw every sample directly. This is the loadgen merge path at 1000+
+// clients: tail quantiles must survive the fold exactly.
+func TestMergeManyClients(t *testing.T) {
+	const clients = 1000
+	rng := rand.New(rand.NewSource(12))
+	merged, direct := New(), New()
+	for c := 0; c < clients; c++ {
+		h := New()
+		// Each client's base latency differs by two orders of magnitude;
+		// a few clients contribute nothing (connected, never completed).
+		if c%97 == 0 {
+			merged.Merge(h)
+			continue
+		}
+		base := int64(1000) << uint(c%8)
+		for i := 0; i < 20; i++ {
+			v := base + rng.Int63n(base)
+			h.Record(v)
+			direct.Record(v)
+		}
+		merged.Merge(h)
+	}
+	if merged.Count() != direct.Count() || merged.Min() != direct.Min() || merged.Max() != direct.Max() {
+		t.Fatalf("fold mismatch: count %d/%d min %d/%d max %d/%d",
+			merged.Count(), direct.Count(), merged.Min(), direct.Min(), merged.Max(), direct.Max())
+	}
+	if merged.Mean() != direct.Mean() {
+		t.Fatalf("fold mean %v, direct %v", merged.Mean(), direct.Mean())
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		if merged.Quantile(q) != direct.Quantile(q) {
+			t.Fatalf("q=%v: folded %d, direct %d", q, merged.Quantile(q), direct.Quantile(q))
+		}
+	}
+}

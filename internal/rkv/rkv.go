@@ -34,8 +34,10 @@
 package rkv
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -346,11 +348,30 @@ type Config struct {
 	// finishing before the first fault lands.
 	OpGap time.Duration
 	// OnInvoke observes operation starts (history recording). opID is the
-	// operation's index in Ops, matching Result.OpID.
+	// operation's index in Ops, matching Result.OpID. Externally submitted
+	// operations (Submit) are not reported here — their observer is the
+	// per-op callback.
 	OnInvoke func(node cluster.NodeID, opID int, kind OpKind, key, value string, at time.Duration)
 	// OnResult observes completed and failed operations.
 	OnResult func(Result)
+	// PickCost, when non-empty, is a per-member round-trip cost estimate
+	// indexed by global node ID (e.g. a measured or modeled one-way link
+	// latency ×2). Together with PickSamples it makes quorum picks
+	// latency-aware: each pick draws PickSamples candidate quorums and
+	// keeps the cheapest, where a quorum's cost is the cost of its
+	// slowest member (a quorum round completes when the slowest member
+	// answers), with the total cost as tie-break. Missing entries count
+	// as zero. The pick cache composes: the cheap pick is what gets
+	// cached and reused while the view is unchanged.
+	PickCost []time.Duration
+	// PickSamples is the number of candidate quorums drawn per pick when
+	// PickCost is set (default 1: no sampling; useful values 4-16).
+	PickSamples int
 }
+
+// ErrRestarted reports an externally submitted operation abandoned
+// because its coordinator node was crash-restarted mid-round.
+var ErrRestarted = errors.New("rkv: coordinator restarted")
 
 // phase of an in-flight client round.
 type phase int
@@ -362,15 +383,26 @@ const (
 
 // subOp is one workload operation inside a batch round.
 type subOp struct {
-	id     int    // index in cfg.Ops
+	id     int    // index in cfg.Ops (external ops: a per-node ext counter)
 	kind   OpKind //
 	key    string
 	value  string // for writes: the value to install
 	needP1 bool   // participates in the version-read phase
 	done   bool   // result already reported (plain reads finish at phase 1)
 
+	// cb, when non-nil, receives this sub-operation's Result instead of
+	// Config.OnResult (externally submitted ops, see Submit). Callbacks
+	// run on the node's event goroutine and must not block.
+	cb func(Result)
+
 	bestVer Version // highest version observed (reads) or stamped (writes)
 	bestVal string
+}
+
+// extOp is an externally submitted operation waiting to be launched.
+type extOp struct {
+	op Op
+	cb func(Result)
 }
 
 // opState is one in-flight batch round: up to Config.Batch sub-operations
@@ -449,6 +481,17 @@ type Node struct {
 	suspectAt []time.Duration // when each suspicion was recorded
 	picks     [2]pickCache    // cached read [0] / write [1] quorum
 
+	// External submission (Submit): extQ is the producer side, appended
+	// under extMu from any goroutine; the event loop drains it into
+	// extRun (event-goroutine-only) and launches from there. extKick
+	// collapses concurrent wakes into one.
+	extMu   sync.Mutex
+	extQ    []extOp
+	extKick bool
+	wake    func()
+	extRun  []extOp
+	extSeq  int // ids handed to external subOps (distinct id space from Ops)
+
 	// rc is the reconfiguration coordinator's state machine (see
 	// reconfig.go); zero while no reconfiguration is being driven.
 	rc reconfigState
@@ -509,8 +552,12 @@ func (n *Node) Start(net *cluster.Network) error {
 	return net.StartTimer(n.id, 0, tokenNextOp{})
 }
 
-// Done reports whether the workload completed.
-func (n *Node) Done() bool { return n.nextOp >= len(n.cfg.Ops) && len(n.inflight) == 0 }
+// Done reports whether the workload completed (static ops plus any
+// already-drained external submissions; ops still queueing in Submit's
+// producer buffer arrive with their own wake).
+func (n *Node) Done() bool {
+	return n.nextOp >= len(n.cfg.Ops) && len(n.inflight) == 0 && len(n.extRun) == 0
+}
 
 // Inflight returns the number of client rounds currently executing.
 func (n *Node) Inflight() int { return len(n.inflight) }
@@ -520,6 +567,50 @@ func (n *Node) Inflight() int { return len(n.inflight) }
 func (n *Node) Enqueue(ops ...Op) {
 	n.cfg.Ops = append(n.cfg.Ops, ops...)
 }
+
+// SetWake installs the function Submit uses to wake the node's event
+// loop (e.g. scheduling the node's StartToken on its transport). Call it
+// once, before the first Submit; the wake function must be safe to call
+// from any goroutine.
+func (n *Node) SetWake(fn func()) { n.wake = fn }
+
+// Submit hands the node one client operation from outside its event
+// loop. It is safe to call from any goroutine. The operation joins the
+// same windowed, batched op machinery as the static workload — external
+// ops coalesce with each other into batch rounds — and cb receives the
+// Result (on the event goroutine: it must not block). Ordering between
+// Submit calls from different goroutines is whatever the lock hands
+// out; a caller that needs sequential semantics must wait for cb before
+// submitting again.
+func (n *Node) Submit(op Op, cb func(Result)) {
+	n.extMu.Lock()
+	n.extQ = append(n.extQ, extOp{op: op, cb: cb})
+	kick := !n.extKick
+	n.extKick = true
+	wake := n.wake
+	n.extMu.Unlock()
+	if kick && wake != nil {
+		wake()
+	}
+}
+
+// drainExt moves externally submitted ops to the event-loop-only run
+// queue. Resetting extKick here re-arms the wake: a Submit racing with
+// this drain either lands in the batch we just took or issues a fresh
+// wake for the next one.
+func (n *Node) drainExt() {
+	n.extMu.Lock()
+	if len(n.extQ) > 0 {
+		n.extRun = append(n.extRun, n.extQ...)
+		n.extQ = n.extQ[:0]
+	}
+	n.extKick = false
+	n.extMu.Unlock()
+}
+
+// extPending reports event-loop-visible external work (launch-side only;
+// extQ is counted when its wake fires).
+func (n *Node) extPending() bool { return len(n.extRun) > 0 }
 
 // Value returns the replica's stored value and version for the classic
 // register (key ""), for tests.
@@ -729,12 +820,14 @@ func (n *Node) onStaleEpoch(env cluster.Env, m msgStaleEpoch) {
 // launchNext starts workload rounds while the window has room. With a
 // positive OpGap launches are spaced one per timer tick, keeping chaos
 // workloads stretched across their fault schedule; without a gap the
-// window fills immediately.
+// window fills immediately. Externally submitted ops (Submit) are
+// drained first and take priority over the static workload.
 func (n *Node) launchNext(env cluster.Env) {
-	for n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
+	n.drainExt()
+	for (n.extPending() || n.nextOp < len(n.cfg.Ops)) && len(n.inflight) < n.cfg.Window {
 		n.launchBatch(env)
 		if n.cfg.OpGap > 0 {
-			if n.nextOp < len(n.cfg.Ops) && len(n.inflight) < n.cfg.Window {
+			if (n.extPending() || n.nextOp < len(n.cfg.Ops)) && len(n.inflight) < n.cfg.Window {
 				env.After(n.cfg.OpGap, tokenNextOp{})
 			}
 			return
@@ -785,11 +878,71 @@ func (n *Node) putOp(op *opState) {
 	n.free = append(n.free, op)
 }
 
-// launchBatch pulls up to Config.Batch consecutive workload operations
-// into one quorum round and starts its first phase.
+// launchBatch pulls up to Config.Batch consecutive operations into one
+// quorum round and starts its first phase. External ops (Submit) and
+// static workload ops never share a round: a batch is built entirely
+// from whichever queue is up, keeping the two reporting paths (per-op
+// callback vs OnInvoke/OnResult) from interleaving in one frame.
 func (n *Node) launchBatch(env cluster.Env) {
 	op := n.getOp()
 	op.started = env.Now()
+	if len(n.extRun) > 0 {
+		n.fillBatchExt(op)
+	} else {
+		n.fillBatchWorkload(env, op)
+	}
+	// Phase-1 membership and wire keys are fixed for the batch's lifetime;
+	// retries resend the same (immutable) slice.
+	for i := range op.subs {
+		if op.subs[i].needP1 {
+			op.p1Subs = append(op.p1Subs, i)
+		}
+	}
+	if len(op.p1Subs) > 0 {
+		op.p1Keys = op.p1Keys[:0]
+		for _, i := range op.p1Subs {
+			op.p1Keys = append(op.p1Keys, op.subs[i].key)
+		}
+		if n.cfg.ReadRepair {
+			op.replies = make(map[cluster.NodeID][]Version)
+		}
+		n.startReadPhase(env, op)
+		return
+	}
+	// All blind writes: straight to phase 2.
+	n.buildPhase2(op)
+	n.startWritePhase(env, op)
+}
+
+// fillBatchExt builds a round from externally submitted operations.
+func (n *Node) fillBatchExt(op *opState) {
+	k := len(n.extRun)
+	if k > n.cfg.Batch {
+		k = n.cfg.Batch
+	}
+	for j := 0; j < k; j++ {
+		e := n.extRun[j]
+		n.extSeq++
+		sub := subOp{id: n.extSeq, kind: e.op.Kind, key: e.op.Key, value: e.op.Value, cb: e.cb}
+		switch e.op.Kind {
+		case OpRead, OpWrite:
+			sub.needP1 = true
+		case OpBlindWrite:
+			sub.bestVer = Version{Counter: n.nextClock(), Writer: n.id}
+			sub.bestVal = e.op.Value
+		}
+		op.subs = append(op.subs, sub)
+	}
+	rest := copy(n.extRun, n.extRun[k:])
+	for i := rest; i < len(n.extRun); i++ {
+		n.extRun[i] = extOp{} // drop the callback reference
+	}
+	n.extRun = n.extRun[:rest]
+}
+
+// fillBatchWorkload pulls up to Config.Batch consecutive static
+// workload operations.
+func (n *Node) fillBatchWorkload(env cluster.Env, op *opState) {
 	k := len(n.cfg.Ops) - n.nextOp
 	if k > n.cfg.Batch {
 		k = n.cfg.Batch
@@ -815,27 +968,6 @@ func (n *Node) launchBatch(env cluster.Env) {
 			n.cfg.OnInvoke(n.id, sub.id, spec.Kind, spec.Key, value, env.Now())
 		}
 	}
-	// Phase-1 membership and wire keys are fixed for the batch's lifetime;
-	// retries resend the same (immutable) slice.
-	for i := range op.subs {
-		if op.subs[i].needP1 {
-			op.p1Subs = append(op.p1Subs, i)
-		}
-	}
-	if len(op.p1Subs) > 0 {
-		op.p1Keys = op.p1Keys[:0]
-		for _, i := range op.p1Subs {
-			op.p1Keys = append(op.p1Keys, op.subs[i].key)
-		}
-		if n.cfg.ReadRepair {
-			op.replies = make(map[cluster.NodeID][]Version)
-		}
-		n.startReadPhase(env, op)
-		return
-	}
-	// All blind writes: straight to phase 2.
-	n.buildPhase2(op)
-	n.startWritePhase(env, op)
 }
 
 // rekey gives op a fresh attempt sequence number and files it in the op
@@ -1005,12 +1137,12 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 		c.q.CopyInto(&op.quorum)
 		return nil
 	}
-	q, err := pick(env.Rand(), n.suspects.Complement())
+	q, err := n.samplePick(env, pick, n.suspects.Complement())
 	if err != nil {
 		op.sawNoQuorum = true
 		n.suspects.Clear()
 		n.invalidatePicks()
-		q, err = pick(env.Rand(), bitset.Universe(n.cfg.Store.Universe()))
+		q, err = n.samplePick(env, pick, bitset.Universe(n.cfg.Store.Universe()))
 		if err != nil {
 			return err
 		}
@@ -1021,6 +1153,46 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 	q.CopyInto(&c.q)
 	c.fp, c.epoch, c.valid = fp, ep, true
 	return nil
+}
+
+// samplePick draws one quorum — or, when the config is latency-aware
+// (PickCost + PickSamples > 1), the cheapest of PickSamples draws. A
+// quorum's cost is dominated by its slowest member (the round completes
+// when the last member answers); equal maxima fall back to the summed
+// cost so a pick that drags in fewer remote members still wins.
+func (n *Node) samplePick(env cluster.Env, pick func(*rand.Rand, bitset.Set) (bitset.Set, error), live bitset.Set) (bitset.Set, error) {
+	q, err := pick(env.Rand(), live)
+	if err != nil || n.cfg.PickSamples <= 1 || len(n.cfg.PickCost) == 0 {
+		return q, err
+	}
+	bestMax, bestSum := n.quorumCost(q)
+	for s := 1; s < n.cfg.PickSamples; s++ {
+		alt, altErr := pick(env.Rand(), live)
+		if altErr != nil {
+			continue
+		}
+		if m, sum := n.quorumCost(alt); m < bestMax || (m == bestMax && sum < bestSum) {
+			q, bestMax, bestSum = alt, m, sum
+		}
+	}
+	return q, nil
+}
+
+// quorumCost scores a candidate quorum against Config.PickCost: the
+// slowest member's cost, plus the total as tie-break. Members beyond
+// the table's length cost zero.
+func (n *Node) quorumCost(q bitset.Set) (max, sum time.Duration) {
+	q.ForEach(func(m int) {
+		var c time.Duration
+		if m < len(n.cfg.PickCost) {
+			c = n.cfg.PickCost[m]
+		}
+		sum += c
+		if c > max {
+			max = c
+		}
+	})
+	return max, sum
 }
 
 // retryPhase abandons the attempt, suspecting silent members; past the op
@@ -1076,10 +1248,11 @@ func (n *Node) deadlineError(env cluster.Env, op *opState) error {
 	return quorum.ErrDegraded
 }
 
-// reportSub delivers one sub-operation's result.
+// reportSub delivers one sub-operation's result — to the sub's own
+// callback for externally submitted ops, to Config.OnResult otherwise.
 func (n *Node) reportSub(env cluster.Env, op *opState, sub *subOp, err error) {
 	sub.done = true
-	if n.cfg.OnResult == nil {
+	if sub.cb == nil && n.cfg.OnResult == nil {
 		return
 	}
 	res := Result{
@@ -1089,6 +1262,12 @@ func (n *Node) reportSub(env cluster.Env, op *opState, sub *subOp, err error) {
 	if err == nil {
 		res.Value = sub.bestVal
 		res.Version = sub.bestVer
+	}
+	if sub.cb != nil {
+		cb := sub.cb
+		sub.cb = nil
+		cb(res)
+		return
 	}
 	n.cfg.OnResult(res)
 }
@@ -1217,7 +1396,7 @@ func (n *Node) repair(env cluster.Env, op *opState) {
 func (n *Node) finishOp(env cluster.Env, op *opState) {
 	delete(n.inflight, op.seq)
 	n.putOp(op)
-	if n.nextOp < len(n.cfg.Ops) {
+	if n.extPending() || n.nextOp < len(n.cfg.Ops) {
 		gap := n.cfg.OpGap
 		if gap < 0 {
 			gap = 0
@@ -1235,6 +1414,14 @@ func (n *Node) finishOp(env cluster.Env, op *opState) {
 func (n *Node) Restarted(env cluster.Env) {
 	for seq, op := range n.inflight {
 		delete(n.inflight, seq)
+		// Externally submitted ops have a caller waiting on the callback:
+		// fail them (typed) instead of silently dropping. Workload ops
+		// stay unreported — the history layer records them as pending.
+		for i := range op.subs {
+			if sub := &op.subs[i]; !sub.done && sub.cb != nil {
+				n.reportSub(env, op, sub, ErrRestarted)
+			}
+		}
 		n.putOp(op)
 	}
 	// A reconfiguration this node was coordinating dies with it. The
@@ -1243,7 +1430,10 @@ func (n *Node) Restarted(env cluster.Env) {
 	// can resume the transition to the same target later.
 	n.rc = reconfigState{}
 	n.invalidatePicks()
-	if n.nextOp < len(n.cfg.Ops) {
+	// Any wake issued before the crash died with the timer wheel: re-arm
+	// by draining here and scheduling our own kick if work remains.
+	n.drainExt()
+	if n.extPending() || n.nextOp < len(n.cfg.Ops) {
 		gap := n.cfg.OpGap
 		if gap < 0 {
 			gap = 0

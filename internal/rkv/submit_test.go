@@ -1,0 +1,160 @@
+package rkv
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/cluster"
+)
+
+// submitOn wires node id for external submission on the sim: the wake
+// schedules the node's start token as an immediate timer, which the sim
+// delivers whether it is issued before Run or from inside a callback.
+func submitOn(h *harness, id cluster.NodeID) *Node {
+	node := h.nodes[id]
+	node.SetWake(func() { h.net.StartTimer(id, 0, node.StartToken()) })
+	return node
+}
+
+// TestSubmitExternalOps drives a node purely through Submit: a write,
+// then — chained from the write's callback — a read that must observe
+// it.
+func TestSubmitExternalOps(t *testing.T) {
+	h := newHarness(t, 41, nil, nil)
+	node := submitOn(h, 0)
+	var got []Result
+	node.Submit(Op{Kind: OpWrite, Key: "k", Value: "ext"}, func(r Result) {
+		got = append(got, r)
+		node.Submit(Op{Kind: OpRead, Key: "k"}, func(r Result) {
+			got = append(got, r)
+		})
+	})
+	h.net.RunAll()
+	if len(got) != 2 {
+		t.Fatalf("callbacks fired %d times, want 2", len(got))
+	}
+	if got[0].Err != nil || got[1].Err != nil {
+		t.Fatalf("errors: %v, %v", got[0].Err, got[1].Err)
+	}
+	if got[1].Value != "ext" {
+		t.Fatalf("chained read returned %q, want ext", got[1].Value)
+	}
+}
+
+// TestSubmitCoalesces pushes a burst through a windowed, batched node:
+// every callback fires exactly once and the ops ride shared rounds
+// (message count well under one round per op).
+func TestSubmitCoalesces(t *testing.T) {
+	h := newHarnessCfg(t, 42, Config{Window: 2, Batch: 4, OpGap: -1}, nil, nil)
+	node := submitOn(h, 3)
+	const burst = 16
+	done := 0
+	for i := 0; i < burst; i++ {
+		node.Submit(Op{Kind: OpBlindWrite, Key: "k", Value: "v"}, func(r Result) {
+			if r.Err != nil {
+				t.Errorf("burst op failed: %v", r.Err)
+			}
+			done++
+		})
+	}
+	h.net.RunAll()
+	if done != burst {
+		t.Fatalf("callbacks fired %d times, want %d", done, burst)
+	}
+	// 16 blind writes at Batch=4 need 4 write rounds of 4 messages each
+	// (hgrid write quorum is 4 of 16); unbatched they would cost 4× that.
+	if msgs := h.net.Messages(); msgs > 3*burst {
+		t.Fatalf("burst cost %d messages — batching broken", msgs)
+	}
+}
+
+// TestSubmitRestartedFailsTyped crashes the coordinator with external
+// ops in flight: every waiting callback must fire with ErrRestarted, and
+// the restarted node must accept fresh submissions.
+func TestSubmitRestartedFailsTyped(t *testing.T) {
+	h := newHarnessCfg(t, 43, Config{Window: 4, OpGap: -1}, nil, nil)
+	node := submitOn(h, 0)
+	var errs []error
+	for i := 0; i < 4; i++ {
+		node.Submit(Op{Kind: OpWrite, Key: "k", Value: "doomed"}, func(r Result) {
+			errs = append(errs, r.Err)
+		})
+	}
+	// Phase-1 messages take ≥1ms in the harness sim, so at 500µs the
+	// rounds are mid-flight.
+	h.net.Schedule(500*time.Microsecond, func() {
+		h.net.Crash(0)
+		h.net.Restart(0)
+	})
+	h.net.RunAll()
+	if len(errs) != 4 {
+		t.Fatalf("callbacks fired %d times, want 4", len(errs))
+	}
+	for _, err := range errs {
+		if !errors.Is(err, ErrRestarted) {
+			t.Fatalf("got %v, want ErrRestarted", err)
+		}
+	}
+	var after *Result
+	node.Submit(Op{Kind: OpWrite, Key: "k", Value: "recovered"}, func(r Result) { after = &r })
+	h.net.RunAll()
+	if after == nil || after.Err != nil {
+		t.Fatalf("post-restart submit got %+v, want success", after)
+	}
+}
+
+// TestSamplePickPrefersCheapQuorum feeds samplePick a rigged picker that
+// cycles through candidate quorums of known cost: with sampling enabled
+// the expensive (WAN-crossing) candidate must lose to the cheap one.
+func TestSamplePickPrefersCheapQuorum(t *testing.T) {
+	costs := []time.Duration{0, 0, 40 * time.Millisecond, 40 * time.Millisecond}
+	n := &Node{cfg: Config{PickCost: costs, PickSamples: 3}}
+	candidates := []bitset.Set{
+		bitset.FromIndices(4, 2, 3), // 80ms total, 40ms max
+		bitset.FromIndices(4, 0, 1), // free
+		bitset.FromIndices(4, 0, 3), // 40ms max
+	}
+	i := 0
+	pick := func(*rand.Rand, bitset.Set) (bitset.Set, error) {
+		q := candidates[i%len(candidates)]
+		i++
+		return q, nil
+	}
+	env := &fakeEnv{rng: rand.New(rand.NewSource(1))}
+	q, err := n.samplePick(env, pick, bitset.Universe(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Contains(0) || !q.Contains(1) || q.Contains(2) || q.Contains(3) {
+		t.Fatalf("sampled pick chose %v, want the zero-cost {0,1}", q)
+	}
+	// With sampling off the first candidate wins regardless of cost.
+	n.cfg.PickSamples = 1
+	i = 0
+	q, err = n.samplePick(env, pick, bitset.Universe(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Contains(2) || !q.Contains(3) {
+		t.Fatalf("unsampled pick chose %v, want the first candidate {2,3}", q)
+	}
+}
+
+// TestPickCostEndToEnd runs a harness workload with cost-aware sampling
+// switched on, checking the wiring holds under real rounds.
+func TestPickCostEndToEnd(t *testing.T) {
+	costs := make([]time.Duration, 16)
+	for i := 8; i < 16; i++ {
+		costs[i] = 30 * time.Millisecond
+	}
+	h := newHarnessCfg(t, 44, Config{PickCost: costs, PickSamples: 4}, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "w"}, {Kind: OpRead}},
+	}, nil)
+	h.run(t, 30*time.Second)
+	if len(h.results) != 2 || h.results[1].Value != "w" {
+		t.Fatalf("cost-aware run results %+v", h.results)
+	}
+}

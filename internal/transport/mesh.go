@@ -80,9 +80,10 @@ func (m *Mesh) Close() {
 // sockets, no frames, no syscalls. It is the protocol-scheduling ceiling a
 // TCP benchmark is measured against.
 type MemMesh struct {
-	nodes []*memNode
-	wg    sync.WaitGroup
-	quit  chan struct{}
+	nodes   []*memNode
+	wg      sync.WaitGroup
+	quit    chan struct{}
+	linkLat func(from, to cluster.NodeID) time.Duration
 }
 
 type memNode struct {
@@ -96,14 +97,31 @@ type memNode struct {
 	start   time.Time
 }
 
+// MemOption configures a MemMesh.
+type MemOption func(*MemMesh)
+
+// MemWithLinkLatency injects a per-link one-way delay, like the TCP
+// transport's WithLinkLatency: a message from a to b is delivered
+// fn(a, b) after it was sent (via a timer, so the sender never sleeps).
+// Delayed messages still take the fast path where the handler allows it
+// — FastDeliver is thread-safe by contract, a timer goroutine is as good
+// a caller as a socket reader. Zero and negative delays keep the direct
+// in-process hop.
+func MemWithLinkLatency(fn func(from, to cluster.NodeID) time.Duration) MemOption {
+	return func(m *MemMesh) { m.linkLat = fn }
+}
+
 // NewMemMesh builds and starts an in-process mesh over the handlers.
 // Handlers implementing FastDeliverer get their thread-safe half run
 // inline on the sender's goroutine: a quorum request is processed — and
 // its reply queued — within the sender's Env.Send, skipping the receiving
 // event loop entirely. The same contract as the TCP fast path applies
 // (FastDeliver must not call Rand or After).
-func NewMemMesh(handlers []cluster.Handler) *MemMesh {
+func NewMemMesh(handlers []cluster.Handler, opts ...MemOption) *MemMesh {
 	m := &MemMesh{quit: make(chan struct{})}
+	for _, o := range opts {
+		o(m)
+	}
 	for i, h := range handlers {
 		node := &memNode{
 			m:       m,
@@ -159,6 +177,18 @@ func (n *memNode) send(to cluster.NodeID, msg any) {
 		return
 	}
 	target := n.m.nodes[to]
+	if n.m.linkLat != nil && to != n.id {
+		if d := n.m.linkLat(n.id, to); d > 0 {
+			time.AfterFunc(d, func() { n.deliver(target, msg) })
+			return
+		}
+	}
+	n.deliver(target, msg)
+}
+
+// deliver runs the receive half of a send; with injected link latency it
+// may run on a timer goroutine instead of the sender's.
+func (n *memNode) deliver(target *memNode, msg any) {
 	// Fast path: run the receiver's thread-safe half right here on the
 	// sender's goroutine. The reply it sends lands back on our event
 	// channel — one channel hop per round trip instead of two.

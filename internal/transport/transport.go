@@ -144,10 +144,40 @@ func WithGobWire() Option {
 	return func(n *Node) { n.forceGob = true }
 }
 
+// WithLinkLatency injects a per-link one-way delay into the node's
+// outgoing traffic: a message to peer p is held for fn(self, p) before
+// it goes on the wire, modeling a WAN topology over loopback sockets.
+// The function is sampled once per destination (links are assumed
+// static); zero and negative delays mean an unmodified link.
+// Self-sends are never delayed.
+//
+// The delay is applied on the per-peer writer goroutine, so it shifts
+// when bytes leave, not when the event loop runs: Env.Send still never
+// blocks, and send coalescing is preserved within a burst (messages
+// whose due times are within ~latencySlack of each other share one
+// flush).
+func WithLinkLatency(fn func(from, to cluster.NodeID) time.Duration) Option {
+	return func(n *Node) { n.linkLat = fn }
+}
+
 // writerQueue is each peer writer's buffer depth. Sized for several
 // pipelined quorum fan-outs; overflow drops (loss, not backpressure — the
 // event loop must never block).
 const writerQueue = 1024
+
+// latencySlack is how early a delayed message may leave so it can share
+// a flush with the burst in front of it. Messages enqueued within one
+// event-loop iteration land microseconds apart; flushing between them
+// would turn one syscall into eight for a timing gain nobody can
+// measure at WAN (millisecond) scale.
+const latencySlack = 100 * time.Microsecond
+
+// timedMsg wraps a queued message with its enqueue time when the link
+// has an injected delay; the writer holds it until at+delay.
+type timedMsg struct {
+	msg any
+	at  time.Time
+}
 
 // Node hosts a protocol handler on a TCP listener.
 type Node struct {
@@ -159,12 +189,14 @@ type Node struct {
 	dialTimeout time.Duration
 	reg         *codec.Registry
 	forceGob    bool
+	linkLat     func(from, to cluster.NodeID) time.Duration
 
 	ln     net.Listener
 	start  time.Time
 	events chan event
 	wg     sync.WaitGroup
 	quit   chan struct{}
+	closed atomic.Bool
 
 	mu       sync.Mutex
 	peers    map[cluster.NodeID]string
@@ -240,8 +272,14 @@ func (n *Node) Kick(d time.Duration, token any) {
 	n.after(d, token)
 }
 
-// Close shuts the node down and waits for its loops.
+// Close shuts the node down and waits for its loops. Idempotent: chaos
+// harnesses crash individual nodes mid-run, then the mesh teardown
+// closes every node again.
 func (n *Node) Close() {
+	if !n.closed.CompareAndSwap(false, true) {
+		n.wg.Wait()
+		return
+	}
 	close(n.quit)
 	n.ln.Close()
 	n.mu.Lock()
@@ -362,6 +400,9 @@ func (n *Node) send(to cluster.NodeID, msg any) {
 		n.dropped.Add(1)
 		return
 	}
+	if w.delay > 0 {
+		msg = timedMsg{msg: msg, at: time.Now()}
+	}
 	select {
 	case w.ch <- msg:
 	default:
@@ -386,6 +427,9 @@ func (n *Node) writer(to cluster.NodeID) (*peerWriter, error) {
 	default:
 	}
 	w := &peerWriter{n: n, addr: addr, ch: make(chan any, writerQueue), done: make(chan struct{})}
+	if n.linkLat != nil {
+		w.delay = n.linkLat(n.id, to)
+	}
 	n.writers[to] = w
 	n.wg.Add(1)
 	go w.run()
@@ -396,10 +440,11 @@ func (n *Node) writer(to cluster.NodeID) (*peerWriter, error) {
 // flushes on its own goroutine so connection trouble is invisible to the
 // event loop.
 type peerWriter struct {
-	n    *Node
-	addr string
-	ch   chan any
-	done chan struct{}
+	n     *Node
+	addr  string
+	ch    chan any
+	done  chan struct{}
+	delay time.Duration // injected one-way link latency (WithLinkLatency)
 
 	mu   sync.Mutex
 	conn net.Conn // current connection, for Close to unwedge blocked writes
@@ -436,6 +481,32 @@ func (w *peerWriter) drain() uint64 {
 	}
 }
 
+// hold sleeps until the message's injected due time (or the node quits,
+// in which case the remaining delay is abandoned — shutdown, not
+// timing fidelity). Reports whether it slept at all.
+func (w *peerWriter) hold(until time.Time) bool {
+	d := time.Until(until)
+	if d <= 0 {
+		return false
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-w.n.quit:
+	}
+	return true
+}
+
+// unwrap resolves a queued entry to its payload and due time (zero for
+// undelayed links).
+func (w *peerWriter) unwrap(raw any) (msg any, due time.Time) {
+	if tm, ok := raw.(timedMsg); ok {
+		return tm.msg, tm.at.Add(w.delay)
+	}
+	return raw, time.Time{}
+}
+
 func (w *peerWriter) run() {
 	defer w.n.wg.Done()
 	defer close(w.done)
@@ -450,13 +521,22 @@ func (w *peerWriter) run() {
 		}
 		w.n.dropped.Add(batched + w.drain())
 	}
+	var held any // popped but future-due: flushed the batch in front of it first
 	for {
-		var msg any
-		select {
-		case msg = <-w.ch:
-		case <-w.n.quit:
-			fail(0)
-			return
+		var raw any
+		if held != nil {
+			raw, held = held, nil
+		} else {
+			select {
+			case raw = <-w.ch:
+			case <-w.n.quit:
+				fail(0)
+				return
+			}
+		}
+		msg, due := w.unwrap(raw)
+		if !due.IsZero() {
+			w.hold(due)
 		}
 		if conn == nil {
 			c, err := net.DialTimeout("tcp", w.addr, w.n.dialTimeout)
@@ -472,7 +552,11 @@ func (w *peerWriter) run() {
 		}
 		// Coalesce: encode into the buffer while messages keep coming,
 		// flush once the queue goes idle. bufio flushes itself mid-burst
-		// if the batch outgrows the buffer.
+		// if the batch outgrows the buffer. On a delayed link the injected
+		// latency is a lower bound: a message due within latencySlack joins
+		// the current batch (a bounded mid-batch nap keeps it from leaving
+		// early); one due further out waits behind the batch's flush so the
+		// messages in front of it are not held hostage.
 		var batched uint64
 		encodeFailed := false
 		for {
@@ -483,7 +567,16 @@ func (w *peerWriter) run() {
 			}
 			batched++
 			select {
-			case msg = <-w.ch:
+			case raw := <-w.ch:
+				var due time.Time
+				msg, due = w.unwrap(raw)
+				if !due.IsZero() {
+					if time.Until(due) > latencySlack {
+						held = raw // flush what we have, then sleep on it
+						break
+					}
+					w.hold(due)
+				}
 				continue
 			default:
 			}

@@ -21,3 +21,8 @@ go test -race ./internal/epoch/... ./internal/dmutex/... ./internal/rkv/... ./in
 # The live-path engine's codec and histogram are shared by concurrent
 # transport readers/writers and per-worker recorders: race them too.
 go test -race ./internal/codec/... ./internal/histo/...
+# The gateway tier is concurrency-dense by construction: per-connection
+# reader/writer goroutines, a shared dispatcher, pooled op records whose
+# completion races a watchdog timer, and clients whose pipelined Do
+# calls coalesce onto one writer. Race it.
+go test -race ./internal/gateway/...
