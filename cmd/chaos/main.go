@@ -41,6 +41,11 @@ func main() {
 	}
 
 	h44 := hgrid.Auto(4, 4)
+	maj5, err := rkv.NewMajorityStore(5, 3, 3)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+		os.Exit(2)
+	}
 	gridSchedules := append(nemesis.DefaultSchedules(16), nemesis.ColumnCut(4, 4))
 	// Reconfiguration cells: epoch-versioned clusters whose schedules kick
 	// a live config change mid-workload. Every run must settle at epoch 3
@@ -71,6 +76,20 @@ func main() {
 		{Name: "rc/maj9-h44", Initial: &initMaj, Space: 16, WantEpoch: 3,
 			Schedules: []nemesis.Schedule{
 				nemesis.ReconfigMidCrash(0, toGrid, []cluster.NodeID{12}),
+			}},
+		// Durable cells: every node runs the disk backend, so a restarted
+		// node replays its WAL instead of coming back empty — the combined
+		// history must still be linearizable per key.
+		{Name: "h-grid-4x4/disk", Store: rkv.HGridStore{H: h44}, Disk: true, Shards: 4,
+			Schedules: []nemesis.Schedule{nemesis.CrashStorm(16), nemesis.Churn(16)}},
+		{Name: "majority-5/disk", Store: maj5, Disk: true, Shards: 4,
+			Schedules: []nemesis.Schedule{nemesis.RollingRestart(5)}},
+		// Reconfiguration with disk recovery: the crashed nodes rejoin the
+		// new epoch from their replayed logs.
+		{Name: "rc/h44-hT44/disk", Initial: &initGrid, Space: 16, WantEpoch: 3,
+			Disk: true, Shards: 4,
+			Schedules: []nemesis.Schedule{
+				nemesis.ReconfigMidCrash(0, toHTGrid, []cluster.NodeID{5, 6}),
 			}},
 	}
 	mutexCases := []nemesis.MutexCase{

@@ -12,6 +12,11 @@
 //     no sockets, no frames. The protocol-scheduling ceiling; the gap
 //     between mem and tcp is the transport's cost.
 //
+// -mode disk is tcp with durable replicas: every node runs the WAL
+// storage backend in a temporary directory with real fsyncs, so the
+// gap between tcp and disk prices the durability guarantee (group
+// commit amortizes it — one fsync covers a whole batch).
+//
 // Clients are closed-loop with a configurable window and batch: each
 // client node keeps up to -window quorum rounds in flight, each round
 // coalescing up to -batch consecutive operations (one quorum pick, one
@@ -42,6 +47,7 @@ import (
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"sort"
@@ -180,7 +186,7 @@ type report struct {
 }
 
 func main() {
-	mode := flag.String("mode", "tcp", "transport: tcp (loopback mesh), mem (in-process ceiling) or gateway (clients multiplexed onto shared sessions)")
+	mode := flag.String("mode", "tcp", "transport: tcp (loopback mesh), mem (in-process ceiling), disk (tcp with WAL-durable replicas, real fsyncs) or gateway (clients multiplexed onto shared sessions)")
 	store := flag.String("store", "hgrid", "quorum store: hgrid, htgrid or majority")
 	rows := flag.Int("rows", 4, "grid rows")
 	cols := flag.Int("cols", 4, "grid cols")
@@ -205,7 +211,7 @@ func main() {
 	timeout := flag.Duration("timeout", 500*time.Millisecond, "per-attempt quorum patience")
 	opDeadline := flag.Duration("op-deadline", 15*time.Second, "per-operation deadline")
 	runTimeout := flag.Duration("run-timeout", 2*time.Minute, "hard wall-clock bound per benchmark run")
-	suite := flag.Bool("suite", false, "run the headline suite (tcp/w1, tcp/w8, tcp/w8/k64b8, mem/w8, mem/w8/k64b8)")
+	suite := flag.Bool("suite", false, "run the headline suite (tcp/w1, tcp/w8, tcp/w8/k64b8, mem/w8, mem/w8/k64b8, tcp/w8/k64b8/disk)")
 	suiteBatch := flag.Bool("suite-batch", false, "sweep batch sizes 1,2,4,8,16 at keys=64 window=8 (tcp)")
 	suiteKeys := flag.Bool("suite-keys", false, "sweep key counts 1,4,16,64,256 at batch=8 window=8 (tcp)")
 	suiteGW := flag.Bool("suite-gw", false, "run the gateway efficiency pair (128 client streams direct-to-session vs through the gateway) and gate ≥0.7x")
@@ -289,6 +295,13 @@ func main() {
 			cell("mem", 8, 1, 1),
 			cell("mem", 8, 64, 8),
 		)
+		// Durable cell: the batched multi-key workload with every replica on
+		// the disk WAL backend and real fsyncs — the throughput delta against
+		// tcp/w8/k64b8 prices durability, bounded by group commit (one fsync
+		// per quorum round, not per op).
+		d := cell("disk", 8, 64, 8)
+		d.Name = "tcp/w8/k64b8/disk"
+		specs = append(specs, d)
 		// Steady-state-after-reconfig cell: start on majority, swap to the
 		// h-T-grid a quarter of the way in, and let the remaining three
 		// quarters measure the post-swap steady state. Gated against the
@@ -568,6 +581,20 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	if spec.Mode == "gateway" || spec.Mode == "session" {
 		return runGateway(spec, hist)
 	}
+	// "disk" is the tcp transport with every replica on the WAL backend
+	// in a throwaway directory; fsyncs are real — that is the point.
+	transportMode, disk := spec.Mode, spec.Mode == "disk"
+	if disk {
+		transportMode = "tcp"
+	}
+	var diskRoot string
+	if disk {
+		var err error
+		if diskRoot, err = os.MkdirTemp("", "loadgen-wal-"); err != nil {
+			return runResult{}, err
+		}
+		defer os.RemoveAll(diskRoot)
+	}
 	// Direct modes run each client on a replica node, so the count is
 	// bounded by the cluster; gateway mode decouples the two.
 	if spec.Clients > n {
@@ -626,6 +653,10 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			Batch:         spec.Batch,
 			OpGap:         -1, // load generation: no think time
 		}
+		if disk {
+			cfg.Storage = "disk"
+			cfg.DataDir = filepath.Join(diskRoot, fmt.Sprintf("n%02d", i))
+		}
 		if rc != nil {
 			es, err := epoch.NewStore(n, initial)
 			if err != nil {
@@ -672,7 +703,7 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		Clients: spec.Clients, Nodes: n,
 	}
 	var elapsed time.Duration
-	switch spec.Mode {
+	switch transportMode {
 	case "tcp":
 		mesh, err := transport.NewMesh(handlers)
 		if err != nil {
@@ -724,6 +755,15 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 
 	// The mesh is closed: every event loop has exited, so the per-client
 	// state is quiescent and safe to merge from here.
+	if disk {
+		// Release the WAL file handles before the trial's directory goes
+		// away; a failed final flush is a real durability error.
+		for _, node := range nodes {
+			if err := node.Close(); err != nil {
+				return runResult{}, err
+			}
+		}
+	}
 	hist.Reset()
 	for _, cs := range states {
 		hist.Merge(&cs.hist)
@@ -874,7 +914,7 @@ func printResult(r runResult) {
 	fmt.Printf("%-14s nodes=%d clients=%d window=%d batch=%d keys=%d  ops=%d failed=%d  %8.0f ops/s  p50=%s p95=%s p99=%s p999=%s max=%s\n",
 		r.Name, r.Nodes, r.Clients, r.Window, r.Batch, r.Keys, r.Completed, r.Failed, r.OpsPerSec,
 		fmtUs(r.P50us), fmtUs(r.P95us), fmtUs(r.P99us), fmtUs(r.P999us), fmtUs(r.MaxUs))
-	if r.Mode == "tcp" || r.Mode == "gateway" || r.Mode == "session" {
+	if r.Mode == "tcp" || r.Mode == "disk" || r.Mode == "gateway" || r.Mode == "session" {
 		perFlush := float64(0)
 		if r.Flushes > 0 {
 			perFlush = float64(r.MsgsSent) / float64(r.Flushes)

@@ -2,6 +2,8 @@ package nemesis
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"hquorum/internal/cluster"
@@ -79,6 +81,18 @@ type RKVRun struct {
 	// StateLimit caps the linearizability search (default
 	// history.DefaultStateLimit).
 	StateLimit int
+	// Disk backs every node with the WAL storage backend in a temporary
+	// directory: a crash-restarted node drops its memory image and
+	// recovers by replaying its log, instead of the memory backend's
+	// ideal stable storage. Runs use WALNoSync — the simulation's crash
+	// kills a process, not the machine, so write()-visible bytes are
+	// exactly what survives and fsync adds syscalls without fidelity —
+	// and a small SnapshotEvery so sweeps exercise snapshot truncation
+	// and replay, not just appends.
+	Disk bool
+	// Shards overrides each node's rkv.Config.Shards (0 = rkv default).
+	// Disk runs keep it small so per-shard files stay few.
+	Shards int
 }
 
 // RKVResult reports one chaotic register run.
@@ -149,6 +163,14 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		}
 		return false
 	}
+	var diskRoot string
+	if r.Disk {
+		var err error
+		if diskRoot, err = os.MkdirTemp("", "nemesis-wal-"); err != nil {
+			return RKVResult{}, err
+		}
+		defer os.RemoveAll(diskRoot)
+	}
 	net := cluster.New(cluster.WithSeed(r.Seed))
 	rec := history.NewRegister()
 	var res RKVResult
@@ -194,7 +216,7 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			}
 			stores[i] = epochs
 		}
-		node, err := rkv.NewNode(id, rkv.Config{
+		cfg := rkv.Config{
 			Store:         r.Store,
 			Epochs:        epochs,
 			Ops:           ops,
@@ -203,25 +225,33 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			OpGap:         gap,
 			Window:        r.Window,
 			Batch:         r.Batch,
+			Shards:        r.Shards,
 			ReadWriteback: true,
-			OnInvoke: func(node cluster.NodeID, opID int, kind rkv.OpKind, key, value string, at time.Duration) {
-				k := history.KindWrite
-				if kind == rkv.OpRead {
-					k = history.KindRead
-				}
-				rec.InvokeKeyed(client(node, opID), k, key, value, at)
-			},
-			OnResult: func(rr rkv.Result) {
-				if rr.Err != nil {
-					res.Failed++
-					rec.Fail(client(rr.Node, rr.OpID), rr.At)
-					return
-				}
-				res.Completed++
-				order := rr.Version.Counter<<8 | uint64(rr.Version.Writer)&0xff
-				rec.Complete(client(rr.Node, rr.OpID), rr.Value, order, rr.At)
-			},
-		})
+		}
+		if r.Disk {
+			cfg.Storage = "disk"
+			cfg.DataDir = filepath.Join(diskRoot, fmt.Sprintf("n%02d", i))
+			cfg.WALNoSync = true
+			cfg.SnapshotEvery = 8
+		}
+		cfg.OnInvoke = func(node cluster.NodeID, opID int, kind rkv.OpKind, key, value string, at time.Duration) {
+			k := history.KindWrite
+			if kind == rkv.OpRead {
+				k = history.KindRead
+			}
+			rec.InvokeKeyed(client(node, opID), k, key, value, at)
+		}
+		cfg.OnResult = func(rr rkv.Result) {
+			if rr.Err != nil {
+				res.Failed++
+				rec.Fail(client(rr.Node, rr.OpID), rr.At)
+				return
+			}
+			res.Completed++
+			order := rr.Version.Counter<<8 | uint64(rr.Version.Writer)&0xff
+			rec.Complete(client(rr.Node, rr.OpID), rr.Value, order, rr.At)
+		}
+		node, err := rkv.NewNode(id, cfg)
 		if err != nil {
 			return RKVResult{}, err
 		}

@@ -33,6 +33,11 @@ type RKVCase struct {
 	Initial   *epoch.Params
 	Space     int
 	WantEpoch uint64
+	// Disk backs every node with the WAL storage backend (see RKVRun.Disk):
+	// restarts recover state by replaying the node's log instead of coming
+	// back empty. Shards passes through to each node's store shard count.
+	Disk   bool
+	Shards int
 }
 
 // MutexCase names a lock configuration to sweep, with the schedules to
@@ -146,6 +151,8 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					Window:     c.Window,
 					Batch:      c.Batch,
 					Keys:       c.Keys,
+					Disk:       c.Disk,
+					Shards:     c.Shards,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)

@@ -1,0 +1,220 @@
+package rkv
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"hquorum/internal/cluster"
+)
+
+// diskHarness wires a 3-replica majority cluster with the disk backend:
+// R=W=3 puts every write on every node, so recovery assertions are
+// deterministic regardless of quorum picks.
+type diskHarness struct {
+	net     *cluster.Network
+	nodes   []*Node
+	results []Result
+	dirs    []string
+}
+
+func newDiskHarness(t *testing.T, seed int64, base Config, ops map[cluster.NodeID][]Op) *diskHarness {
+	t.Helper()
+	root := t.TempDir()
+	store, err := NewMajorityStore(3, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &diskHarness{net: cluster.New(cluster.WithSeed(seed), cluster.WithLatency(time.Millisecond, 6*time.Millisecond))}
+	for i := 0; i < 3; i++ {
+		id := cluster.NodeID(i)
+		cfg := base
+		cfg.Store = store
+		cfg.Storage = "disk"
+		cfg.DataDir = filepath.Join(root, fmt.Sprintf("n%d", i))
+		cfg.Ops = ops[id]
+		cfg.OnResult = func(r Result) { h.results = append(h.results, r) }
+		n, err := NewNode(id, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := h.net.AddNode(id, n); err != nil {
+			t.Fatal(err)
+		}
+		h.nodes = append(h.nodes, n)
+		h.dirs = append(h.dirs, cfg.DataDir)
+	}
+	for _, n := range h.nodes {
+		if err := n.Start(h.net); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func (h *diskHarness) run(t *testing.T, until time.Duration) {
+	t.Helper()
+	h.net.Run(until)
+	for _, n := range h.nodes {
+		if len(n.cfg.Ops) > 0 && !n.Done() {
+			t.Fatalf("node %d did not finish its ops", n.id)
+		}
+	}
+}
+
+// TestDiskCrashRecovery: a replica crash-restarted after a workload
+// rebuilds its store from the WAL instead of coming back empty.
+func TestDiskCrashRecovery(t *testing.T) {
+	h := newDiskHarness(t, 11, Config{}, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "v1"}, {Kind: OpWrite, Value: "v2"}},
+	})
+	h.run(t, 30*time.Second)
+
+	// Every node holds v2 (W = 3). Crash node 2 and restart it: the
+	// memory image dies; the value must come back from disk.
+	h.net.Crash(2)
+	h.net.Restart(2)
+	if val, ver := h.nodes[2].Value(); val != "v2" || ver == (Version{}) {
+		t.Fatalf("recovered value = %q (%+v), want v2", val, ver)
+	}
+	if st := h.nodes[2].WALStats(); st.Replayed == 0 {
+		t.Fatalf("restart did not replay the log: %+v", st)
+	}
+
+	// The restarted node still serves reads through the protocol.
+	h.nodes[2].Enqueue(Op{Kind: OpRead})
+	if err := h.nodes[2].Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, 60*time.Second)
+	last := h.results[len(h.results)-1]
+	if last.Kind != OpRead || last.Value != "v2" {
+		t.Fatalf("post-restart read = %q, want v2", last.Value)
+	}
+}
+
+// TestDiskGroupCommitPerBatch: with Batch=8 an eight-op round reaches a
+// replica as one msgWriteBatch and must cost one commit round with one
+// fsync, not eight — the end-to-end form of the WAL-level group-commit
+// guarantee.
+func TestDiskGroupCommitPerBatch(t *testing.T) {
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, Op{Kind: OpBlindWrite, Key: fmt.Sprintf("key-%d", i), Value: "v"})
+	}
+	h := newDiskHarness(t, 12, Config{Batch: 8, Shards: 1, OpGap: -1}, map[cluster.NodeID][]Op{0: ops})
+	h.run(t, 30*time.Second)
+
+	// Nodes 1 and 2 are pure replicas (no client, so no lease commits):
+	// exactly the batch's records, exactly one sync round, one fsync.
+	for _, id := range []int{1, 2} {
+		st := h.nodes[id].WALStats()
+		if st.Appends != 8 {
+			t.Errorf("node %d: Appends = %d, want 8", id, st.Appends)
+		}
+		if st.SyncRounds != 1 || st.FileSyncs != 1 {
+			t.Errorf("node %d: SyncRounds=%d FileSyncs=%d, want 1/1 — batch must group-commit", id, st.SyncRounds, st.FileSyncs)
+		}
+	}
+	// The client node additionally committed its clock lease.
+	if st := h.nodes[0].WALStats(); st.SyncRounds != 2 {
+		t.Errorf("client node: SyncRounds = %d, want 2 (lease + batch)", st.SyncRounds)
+	}
+}
+
+// TestDiskClockLeaseSurvivesRestart: a restarted writer resumes its
+// clock at the durable lease bound, so post-crash stamps can never
+// collide with pre-crash ones that may survive on remote replicas.
+func TestDiskClockLeaseSurvivesRestart(t *testing.T) {
+	h := newDiskHarness(t, 13, Config{}, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "before"}},
+	})
+	h.run(t, 30*time.Second)
+	preClock := h.nodes[0].clock.Load()
+	preVer := h.results[0].Version
+
+	h.net.Crash(0)
+	h.net.Restart(0)
+	postClock := h.nodes[0].clock.Load()
+	if postClock < preClock {
+		t.Fatalf("clock went backwards across restart: %d -> %d", preClock, postClock)
+	}
+	if postClock < preVer.Counter+1 {
+		t.Fatalf("replayed clock %d does not cover stamped counter %d", postClock, preVer.Counter)
+	}
+	if h.nodes[0].walLease < postClock {
+		t.Fatalf("lease %d below clock %d after replay", h.nodes[0].walLease, postClock)
+	}
+
+	h.nodes[0].Enqueue(Op{Kind: OpWrite, Value: "after"})
+	if err := h.nodes[0].Start(h.net); err != nil {
+		t.Fatal(err)
+	}
+	h.run(t, 60*time.Second)
+	post := h.results[len(h.results)-1]
+	if post.Version.Counter <= preVer.Counter {
+		t.Fatalf("post-restart stamp %d not above pre-crash stamp %d", post.Version.Counter, preVer.Counter)
+	}
+}
+
+// TestDiskCleanShutdownReopen: Close writes snapshots plus the marker;
+// a fresh NewNode on the same directory recovers the state through the
+// snapshot-only fast path.
+func TestDiskCleanShutdownReopen(t *testing.T) {
+	h := newDiskHarness(t, 14, Config{}, map[cluster.NodeID][]Op{
+		0: {{Kind: OpWrite, Value: "persisted"}},
+	})
+	h.run(t, 30*time.Second)
+	for _, n := range h.nodes {
+		if err := n.Close(); err != nil {
+			t.Fatalf("node %d close: %v", n.id, err)
+		}
+	}
+
+	store, _ := NewMajorityStore(3, 3, 3)
+	reborn, err := NewNode(1, Config{Store: store, Storage: "disk", DataDir: h.dirs[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reborn.Close()
+	if !reborn.CleanStart() {
+		t.Fatal("reopen after Close did not see the clean-shutdown marker")
+	}
+	if val, _ := reborn.Value(); val != "persisted" {
+		t.Fatalf("value after clean reopen = %q, want persisted", val)
+	}
+}
+
+// TestDiskSnapshotCompaction: a hot key's log compacts into snapshots
+// and the state still recovers.
+func TestDiskSnapshotCompaction(t *testing.T) {
+	var ops []Op
+	for i := 0; i < 12; i++ {
+		ops = append(ops, Op{Kind: OpBlindWrite, Value: fmt.Sprintf("v%d", i)})
+	}
+	h := newDiskHarness(t, 15, Config{SnapshotEvery: 4, Shards: 1}, map[cluster.NodeID][]Op{0: ops})
+	h.run(t, 60*time.Second)
+	if st := h.nodes[1].WALStats(); st.Snapshots == 0 {
+		t.Fatalf("no snapshots after %d writes with SnapshotEvery=4: %+v", len(ops), st)
+	}
+	h.net.Crash(1)
+	h.net.Restart(1)
+	if val, _ := h.nodes[1].Value(); val != "v11" {
+		t.Fatalf("recovered value = %q, want v11", val)
+	}
+}
+
+// TestStorageConfigValidation: bad storage configs fail NewNode.
+func TestStorageConfigValidation(t *testing.T) {
+	store, _ := NewMajorityStore(3, 2, 2)
+	if _, err := NewNode(0, Config{Store: store, Storage: "disk"}); err == nil {
+		t.Error("disk storage without DataDir accepted")
+	}
+	if _, err := NewNode(0, Config{Store: store, Storage: "flash"}); err == nil {
+		t.Error("unknown storage backend accepted")
+	}
+	if _, err := NewNode(0, Config{Store: store, Storage: "memory"}); err != nil {
+		t.Errorf("memory storage rejected: %v", err)
+	}
+}

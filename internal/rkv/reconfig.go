@@ -448,13 +448,19 @@ func (n *Node) rcEnterPush(env cluster.Env) {
 		n.rc.pending.Remove(int(n.id))
 		keys, vers, vals := rcMergedSlices(n.rc.merged)
 		var maxC uint64
+		ok := true
 		for i, k := range keys {
 			if vers[i].Counter > maxC {
 				maxC = vers[i].Counter
 			}
-			n.store.apply(k, vers[i], vals[i])
+			ok = n.applyPut(k, vers[i], vals[i]) && ok
 		}
 		n.mergeClock(maxC)
+		// The coordinator counts itself toward the push quorum only if
+		// its local apply is as durable as a remote member's acked one.
+		if !ok || !n.commitDurable() {
+			n.rc.pending.Add(int(n.id))
+		}
 	}
 	if n.rc.pending.Empty() {
 		n.rcEnterFinal(env)

@@ -47,6 +47,7 @@ import (
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/quorum"
+	"hquorum/internal/wal"
 )
 
 // Version orders writes: higher counters win, writer IDs break ties.
@@ -367,6 +368,23 @@ type Config struct {
 	// PickSamples is the number of candidate quorums drawn per pick when
 	// PickCost is set (default 1: no sampling; useful values 4-16).
 	PickSamples int
+	// Storage selects the replica store backend: "memory" (or empty, the
+	// default) keeps today's in-memory behavior byte for byte; "disk"
+	// backs the shard map with a write-ahead log under DataDir — group
+	// commit makes one fsync cover a whole quorum batch, and a restarted
+	// node replays the log instead of coming back empty.
+	Storage string
+	// DataDir is the disk backend's directory (required for "disk").
+	DataDir string
+	// SnapshotEvery compacts a shard's log into a snapshot after this
+	// many appended records (default 4096; negative disables).
+	SnapshotEvery int
+	// WALNoSync makes the disk backend write without fsync. The
+	// deterministic simulation runs with it on: its crash model kills a
+	// process, not the machine, so write()-visible bytes are exactly
+	// what survives and fsync buys no extra fidelity — only syscalls.
+	// Real deployments (kvd) leave it off.
+	WALNoSync bool
 }
 
 // ErrRestarted reports an externally submitted operation abandoned
@@ -468,6 +486,12 @@ type Node struct {
 	store *shardedMap
 	clock atomic.Uint64
 
+	// Disk backend (nil on the memory backend — see durable.go).
+	// walLease is the durable clock lease bound: counters this node may
+	// stamp without another lease commit. Event-goroutine only.
+	wal      *wal.Log
+	walLease uint64
+
 	// Client state: the op table. seq increments per quorum attempt and
 	// keys inflight, so a reply or timer either finds its exact attempt or
 	// nothing — stale messages miss the map instead of needing phase
@@ -534,14 +558,20 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 1
 	}
-	return &Node{
+	n := &Node{
 		id:        id,
 		cfg:       cfg,
 		store:     newShardedMap(cfg.Shards),
 		inflight:  make(map[uint64]*opState),
 		suspects:  bitset.New(cfg.Store.Universe()),
 		suspectAt: make([]time.Duration, cfg.Store.Universe()),
-	}, nil
+	}
+	// Disk backend: open the WAL and replay it into the store before
+	// the node serves anything (no-op for the memory backend).
+	if err := n.openStorage(); err != nil {
+		return nil, err
+	}
+	return n, nil
 }
 
 // Start schedules the node's client workload.
@@ -683,7 +713,11 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 	case msgWrite:
 		n.gate(env, from, m.Epoch, m.Seq, func() {
 			n.mergeClock(m.Version.Counter)
-			n.store.apply("", m.Version, m.Value)
+			// Commit before ack: on the disk backend the ack is the
+			// durability promise a restarted replica must honor.
+			if !n.applyPut("", m.Version, m.Value) || !n.commitDurable() {
+				return
+			}
 			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
 		})
 	case msgReadBatch:
@@ -701,13 +735,19 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 		}
 		n.gate(env, from, m.Epoch, m.Seq, func() {
 			var maxC uint64
+			ok := true
 			for i, k := range m.Keys {
 				if m.Vers[i].Counter > maxC {
 					maxC = m.Vers[i].Counter
 				}
-				n.store.apply(k, m.Vers[i], m.Vals[i])
+				ok = n.applyPut(k, m.Vers[i], m.Vals[i]) && ok
 			}
 			n.mergeClock(maxC)
+			// One commit barrier for the whole batch — group commit:
+			// K appended records ride a single fsync round.
+			if !ok || !n.commitDurable() {
+				return
+			}
 			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
 		})
 	case msgSnapReq:
@@ -1060,6 +1100,14 @@ func (n *Node) buildPhase2(op *opState) {
 func (n *Node) startWritePhase(env cluster.Env, op *opState) {
 	n.rekey(op)
 	op.ph = phaseWrite
+	// Disk backend: before any stamped version leaves this node, hold a
+	// durable clock lease covering it, so a post-crash restart can never
+	// re-stamp a counter this round may have spread to remote replicas.
+	// The lease is chunked: the commit here is rare, not per round.
+	if !n.ensureClockLease(n.clock.Load()) {
+		n.failOp(env, op, errStorage)
+		return
+	}
 	if err := n.pickQuorum(env, op, false); err != nil {
 		n.failOp(env, op, err)
 		return
@@ -1409,9 +1457,19 @@ func (n *Node) finishOp(env cluster.Env, op *opState) {
 // the node's volatile client state (its timers died with it), so every
 // in-flight round is abandoned — its effects are undecided, which the
 // history layer records as pending ops — and the workload resumes with
-// the next operation. Replica state (the keyed store) survives, modeling
-// stable storage.
+// the next operation. On the memory backend replica state (the keyed
+// store) survives, modeling ideal stable storage; on the disk backend
+// the store is dropped and recovered from the WAL — exactly what a real
+// process restart gets, including the loss of any unsynced tail.
 func (n *Node) Restarted(env cluster.Env) {
+	if n.wal != nil {
+		if err := n.reopenDisk(); err != nil {
+			// Simulation-only path: the files live in a harness temp
+			// dir, so a reopen failure is a harness bug, not a fault to
+			// model. Fail loudly rather than serve an empty store.
+			panic(fmt.Sprintf("rkv: node %d recovery failed: %v", n.id, err))
+		}
+	}
 	for seq, op := range n.inflight {
 		delete(n.inflight, seq)
 		// Externally submitted ops have a caller waiting on the callback:

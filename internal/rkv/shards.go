@@ -81,17 +81,46 @@ func (s *shardedMap) get(key string) (Version, string) {
 // apply merges a versioned write: the value is installed iff ver is newer
 // than what the shard holds. Reports whether the entry changed.
 func (s *shardedMap) apply(key string, ver Version, val string) bool {
-	sh := s.shard(key)
+	return s.applyLogged(key, ver, val, nil)
+}
+
+// applyLogged is apply with a durability hook: when the merge installs
+// the entry, logfn runs with the shard index while the shard lock is
+// still held. Any handler that later observes the new entry is
+// therefore ordered after its log append, so that handler's own commit
+// barrier covers this record too — without the hook a concurrent
+// observer could acknowledge a value whose record was not yet in the
+// log. Entries the merge rejects (not newer) log nothing: whoever
+// installed them already did.
+func (s *shardedMap) applyLogged(key string, ver Version, val string, logfn func(shard int)) bool {
+	idx := int(hashKey(key) & s.mask)
+	sh := &s.shards[idx]
 	sh.mu.Lock()
 	e, ok := sh.m[key]
 	if !ok || e.ver.Less(ver) {
 		sh.m[key] = entry{ver: ver, val: val}
+		if logfn != nil {
+			logfn(idx)
+		}
 		sh.mu.Unlock()
 		return true
 	}
 	sh.mu.Unlock()
 	return false
 }
+
+// withShard runs fn over one shard's map while holding its lock — the
+// disk backend's snapshot path, which must dump and truncate under the
+// same lock its appends take.
+func (s *shardedMap) withShard(i int, fn func(m map[string]entry)) {
+	sh := &s.shards[i]
+	sh.mu.Lock()
+	fn(sh.m)
+	sh.mu.Unlock()
+}
+
+// count returns the shard count (after power-of-two rounding).
+func (s *shardedMap) count() int { return len(s.shards) }
 
 // dump snapshots every stored entry as parallel slices sorted by key —
 // deterministic iteration order for reconfiguration state sync. Each

@@ -1,0 +1,113 @@
+// Seed fuzz corpus maintenance for FuzzDecodeRecord, following the
+// codec package's self-verifying pattern: the corpus under
+// testdata/fuzz/FuzzDecodeRecord is committed so `go test -fuzz` starts
+// from real record encodings of every kind instead of rediscovering the
+// format, and plain `go test` replays it so a decoder regression on any
+// historical record shape fails CI immediately.
+//
+// Regenerate after changing the record format:
+//
+//	go test ./internal/wal -run TestSeedCorpus -update-corpus
+package wal
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateCorpus = flag.Bool("update-corpus", false, "regenerate the committed seed fuzz corpus")
+
+const corpusDir = "testdata/fuzz/FuzzDecodeRecord"
+
+// seedRecords returns the corpus entries: file name -> encoded record.
+func seedRecords() map[string][]byte {
+	frames := make(map[string][]byte)
+	for i, rec := range recordSamples() {
+		frames[fmt.Sprintf("seed-kind-%d-%d", rec.Kind, i)] = AppendRecord(nil, rec)
+	}
+	return frames
+}
+
+// TestSeedCorpusCoversAllKinds verifies the committed corpus: every
+// file parses, every well-formed seed decodes cleanly and
+// canonically, and together the seeds cover every record kind. With
+// -update-corpus it (re)writes the seed files first.
+func TestSeedCorpusCoversAllKinds(t *testing.T) {
+	frames := seedRecords()
+	if *updateCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, body := range frames {
+			content := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", body)
+			if err := os.WriteFile(filepath.Join(corpusDir, name), []byte(content), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		t.Logf("wrote %d seed records to %s", len(frames), corpusDir)
+	}
+
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("corpus missing (run with -update-corpus to generate): %v", err)
+	}
+	covered := make(map[Kind]bool)
+	seeds := 0
+	for _, e := range entries {
+		data := readCorpusFile(t, filepath.Join(corpusDir, e.Name()))
+		if rec, _, err := DecodeRecord(data); err == nil {
+			covered[rec.Kind] = true
+		}
+		if !strings.HasPrefix(e.Name(), "seed-") {
+			continue // fuzz-discovered additions need not decode cleanly
+		}
+		seeds++
+		rec, n, err := DecodeRecord(data)
+		if err != nil {
+			t.Errorf("%s: well-formed seed no longer decodes: %v", e.Name(), err)
+			continue
+		}
+		if n != len(data) {
+			t.Errorf("%s: seed decodes %d of %d bytes", e.Name(), n, len(data))
+		}
+		if got := AppendRecord(nil, rec); string(got) != string(data) {
+			t.Errorf("%s: re-encoding differs from seed", e.Name())
+		}
+	}
+	if seeds < len(frames) {
+		t.Errorf("corpus holds %d seed files, want %d (run with -update-corpus)", seeds, len(frames))
+	}
+	for _, kind := range []Kind{KindPut, KindClock} {
+		if !covered[kind] {
+			t.Errorf("corpus covers no record of kind %d", kind)
+		}
+	}
+}
+
+// readCorpusFile parses Go's fuzz corpus format: a version line followed
+// by one []byte("...") literal.
+func readCorpusFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitN(string(data), "\n", 3)
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		t.Fatalf("%s: not a fuzz corpus file", path)
+	}
+	lit := strings.TrimSpace(lines[1])
+	if !strings.HasPrefix(lit, "[]byte(") || !strings.HasSuffix(lit, ")") {
+		t.Fatalf("%s: unexpected corpus entry %q", path, lit)
+	}
+	s, err := strconv.Unquote(lit[len("[]byte(") : len(lit)-1])
+	if err != nil {
+		t.Fatalf("%s: %v", path, err)
+	}
+	return []byte(s)
+}

@@ -1,0 +1,301 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+	snapName  = "snap.wal"
+	snapTmp   = "snap.tmp"
+)
+
+// shardLog is one shard's on-disk history: an optional snapshot file
+// (the compacted state as of some point) plus numbered segment files of
+// records appended since. Appends encode into an in-memory buffer;
+// flush (driven by the Log's group committer) writes and fsyncs the
+// buffer in one call, so durability cost is paid per commit round, not
+// per record.
+type shardLog struct {
+	// The shard's mutex nests inside the rkv store's map-shard lock
+	// (appends and snapshots are both issued under it) and inside the
+	// Log's committer mutex ordering; it never calls back out.
+	id   int
+	dir  string
+	opts *Options
+
+	seg       *os.File // active segment
+	segs      []uint64 // segment numbers present on disk, ascending
+	segSize   int64    // bytes written to the active segment
+	buf       []byte   // encoded records awaiting flush
+	scratch   []byte   // body-encoding scratch
+	sinceSnap int      // records appended since the last snapshot
+	snapDue   bool
+	// snapDueCounted mirrors snapDue into the Log's atomic due count
+	// exactly once per false→true transition.
+	snapDueCounted bool
+	err            error // sticky: first I/O failure poisons the shard
+}
+
+func segName(n uint64) string { return fmt.Sprintf("%s%08d%s", segPrefix, n, segSuffix) }
+
+// segNumber parses a segment file name; ok is false for anything else.
+func segNumber(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	if err != nil || n == 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// openShard opens (or creates) one shard directory, scans the newest
+// segment for a torn tail, truncates it to the last valid record, and
+// positions the active segment for appends.
+func openShard(dir string, id int, opts *Options) (*shardLog, error) {
+	sdir := filepath.Join(dir, fmt.Sprintf("s%02d", id))
+	if err := os.MkdirAll(sdir, 0o755); err != nil {
+		return nil, err
+	}
+	sl := &shardLog{id: id, dir: sdir, opts: opts}
+	ents, err := os.ReadDir(sdir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range ents {
+		if n, ok := segNumber(e.Name()); ok {
+			sl.segs = append(sl.segs, n)
+		}
+	}
+	sort.Slice(sl.segs, func(a, b int) bool { return sl.segs[a] < sl.segs[b] })
+	if len(sl.segs) == 0 {
+		return sl, sl.newSegment(1)
+	}
+	last := sl.segs[len(sl.segs)-1]
+	path := filepath.Join(sdir, segName(last))
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	valid := scanBuf(data, id, nil)
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if valid < len(data) {
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	if _, err := f.Seek(int64(valid), 0); err != nil {
+		f.Close()
+		return nil, err
+	}
+	sl.seg = f
+	sl.segSize = int64(valid)
+	return sl, nil
+}
+
+// newSegment creates and activates segment n.
+func (sl *shardLog) newSegment(n uint64) error {
+	f, err := os.OpenFile(filepath.Join(sl.dir, segName(n)), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		sl.err = err
+		return err
+	}
+	sl.seg = f
+	sl.segs = append(sl.segs, n)
+	sl.segSize = 0
+	return sl.syncDir()
+}
+
+// append encodes rec into the flush buffer. Caller holds the Log's
+// per-shard lock for this shard.
+func (sl *shardLog) append(rec Record) error {
+	if sl.err != nil {
+		return sl.err
+	}
+	sl.scratch = appendBody(sl.scratch[:0], rec)
+	sl.buf = appendFrame(sl.buf, sl.scratch)
+	sl.sinceSnap++
+	if sl.opts.SnapshotEvery > 0 && sl.sinceSnap >= sl.opts.SnapshotEvery {
+		sl.snapDue = true
+	}
+	return nil
+}
+
+// flush writes the buffered records to the active segment and, unless
+// the log runs NoSync, fsyncs it — one write and one sync per commit
+// round regardless of how many records the round batched. A full
+// segment is sealed and a fresh one opened after the flush.
+func (sl *shardLog) flush(st *counters) error {
+	if sl.err != nil {
+		return sl.err
+	}
+	if len(sl.buf) == 0 {
+		return nil
+	}
+	if _, err := sl.seg.Write(sl.buf); err != nil {
+		sl.err = err
+		return err
+	}
+	st.bytes.Add(uint64(len(sl.buf)))
+	sl.segSize += int64(len(sl.buf))
+	sl.buf = sl.buf[:0]
+	if !sl.opts.NoSync {
+		if err := sl.seg.Sync(); err != nil {
+			sl.err = err
+			return err
+		}
+		st.fileSyncs.Add(1)
+	}
+	if sl.segSize >= sl.opts.SegmentBytes {
+		if err := sl.seg.Close(); err != nil {
+			sl.err = err
+			return err
+		}
+		if err := sl.newSegment(sl.segs[len(sl.segs)-1] + 1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// snapshot replaces the shard's entire on-disk history with recs, the
+// shard's full current state. The caller guarantees recs is a superset
+// of every record appended so far (rkv dumps the shard map under the
+// same lock that ordered the appends), so buffered-but-unflushed
+// records are covered by the snapshot and dropped, and all segments are
+// deleted. The snapshot file is written to a temp name, fsynced, then
+// renamed — a crash mid-snapshot leaves the previous snapshot plus
+// segments intact.
+func (sl *shardLog) snapshot(recs []Record, st *counters) error {
+	if sl.err != nil {
+		return sl.err
+	}
+	var buf []byte
+	for _, rec := range recs {
+		buf = AppendRecord(buf, rec)
+	}
+	tmp := filepath.Join(sl.dir, snapTmp)
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		sl.err = err
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		sl.err = err
+		return err
+	}
+	if !sl.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			sl.err = err
+			return err
+		}
+		st.fileSyncs.Add(1)
+	}
+	if err := f.Close(); err != nil {
+		sl.err = err
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(sl.dir, snapName)); err != nil {
+		sl.err = err
+		return err
+	}
+	// The snapshot now covers everything: drop buffered records and
+	// delete every segment, then start a fresh one.
+	sl.buf = sl.buf[:0]
+	if sl.seg != nil {
+		if err := sl.seg.Close(); err != nil {
+			sl.err = err
+			return err
+		}
+		sl.seg = nil
+	}
+	next := uint64(1)
+	if len(sl.segs) > 0 {
+		next = sl.segs[len(sl.segs)-1] + 1
+	}
+	for _, n := range sl.segs {
+		if err := os.Remove(filepath.Join(sl.dir, segName(n))); err != nil {
+			sl.err = err
+			return err
+		}
+	}
+	sl.segs = sl.segs[:0]
+	sl.sinceSnap = 0
+	sl.snapDue = false
+	st.snapshots.Add(1)
+	if err := sl.newSegment(next); err != nil {
+		return err
+	}
+	return sl.syncDir()
+}
+
+// replay reads the snapshot (if any) then every segment in order,
+// invoking fn for each valid record. Each file's scan stops at the
+// first torn or corrupt record; for sealed segments that also guards
+// against a middle segment damaged at rest. When segments is false only
+// the snapshot is read — the clean-shutdown fast path.
+func (sl *shardLog) replay(segments bool, fn func(Record), st *counters) error {
+	count := func(rec Record) {
+		st.replayed.Add(1)
+		fn(rec)
+	}
+	if data, err := os.ReadFile(filepath.Join(sl.dir, snapName)); err == nil {
+		scanBuf(data, sl.id, count)
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if !segments {
+		return nil
+	}
+	for _, n := range sl.segs {
+		data, err := os.ReadFile(filepath.Join(sl.dir, segName(n)))
+		if err != nil {
+			return err
+		}
+		scanBuf(data, sl.id, count)
+	}
+	return nil
+}
+
+// syncDir fsyncs the shard directory so file creates, deletes and the
+// snapshot rename are themselves durable.
+func (sl *shardLog) syncDir() error {
+	if sl.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(sl.dir)
+	if err != nil {
+		sl.err = err
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	if err != nil {
+		sl.err = err
+		return err
+	}
+	return nil
+}
+
+// close flushes nothing: the Log drives flushes; close just releases
+// the file handle.
+func (sl *shardLog) close() {
+	if sl.seg != nil {
+		sl.seg.Close()
+		sl.seg = nil
+	}
+}

@@ -1,0 +1,390 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+)
+
+// markerName is the clean-shutdown marker. Close writes it after
+// snapshotting every shard and truncating their segments; Open consumes
+// it and lets Replay skip the segment scan, trusting the snapshots to
+// hold the complete state. A crash (no marker) always takes the full
+// snapshot-plus-segments replay path.
+const markerName = "CLEAN"
+
+// ErrAbandoned reports an operation on a log whose files were dropped
+// by Abandon — the simulated-crash state.
+var ErrAbandoned = errors.New("wal: log abandoned")
+
+// Options configures a Log.
+type Options struct {
+	// Shards is the number of shard logs; it must match the replica
+	// store's shard count so Record.Shard routes consistently across
+	// restarts. Minimum 1.
+	Shards int
+	// SegmentBytes seals the active segment once it reaches this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// SnapshotEvery marks a shard snapshot-due after this many appended
+	// records (default 4096; negative disables the signal). The log
+	// only raises the flag — the owner of the state dumps the shard and
+	// calls SnapshotShard, because only it can read the map and the log
+	// under one lock.
+	SnapshotEvery int
+	// NoSync skips fsync on flush: records are written to the file but
+	// not forced to disk. The deterministic simulation runs NoSync —
+	// its crash model kills a process, not the machine, so what write()
+	// made visible is exactly what survives — while real deployments
+	// keep fsync on.
+	NoSync bool
+}
+
+// counters are the Log's internal atomics; Stats() snapshots them.
+type counters struct {
+	appends    atomic.Uint64
+	syncRounds atomic.Uint64
+	fileSyncs  atomic.Uint64
+	snapshots  atomic.Uint64
+	bytes      atomic.Uint64
+	replayed   atomic.Uint64
+}
+
+// Stats is a point-in-time snapshot of a Log's operation counters.
+type Stats struct {
+	Appends    uint64 // records appended
+	SyncRounds uint64 // group-commit flush rounds executed
+	FileSyncs  uint64 // fsync calls on segment and snapshot files
+	Snapshots  uint64 // shard snapshots written
+	Bytes      uint64 // record bytes written to segments
+	Replayed   uint64 // records emitted by Replay
+}
+
+// Log is a durable per-shard write-ahead log with group commit.
+//
+// Concurrency contract: Append may be called from many goroutines (the
+// transport's fast-path delivery); Sync is the group-commit barrier —
+// when it returns nil, every record appended before the call is
+// durable. Concurrent Sync callers coalesce: one becomes the leader and
+// flushes every shard's buffer with a single write+fsync per dirty
+// shard file, the rest wait for the round that covers them. That is how
+// an eight-op quorum batch costs one fsync, not eight.
+type Log struct {
+	dir    string
+	opts   Options
+	shards []*shardLog
+	locks  []sync.Mutex // one per shard, guarding the shardLog
+	due    atomic.Int64 // number of shards with snapDue set
+	clean  bool         // clean-shutdown marker was present at Open
+
+	mu        sync.Mutex // group-committer state
+	cond      *sync.Cond
+	appendSeq uint64 // records appended (assigned under mu)
+	syncedSeq uint64 // records covered by a completed flush round
+	syncing   bool   // a leader is mid-round
+
+	abandoned atomic.Bool
+	stats     counters
+}
+
+// Open opens (or initializes) a log rooted at dir, recovering each
+// shard: torn tails are truncated to the last valid record and the
+// active segments positioned for appends. Call Replay before the first
+// Append to rebuild state.
+func Open(dir string, opts Options) (*Log, error) {
+	if opts.Shards < 1 {
+		opts.Shards = 1
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if opts.SnapshotEvery == 0 {
+		opts.SnapshotEvery = 4096
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	l := &Log{dir: dir, opts: opts}
+	l.cond = sync.NewCond(&l.mu)
+	marker := filepath.Join(dir, markerName)
+	if _, err := os.Stat(marker); err == nil {
+		l.clean = true
+	}
+	l.shards = make([]*shardLog, opts.Shards)
+	l.locks = make([]sync.Mutex, opts.Shards)
+	for i := range l.shards {
+		sl, err := openShard(dir, i, &l.opts)
+		if err != nil {
+			l.closeFiles()
+			return nil, fmt.Errorf("wal: open shard %d: %w", i, err)
+		}
+		l.shards[i] = sl
+	}
+	// Consume the marker only once every shard opened: a crash between
+	// here and the caller's Replay re-runs full recovery, which is
+	// idempotent.
+	if l.clean {
+		if err := os.Remove(marker); err != nil {
+			l.closeFiles()
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// Dir returns the log's root directory.
+func (l *Log) Dir() string { return l.dir }
+
+// CleanStart reports whether the clean-shutdown marker was present at
+// Open — i.e. Replay can trust snapshots alone.
+func (l *Log) CleanStart() bool { return l.clean }
+
+// Replay streams every recovered record to fn, shard by shard: the
+// shard's snapshot first, then its segments in order (skipped entirely
+// after a clean shutdown). Replay before appending; records carry their
+// shard index.
+func (l *Log) Replay(fn func(Record)) error {
+	for i, sl := range l.shards {
+		l.locks[i].Lock()
+		err := sl.replay(!l.clean, fn, &l.stats)
+		l.locks[i].Unlock()
+		if err != nil {
+			return fmt.Errorf("wal: replay shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Append stages one record for the next commit round. It is durable
+// only after a Sync that started at or after this call returns nil.
+func (l *Log) Append(rec Record) error {
+	if l.abandoned.Load() {
+		return ErrAbandoned
+	}
+	if rec.Shard < 0 || rec.Shard >= len(l.shards) {
+		return fmt.Errorf("wal: shard %d out of range [0,%d)", rec.Shard, len(l.shards))
+	}
+	l.locks[rec.Shard].Lock()
+	err := l.shards[rec.Shard].append(rec)
+	if err == nil && l.shards[rec.Shard].snapDue {
+		// Transition accounting for the SnapshotDue fast path; the
+		// flag itself stays set until SnapshotShard clears it.
+		if !l.shards[rec.Shard].snapDueCounted {
+			l.shards[rec.Shard].snapDueCounted = true
+			l.due.Add(1)
+		}
+	}
+	l.locks[rec.Shard].Unlock()
+	if err != nil {
+		return err
+	}
+	l.stats.appends.Add(1)
+	l.mu.Lock()
+	l.appendSeq++
+	l.mu.Unlock()
+	return nil
+}
+
+// Sync is the group-commit barrier: it returns nil once every record
+// appended before the call is flushed and (unless NoSync) fsynced.
+// Concurrent callers coalesce into rounds — one leader flushes all
+// dirty shards, followers wait for the covering round.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	target := l.appendSeq
+	for l.syncedSeq < target && l.syncing {
+		l.cond.Wait()
+	}
+	if l.syncedSeq >= target {
+		l.mu.Unlock()
+		return nil
+	}
+	l.syncing = true
+	target = l.appendSeq // absorb records appended while waiting
+	l.mu.Unlock()
+
+	err := l.flushAll()
+
+	l.mu.Lock()
+	l.syncing = false
+	if err == nil && target > l.syncedSeq {
+		l.syncedSeq = target
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// Commit appends recs and blocks until they are durable — the
+// convenience form protocol code uses per quorum round.
+func (l *Log) Commit(recs ...Record) error {
+	for _, rec := range recs {
+		if err := l.Append(rec); err != nil {
+			return err
+		}
+	}
+	return l.Sync()
+}
+
+// flushAll writes and fsyncs every shard's buffered records.
+func (l *Log) flushAll() error {
+	if l.abandoned.Load() {
+		return ErrAbandoned
+	}
+	l.stats.syncRounds.Add(1)
+	var firstErr error
+	for i, sl := range l.shards {
+		l.locks[i].Lock()
+		err := sl.flush(&l.stats)
+		l.locks[i].Unlock()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// SnapshotDue returns the shards whose record count since their last
+// snapshot crossed Options.SnapshotEvery. The flag stays up until
+// SnapshotShard runs, so callers may coalesce checks; the common case
+// (nothing due) is one atomic load.
+func (l *Log) SnapshotDue() []int {
+	if l.due.Load() == 0 {
+		return nil
+	}
+	var due []int
+	for i := range l.shards {
+		l.locks[i].Lock()
+		if l.shards[i].snapDue {
+			due = append(due, i)
+		}
+		l.locks[i].Unlock()
+	}
+	return due
+}
+
+// SnapshotShard atomically replaces one shard's on-disk history with
+// recs, its full current state, then truncates the shard's segments.
+// The caller must guarantee recs covers every record it has appended
+// for the shard — rkv does so by dumping the shard map under the same
+// lock its appends take, so map contents are always a superset of the
+// log.
+func (l *Log) SnapshotShard(shard int, recs []Record) error {
+	if l.abandoned.Load() {
+		return ErrAbandoned
+	}
+	if shard < 0 || shard >= len(l.shards) {
+		return fmt.Errorf("wal: shard %d out of range [0,%d)", shard, len(l.shards))
+	}
+	l.locks[shard].Lock()
+	sl := l.shards[shard]
+	wasDue := sl.snapDueCounted
+	err := sl.snapshot(recs, &l.stats)
+	if err == nil && wasDue {
+		sl.snapDueCounted = false
+		l.due.Add(-1)
+	}
+	l.locks[shard].Unlock()
+	return err
+}
+
+// Close performs a clean shutdown: flush and fsync everything, then, if
+// dump is non-nil, snapshot each shard from dump's state, truncate all
+// segments and write the clean-shutdown marker so the next Open can
+// skip segment replay. Close with a nil dump just flushes and releases
+// files (no marker — next start replays normally).
+func (l *Log) Close(dump func(shard int) []Record) error {
+	if l.abandoned.Load() {
+		return ErrAbandoned
+	}
+	firstErr := l.Sync()
+	if dump != nil {
+		for i := range l.shards {
+			recs := dump(i)
+			l.locks[i].Lock()
+			err := l.shards[i].snapshot(recs, &l.stats)
+			l.locks[i].Unlock()
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr == nil {
+			firstErr = l.writeMarker()
+		}
+	}
+	l.closeFiles()
+	return firstErr
+}
+
+// writeMarker durably records a clean shutdown.
+func (l *Log) writeMarker() error {
+	path := filepath.Join(l.dir, markerName)
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("clean\n")); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if l.opts.NoSync {
+		return nil
+	}
+	d, err := os.Open(l.dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	d.Close()
+	return err
+}
+
+// Abandon drops the log without flushing: buffered records are lost,
+// files are closed as-is, and every subsequent operation fails with
+// ErrAbandoned. It is the simulated-crash path — what a SIGKILL does to
+// user-space buffers — and the harness reopens the directory with Open
+// to model the restart.
+func (l *Log) Abandon() {
+	l.abandoned.Store(true)
+	l.closeFiles()
+	// Wake any Sync followers parked on the condition; their leader's
+	// flush will fail with ErrAbandoned and re-check terminates.
+	l.mu.Lock()
+	l.cond.Broadcast()
+	l.mu.Unlock()
+}
+
+func (l *Log) closeFiles() {
+	for i, sl := range l.shards {
+		if sl == nil {
+			continue
+		}
+		l.locks[i].Lock()
+		sl.close()
+		l.locks[i].Unlock()
+	}
+}
+
+// Stats snapshots the log's operation counters.
+func (l *Log) Stats() Stats {
+	return Stats{
+		Appends:    l.stats.appends.Load(),
+		SyncRounds: l.stats.syncRounds.Load(),
+		FileSyncs:  l.stats.fileSyncs.Load(),
+		Snapshots:  l.stats.snapshots.Load(),
+		Bytes:      l.stats.bytes.Load(),
+		Replayed:   l.stats.replayed.Load(),
+	}
+}

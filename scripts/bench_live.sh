@@ -11,6 +11,9 @@
 #                  round                                    (batched multi-key)
 #   mem/w8         in-process channels, window of 8         (no-syscall ceiling)
 #   mem/w8/k64b8   batched multi-key at the mem ceiling
+#   tcp/w8/k64b8/disk  the batched cell with every replica
+#                  on the durable WAL backend, real fsyncs  (group commit
+#                  amortizes durability: one fsync per quorum round)
 #   tcp/w8/rc      window 8 with a live majority→h-T-grid
 #                  reconfiguration a quarter of the way in  (steady state
 #                  after the swap; the cell also reports pre/post split

@@ -26,3 +26,8 @@ go test -race ./internal/codec/... ./internal/histo/...
 # completion races a watchdog timer, and clients whose pipelined Do
 # calls coalesce onto one writer. Race it.
 go test -race ./internal/gateway/...
+# The WAL's group committer is one leader flushing for many concurrent
+# appenders (mutex+cond coalescing), and the replica's disk backend
+# appends from multiple fast-path reader goroutines under shard locks:
+# race the whole durability layer.
+go test -race ./internal/wal/...
