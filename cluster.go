@@ -99,6 +99,7 @@ const (
 	FlavorHGrid    = epoch.FlavorHGrid
 	FlavorHTGrid   = epoch.FlavorHTGrid
 	FlavorHTriang  = epoch.FlavorHTriang
+	FlavorHMaj     = epoch.FlavorHMaj
 )
 
 // ErrStaleEpoch reports an operation rejected for being issued under an

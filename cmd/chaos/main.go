@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"hquorum/internal/cluster"
 	"hquorum/internal/epoch"
@@ -26,6 +27,7 @@ import (
 	"hquorum/internal/htgrid"
 	"hquorum/internal/nemesis"
 	"hquorum/internal/rkv"
+	"hquorum/internal/tuner"
 )
 
 func main() {
@@ -91,6 +93,24 @@ func main() {
 			Schedules: []nemesis.Schedule{
 				nemesis.ReconfigMidCrash(0, toHTGrid, []cluster.NodeID{5, 6}),
 			}},
+		// Auto-tune under fire: no schedule Reconfig — node 0's workload
+		// tuner drives the swaps itself off the measured mix, which shifts
+		// from 50/50 to 95% reads mid-run while the crash storm takes the
+		// tuning node (and later a second wave) down. The margins are
+		// relaxed because the runner forces read write-back; the cell
+		// asserts per-key linearizability across however many swaps the
+		// tuner lands, not a fixed final epoch.
+		{Name: "tune/maj9-shift", Initial: &initMaj, Space: 16,
+			Ops: 40, Keys: 8, ShiftReads: 0.95,
+			AutoTune: &tuner.Policy{
+				Interval: 250 * time.Millisecond,
+				Span:     3 * time.Second,
+				HoldFor:  2,
+				MinOps:   8,
+				MinGain:  1.1,
+				MinAvail: 0.8,
+			},
+			Schedules: []nemesis.Schedule{nemesis.CrashStorm(16)}},
 	}
 	mutexCases := []nemesis.MutexCase{
 		{Name: "h-grid-3x3", System: htgrid.Auto(3, 3), Schedules: nemesis.DefaultSchedules(9)},

@@ -50,6 +50,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
@@ -63,6 +64,7 @@ import (
 	"hquorum/internal/epoch"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
+	"hquorum/internal/tuner"
 )
 
 func main() {
@@ -86,6 +88,13 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", time.Second, "TCP dial timeout for peer connections")
 	writeback := flag.Bool("writeback", true, "complete reads only after writing the observed version back to a write quorum (linearizable reads)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	autoTune := flag.Bool("auto-tune", false, "profile the workload and reconfigure the cluster live when a different quorum configuration wins under the measured read/write mix (enable on exactly one replica)")
+	tuneInterval := flag.Duration("tune-interval", 0, "auto-tune evaluation period (0 = tuner default)")
+	tuneHold := flag.Int("tune-hold", 0, "consecutive winning evaluations before a swap (0 = tuner default)")
+	tuneMinGain := flag.Float64("tune-min-gain", 0, "cost ratio a winner must clear to trigger a swap (0 = tuner default)")
+	tuneFailP := flag.Float64("tune-fail-p", 0, "per-node failure probability the optimizer scores availability at (0 = tuner default)")
+	tuneMinAvail := flag.Float64("tune-min-avail", 0, "workload-weighted availability floor a candidate must clear (0 = tuner default)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (transport, WAL, pick cache and workload-profiler counters)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -141,6 +150,16 @@ func main() {
 	if *dataDir != "" {
 		storage = "disk"
 	}
+	var tunePolicy *tuner.Policy
+	if *autoTune {
+		tunePolicy = &tuner.Policy{
+			Interval: *tuneInterval,
+			HoldFor:  *tuneHold,
+			MinGain:  *tuneMinGain,
+			FailP:    *tuneFailP,
+			MinAvail: *tuneMinAvail,
+		}
+	}
 	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
 		Epochs:        epochs,
 		Shards:        *shards,
@@ -151,6 +170,7 @@ func main() {
 		Timeout:       *attempt,
 		OpDeadline:    *opDeadline,
 		ReadWriteback: *writeback,
+		AutoTune:      tunePolicy,
 		OnResult: func(r rkv.Result) {
 			label := r.Kind.String()
 			if r.Key != "" {
@@ -191,6 +211,13 @@ func main() {
 	tn.Start()
 	fmt.Fprintf(os.Stderr, "kvd: replica %d serving on %s (epoch %d: %v)\n",
 		*id, tn.Addr(), epochs.Epoch(), initial)
+	if *autoTune {
+		tn.Kick(0, rkv.TuneToken())
+		fmt.Fprintf(os.Stderr, "kvd: auto-tune enabled\n")
+	}
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, node, tn, epochs, storage != "")
+	}
 
 	if len(ops) > 0 {
 		tn.Kick(0, node.StartToken())
@@ -214,6 +241,54 @@ func main() {
 	<-sig
 	fmt.Fprintln(os.Stderr, "kvd: shutting down")
 	shutdown(node)
+}
+
+// serveMetrics exposes the replica's observability counters as one JSON
+// document: epoch config, transport stats, WAL stats (disk backend),
+// pick-cache hit rate and the tuner's current workload window.
+func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch.Store, disk bool) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		cfg := epochs.Snapshot()
+		hits, misses := node.PickCacheStats()
+		wl := node.Workload(tn.Now())
+		doc := map[string]any{
+			"epoch":  cfg.Epoch,
+			"config": cfg.Cur.String(),
+			"joint":  cfg.Joint(),
+			"transport": tn.Stats(),
+			"pick_cache": map[string]any{
+				"hits":   hits,
+				"misses": misses,
+			},
+			"workload": map[string]any{
+				"span_us":        wl.SpanUs,
+				"reads":          wl.Reads,
+				"writes":         wl.Writes,
+				"errors":         wl.Errors,
+				"read_frac":      wl.ReadFrac(),
+				"writeback_frac": wl.WritebackFrac(),
+				"avg_batch":      wl.AvgBatch(),
+				"avg_latency_us": uint64(wl.AvgLatency() / time.Microsecond),
+				"key_skew":       wl.KeySkew(),
+			},
+		}
+		if disk {
+			doc["wal"] = node.WALStats()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			fmt.Fprintf(os.Stderr, "kvd: metrics: %v\n", err)
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "kvd: metrics on http://%s/metrics\n", addr)
 }
 
 // shutdown closes the node's storage backend; a failed flush is a real

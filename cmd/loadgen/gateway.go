@@ -236,7 +236,8 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		Name: spec.Name, Mode: spec.Mode, Window: spec.Window,
 		Batch: spec.Batch, Keys: spec.Keys, Zipf: spec.Zipf,
 		Clients: spec.Clients, Nodes: n, Sessions: nsess,
-		GwShed: gwStats.Shed, GwRetries: gwStats.Retries,
+		ReadFrac: spec.Reads,
+		GwShed:   gwStats.Shed, GwRetries: gwStats.Retries,
 		MsgsSent: meshStats.Sent, BytesOut: meshStats.BytesOut, Flushes: meshStats.Flushes,
 	}
 	hist.Reset()

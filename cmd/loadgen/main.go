@@ -29,7 +29,11 @@
 // scripts/bench_live.sh wraps it, keeps the result as a JSON artifact, and
 // fails on regressions beyond -tolerance against the committed baseline.
 // -suite-batch and -suite-keys sweep batch size and keyspace size so the
-// JSON records throughput per batch size and per key count.
+// JSON records throughput per batch size and per key count. -suite-tune
+// runs the workload-aware auto-tuner pair: a 50/50 mix that shifts to 95%
+// reads mid-run, once with kvd-style -auto-tune re-shaping the cluster
+// live and once holding majority, gated on a clean swap and ≥1.3x
+// post-shift throughput.
 //
 // Usage:
 //
@@ -64,6 +68,7 @@ import (
 	"hquorum/internal/htgrid"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
+	"hquorum/internal/tuner"
 )
 
 type runSpec struct {
@@ -94,6 +99,16 @@ type runSpec struct {
 	// tcp mode only.
 	ReconfigAt int
 	ReconfigTo string
+
+	// ShiftReads, when positive, makes every client switch its read
+	// fraction from Reads to ShiftReads halfway through its op list — the
+	// mid-run mix shift the auto-tuner cells react to. The cluster runs
+	// epoch-versioned (tcp mode only) and the result splits throughput at
+	// the shift point. AutoTune additionally runs the workload-aware
+	// tuner on node 0, which must detect the new mix and re-shape the
+	// cluster live.
+	ShiftReads float64
+	AutoTune   bool
 
 	// Gateway mode: Clients lightweight connections multiplex onto
 	// Sessions shared rkv sessions behind a gateway tier; Inflight is the
@@ -144,6 +159,20 @@ type runResult struct {
 	P999us    float64 `json:"p999_us"`
 	MaxUs     float64 `json:"max_us"`
 	MeanUs    float64 `json:"mean_us"`
+	// ReadFrac stamps the cell's configured read fraction so compare()
+	// can refuse to gate throughput across differing mixes; ShiftReadFrac
+	// is the post-shift fraction of mix-shift cells. ReadOps/WriteOps and
+	// the per-kind quantiles split the latency picture by operation kind
+	// (reads and writes traverse different quorum paths, so one merged
+	// histogram hides the asymmetry the tuner exploits).
+	ReadFrac      float64 `json:"read_frac,omitempty"`
+	ShiftReadFrac float64 `json:"shift_read_frac,omitempty"`
+	ReadOps       int     `json:"read_ops,omitempty"`
+	WriteOps      int     `json:"write_ops,omitempty"`
+	ReadP50us     float64 `json:"read_p50_us,omitempty"`
+	ReadP99us     float64 `json:"read_p99_us,omitempty"`
+	WriteP50us    float64 `json:"write_p50_us,omitempty"`
+	WriteP99us    float64 `json:"write_p99_us,omitempty"`
 	// Transport counters (zero in mem mode: no frames, no flushes).
 	MsgsSent uint64 `json:"msgs_sent"`
 	BytesOut uint64 `json:"bytes_out"`
@@ -182,6 +211,9 @@ type report struct {
 	GatewayEfficiency float64     `json:"gateway_efficiency,omitempty"`
 	WanP99HierUs      float64     `json:"wan_p99_hier_us,omitempty"`
 	WanP99MajorityUs  float64     `json:"wan_p99_majority_us,omitempty"`
+	// TuneSpeedup is the auto-tuner pair's post-shift throughput ratio:
+	// the self-reconfiguring cell over the one that stays on majority.
+	TuneSpeedup float64 `json:"tune_speedup,omitempty"`
 	Runs              []runResult `json:"runs"`
 }
 
@@ -197,6 +229,7 @@ func main() {
 	keys := flag.Int("keys", 1, "keyspace size (1 = the classic single register)")
 	zipf := flag.Float64("zipf", 0, "zipfian key skew s (0 = uniform; otherwise must be > 1)")
 	reads := flag.Float64("reads", 0.5, "fraction of operations that are reads")
+	flag.Float64Var(reads, "read-frac", 0.5, "alias of -reads")
 	valueSize := flag.Int("value-size", 16, "write value size in bytes")
 	seed := flag.Int64("seed", 1, "workload rng seed")
 	shards := flag.Int("shards", 0, "replica store shard count (0 = rkv default)")
@@ -216,6 +249,7 @@ func main() {
 	suiteKeys := flag.Bool("suite-keys", false, "sweep key counts 1,4,16,64,256 at batch=8 window=8 (tcp)")
 	suiteGW := flag.Bool("suite-gw", false, "run the gateway efficiency pair (128 client streams direct-to-session vs through the gateway) and gate ≥0.7x")
 	suiteWAN := flag.Bool("suite-wan", false, "run the 3-region tail-latency cells (1000 gateway clients; majority vs hgrid vs htgrid) and gate hierarchy p99 < majority p99")
+	suiteTune := flag.Bool("suite-tune", false, "run the auto-tuner pair (mid-run 50/50→95%-read shift, kvd-style -auto-tune vs staying on majority) and gate the live swap + ≥1.3x post-shift throughput")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	comparePath := flag.String("compare", "", "baseline report JSON to compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "max fractional ops/s regression vs -compare baseline before exiting nonzero")
@@ -378,6 +412,33 @@ func main() {
 			specs = append(specs, s)
 		}
 	}
+	if *suiteTune {
+		// The self-tuning pair: identical 16-node clusters on majority under
+		// a 50/50 mix that shifts to 95% reads halfway through. One cell
+		// runs the workload-aware auto-tuner on node 0 (which must measure
+		// the shift and re-shape the cluster to an asymmetric configuration
+		// live), the other holds majority; the gate below compares their
+		// post-shift throughput. Write-back is off so the read path's quorum
+		// size — what the tuner optimizes — is what the cells measure.
+		total := base.Clients * base.Ops
+		if total < 600000 {
+			total = 600000
+		}
+		tc := cell("tcp", 8, 64, 8)
+		tc.Name = "tcp/w8/k64b8/tune"
+		tc.Store = "majority"
+		tc.Clients = 1
+		tc.Ops = total
+		tc.Reads = 0.5
+		tc.ShiftReads = 0.95
+		tc.Writeback = false
+		tc.AutoTune = true
+		specs = append(specs, tc)
+		hold := tc
+		hold.AutoTune = false
+		hold.Name = "tcp/w8/k64b8/hold"
+		specs = append(specs, hold)
+	}
 	if len(specs) == 0 {
 		base.Name = cellName(base.Mode, base.Window, base.Keys, base.Batch)
 		if base.ReconfigAt > 0 {
@@ -481,6 +542,55 @@ func main() {
 			if rep.WanP99HierUs >= rep.WanP99MajorityUs {
 				gates = append(gates, fmt.Sprintf("hierarchical p99 %s not better than majority %s on the 3-region WAN",
 					fmtUs(rep.WanP99HierUs), fmtUs(rep.WanP99MajorityUs)))
+			}
+		}
+	}
+
+	if *suiteTune {
+		ti, hi := -1, -1
+		for i := range specs {
+			switch specs[i].Name {
+			case "tcp/w8/k64b8/tune":
+				ti = i
+			case "tcp/w8/k64b8/hold":
+				hi = i
+			}
+		}
+		if ti >= 0 && hi >= 0 {
+			// The swap itself must be clean on every trial — a tuner that
+			// sometimes misses the shift or drops operations mid-transition
+			// is broken, however fast its best run.
+			for t, r := range trials[ti] {
+				if r.FinalEpoch < 3 {
+					gates = append(gates, fmt.Sprintf("auto-tune trial %d never completed a swap (settled epoch %d)", t+1, r.FinalEpoch))
+				}
+				if r.TransitionErrs != 0 {
+					gates = append(gates, fmt.Sprintf("auto-tune trial %d: %d op errors after the mix shift", t+1, r.TransitionErrs))
+				}
+			}
+			// Matched-trial post-shift ratio, like the gateway pair: trial t
+			// of both cells ran back to back, so machine noise cancels.
+			for t := 0; t < len(trials[ti]) && t < len(trials[hi]); t++ {
+				if d := trials[hi][t].PostOpsPerSec; d > 0 {
+					if r := trials[ti][t].PostOpsPerSec / d; r > rep.TuneSpeedup {
+						rep.TuneSpeedup = r
+					}
+				}
+			}
+			fmt.Printf("auto-tune speedup (post-shift, self-tuned vs staying on majority): %.2fx\n", rep.TuneSpeedup)
+			if rep.TuneSpeedup < 1.3 {
+				gates = append(gates, fmt.Sprintf("auto-tune post-shift speedup %.2fx < 1.30x", rep.TuneSpeedup))
+			}
+			// The asymmetric winner must also be cheaper on the wire, not
+			// just faster end to end.
+			tr, hr := find(rep.Runs, "tcp/w8/k64b8/tune"), find(rep.Runs, "tcp/w8/k64b8/hold")
+			if tr != nil && hr != nil && tr.Completed > 0 && hr.Completed > 0 {
+				tm := float64(tr.MsgsSent) / float64(tr.Completed)
+				hm := float64(hr.MsgsSent) / float64(hr.Completed)
+				fmt.Printf("wire cost: tuned %.2f msgs/op vs majority %.2f msgs/op\n", tm, hm)
+				if tm >= hm {
+					gates = append(gates, fmt.Sprintf("tuned config sends %.2f msgs/op, not cheaper than majority's %.2f", tm, hm))
+				}
 			}
 		}
 	}
@@ -604,7 +714,9 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	var rc *reconfigCtl
 	var initial, target epoch.Params
 	var stores []*epoch.Store
-	if spec.ReconfigAt > 0 {
+	total := spec.Clients * spec.Ops
+	switch {
+	case spec.ReconfigAt > 0:
 		if spec.Mode != "tcp" {
 			return runResult{}, fmt.Errorf("-reconfig-at requires tcp mode")
 		}
@@ -619,14 +731,26 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			return runResult{}, fmt.Errorf("-reconfig-to %q is already the initial config", spec.ReconfigTo)
 		}
 		rc = &reconfigCtl{at: int64(spec.ReconfigAt)}
-	} else {
+	case spec.ShiftReads > 0:
+		// Mix-shift cells run epoch-versioned so the auto-tuner can (and
+		// the hold cell could, but won't) re-shape the cluster. The split
+		// controller fires at the shift point — no reconfiguration kick of
+		// its own; the tuner drives any swap.
+		if spec.Mode != "tcp" {
+			return runResult{}, fmt.Errorf("mix-shift cells require tcp mode")
+		}
+		var err error
+		if initial, err = buildParams(spec.Store, spec.Rows, spec.Cols, n); err != nil {
+			return runResult{}, err
+		}
+		rc = &reconfigCtl{at: int64(total / 2)}
+	default:
 		var err error
 		if st, err = buildStore(spec.Store, spec.Rows, spec.Cols); err != nil {
 			return runResult{}, err
 		}
 	}
 
-	total := spec.Clients * spec.Ops
 	var remaining atomic.Int64
 	remaining.Store(int64(total))
 	done := make(chan struct{})
@@ -635,6 +759,8 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	// after the mesh has shut down.
 	type clientState struct {
 		hist      histo.Histogram
+		rhist     histo.Histogram
+		whist     histo.Histogram
 		completed int
 		failed    int
 	}
@@ -665,12 +791,24 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			cfg.Store, cfg.Epochs = nil, es
 			stores = append(stores, es)
 		}
+		if spec.AutoTune && i == 0 {
+			cfg.AutoTune = &tuner.Policy{
+				Interval: 100 * time.Millisecond,
+				HoldFor:  2,
+				MinOps:   64,
+			}
+		}
 		if i < spec.Clients {
 			cs := &clientState{}
 			states[i] = cs
 			cfg.Ops = buildWorkload(spec, int64(i))
 			cfg.OnResult = func(r rkv.Result) {
 				cs.hist.RecordDuration(r.At - r.Start)
+				if r.Kind == rkv.OpRead {
+					cs.rhist.RecordDuration(r.At - r.Start)
+				} else {
+					cs.whist.RecordDuration(r.At - r.Start)
+				}
 				if r.Err != nil {
 					cs.failed++
 				} else {
@@ -710,10 +848,16 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			return runResult{}, err
 		}
 		if rc != nil {
-			coord := mesh.Node(0)
-			rc.kick = func() { coord.Kick(0, rkv.ReconfigToken(target)) }
+			rc.kick = func() {}
+			if spec.ReconfigAt > 0 {
+				coord := mesh.Node(0)
+				rc.kick = func() { coord.Kick(0, rkv.ReconfigToken(target)) }
+			}
 		}
 		mesh.Start()
+		if spec.AutoTune {
+			mesh.Node(0).Kick(0, rkv.TuneToken())
+		}
 		start := time.Now()
 		if rc != nil {
 			rc.start = start
@@ -729,7 +873,15 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		if rc != nil {
 			// Let the coordinator finish spreading the final config before
 			// tearing the mesh down, so FinalEpoch reports the settled state.
-			if err := waitSettled(stores, 10*time.Second); err != nil {
+			// An explicit -reconfig-at must land at its target (epoch ≥ 3);
+			// mix-shift cells only need a stable (non-joint) config — whether
+			// the tuner swapped is the acceptance gate's question, not a run
+			// error.
+			minEpoch := uint64(3)
+			if spec.ReconfigAt == 0 {
+				minEpoch = 1
+			}
+			if err := waitSettled(stores, minEpoch, 10*time.Second); err != nil {
 				mesh.Close()
 				return runResult{}, err
 			}
@@ -765,8 +917,11 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		}
 	}
 	hist.Reset()
+	var rhist, whist histo.Histogram
 	for _, cs := range states {
 		hist.Merge(&cs.hist)
+		rhist.Merge(&cs.rhist)
+		whist.Merge(&cs.whist)
 		res.Completed += cs.completed
 		res.Failed += cs.failed
 	}
@@ -781,16 +936,28 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	res.P999us = us(hist.Quantile(0.999))
 	res.MaxUs = us(hist.Max())
 	res.MeanUs = hist.Mean() / 1e3
+	res.ReadFrac = spec.Reads
+	res.ShiftReadFrac = spec.ShiftReads
+	res.ReadOps = int(rhist.Count())
+	res.WriteOps = int(whist.Count())
+	if rhist.Count() > 0 {
+		res.ReadP50us = us(rhist.Quantile(0.50))
+		res.ReadP99us = us(rhist.Quantile(0.99))
+	}
+	if whist.Count() > 0 {
+		res.WriteP50us = us(whist.Quantile(0.50))
+		res.WriteP99us = us(whist.Quantile(0.99))
+	}
 	if rc != nil {
-		res.ReconfigAt = spec.ReconfigAt
+		res.ReconfigAt = int(rc.at)
 		res.TransitionErrs = int(rc.errs.Load())
 		res.FinalEpoch = stores[0].Epoch()
 		pre := time.Duration(rc.preElapsed.Load())
 		if pre > 0 {
-			res.PreOpsPerSec = float64(spec.ReconfigAt) / pre.Seconds()
+			res.PreOpsPerSec = float64(rc.at) / pre.Seconds()
 		}
 		if post := elapsed - pre; pre > 0 && post > 0 {
-			res.PostOpsPerSec = float64(total-spec.ReconfigAt) / post.Seconds()
+			res.PostOpsPerSec = float64(int64(total)-rc.at) / post.Seconds()
 		}
 	}
 	return res, nil
@@ -814,13 +981,13 @@ func buildParams(name string, rows, cols, n int) (epoch.Params, error) {
 }
 
 // waitSettled polls every epoch store until all run a stable (non-joint)
-// config at the coordinator's final epoch.
-func waitSettled(stores []*epoch.Store, limit time.Duration) error {
+// config at or beyond minEpoch.
+func waitSettled(stores []*epoch.Store, minEpoch uint64, limit time.Duration) error {
 	deadline := time.Now().Add(limit)
 	for {
 		settled := true
 		for _, es := range stores {
-			if snap := es.Snapshot(); snap.Joint() || snap.Epoch < 3 {
+			if snap := es.Snapshot(); snap.Joint() || snap.Epoch < minEpoch {
 				settled = false
 				break
 			}
@@ -867,8 +1034,12 @@ func buildWorkload(spec runSpec, client int64) []rkv.Op {
 	written := make(map[string]bool, spec.Keys)
 	ops := make([]rkv.Op, 0, spec.Ops)
 	for i := 0; i < spec.Ops; i++ {
+		readFrac := spec.Reads
+		if spec.ShiftReads > 0 && i >= spec.Ops/2 {
+			readFrac = spec.ShiftReads
+		}
 		k := pickKey()
-		if written[k] && rng.Float64() < spec.Reads {
+		if written[k] && rng.Float64() < readFrac {
 			ops = append(ops, rkv.Op{Kind: rkv.OpRead, Key: k})
 		} else {
 			written[k] = true
@@ -961,6 +1132,7 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 		fmt.Fprintf(os.Stderr, "loadgen: baseline %s predates CPU stamping; comparing anyway\n", baselinePath)
 	}
 	var regressions []string
+	var newCells []string
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n%-14s  %14s  %14s  %8s    %12s  %12s  %8s\n",
 		"cell", "old ops/s", "new ops/s", "delta", "old p99", "new p99", "delta")
@@ -969,7 +1141,16 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 		or := find(old.Runs, nr.Name)
 		if or == nil {
 			fmt.Fprintf(&b, "%-14s  %14s  %14.0f  %8s\n", nr.Name, "-", nr.OpsPerSec, "new")
+			newCells = append(newCells, nr.Name)
 			continue
+		}
+		// A throughput delta across differing read/write mixes measures the
+		// mix, not the code — refuse rather than gate on it. (Baselines
+		// predating mix stamping read as zero and are let through.)
+		if or.ReadFrac != 0 && nr.ReadFrac != 0 &&
+			(or.ReadFrac != nr.ReadFrac || or.ShiftReadFrac != nr.ShiftReadFrac) {
+			return nil, fmt.Errorf("cell %s: baseline ran %.0f%% reads, this run %.0f%% — refusing to gate across differing mixes; regenerate the baseline",
+				nr.Name, 100*or.ReadFrac, 100*nr.ReadFrac)
 		}
 		mark := ""
 		switch {
@@ -991,14 +1172,21 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 		fmt.Fprintf(&b, "speedup   %19.2fx  %13.2fx\n", old.PipelineSpeedup, cur.PipelineSpeedup)
 	}
 	fmt.Print(b.String())
+	if len(newCells) > 0 {
+		// New cells pass by construction — say so loudly instead of letting
+		// an un-gated cell masquerade as a protected one.
+		fmt.Fprintf(os.Stderr, "loadgen: %d cell(s) absent from baseline %s, not gated: %s — commit a regenerated baseline to gate them\n",
+			len(newCells), baselinePath, strings.Join(newCells, ", "))
+	}
 	return regressions, nil
 }
 
 // ratioGated reports whether a cell is covered by a within-run ratio
-// gate (gateway efficiency, WAN tail) instead of the cross-run
-// throughput tolerance.
+// gate (gateway efficiency, WAN tail, auto-tuner pair) instead of the
+// cross-run throughput tolerance.
 func ratioGated(name string) bool {
-	return strings.HasPrefix(name, "gw/") || strings.HasPrefix(name, "sess/") || strings.HasPrefix(name, "wan3/")
+	return strings.HasPrefix(name, "gw/") || strings.HasPrefix(name, "sess/") || strings.HasPrefix(name, "wan3/") ||
+		strings.HasSuffix(name, "/tune") || strings.HasSuffix(name, "/hold")
 }
 
 func pct(old, new float64) float64 {

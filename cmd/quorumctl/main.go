@@ -13,6 +13,7 @@
 //	quorumctl byz <f> <class> <system> [args]  lift to a Byzantine system
 //	quorumctl render figure1|figure2   the paper's figures
 //	quorumctl reconfig [flags] <flavor> [shape]  live config swap on a TCP cluster
+//	quorumctl tune [flags]             score quorum configs against a node's measured workload
 //	quorumctl list                     available systems
 //
 // Systems and their arguments:
@@ -31,7 +32,16 @@
 // The client's own -id must appear in the peers file (replicas reply over
 // their address book). -target-members defaults to every peer except the
 // client itself. The target flavor takes its shape positionally:
-// majority | hgrid rows cols | htgrid rows cols | htriang k.
+// majority [r w] | hgrid rows cols | htgrid rows cols | htriang k |
+// hmaj degree levels r w.
+//
+// tune fetches a replica's sliding-window workload profile (read/write
+// mix, write-back rate) and ranks every quorum configuration the
+// auto-tuner considers against it — the manual half of kvd -auto-tune.
+// With -apply it drives the cluster to the winner via the same epoch
+// reconfiguration:
+//
+//	quorumctl tune -peers peers.txt -id 16 -contact 0 [-read-frac 0.95] [-apply]
 package main
 
 import (
@@ -59,6 +69,7 @@ import (
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
+	"hquorum/internal/tuner"
 	"hquorum/internal/ysys"
 )
 
@@ -74,6 +85,8 @@ func main() {
 	switch args[0] {
 	case "reconfig":
 		reconfig(args[1:])
+	case "tune":
+		tune(args[1:])
 	case "list":
 		fmt.Println("majority n | hqs levels degree | grouped-hqs groups size | cwlog n")
 		fmt.Println("hgrid rows cols | flatgrid rows cols | htgrid rows cols")
@@ -271,12 +284,178 @@ func reconfig(args []string) {
 	}
 }
 
+// tune implements `quorumctl tune`: fetch a replica's measured workload
+// (and current epoch config) over the wire, rank the whole candidate space
+// against it with the same optimizer kvd -auto-tune runs, and optionally
+// drive the cluster to the winner.
+func tune(args []string) {
+	fs := flag.NewFlagSet("tune", flag.ExitOnError)
+	peersPath := fs.String("peers", "", "peers file of the running cluster (one 'id host:port' per line)")
+	id := fs.Int("id", -1, "this client's ID (must appear in the peers file; not a replica)")
+	contact := fs.Int("contact", -1, "replica to fetch the workload from (default: lowest peer that is not -id)")
+	readFrac := fs.Float64("read-frac", -1, "override the measured read fraction with a hypothetical mix (0..1)")
+	failP := fs.Float64("fail-p", 0, "per-node failure probability for the availability constraint (default 0.1)")
+	minAvail := fs.Float64("min-avail", 0, "mix-weighted availability floor for feasibility (default 0.998)")
+	top := fs.Int("top", 8, "ranked candidates to print")
+	apply := fs.Bool("apply", false, "reconfigure the cluster to the winning configuration")
+	retry := fs.Duration("retry", time.Second, "request retry interval")
+	timeout := fs.Duration("timeout", time.Minute, "overall budget per request")
+	dialTimeout := fs.Duration("dial-timeout", time.Second, "TCP dial timeout for peer connections")
+	fs.Parse(args)
+
+	peers, err := transport.LoadPeers(*peersPath)
+	if err != nil {
+		fail("tune: peers: %v", err)
+	}
+	addr, ok := peers[cluster.NodeID(*id)]
+	if !ok {
+		fail("tune: client id %d is not in the peers file", *id)
+	}
+	contactID := cluster.NodeID(-1)
+	if *contact >= 0 {
+		contactID = cluster.NodeID(*contact)
+	} else {
+		for _, pid := range transport.PeerIDs(peers) {
+			if pid != cluster.NodeID(*id) {
+				contactID = pid
+				break
+			}
+		}
+	}
+	if _, ok := peers[contactID]; !ok {
+		fail("tune: contact %d is not in the peers file", contactID)
+	}
+
+	// Fetch the profiler snapshot and current config in one round trip.
+	done := make(chan struct{})
+	var wl tuner.Workload
+	var cfg epoch.Config
+	haveCfg := false
+	wc := rkv.NewWorkloadClient(contactID, *retry, func(w tuner.Workload, c epoch.Config, have bool) {
+		wl, cfg, haveCfg = w, c, have
+		close(done)
+	})
+	rkv.RegisterWire(transport.Register)
+	tn, err := transport.NewNode(cluster.NodeID(*id), wc, addr, transport.WithDialTimeout(*dialTimeout))
+	if err != nil {
+		fail("tune: %v", err)
+	}
+	tn.Connect(peers)
+	tn.Start()
+	tn.Kick(0, wc.StartToken())
+	select {
+	case <-done:
+	case <-time.After(*timeout):
+		tn.Close()
+		fail("tune: no workload reply within %v (is the cluster up?)", *timeout)
+	}
+	tn.Close()
+	if !haveCfg {
+		fail("tune: replica %d is not epoch-versioned; start kvd with -store", contactID)
+	}
+
+	fmt.Printf("replica %d measured: %d ops over %v window (%.0f%% reads, write-back β=%.2f, avg latency %v)\n",
+		contactID, wl.Ops(), time.Duration(wl.SpanUs)*time.Microsecond,
+		100*wl.ReadFrac(), wl.WritebackFrac(), wl.AvgLatency())
+	if *readFrac >= 0 {
+		ops := wl.Ops()
+		if ops == 0 {
+			ops = 1000
+		}
+		wl = tuner.Mix(*readFrac, wl.WritebackFrac(), ops)
+		fmt.Printf("scoring hypothetical mix: %.0f%% reads\n", 100**readFrac)
+	}
+
+	opt := tuner.Options{FailP: *failP, MinAvail: *minAvail}
+	curScore, err := tuner.ScoreParams(cfg.Cur, wl, opt)
+	if err != nil {
+		fail("tune: %v", err)
+	}
+	ranked, err := tuner.Search(cfg.Cur.Members, wl, opt)
+	if err != nil {
+		fail("tune: %v", err)
+	}
+	best := tuner.Candidate{Params: cfg.Cur, Score: curScore}
+	for _, c := range ranked {
+		if c.Score.Feasible {
+			best = c
+			break
+		}
+	}
+
+	fmt.Printf("\ncurrent (epoch %d): %v\n", cfg.Epoch, cfg.Cur)
+	fmt.Printf("  %s\n", scoreLine(curScore))
+	show := *top
+	if show > len(ranked) {
+		show = len(ranked)
+	}
+	fmt.Printf("\ntop %d of %d candidates:\n", show, len(ranked))
+	for i, c := range ranked {
+		if i >= *top {
+			break
+		}
+		marker := " "
+		if c.Params.Equal(best.Params) {
+			marker = "*"
+		}
+		fmt.Printf("%s %2d. %v\n      %s\n", marker, i+1, c.Params, scoreLine(c.Score))
+	}
+	gain := curScore.Gain(best.Score)
+	if best.Params.Equal(cfg.Cur) {
+		fmt.Printf("\ncurrent configuration is already the winner; nothing to do\n")
+		return
+	}
+	fmt.Printf("\nwinner saves %.2fx messages per op vs current\n", gain)
+	if !*apply {
+		fmt.Printf("re-run with -apply to reconfigure\n")
+		return
+	}
+
+	// Drive the swap through the standard reconfiguration client. The
+	// workload transport is closed, so the client ID is free to rebind.
+	applyDone := make(chan struct{})
+	var gotEpoch uint64
+	var gotErr string
+	rc := rkv.NewReconfigClient(contactID, best.Params, *retry, func(epoch uint64, errText string) {
+		gotEpoch, gotErr = epoch, errText
+		close(applyDone)
+	})
+	tn2, err := transport.NewNode(cluster.NodeID(*id), rc, addr, transport.WithDialTimeout(*dialTimeout))
+	if err != nil {
+		fail("tune: %v", err)
+	}
+	defer tn2.Close()
+	tn2.Connect(peers)
+	tn2.Start()
+	tn2.Kick(0, rc.StartToken())
+	select {
+	case <-applyDone:
+		if gotErr != "" {
+			fail("tune: coordinator %d: %s", contactID, gotErr)
+		}
+		fmt.Printf("reconfigured: epoch %d now runs %v\n", gotEpoch, best.Params)
+	case <-time.After(*timeout):
+		fail("tune: no reconfiguration outcome within %v", *timeout)
+	}
+}
+
+// scoreLine renders one Score for the tune table.
+func scoreLine(s tuner.Score) string {
+	feas := "feasible"
+	if !s.Feasible {
+		feas = "INFEASIBLE"
+	}
+	return fmt.Sprintf("cost %.2f msg/op (read %.2f, write %.2f)  max-load %.3f  avail %.6f  %s",
+		s.Cost, s.ReadSize, s.WriteSize, s.MaxLoad, s.Avail, feas)
+}
+
 // parseTarget reads the positional target spec: a flavor name followed by
-// its shape (majority | hgrid rows cols | htgrid rows cols | htriang k).
-// Members are filled in by the caller.
+// its shape (majority [r w] | hgrid rows cols | htgrid rows cols |
+// htriang k | hmaj degree levels r w — the same r/w thresholds at every
+// level). Members are filled in by the caller.
 func parseTarget(args []string) (epoch.Params, error) {
 	if len(args) == 0 {
-		return epoch.Params{}, fmt.Errorf("missing target flavor (majority|hgrid|htgrid|htriang)")
+		return epoch.Params{}, fmt.Errorf("missing target flavor (majority|hgrid|htgrid|htriang|hmaj)")
 	}
 	flavor, err := epoch.ParseFlavor(args[0])
 	if err != nil {
@@ -285,8 +464,12 @@ func parseTarget(args []string) (epoch.Params, error) {
 	p := epoch.Params{Flavor: flavor}
 	switch flavor {
 	case epoch.FlavorMajority:
-		if len(args) != 1 {
-			return epoch.Params{}, fmt.Errorf("majority takes no shape arguments")
+		switch len(args) {
+		case 1:
+		case 3:
+			p.R, p.W = intArg(args, 1), intArg(args, 2)
+		default:
+			return epoch.Params{}, fmt.Errorf("majority takes no shape arguments, or asymmetric thresholds r w")
 		}
 	case epoch.FlavorHGrid, epoch.FlavorHTGrid:
 		if len(args) != 3 {
@@ -298,6 +481,20 @@ func parseTarget(args []string) (epoch.Params, error) {
 			return epoch.Params{}, fmt.Errorf("htriang takes k")
 		}
 		p.Rows = intArg(args, 1)
+	case epoch.FlavorHMaj:
+		if len(args) != 5 {
+			return epoch.Params{}, fmt.Errorf("hmaj takes degree levels r w")
+		}
+		p.Rows = intArg(args, 1)
+		levels := intArg(args, 2)
+		if levels < 1 {
+			return epoch.Params{}, fmt.Errorf("hmaj levels %d (want >= 1)", levels)
+		}
+		r, w := intArg(args, 3), intArg(args, 4)
+		p.RL, p.WL = make([]int, levels), make([]int, levels)
+		for i := 0; i < levels; i++ {
+			p.RL[i], p.WL[i] = r, w
+		}
 	}
 	return p, nil
 }

@@ -137,12 +137,13 @@ func TestSeedCorpusCoversAllTags(t *testing.T) {
 		t.Errorf("corpus holds %d seed files, want %d (run with -update-corpus)", seeds, len(frames))
 	}
 	want := []uint64{codec.TagGob}
-	for tag := uint64(0x10); tag <= 0x1e; tag++ { // rkv: register + batch + reconfig
+	for tag := uint64(0x10); tag <= 0x1f; tag++ { // rkv: register + batch + reconfig + workload
 		want = append(want, tag)
 	}
 	for tag := uint64(0x20); tag <= 0x26; tag++ { // dmutex
 		want = append(want, tag)
 	}
+	want = append(want, 0x30) // rkv overflow block: workload reply
 	for _, tag := range want {
 		if !covered[tag] {
 			t.Errorf("corpus covers no frame with tag 0x%02x", tag)

@@ -58,6 +58,7 @@ const (
 	FlavorHGrid
 	FlavorHTGrid
 	FlavorHTriang
+	FlavorHMaj
 )
 
 // String implements fmt.Stringer.
@@ -71,6 +72,8 @@ func (f Flavor) String() string {
 		return "htgrid"
 	case FlavorHTriang:
 		return "htriang"
+	case FlavorHMaj:
+		return "hmaj"
 	default:
 		return fmt.Sprintf("flavor(%d)", uint8(f))
 	}
@@ -88,8 +91,10 @@ func ParseFlavor(s string) (Flavor, error) {
 		return FlavorHTGrid, nil
 	case "htriang":
 		return FlavorHTriang, nil
+	case "hmaj":
+		return FlavorHMaj, nil
 	default:
-		return 0, fmt.Errorf("epoch: unknown flavor %q (want majority|hgrid|htgrid|htriang)", s)
+		return 0, fmt.Errorf("epoch: unknown flavor %q (want majority|hgrid|htgrid|htriang|hmaj)", s)
 	}
 }
 
@@ -98,10 +103,31 @@ func ParseFlavor(s string) (Flavor, error) {
 // For the grid flavors Rows×Cols must equal len(Members); for htriang
 // Rows is the triangle's k (len(Members) = k(k+1)/2, Cols unused); for
 // majority the shape is ignored.
+//
+// Read and write quorums may be asymmetric. The grid flavors are
+// structurally asymmetric (row-cover reads vs full-line writes); the
+// threshold flavors declare it explicitly:
+//
+//   - majority: R and W are Gifford vote thresholds. Zero means the
+//     legacy symmetric majority (R = W = n/2+1); otherwise construction
+//     requires R+W > n (every read sees the latest write) and 2W > n
+//     (writes order totally).
+//   - hmaj: hierarchical quorum consensus over a uniform tree of degree
+//     Rows with len(RL) levels (Rows^len(RL) == len(Members)). Level i
+//     needs RL[i] of a node's children for a read and WL[i] for a write,
+//     with RL[i]+WL[i] > degree and 2*WL[i] > degree per level — the
+//     per-level intersection recurses to a common leaf, so read and
+//     write quorums of sizes ∏RL[i] and ∏WL[i] always intersect.
 type Params struct {
 	Flavor     Flavor
 	Rows, Cols int
-	Members    []cluster.NodeID
+	// R, W are the majority flavor's read/write vote thresholds
+	// (0 = symmetric n/2+1). Zero for every other flavor.
+	R, W int
+	// RL, WL are the hmaj flavor's per-level read/write thresholds,
+	// root first. Empty for every other flavor.
+	RL, WL  []int
+	Members []cluster.NodeID
 }
 
 // MemberRange returns the member list [lo, hi).
@@ -170,9 +196,29 @@ func (p Params) Validate(space int) error {
 		}
 	}
 	m := len(p.Members)
+	if p.Flavor != FlavorMajority && (p.R != 0 || p.W != 0) {
+		return fmt.Errorf("epoch: %v params carry majority thresholds R=%d W=%d", p.Flavor, p.R, p.W)
+	}
+	if p.Flavor != FlavorHMaj && (len(p.RL) != 0 || len(p.WL) != 0) {
+		return fmt.Errorf("epoch: %v params carry hmaj level thresholds", p.Flavor)
+	}
 	switch p.Flavor {
 	case FlavorMajority:
-		// Any member count works.
+		// Any member count works. Explicit thresholds must keep the two
+		// intersection properties the replicated register relies on:
+		// R+W > n (reads see the latest write) and 2W > n (writes see
+		// each other, so version counters advance monotonically).
+		if p.R != 0 || p.W != 0 {
+			if p.R < 1 || p.R > m || p.W < 1 || p.W > m {
+				return fmt.Errorf("epoch: majority thresholds R=%d W=%d outside 1..%d", p.R, p.W, m)
+			}
+			if p.R+p.W <= m {
+				return fmt.Errorf("epoch: majority thresholds R=%d W=%d don't intersect (R+W <= %d)", p.R, p.W, m)
+			}
+			if 2*p.W <= m {
+				return fmt.Errorf("epoch: majority write threshold W=%d doesn't self-intersect (2W <= %d)", p.W, m)
+			}
+		}
 	case FlavorHGrid, FlavorHTGrid:
 		if p.Rows < 1 || p.Cols < 1 || p.Rows*p.Cols != m {
 			return fmt.Errorf("epoch: %v needs rows*cols == members (%dx%d vs %d)", p.Flavor, p.Rows, p.Cols, m)
@@ -182,6 +228,37 @@ func (p Params) Validate(space int) error {
 		if k < 1 || k*(k+1)/2 != m {
 			return fmt.Errorf("epoch: htriang k=%d needs k(k+1)/2 == members (%d)", k, m)
 		}
+	case FlavorHMaj:
+		d := p.Rows
+		if d < 2 {
+			return fmt.Errorf("epoch: hmaj degree %d (want >= 2)", d)
+		}
+		levels := len(p.RL)
+		if levels < 1 || len(p.WL) != levels {
+			return fmt.Errorf("epoch: hmaj needs matching per-level thresholds (len RL=%d WL=%d)", len(p.RL), len(p.WL))
+		}
+		leaves := 1
+		for i := 0; i < levels; i++ {
+			if leaves > m {
+				break
+			}
+			leaves *= d
+		}
+		if leaves != m {
+			return fmt.Errorf("epoch: hmaj degree %d with %d levels needs %d members, have %d", d, levels, leaves, m)
+		}
+		for i := range p.RL {
+			r, w := p.RL[i], p.WL[i]
+			if r < 1 || r > d || w < 1 || w > d {
+				return fmt.Errorf("epoch: hmaj level %d thresholds r=%d w=%d outside 1..%d", i, r, w, d)
+			}
+			if r+w <= d {
+				return fmt.Errorf("epoch: hmaj level %d thresholds r=%d w=%d don't intersect (r+w <= %d)", i, r, w, d)
+			}
+			if 2*w <= d {
+				return fmt.Errorf("epoch: hmaj level %d write threshold w=%d doesn't self-intersect (2w <= %d)", i, w, d)
+			}
+		}
 	default:
 		return fmt.Errorf("epoch: unknown flavor %d", p.Flavor)
 	}
@@ -190,8 +267,20 @@ func (p Params) Validate(space int) error {
 
 // Equal reports whether two params describe the same configuration.
 func (p Params) Equal(o Params) bool {
-	if p.Flavor != o.Flavor || p.Rows != o.Rows || p.Cols != o.Cols || len(p.Members) != len(o.Members) {
+	if p.Flavor != o.Flavor || p.Rows != o.Rows || p.Cols != o.Cols ||
+		p.R != o.R || p.W != o.W ||
+		len(p.RL) != len(o.RL) || len(p.WL) != len(o.WL) || len(p.Members) != len(o.Members) {
 		return false
+	}
+	for i, v := range p.RL {
+		if o.RL[i] != v {
+			return false
+		}
+	}
+	for i, v := range p.WL {
+		if o.WL[i] != v {
+			return false
+		}
 	}
 	for i, id := range p.Members {
 		if o.Members[i] != id {
@@ -207,7 +296,12 @@ func (p Params) String() string {
 	case FlavorHTriang:
 		return fmt.Sprintf("htriang k=%d over %d members", p.Rows, len(p.Members))
 	case FlavorMajority:
+		if p.R != 0 || p.W != 0 {
+			return fmt.Sprintf("majority r=%d w=%d over %d members", p.R, p.W, len(p.Members))
+		}
 		return fmt.Sprintf("majority over %d members", len(p.Members))
+	case FlavorHMaj:
+		return fmt.Sprintf("hmaj d=%d r=%v w=%v over %d members", p.Rows, p.RL, p.WL, len(p.Members))
 	default:
 		return fmt.Sprintf("%v %dx%d over %d members", p.Flavor, p.Rows, p.Cols, len(p.Members))
 	}
@@ -218,6 +312,16 @@ func (p Params) Encode(b []byte) []byte {
 	b = codec.AppendUvarint(b, uint64(p.Flavor))
 	b = codec.AppendUvarint(b, uint64(p.Rows))
 	b = codec.AppendUvarint(b, uint64(p.Cols))
+	b = codec.AppendUvarint(b, uint64(p.R))
+	b = codec.AppendUvarint(b, uint64(p.W))
+	b = codec.AppendUvarint(b, uint64(len(p.RL)))
+	for _, v := range p.RL {
+		b = codec.AppendUvarint(b, uint64(v))
+	}
+	b = codec.AppendUvarint(b, uint64(len(p.WL)))
+	for _, v := range p.WL {
+		b = codec.AppendUvarint(b, uint64(v))
+	}
 	b = codec.AppendUvarint(b, uint64(len(p.Members)))
 	for _, id := range p.Members {
 		b = codec.AppendUvarint(b, uint64(id))
@@ -225,14 +329,35 @@ func (p Params) Encode(b []byte) []byte {
 	return b
 }
 
-// readParams decodes one Params from r, guarding the member count against
-// hostile inputs (every member costs at least one wire byte, so a count
-// exceeding the bytes left is an attack, not a config).
+// readParams decodes one Params from r, guarding every count against
+// hostile inputs (every counted element costs at least one wire byte, so a
+// count exceeding the bytes left is an attack, not a config).
 func readParams(r *codec.Reader) Params {
 	var p Params
 	p.Flavor = Flavor(r.Uvarint())
 	p.Rows = int(r.Uvarint())
 	p.Cols = int(r.Uvarint())
+	p.R = int(r.Uvarint())
+	p.W = int(r.Uvarint())
+	for pass := 0; pass < 2; pass++ {
+		n := r.Uvarint()
+		if n > uint64(r.Len()) {
+			r.Fail()
+			return Params{}
+		}
+		if n == 0 {
+			continue
+		}
+		ts := make([]int, n)
+		for i := range ts {
+			ts[i] = int(r.Uvarint())
+		}
+		if pass == 0 {
+			p.RL = ts
+		} else {
+			p.WL = ts
+		}
+	}
 	n := r.Uvarint()
 	if n > uint64(r.Len()) {
 		r.Fail()
@@ -366,11 +491,32 @@ func NewPickers(space int, p Params) (*Pickers, error) {
 	pk := &Pickers{space: space, members: members}
 	switch p.Flavor {
 	case FlavorMajority:
-		k := m/2 + 1
-		th := func(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
-			return pickThreshold(rng, live, m, k)
+		r, w := p.R, p.W
+		if r == 0 {
+			r = m/2 + 1
 		}
-		pk.read, pk.write, pk.mutex = dense(th), dense(th), dense(th)
+		if w == 0 {
+			w = m/2 + 1
+		}
+		rd := func(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+			return pickThreshold(rng, live, m, r)
+		}
+		wr := func(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+			return pickThreshold(rng, live, m, w)
+		}
+		// The mutex needs pairwise intersection, which 2W > n provides.
+		pk.read, pk.write, pk.mutex = dense(rd), dense(wr), dense(wr)
+	case FlavorHMaj:
+		d := p.Rows
+		rl := append([]int(nil), p.RL...)
+		wl := append([]int(nil), p.WL...)
+		rd := func(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+			return pickHMaj(rng, live, d, rl, m)
+		}
+		wr := func(rng *rand.Rand, live bitset.Set) (bitset.Set, error) {
+			return pickHMaj(rng, live, d, wl, m)
+		}
+		pk.read, pk.write, pk.mutex = dense(rd), dense(wr), dense(wr)
 	case FlavorHGrid:
 		h := hgrid.Auto(p.Rows, p.Cols)
 		pk.read = dense(h.PickRowCover)

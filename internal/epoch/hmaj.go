@@ -1,0 +1,54 @@
+package epoch
+
+import (
+	"math/rand"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/quorum"
+)
+
+// pickHMaj draws a hierarchical threshold quorum (Kumar's hierarchical
+// quorum consensus with distinct read/write thresholds) over the dense
+// leaf space 0..degree^len(ks)-1: level i of the recursion selects ks[i]
+// of a node's degree children in random order, preferring children whose
+// subtrees can actually be satisfied from live. The quorum has exactly
+// ∏ks[i] leaves.
+func pickHMaj(rng *rand.Rand, live bitset.Set, degree int, ks []int, n int) (bitset.Set, error) {
+	out := bitset.New(n)
+	if !hmajPick(rng, live, degree, ks, 0, 0, out) {
+		return bitset.Set{}, quorum.ErrNoQuorum
+	}
+	return out, nil
+}
+
+// hmajPick satisfies the subtree rooted at depth whose leaves span
+// [lo, lo+width) with width = degree^(len(ks)-depth). Each child is
+// attempted into a scratch set merged into out only on success, so a
+// failed child's partial selection never inflates the quorum.
+func hmajPick(rng *rand.Rand, live bitset.Set, degree int, ks []int, depth, lo int, out bitset.Set) bool {
+	if depth == len(ks) {
+		if !live.Contains(lo) {
+			return false
+		}
+		out.Add(lo)
+		return true
+	}
+	width := 1
+	for i := depth + 1; i < len(ks); i++ {
+		width *= degree
+	}
+	need := ks[depth]
+	order := rng.Perm(degree)
+	scratch := bitset.New(out.Cap())
+	for _, c := range order {
+		if need == 0 {
+			break
+		}
+		scratch.Clear()
+		if hmajPick(rng, live, degree, ks, depth+1, lo+c*width, scratch) {
+			out.UnionWith(scratch)
+			need--
+		}
+	}
+	return need == 0
+}

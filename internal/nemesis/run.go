@@ -12,6 +12,7 @@ import (
 	"hquorum/internal/history"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
+	"hquorum/internal/tuner"
 )
 
 // drainBudget bounds how long past the schedule horizon a runner keeps
@@ -60,6 +61,21 @@ type RKVRun struct {
 	// OpsPerNode is each node's workload length, alternating writes of
 	// globally unique values with reads (default 6).
 	OpsPerNode int
+	// ShiftReads, when in (0, 1), makes the second half of every node's
+	// workload read-heavy: instead of the first half's strict write/read
+	// alternation (a 50% read mix), a second-half slot is a write only
+	// once every round(1/(1-ShiftReads)) slots, staggered across nodes.
+	// This is the mid-run 50% → ShiftReads·100% mix shift a workload-aware
+	// auto-tuner is expected to react to.
+	ShiftReads float64
+	// AutoTune, when set, arms the workload-aware quorum tuner on node 0
+	// (Initial runs only): the node profiles its local operation mix and
+	// drives live epoch reconfigurations whenever another configuration
+	// beats the current one by the policy's margin (see rkv.Config.AutoTune).
+	// Chaos policies want relaxed MinGain/MinAvail: the runner forces read
+	// write-back, so almost every read pays a write-quorum round and the
+	// measured gain of asymmetric reads is smaller than on live clusters.
+	AutoTune *tuner.Policy
 	// Window is each node's rkv.Config.Window: how many of its operations
 	// may be in flight at once (default 1). With Window > 1 a node's
 	// concurrent operations are recorded under distinct virtual history
@@ -133,6 +149,17 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			return RKVResult{}, err
 		}
 	}
+	if r.AutoTune != nil && r.Initial == nil {
+		return RKVResult{}, fmt.Errorf("nemesis: auto-tune needs an epoch-versioned run")
+	}
+	if r.ShiftReads != 0 && (r.ShiftReads <= 0 || r.ShiftReads >= 1) {
+		return RKVResult{}, fmt.Errorf("nemesis: ShiftReads %v outside (0, 1)", r.ShiftReads)
+	}
+	var tunePol *tuner.Policy
+	if r.AutoTune != nil {
+		pol := r.AutoTune.WithDefaults()
+		tunePol = &pol
+	}
 	if r.OpsPerNode <= 0 {
 		r.OpsPerNode = 6
 	}
@@ -193,6 +220,17 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		}
 		return fmt.Sprintf("k%d", (i+k)%r.Keys)
 	}
+	// The mix shift: second-half slots (k >= shiftAt) are reads except one
+	// write every writeEvery slots, staggered by node so the writes spread
+	// across keys and time instead of landing in lockstep.
+	shiftAt, writeEvery := r.OpsPerNode, 0
+	if r.ShiftReads > 0 {
+		shiftAt = r.OpsPerNode / 2
+		writeEvery = int(1/(1-r.ShiftReads) + 0.5)
+		if writeEvery < 2 {
+			writeEvery = 2
+		}
+	}
 	nodes := make([]*rkv.Node, univ)
 	stores := make([]*epoch.Store, univ)
 	for i := 0; i < univ; i++ {
@@ -201,7 +239,11 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 		if member(i) {
 			ops = make([]rkv.Op, r.OpsPerNode)
 			for k := range ops {
-				if k%2 == 0 {
+				write := k%2 == 0
+				if k >= shiftAt && writeEvery > 0 {
+					write = (i+k)%writeEvery == 0
+				}
+				if write {
 					ops[k] = rkv.Op{Kind: rkv.OpWrite, Key: key(i, k), Value: fmt.Sprintf("n%d.%d", i, k)}
 				} else {
 					ops[k] = rkv.Op{Kind: rkv.OpRead, Key: key(i, k)}
@@ -233,6 +275,9 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			cfg.DataDir = filepath.Join(diskRoot, fmt.Sprintf("n%02d", i))
 			cfg.WALNoSync = true
 			cfg.SnapshotEvery = 8
+		}
+		if i == 0 && tunePol != nil {
+			cfg.AutoTune = tunePol
 		}
 		cfg.OnInvoke = func(node cluster.NodeID, opID int, kind rkv.OpKind, key, value string, at time.Duration) {
 			k := history.KindWrite
@@ -266,8 +311,22 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 				return RKVResult{}, err
 			}
 		}
+		if i == 0 && tunePol != nil {
+			// The runner starts nodes by token, not rkv.Node.Start: arm the
+			// tune loop the same way. Crash restarts re-arm it themselves
+			// (rkv's Restarted hook).
+			if err := net.StartTimer(id, tunePol.Interval, rkv.TuneToken()); err != nil {
+				return RKVResult{}, err
+			}
+		}
 	}
 	var reconfigs []cluster.NodeID
+	if tunePol != nil {
+		// Tuner-initiated reconfigurations have no schedule action: treat
+		// node 0 as a standing coordinator so drain waits for any swap it
+		// started to settle.
+		reconfigs = append(reconfigs, 0)
+	}
 	hooks := Hooks{}
 	if r.Initial != nil {
 		hooks.OnReconfig = func(rc Reconfig, at time.Duration) {

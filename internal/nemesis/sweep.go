@@ -9,6 +9,7 @@ import (
 	"hquorum/internal/history"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
+	"hquorum/internal/tuner"
 )
 
 // RKVCase names a register configuration to sweep, with the schedules to
@@ -38,6 +39,16 @@ type RKVCase struct {
 	// back empty. Shards passes through to each node's store shard count.
 	Disk   bool
 	Shards int
+	// Ops overrides SweepOptions.OpsPerNode for this case (0 = sweep
+	// default) — auto-tune cells need workloads long enough for the
+	// profiler window to fill.
+	Ops int
+	// ShiftReads and AutoTune run the case through the workload-aware
+	// quorum tuner (see RKVRun): a mid-workload read-mix shift with node 0
+	// reconfiguring the cluster live whenever the measured mix says a
+	// different configuration wins.
+	ShiftReads float64
+	AutoTune   *tuner.Policy
 }
 
 // MutexCase names a lock configuration to sweep, with the schedules to
@@ -140,19 +151,25 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 			line := Line{Proto: "rkv", Case: c.Name, Schedule: sched.Name}
 			for si := 0; si < opt.Seeds; si++ {
 				seed := opt.SeedBase + int64(si)
+				ops := opt.OpsPerNode
+				if c.Ops > 0 {
+					ops = c.Ops
+				}
 				res, err := RunRKV(RKVRun{
 					Store:      c.Store,
 					Seed:       seed,
 					Schedule:   sched,
 					Initial:    c.Initial,
 					Space:      c.Space,
-					OpsPerNode: opt.OpsPerNode,
+					OpsPerNode: ops,
 					StateLimit: opt.StateLimit,
 					Window:     c.Window,
 					Batch:      c.Batch,
 					Keys:       c.Keys,
 					Disk:       c.Disk,
 					Shards:     c.Shards,
+					ShiftReads: c.ShiftReads,
+					AutoTune:   c.AutoTune,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)

@@ -47,6 +47,7 @@ import (
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/quorum"
+	"hquorum/internal/tuner"
 	"hquorum/internal/wal"
 )
 
@@ -385,6 +386,14 @@ type Config struct {
 	// what survives and fsync buys no extra fidelity — only syscalls.
 	// Real deployments (kvd) leave it off.
 	WALNoSync bool
+	// AutoTune, when set, makes this node a tuning coordinator: it
+	// profiles the workload it serves and, when the tuner's policy says a
+	// different quorum configuration beats the current one under the
+	// measured mix, drives an epoch reconfiguration to it (requires
+	// Epochs). Enable it on one node per cluster — rival coordinators are
+	// safe but waste transitions. Nodes without it still profile, so
+	// their windows are visible to quorumctl and the metrics endpoint.
+	AutoTune *tuner.Policy
 }
 
 // ErrRestarted reports an externally submitted operation abandoned
@@ -504,6 +513,16 @@ type Node struct {
 	suspects  bitset.Set
 	suspectAt []time.Duration // when each suspicion was recorded
 	picks     [2]pickCache    // cached read [0] / write [1] quorum
+	// pickHits/pickMisses count cache-served vs freshly drawn quorum
+	// picks. Atomics: the metrics endpoint reads them off-loop.
+	pickHits   atomic.Uint64
+	pickMisses atomic.Uint64
+
+	// profile is the sliding-window workload profiler (always on — it is
+	// a few counters); tune is the auto-tune driver, nil unless
+	// Config.AutoTune is set.
+	profile *tuner.Window
+	tune    *tuner.Driver
 
 	// External submission (Submit): extQ is the producer side, appended
 	// under extMu from any goroutine; the event loop drains it into
@@ -558,6 +577,15 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.Batch <= 0 {
 		cfg.Batch = 1
 	}
+	span := 2 * time.Second
+	if cfg.AutoTune != nil {
+		if cfg.Epochs == nil {
+			return nil, fmt.Errorf("rkv: auto-tune requires an epoch store")
+		}
+		pol := cfg.AutoTune.WithDefaults()
+		cfg.AutoTune = &pol
+		span = pol.Span
+	}
 	n := &Node{
 		id:        id,
 		cfg:       cfg,
@@ -565,6 +593,10 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 		inflight:  make(map[uint64]*opState),
 		suspects:  bitset.New(cfg.Store.Universe()),
 		suspectAt: make([]time.Duration, cfg.Store.Universe()),
+		profile:   tuner.NewWindow(span),
+	}
+	if cfg.AutoTune != nil {
+		n.tune = tuner.NewDriver(*cfg.AutoTune)
 	}
 	// Disk backend: open the WAL and replay it into the store before
 	// the node serves anything (no-op for the memory backend).
@@ -574,8 +606,14 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	return n, nil
 }
 
-// Start schedules the node's client workload.
+// Start schedules the node's client workload (and, for auto-tuning
+// nodes, the tune evaluation loop).
 func (n *Node) Start(net *cluster.Network) error {
+	if n.tune != nil {
+		if err := net.StartTimer(n.id, n.cfg.AutoTune.Interval, tokenTune{}); err != nil {
+			return err
+		}
+	}
 	if n.nextOp >= len(n.cfg.Ops) {
 		return nil
 	}
@@ -762,6 +800,17 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 		n.onConfigPush(env, from, m)
 	case msgConfigReq:
 		n.onConfigReq(env, from, m)
+	case msgWorkloadReq:
+		// Diagnostics: not epoch-gated, answered straight off the profiler.
+		var cfgBytes []byte
+		if n.cfg.Epochs != nil {
+			cfgBytes = n.cfg.Epochs.Snapshot().Encode(nil)
+		}
+		env.Send(from, msgWorkloadReply{
+			Seq: m.Seq,
+			Wl:  n.profile.Snapshot(env.Now()).Encode(nil),
+			Cfg: cfgBytes,
+		})
 	default:
 		return false
 	}
@@ -800,6 +849,8 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 	case msgReconfigDone:
 		// Consumed by ReconfigClient handlers; a replica can hear a stray
 		// one when a requester retried through it — drop it.
+	case msgWorkloadReply:
+		// Consumed by WorkloadClient handlers; stray ones are dropped.
 	default:
 		panic(fmt.Sprintf("rkv: unknown message %T", msg))
 	}
@@ -816,6 +867,8 @@ func (n *Node) Timer(env cluster.Env, token any) {
 		}
 	case tokenReconfig:
 		n.startReconfig(env, tk.Target, 0, 0, false)
+	case tokenTune:
+		n.onTune(env)
 	case tokenReconfigDue:
 		n.rcTimeout(env, tk.Seq)
 	default:
@@ -931,6 +984,7 @@ func (n *Node) launchBatch(env cluster.Env) {
 	} else {
 		n.fillBatchWorkload(env, op)
 	}
+	n.profile.ObserveBatch(env.Now(), len(op.subs))
 	// Phase-1 membership and wire keys are fixed for the batch's lifetime;
 	// retries resend the same (immutable) slice.
 	for i := range op.subs {
@@ -950,7 +1004,7 @@ func (n *Node) launchBatch(env cluster.Env) {
 		return
 	}
 	// All blind writes: straight to phase 2.
-	n.buildPhase2(op)
+	n.buildPhase2(env, op)
 	n.startWritePhase(env, op)
 }
 
@@ -1049,7 +1103,7 @@ func (n *Node) startReadPhase(env cluster.Env, op *opState) {
 // the version they observed, read-write updates stamp a fresh clock past
 // everything phase 1 saw, blind writes carry their launch stamp. Plain
 // reads (no write-back) finish here.
-func (n *Node) buildPhase2(op *opState) {
+func (n *Node) buildPhase2(env cluster.Env, op *opState) {
 	count := 0
 	for i := range op.subs {
 		sub := &op.subs[i]
@@ -1091,6 +1145,17 @@ func (n *Node) buildPhase2(op *opState) {
 		op.p2Keys = append(op.p2Keys, sub.key)
 		op.p2Vers = append(op.p2Vers, sub.bestVer)
 		op.p2Vals = append(op.p2Vals, sub.bestVal)
+	}
+	// The profiler's β: how many reads paid a write-back phase.
+	wb := 0
+	for i := range op.subs {
+		sub := &op.subs[i]
+		if !sub.done && sub.kind == OpRead && n.cfg.ReadWriteback && sub.bestVer != (Version{}) {
+			wb++
+		}
+	}
+	if wb > 0 {
+		n.profile.ObserveWriteback(env.Now(), wb)
 	}
 }
 
@@ -1182,9 +1247,11 @@ func (n *Node) pickQuorum(env cluster.Env, op *opState, read bool) error {
 	fp := n.suspects.Fingerprint()
 	ep := n.epochNow()
 	if !n.cfg.NoPickCache && c.valid && c.fp == fp && c.epoch == ep {
+		n.pickHits.Add(1)
 		c.q.CopyInto(&op.quorum)
 		return nil
 	}
+	n.pickMisses.Add(1)
 	q, err := n.samplePick(env, pick, n.suspects.Complement())
 	if err != nil {
 		op.sawNoQuorum = true
@@ -1300,6 +1367,7 @@ func (n *Node) deadlineError(env cluster.Env, op *opState) error {
 // callback for externally submitted ops, to Config.OnResult otherwise.
 func (n *Node) reportSub(env cluster.Env, op *opState, sub *subOp, err error) {
 	sub.done = true
+	n.observeOp(env, op, sub, err)
 	if sub.cb == nil && n.cfg.OnResult == nil {
 		return
 	}
@@ -1383,7 +1451,7 @@ func (n *Node) onReadBatchReply(env cluster.Env, from cluster.NodeID, m msgReadB
 			}
 		}
 	}
-	n.buildPhase2(op)
+	n.buildPhase2(env, op)
 	if len(op.p2Keys) == 0 {
 		n.finishRound(env, op)
 		return
@@ -1488,6 +1556,13 @@ func (n *Node) Restarted(env cluster.Env) {
 	// can resume the transition to the same target later.
 	n.rc = reconfigState{}
 	n.invalidatePicks()
+	// A restarted node must not tune on pre-crash traffic, and its tune
+	// timer died with the wheel: reset both and re-arm.
+	n.profile.Reset()
+	if n.tune != nil {
+		n.tune.Reset()
+		n.armTune(env)
+	}
 	// Any wake issued before the crash died with the timer wheel: re-arm
 	// by draining here and scheduling our own kick if work remains.
 	n.drainExt()
@@ -1506,7 +1581,8 @@ func RegisterWire(register func(values ...any)) {
 	register(msgReadVersion{}, msgVersionReply{}, msgWrite{}, msgWriteAck{},
 		msgReadBatch{}, msgReadBatchReply{}, msgWriteBatch{},
 		msgConfigPush{}, msgConfigAck{}, msgStaleEpoch{}, msgConfigReq{},
-		msgSnapReq{}, msgSnapReply{}, msgReconfig{}, msgReconfigDone{})
+		msgSnapReq{}, msgSnapReply{}, msgReconfig{}, msgReconfigDone{},
+		msgWorkloadReq{}, msgWorkloadReply{})
 }
 
 // StartToken returns the timer token that kicks off the node's client

@@ -4,6 +4,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/codec"
 	"hquorum/internal/epoch"
+	"hquorum/internal/tuner"
 )
 
 // Fixed wire tags for the register protocol. These are wire format: once
@@ -157,6 +158,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 			return m, r.Err()
 		})
 	registerReconfigWire(reg)
+	registerTuneWire(reg)
 }
 
 // registerReconfigWire registers the configuration-distribution and
@@ -324,6 +326,12 @@ func WireSamples() []any {
 		},
 		msgReconfig{Seq: 1, Target: sampleNew.Encode(nil)},
 		msgReconfigDone{Seq: 1, Epoch: 3, Err: ""},
+		msgWorkloadReq{Seq: 14},
+		msgWorkloadReply{
+			Seq: 14,
+			Wl:  tuner.Workload{SpanUs: 2_000_000, Reads: 95, Writes: 5, LatSumUs: 12345}.Encode(nil),
+			Cfg: joint.Encode(nil),
+		},
 	}
 }
 

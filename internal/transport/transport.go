@@ -250,6 +250,12 @@ func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Op
 // Addr returns the node's listen address.
 func (n *Node) Addr() string { return n.ln.Addr().String() }
 
+// Now returns the node's monotonic clock (time since transport start),
+// the same time base handlers observe via env.Now() — for off-loop
+// readers like metrics endpoints that need to timestamp handler-fed
+// state (e.g. the rkv workload profiler).
+func (n *Node) Now() time.Duration { return time.Since(n.start) }
+
 // Connect records the peer address book (including or excluding self; self
 // sends short-circuit through the local queue either way).
 func (n *Node) Connect(peers map[cluster.NodeID]string) {

@@ -1,0 +1,154 @@
+package tuner
+
+import (
+	"sort"
+
+	"hquorum/internal/cluster"
+	"hquorum/internal/epoch"
+)
+
+// Candidate is one scored configuration.
+type Candidate struct {
+	Params epoch.Params
+	Score  Score
+}
+
+// Candidates enumerates every live-path configuration the optimizer
+// considers over a fixed member set:
+//
+//   - majority: the legacy symmetric config plus every cost-minimal
+//     asymmetric threshold pair (R+W = n+1 with 2W > n — anything with a
+//     larger sum is strictly more expensive with no extra read/write
+//     intersection, though W above the minimum buys write availability,
+//     which the symmetric config already maximizes for its cost).
+//   - hmaj: every factorization n = d^L (d >= 2, L >= 2) with every
+//     combination of valid per-level thresholds (r+w > d, 2w > d). If a
+//     factorization explodes combinatorially the sweep keeps only the
+//     uniform combinations (the same pair at every level).
+//   - hgrid and htgrid: every grid shape r×c = n with r, c >= 2.
+//   - htriang: when n is a triangular number k(k+1)/2.
+//
+// Membership is held fixed: the tuner re-shapes the quorum geometry, it
+// does not grow or shrink the cluster.
+func Candidates(members []cluster.NodeID) []epoch.Params {
+	n := len(members)
+	mcopy := func() []cluster.NodeID { return append([]cluster.NodeID(nil), members...) }
+	var out []epoch.Params
+
+	// Majority family.
+	out = append(out, epoch.Params{Flavor: epoch.FlavorMajority, Members: mcopy()})
+	for w := n/2 + 1; w <= n; w++ {
+		r := n + 1 - w
+		if r < 1 || (r == w && r == n/2+1) {
+			continue // the symmetric config is already listed
+		}
+		out = append(out, epoch.Params{Flavor: epoch.FlavorMajority, R: r, W: w, Members: mcopy()})
+	}
+
+	// Hierarchical threshold family: n = d^L.
+	for d := 2; d*d <= n; d++ {
+		levels := 0
+		leaves := 1
+		for leaves < n {
+			leaves *= d
+			levels++
+		}
+		if leaves != n || levels < 2 {
+			continue
+		}
+		var pairs [][2]int
+		for w := d/2 + 1; w <= d; w++ {
+			for r := d + 1 - w; r <= d; r++ {
+				pairs = append(pairs, [2]int{r, w})
+			}
+		}
+		combos := 1
+		for i := 0; i < levels; i++ {
+			combos *= len(pairs)
+			if combos > 64 {
+				break
+			}
+		}
+		if combos > 64 {
+			// Uniform thresholds only.
+			for _, pr := range pairs {
+				rl := make([]int, levels)
+				wl := make([]int, levels)
+				for i := range rl {
+					rl[i], wl[i] = pr[0], pr[1]
+				}
+				out = append(out, epoch.Params{Flavor: epoch.FlavorHMaj, Rows: d, RL: rl, WL: wl, Members: mcopy()})
+			}
+			continue
+		}
+		idx := make([]int, levels)
+		for {
+			rl := make([]int, levels)
+			wl := make([]int, levels)
+			for i, j := range idx {
+				rl[i], wl[i] = pairs[j][0], pairs[j][1]
+			}
+			out = append(out, epoch.Params{Flavor: epoch.FlavorHMaj, Rows: d, RL: rl, WL: wl, Members: mcopy()})
+			carry := levels - 1
+			for carry >= 0 {
+				idx[carry]++
+				if idx[carry] < len(pairs) {
+					break
+				}
+				idx[carry] = 0
+				carry--
+			}
+			if carry < 0 {
+				break
+			}
+		}
+	}
+
+	// Grid families.
+	for r := 2; r <= n/2; r++ {
+		if n%r != 0 {
+			continue
+		}
+		c := n / r
+		if c < 2 {
+			continue
+		}
+		out = append(out, epoch.Params{Flavor: epoch.FlavorHGrid, Rows: r, Cols: c, Members: mcopy()})
+		out = append(out, epoch.Params{Flavor: epoch.FlavorHTGrid, Rows: r, Cols: c, Members: mcopy()})
+	}
+
+	// Triangle.
+	for k := 2; k*(k+1)/2 <= n; k++ {
+		if k*(k+1)/2 == n {
+			out = append(out, epoch.Params{Flavor: epoch.FlavorHTriang, Rows: k, Members: mcopy()})
+		}
+	}
+	return out
+}
+
+// Search scores every candidate over the member set against the measured
+// workload and returns them ranked: feasible candidates first by
+// ascending cost (ties broken toward lower peak load, then the stable
+// enumeration order), infeasible candidates after, also by cost.
+func Search(members []cluster.NodeID, wl Workload, opt Options) ([]Candidate, error) {
+	params := Candidates(members)
+	out := make([]Candidate, 0, len(params))
+	for _, p := range params {
+		s, err := ScoreParams(p, wl, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Candidate{Params: p, Score: s})
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		a, b := out[i].Score, out[j].Score
+		if a.Feasible != b.Feasible {
+			return a.Feasible
+		}
+		if a.Cost != b.Cost {
+			return a.Cost < b.Cost
+		}
+		return a.MaxLoad < b.MaxLoad
+	})
+	return out, nil
+}

@@ -1,0 +1,300 @@
+package tuner
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hquorum/internal/bitset"
+	"hquorum/internal/cwlog"
+	"hquorum/internal/epoch"
+	"hquorum/internal/hgrid"
+	"hquorum/internal/hqs"
+	"hquorum/internal/htgrid"
+	"hquorum/internal/htriang"
+	"hquorum/internal/majority"
+	"hquorum/internal/paths"
+	"hquorum/internal/quorum"
+	"hquorum/internal/ysys"
+)
+
+// TestCandidatesIntersect is the asymmetry safety property: every (read,
+// write) quorum pair a tuner-search candidate can produce intersects, for
+// every member count the search supports a distinct family on. It also
+// pins that every emitted candidate validates.
+func TestCandidatesIntersect(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{4, 8, 9, 12, 15, 16} {
+		members := epoch.MemberRange(0, n)
+		cands := Candidates(members)
+		if len(cands) < 2 {
+			t.Fatalf("n=%d: only %d candidates", n, len(cands))
+		}
+		for _, p := range cands {
+			if err := p.Validate(n); err != nil {
+				t.Fatalf("n=%d: candidate %v invalid: %v", n, p, err)
+			}
+			pk, err := epoch.NewPickers(n, p)
+			if err != nil {
+				t.Fatalf("n=%d: %v: %v", n, p, err)
+			}
+			for trial := 0; trial < 60; trial++ {
+				live := bitset.New(n)
+				for i := 0; i < n; i++ {
+					if rng.Intn(5) != 0 { // 80% alive
+						live.Add(i)
+					}
+				}
+				rq, rerr := pk.Read(rng, live)
+				wq, werr := pk.Write(rng, live)
+				if rerr == nil && werr == nil && !rq.Intersects(wq) {
+					t.Fatalf("n=%d %v: read %v misses write %v (live %v)", n, p, rq, wq, live)
+				}
+				// The mutex picker is a separate symmetric coterie and must
+				// pairwise intersect with itself.
+				m1, e1 := pk.Mutex(rng, live)
+				m2, e2 := pk.Mutex(rng, live)
+				if e1 == nil && e2 == nil && !m1.Intersects(m2) {
+					t.Fatalf("n=%d %v: mutex quorums %v and %v don't intersect", n, p, m1, m2)
+				}
+			}
+		}
+	}
+}
+
+// TestNineSystemsIntersect extends the property to all nine analysis-side
+// constructions (symmetric coteries, so read and write draws come from
+// the same picker and must pairwise intersect).
+func TestNineSystemsIntersect(t *testing.T) {
+	log16, err := cwlog.Log(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	systems := []quorum.System{
+		majority.New(9),
+		hqs.Uniform(2, 3),
+		hqs.Grouped(3, 5),
+		log16,
+		hgrid.NewRW(hgrid.Auto(4, 4)),
+		hgrid.NewRW(hgrid.Flat(3, 5)),
+		htgrid.Auto(4, 4),
+		htriang.New(5),
+		paths.New(3),
+		ysys.New(3),
+	}
+	rng := rand.New(rand.NewSource(99))
+	for _, sys := range systems {
+		n := sys.Universe()
+		for trial := 0; trial < 80; trial++ {
+			live := bitset.New(n)
+			for i := 0; i < n; i++ {
+				if rng.Intn(6) != 0 {
+					live.Add(i)
+				}
+			}
+			q1, e1 := sys.Pick(rng, live)
+			q2, e2 := sys.Pick(rng, live)
+			if e1 != nil || e2 != nil {
+				continue
+			}
+			if !q1.Intersects(q2) {
+				t.Fatalf("%T: quorums %v and %v don't intersect (live %v)", sys, q1, q2, live)
+			}
+		}
+	}
+}
+
+// TestOptimizerMixSensitivity pins the PR's demo behavior on 16 members:
+// under a balanced mix no candidate clears both the availability floor
+// and the swap gain, so the driver stays on majority; under a 95%-read
+// mix a structurally asymmetric flavor becomes feasible and wins by well
+// over the default MinGain.
+func TestOptimizerMixSensitivity(t *testing.T) {
+	cur := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 16)}
+
+	d := NewDriver(Policy{HoldFor: 2, MinOps: 10})
+	for i := 0; i < 5; i++ {
+		dec, err := d.Evaluate(cur, Mix(0.5, 0, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Swap {
+			t.Fatalf("eval %d: balanced mix must not trigger a swap (best %v gain %.2f)", i, dec.Best.Params, dec.Gain)
+		}
+	}
+
+	var dec Decision
+	var err error
+	for i := 0; i < 2; i++ {
+		dec, err = d.Evaluate(cur, Mix(0.95, 0, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !dec.Swap {
+		t.Fatalf("read-heavy mix should swap after HoldFor evals (best %v gain %.2f hold %d)", dec.Best.Params, dec.Gain, dec.Hold)
+	}
+	switch dec.Best.Params.Flavor {
+	case epoch.FlavorHGrid, epoch.FlavorHTGrid, epoch.FlavorHMaj:
+	default:
+		t.Fatalf("read-heavy winner should be a structurally asymmetric flavor, got %v", dec.Best.Params)
+	}
+	if dec.Gain < 1.5 {
+		t.Fatalf("read-heavy gain %.2f, want >= 1.5", dec.Gain)
+	}
+	if !dec.Best.Score.Feasible {
+		t.Fatal("winner must be feasible")
+	}
+}
+
+// TestDriverHysteresis checks MinOps gating, the HoldFor streak, and the
+// reset after a swap decision.
+func TestDriverHysteresis(t *testing.T) {
+	cur := epoch.Params{Flavor: epoch.FlavorMajority, Members: epoch.MemberRange(0, 16)}
+	d := NewDriver(Policy{HoldFor: 3, MinOps: 100})
+
+	// Thin window: never acts, never builds a streak.
+	dec, err := d.Evaluate(cur, Mix(0.95, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Swap || dec.Hold != 0 {
+		t.Fatalf("thin window must not act: %+v", dec)
+	}
+
+	for i := 1; i <= 3; i++ {
+		dec, err = d.Evaluate(cur, Mix(0.95, 0, 1000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dec.Hold != i {
+			t.Fatalf("eval %d: hold %d", i, dec.Hold)
+		}
+		if (i < 3) && dec.Swap {
+			t.Fatalf("eval %d: swapped before HoldFor", i)
+		}
+	}
+	if !dec.Swap {
+		t.Fatal("no swap after HoldFor consecutive wins")
+	}
+	// The streak resets after a swap decision.
+	dec, err = d.Evaluate(cur, Mix(0.95, 0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hold != 1 || dec.Swap {
+		t.Fatalf("streak should restart after swap: %+v", dec)
+	}
+	// An interleaved thin window also resets the streak.
+	if _, err = d.Evaluate(cur, Mix(0.95, 0, 1)); err != nil {
+		t.Fatal(err)
+	}
+	dec, err = d.Evaluate(cur, Mix(0.95, 0, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Hold != 1 {
+		t.Fatalf("hold should restart after a thin window: %+v", dec)
+	}
+}
+
+func TestWindowSlidingAndRoundTrip(t *testing.T) {
+	w := NewWindow(800 * time.Millisecond)
+	at := func(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }
+	for i := 0; i < 100; i++ {
+		w.Observe(at(i), i%2 == 0, 100*time.Microsecond, false, uint64(i%4))
+	}
+	w.ObserveBatch(at(100), 8)
+	w.ObserveWriteback(at(100), 3)
+	wl := w.Snapshot(at(100))
+	if wl.Ops() != 100 || wl.Reads != 50 {
+		t.Fatalf("snapshot %+v", wl)
+	}
+	if wl.WritebackFrac() != 3.0/50 {
+		t.Fatalf("writeback frac %v", wl.WritebackFrac())
+	}
+	if wl.AvgBatch() != 8 {
+		t.Fatalf("avg batch %v", wl.AvgBatch())
+	}
+	// Everything expires after more than a full span of silence.
+	wl = w.Snapshot(at(2000))
+	if wl.Ops() != 0 {
+		t.Fatalf("window did not expire: %+v", wl)
+	}
+	// Ops land again after expiry.
+	w.Observe(at(2001), true, time.Millisecond, true, 7)
+	wl = w.Snapshot(at(2001))
+	if wl.Ops() != 1 || wl.Errors != 1 {
+		t.Fatalf("post-expiry snapshot %+v", wl)
+	}
+
+	enc := wl.Encode(nil)
+	back, err := DecodeWorkload(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != wl {
+		t.Fatalf("round trip: got %+v want %+v", back, wl)
+	}
+
+	w.Reset()
+	if got := w.Snapshot(at(3000)); got.Ops() != 0 {
+		t.Fatalf("reset window not empty: %+v", got)
+	}
+}
+
+// TestExactAvailAgainstBruteForce cross-checks the closed forms (binomial
+// tail, hmaj joint recursion) and the structural enumeration against a
+// direct sweep over every live set using the pickers themselves as the
+// ground-truth satisfiability oracle.
+func TestExactAvailAgainstBruteForce(t *testing.T) {
+	const p = 0.2
+	configs := []epoch.Params{
+		{Flavor: epoch.FlavorMajority, R: 3, W: 5, Members: epoch.MemberRange(0, 7)},
+		{Flavor: epoch.FlavorHMaj, Rows: 3, RL: []int{2, 2}, WL: []int{2, 3}, Members: epoch.MemberRange(0, 9)},
+		{Flavor: epoch.FlavorHGrid, Rows: 3, Cols: 3, Members: epoch.MemberRange(0, 9)},
+		{Flavor: epoch.FlavorHTGrid, Rows: 3, Cols: 3, Members: epoch.MemberRange(0, 9)},
+	}
+	rng := rand.New(rand.NewSource(5))
+	for _, cfg := range configs {
+		m := len(cfg.Members)
+		pk, err := epoch.NewPickers(m, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var readAvail, writeAvail, bothAvail float64
+		live := bitset.New(m)
+		for mask := uint64(0); mask < 1<<uint(m); mask++ {
+			live.SetWord(mask)
+			prob := 1.0
+			for i := 0; i < m; i++ {
+				if live.Contains(i) {
+					prob *= 1 - p
+				} else {
+					prob *= p
+				}
+			}
+			_, rerr := pk.Read(rng, live)
+			_, werr := pk.Write(rng, live)
+			if rerr == nil {
+				readAvail += prob
+			}
+			if werr == nil {
+				writeAvail += prob
+			}
+			if rerr == nil && werr == nil {
+				bothAvail += prob
+			}
+		}
+		av, err := exactAvail(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pair := range [][2]float64{{av.read, readAvail}, {av.write, writeAvail}, {av.both, bothAvail}} {
+			if math.Abs(pair[0]-pair[1]) > 1e-9 {
+				t.Fatalf("%v: exact avail %v vs brute force %v", cfg, pair[0], pair[1])
+			}
+		}
+	}
+}

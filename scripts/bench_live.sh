@@ -18,6 +18,13 @@
 #                  reconfiguration a quarter of the way in  (steady state
 #                  after the swap; the cell also reports pre/post split
 #                  throughput and the transition error count)
+#   tcp/w8/k64b8/tune  the batched cell with -auto-tune on node 0 and a
+#                  mid-run 50%→95% read shift: the tuner must drive a
+#                  live swap off the measured mix (zero transition
+#                  errors) and beat tcp/w8/k64b8/hold — the same shifted
+#                  workload pinned to symmetric majority — by >= 1.3x
+#                  post-shift throughput with fewer msgs/op (the
+#                  asymmetric-read-quorum acceptance gates)
 #
 # plus the per-batch-size sweep tcp/w8/k64b{1,2,4,8,16} and the
 # per-key-count sweep tcp/w8/k{1,4,16,64,256}b8, the gateway efficiency
@@ -59,9 +66,9 @@ tol="${TOLERANCE:-0.25}"
 ops="${OPS:-8000}"
 go build -o /tmp/hquorum-loadgen ./cmd/loadgen
 if [ -f scripts/BENCH_live_baseline.json ]; then
-	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -ops "$ops" -json "$out" \
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -ops "$ops" -json "$out" \
 		-compare scripts/BENCH_live_baseline.json -tolerance "$tol"
 else
-	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -ops "$ops" -json "$out"
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -ops "$ops" -json "$out"
 fi
 echo "wrote $out" >&2

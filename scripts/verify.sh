@@ -31,3 +31,7 @@ go test -race ./internal/gateway/...
 # appends from multiple fast-path reader goroutines under shard locks:
 # race the whole durability layer.
 go test -race ./internal/wal/...
+# The tuner's profiler window is written from transport reader goroutines
+# (every finished op observes into it) while metrics endpoints and the
+# tune loop snapshot it: race the auto-tuning layer.
+go test -race ./internal/tuner/...
