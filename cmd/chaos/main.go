@@ -25,6 +25,7 @@ import (
 	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
+	"hquorum/internal/lease"
 	"hquorum/internal/nemesis"
 	"hquorum/internal/rkv"
 	"hquorum/internal/tuner"
@@ -100,6 +101,54 @@ func main() {
 		// relaxed because the runner forces read write-back; the cell
 		// asserts per-key linearizability across however many swaps the
 		// tuner lands, not a fixed final epoch.
+		// Lease cells: holders serve reads locally under a short TTL while
+		// writers clear the invalidation barrier, with the usual
+		// per-key linearizability check over the combined history.
+		// MinReadFrac < 0 is deliberate — the mixed workload would never
+		// qualify as read-heavy, and these cells exist to stress the
+		// barrier, not the grant policy.
+		//
+		// lease/maj9-holder crashes the leaseholders themselves: nodes 0
+		// and 1 hold leases and sit squarely in the crash storm's first
+		// wave, so members must keep blocking conflicting writes until the
+		// dead holders' entries provably expire, then let writes flow.
+		{Name: "lease/maj9-holder", Initial: &initMaj, Space: 16,
+			Ops: 12, Keys: 8,
+			Lease: &lease.Config{
+				Shards:      8,
+				TTL:         400 * time.Millisecond,
+				Check:       100 * time.Millisecond,
+				MinReadFrac: -1,
+				Acquire:     true,
+			},
+			LeaseOn:   []cluster.NodeID{0, 1},
+			Schedules: []nemesis.Schedule{nemesis.CrashStorm(16)}},
+		// lease/maj9-writer crashes writers mid-invalidation: the holder
+		// (node 8) goes dark first so every writer stalls in its
+		// invalidation phase against a dead leaseholder, then two writers
+		// crash inside that window. Their maybe-writes must stay safe and
+		// the survivors must unblock once the lease provably expires.
+		{Name: "lease/maj9-writer", Initial: &initMaj, Space: 16,
+			Ops: 12, Keys: 8,
+			Lease: &lease.Config{
+				Shards:      8,
+				TTL:         400 * time.Millisecond,
+				Check:       100 * time.Millisecond,
+				MinReadFrac: -1,
+				Acquire:     true,
+			},
+			LeaseOn: []cluster.NodeID{8},
+			Schedules: []nemesis.Schedule{{
+				Name: "writer-mid-inval",
+				Actions: []nemesis.Action{
+					{At: 1500 * time.Millisecond, Crash: []cluster.NodeID{8}},
+					{At: 1600 * time.Millisecond, Crash: []cluster.NodeID{2, 5}},
+					{At: 3 * time.Second, Restart: []cluster.NodeID{2, 5, 8}},
+					{At: 5 * time.Second, Crash: []cluster.NodeID{3}},
+					{At: 6 * time.Second, Restart: []cluster.NodeID{3}},
+				},
+				Horizon: 20 * time.Second,
+			}}},
 		{Name: "tune/maj9-shift", Initial: &initMaj, Space: 16,
 			Ops: 40, Keys: 8, ShiftReads: 0.95,
 			AutoTune: &tuner.Policy{

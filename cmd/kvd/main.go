@@ -40,6 +40,16 @@
 // serves again. SIGTERM/SIGINT shut down gracefully — flush, snapshot,
 // and mark the directory clean so the next start skips segment replay.
 //
+// -lease makes the replica acquire per-shard read leases whenever its
+// measured workload is read-heavy and serve those reads locally with
+// zero messages; writers to a leased shard first run a synchronous
+// invalidation round against the holder. Every replica always runs the
+// member side (recording leases, blocking conflicting writes) and boots
+// with a write quarantine of one lease TTL plus slack, since a restart
+// loses the member table. -metrics-addr exposes the lease counters
+// (grants, local reads, invalidation rounds, expiries) along with the
+// transport, WAL, pick-cache and workload-profiler stats.
+//
 // The client path degrades gracefully instead of hanging: every
 // operation is bounded by -op-deadline and fails with a typed quorum
 // error (ErrNoQuorum when every quorum contains a silent replica,
@@ -62,6 +72,7 @@ import (
 
 	"hquorum/internal/cluster"
 	"hquorum/internal/epoch"
+	"hquorum/internal/lease"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 	"hquorum/internal/tuner"
@@ -94,7 +105,11 @@ func main() {
 	tuneMinGain := flag.Float64("tune-min-gain", 0, "cost ratio a winner must clear to trigger a swap (0 = tuner default)")
 	tuneFailP := flag.Float64("tune-fail-p", 0, "per-node failure probability the optimizer scores availability at (0 = tuner default)")
 	tuneMinAvail := flag.Float64("tune-min-avail", 0, "workload-weighted availability floor a candidate must clear (0 = tuner default)")
-	metricsAddr := flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (transport, WAL, pick cache and workload-profiler counters)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (transport, WAL, pick cache, workload-profiler and lease counters)")
+	leaseOn := flag.Bool("lease", false, "acquire per-shard read leases when the measured workload is read-heavy and serve those reads locally with zero messages (writers pay an invalidation round)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "read-lease TTL (0 = lease default; longer = fewer renewal waves, slower writer unblock when this holder dies)")
+	leaseShards := flag.Int("lease-shards", 0, "lease shard count keys hash into, 1-64 (0 = lease default; coarser is cheaper to invalidate, finer blocks fewer writers)")
+	leaseMinReadFrac := flag.Float64("lease-min-read-frac", 0, "workload read fraction at or above which the holder grants/renews (0 = lease default 0.75; negative = always grant)")
 	flag.Parse()
 
 	if *pprofAddr != "" {
@@ -160,6 +175,17 @@ func main() {
 			MinAvail: *tuneMinAvail,
 		}
 	}
+	// Every kvd replica runs the lease member side with a boot
+	// quarantine: a process restart loses the member table, so writes
+	// this node coordinates wait out the longest lease it might have
+	// recorded before the restart. Only -lease replicas also acquire.
+	leaseCfg := &lease.Config{
+		Shards:          *leaseShards,
+		TTL:             *leaseTTL,
+		MinReadFrac:     *leaseMinReadFrac,
+		Acquire:         *leaseOn,
+		StartQuarantine: true,
+	}
 	node, err := rkv.NewNode(cluster.NodeID(*id), rkv.Config{
 		Epochs:        epochs,
 		Shards:        *shards,
@@ -171,6 +197,7 @@ func main() {
 		OpDeadline:    *opDeadline,
 		ReadWriteback: *writeback,
 		AutoTune:      tunePolicy,
+		Lease:         leaseCfg,
 		OnResult: func(r rkv.Result) {
 			label := r.Kind.String()
 			if r.Key != "" {
@@ -215,6 +242,11 @@ func main() {
 		tn.Kick(0, rkv.TuneToken())
 		fmt.Fprintf(os.Stderr, "kvd: auto-tune enabled\n")
 	}
+	if *leaseOn {
+		tn.Kick(0, rkv.LeaseToken())
+		fmt.Fprintf(os.Stderr, "kvd: read leases enabled (%d shards, ttl %v)\n",
+			leaseCfg.WithDefaults().Shards, leaseCfg.WithDefaults().TTL)
+	}
 	if *metricsAddr != "" {
 		serveMetrics(*metricsAddr, node, tn, epochs, storage != "")
 	}
@@ -245,13 +277,15 @@ func main() {
 
 // serveMetrics exposes the replica's observability counters as one JSON
 // document: epoch config, transport stats, WAL stats (disk backend),
-// pick-cache hit rate and the tuner's current workload window.
+// pick-cache hit rate, the tuner's current workload window and the lease
+// counters (grants, local-read hits, invalidation rounds, expiries).
 func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch.Store, disk bool) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		cfg := epochs.Snapshot()
 		hits, misses := node.PickCacheStats()
 		wl := node.Workload(tn.Now())
+		ls := node.LeaseStats()
 		doc := map[string]any{
 			"epoch":  cfg.Epoch,
 			"config": cfg.Cur.String(),
@@ -271,6 +305,13 @@ func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch
 				"avg_batch":      wl.AvgBatch(),
 				"avg_latency_us": uint64(wl.AvgLatency() / time.Microsecond),
 				"key_skew":       wl.KeySkew(),
+			},
+			"lease": map[string]any{
+				"grants":       ls.Grants,
+				"renewals":     ls.Renewals,
+				"local_reads":  ls.LocalReads,
+				"inval_rounds": ls.InvalRounds,
+				"expiries":     ls.Expiries,
 			},
 		}
 		if disk {

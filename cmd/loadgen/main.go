@@ -33,7 +33,10 @@
 // runs the workload-aware auto-tuner pair: a 50/50 mix that shifts to 95%
 // reads mid-run, once with kvd-style -auto-tune re-shaping the cluster
 // live and once holding majority, gated on a clean swap and ≥1.3x
-// post-shift throughput.
+// post-shift throughput. -suite-lease runs the read-lease pair: a
+// 90%-read workload with and without per-shard read leases on the client
+// node, gated on ≥2x throughput and strictly fewer messages per op — the
+// local-read path must demonstrably skip quorum rounds.
 //
 // Usage:
 //
@@ -66,6 +69,7 @@ import (
 	"hquorum/internal/hgrid"
 	"hquorum/internal/histo"
 	"hquorum/internal/htgrid"
+	"hquorum/internal/lease"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 	"hquorum/internal/tuner"
@@ -109,6 +113,12 @@ type runSpec struct {
 	// cluster live.
 	ShiftReads float64
 	AutoTune   bool
+
+	// Lease arms the read-lease holder on node 0 (tcp mode only): once
+	// the workload window measures read-heavy, the node acquires
+	// per-shard leases and serves its reads locally with zero messages,
+	// while its writes keep the lease fresh via self-apply.
+	Lease bool
 
 	// Gateway mode: Clients lightweight connections multiplex onto
 	// Sessions shared rkv sessions behind a gateway tier; Inflight is the
@@ -190,6 +200,13 @@ type runResult struct {
 	Sessions  int    `json:"sessions,omitempty"`
 	GwShed    uint64 `json:"gw_shed,omitempty"`
 	GwRetries uint64 `json:"gw_retries,omitempty"`
+	// Lease cell fields (zero unless -lease/-suite-lease armed the
+	// holder): summed across nodes, so InvalRounds counts every writer's
+	// barrier rounds, not just the holder's.
+	LeaseGrants      uint64 `json:"lease_grants,omitempty"`
+	LeaseLocalReads  uint64 `json:"lease_local_reads,omitempty"`
+	LeaseInvalRounds uint64 `json:"lease_inval_rounds,omitempty"`
+	LeaseExpiries    uint64 `json:"lease_expiries,omitempty"`
 }
 
 // report is the artifact bench_live.sh writes: the suite cells plus the
@@ -214,7 +231,10 @@ type report struct {
 	// TuneSpeedup is the auto-tuner pair's post-shift throughput ratio:
 	// the self-reconfiguring cell over the one that stays on majority.
 	TuneSpeedup float64 `json:"tune_speedup,omitempty"`
-	Runs              []runResult `json:"runs"`
+	// LeaseSpeedup is the read-lease pair's throughput ratio: the leased
+	// 90%-read cell over the identical mix on the plain quorum path.
+	LeaseSpeedup float64     `json:"lease_speedup,omitempty"`
+	Runs         []runResult `json:"runs"`
 }
 
 func main() {
@@ -250,6 +270,8 @@ func main() {
 	suiteGW := flag.Bool("suite-gw", false, "run the gateway efficiency pair (128 client streams direct-to-session vs through the gateway) and gate ≥0.7x")
 	suiteWAN := flag.Bool("suite-wan", false, "run the 3-region tail-latency cells (1000 gateway clients; majority vs hgrid vs htgrid) and gate hierarchy p99 < majority p99")
 	suiteTune := flag.Bool("suite-tune", false, "run the auto-tuner pair (mid-run 50/50→95%-read shift, kvd-style -auto-tune vs staying on majority) and gate the live swap + ≥1.3x post-shift throughput")
+	suiteLease := flag.Bool("suite-lease", false, "run the read-lease pair (90%-read workload with and without the holder's local-read leases) and gate ≥2x throughput + strictly fewer msgs/op")
+	leaseOn := flag.Bool("lease", false, "arm the read-lease holder on node 0 (tcp mode only)")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	comparePath := flag.String("compare", "", "baseline report JSON to compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "max fractional ops/s regression vs -compare baseline before exiting nonzero")
@@ -304,6 +326,7 @@ func main() {
 		ReconfigAt: *reconfigAt, ReconfigTo: *reconfigTo,
 		Sessions: *sessions, Inflight: *inflight,
 		Regions: regionCounts, WanIntra: *wanIntra, WanCross: *wanCross,
+		Lease: *leaseOn,
 	}
 
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -439,10 +462,36 @@ func main() {
 		hold.Name = "tcp/w8/k64b8/hold"
 		specs = append(specs, hold)
 	}
+	if *suiteLease {
+		// The read-lease pair: a single 90%-read client on the identical
+		// 16-node cluster, once on the plain quorum read path and once
+		// holding per-shard read leases (granted by the workload-window
+		// policy once the mix measures read-heavy). The gate below wants
+		// the leased cell ≥2x faster AND strictly cheaper on the wire —
+		// the local-read path must actually skip quorum rounds, not just
+		// win a scheduling lottery.
+		total := base.Clients * base.Ops
+		if total < 300000 {
+			total = 300000
+		}
+		lr := cell("tcp", 8, 64, 8)
+		lr.Name = "tcp/w8/k64b8/r90"
+		lr.Clients = 1
+		lr.Ops = total
+		lr.Reads = 0.9
+		specs = append(specs, lr)
+		lc := lr
+		lc.Name = "tcp/w8/k64b8/lease"
+		lc.Lease = true
+		specs = append(specs, lc)
+	}
 	if len(specs) == 0 {
 		base.Name = cellName(base.Mode, base.Window, base.Keys, base.Batch)
 		if base.ReconfigAt > 0 {
 			base.Name += "/rc"
+		}
+		if base.Lease {
+			base.Name += "/lease"
 		}
 		specs = []runSpec{base}
 	} else {
@@ -591,6 +640,50 @@ func main() {
 				if tm >= hm {
 					gates = append(gates, fmt.Sprintf("tuned config sends %.2f msgs/op, not cheaper than majority's %.2f", tm, hm))
 				}
+			}
+		}
+	}
+
+	if *suiteLease {
+		ri, li := -1, -1
+		for i := range specs {
+			switch specs[i].Name {
+			case "tcp/w8/k64b8/r90":
+				ri = i
+			case "tcp/w8/k64b8/lease":
+				li = i
+			}
+		}
+		if ri >= 0 && li >= 0 {
+			// Matched-trial ratio like the tune and gateway pairs: trial t of
+			// both cells ran back to back, so machine noise cancels inside
+			// each pair.
+			for t := 0; t < len(trials[li]) && t < len(trials[ri]); t++ {
+				if d := trials[ri][t].OpsPerSec; d > 0 {
+					if r := trials[li][t].OpsPerSec / d; r > rep.LeaseSpeedup {
+						rep.LeaseSpeedup = r
+					}
+				}
+			}
+			fmt.Printf("read-lease speedup (90%% reads, leased vs plain quorum): %.2fx\n", rep.LeaseSpeedup)
+			if rep.LeaseSpeedup < 2.0 {
+				gates = append(gates, fmt.Sprintf("read-lease speedup %.2fx < 2.00x", rep.LeaseSpeedup))
+			}
+			// The speedup must come from skipping quorum rounds, not from a
+			// lucky run: the leased cell has to be strictly cheaper per op on
+			// the wire.
+			lr, rr := find(rep.Runs, "tcp/w8/k64b8/lease"), find(rep.Runs, "tcp/w8/k64b8/r90")
+			if lr != nil && rr != nil && lr.Completed > 0 && rr.Completed > 0 {
+				lm := float64(lr.MsgsSent) / float64(lr.Completed)
+				rm := float64(rr.MsgsSent) / float64(rr.Completed)
+				fmt.Printf("wire cost: leased %.2f msgs/op vs plain %.2f msgs/op (%d local reads, %d grants, %d invalidation rounds)\n",
+					lm, rm, lr.LeaseLocalReads, lr.LeaseGrants, lr.LeaseInvalRounds)
+				if lm >= rm {
+					gates = append(gates, fmt.Sprintf("leased cell sends %.2f msgs/op, not fewer than plain %.2f", lm, rm))
+				}
+			}
+			if lr != nil && lr.LeaseGrants == 0 {
+				gates = append(gates, "lease cell never acquired a lease")
 			}
 		}
 	}
@@ -798,6 +891,19 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 				MinOps:   64,
 			}
 		}
+		if spec.Lease && i == 0 {
+			// Policy-driven grant: the holder waits for its workload window
+			// to measure a read-heavy mix (the suite cell runs 90% reads),
+			// then acquires. Wall-clock TTL with the member-side slack on
+			// top; renewals keep it alive for the whole run.
+			cfg.Lease = &lease.Config{
+				Shards:  16,
+				TTL:     time.Second,
+				Check:   100 * time.Millisecond,
+				MinOps:  32,
+				Acquire: true,
+			}
+		}
 		if i < spec.Clients {
 			cs := &clientState{}
 			states[i] = cs
@@ -857,6 +963,9 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 		mesh.Start()
 		if spec.AutoTune {
 			mesh.Node(0).Kick(0, rkv.TuneToken())
+		}
+		if spec.Lease {
+			mesh.Node(0).Kick(0, rkv.LeaseToken())
 		}
 		start := time.Now()
 		if rc != nil {
@@ -947,6 +1056,15 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	if whist.Count() > 0 {
 		res.WriteP50us = us(whist.Quantile(0.50))
 		res.WriteP99us = us(whist.Quantile(0.99))
+	}
+	if spec.Lease {
+		for _, node := range nodes {
+			st := node.LeaseStats()
+			res.LeaseGrants += st.Grants
+			res.LeaseLocalReads += st.LocalReads
+			res.LeaseInvalRounds += st.InvalRounds
+			res.LeaseExpiries += st.Expiries
+		}
 	}
 	if rc != nil {
 		res.ReconfigAt = int(rc.at)
@@ -1100,6 +1218,14 @@ func printResult(r runResult) {
 		fmt.Printf("%-14s reconfig@%d: pre %.0f ops/s, post %.0f ops/s, transition errs %d, settled epoch %d\n",
 			"", r.ReconfigAt, r.PreOpsPerSec, r.PostOpsPerSec, r.TransitionErrs, r.FinalEpoch)
 	}
+	if r.LeaseGrants > 0 || r.LeaseLocalReads > 0 {
+		hit := float64(0)
+		if r.ReadOps > 0 {
+			hit = 100 * float64(r.LeaseLocalReads) / float64(r.ReadOps)
+		}
+		fmt.Printf("%-14s lease: grants=%d local_reads=%d (%.1f%% of reads) inval_rounds=%d expiries=%d\n",
+			"", r.LeaseGrants, r.LeaseLocalReads, hit, r.LeaseInvalRounds, r.LeaseExpiries)
+	}
 }
 
 func fmtUs(us float64) string {
@@ -1186,7 +1312,8 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 // cross-run throughput tolerance.
 func ratioGated(name string) bool {
 	return strings.HasPrefix(name, "gw/") || strings.HasPrefix(name, "sess/") || strings.HasPrefix(name, "wan3/") ||
-		strings.HasSuffix(name, "/tune") || strings.HasSuffix(name, "/hold")
+		strings.HasSuffix(name, "/tune") || strings.HasSuffix(name, "/hold") ||
+		strings.HasSuffix(name, "/lease") || strings.HasSuffix(name, "/r90")
 }
 
 func pct(old, new float64) float64 {

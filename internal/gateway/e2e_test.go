@@ -10,6 +10,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/epoch"
 	"hquorum/internal/history"
+	"hquorum/internal/lease"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 )
@@ -18,7 +19,7 @@ import (
 // universe: every node runs the same rkv machine, but only the replicas
 // are quorum members — the sessions (IDs past the member range) are
 // pure coordinators fed through Submit.
-func buildCluster(t *testing.T, replicas, sessions int, initial epoch.Params, cfg rkv.Config) ([]*rkv.Node, []cluster.Handler) {
+func buildCluster(t *testing.T, replicas, sessions int, initial epoch.Params, cfg rkv.Config, mods ...func(i int, c *rkv.Config)) ([]*rkv.Node, []cluster.Handler) {
 	t.Helper()
 	n := replicas + sessions
 	nodes := make([]*rkv.Node, n)
@@ -30,6 +31,9 @@ func buildCluster(t *testing.T, replicas, sessions int, initial epoch.Params, cf
 		}
 		c := cfg
 		c.Epochs = es
+		for _, mod := range mods {
+			mod(i, &c)
+		}
 		node, err := rkv.NewNode(cluster.NodeID(i), c)
 		if err != nil {
 			t.Fatal(err)
@@ -242,4 +246,94 @@ func TestGatewayChaosSessionCrash(t *testing.T) {
 	}
 	t.Logf("chaos cell: %d completed, %d maybe-failed, gateway stats %+v",
 		completed.Load(), failed.Load(), gw.Stats())
+}
+
+// TestGatewayLeaseLocalReads wires a leaseholder session into the pool:
+// once its lease activates, the dispatcher's LeaseRouter hint must steer
+// gateway reads onto it and the session must answer them from its local
+// store. Writes keep flowing through the ordinary path (self-keep on the
+// holder, the invalidation barrier from the other session) and stay
+// visible to routed reads.
+func TestGatewayLeaseLocalReads(t *testing.T) {
+	const replicas, sessions = 8, 2
+	holderID := replicas // first session node
+	nodes, handlers := buildCluster(t, replicas, sessions, gridParams(replicas, 2, 4), rkv.Config{
+		Timeout:       100 * time.Millisecond,
+		OpDeadline:    3 * time.Second,
+		ReadWriteback: true,
+		Window:        8,
+		Batch:         8,
+		OpGap:         -1,
+	}, func(i int, c *rkv.Config) {
+		if i == holderID {
+			c.Lease = &lease.Config{
+				Shards:      8,
+				TTL:         time.Second,
+				Check:       25 * time.Millisecond,
+				MinOps:      0, // always-grant: the session sees traffic only
+				MinReadFrac: -1, // after the lease exists, so never gate on mix
+				Acquire:     true,
+			}
+		}
+	})
+	mesh := transport.NewMemMesh(handlers)
+	defer mesh.Close()
+	var sessPool []Session
+	for i := replicas; i < replicas+sessions; i++ {
+		i, node := i, nodes[i]
+		node.SetWake(func() { mesh.Kick(i, 0, node.StartToken()) })
+		sessPool = append(sessPool, node)
+	}
+	// Arm the holder's lease policy loop (it re-arms itself from there).
+	mesh.Kick(holderID, 0, rkv.LeaseToken())
+	gw, err := Serve("127.0.0.1:0", Config{Sessions: sessPool, SessionDepth: 32, ClientQueue: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gw.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for nodes[holderID].LeaseStats().Grants == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("lease never granted: %+v", nodes[holderID].LeaseStats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	c, err := Dial(gw.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const keys = 5
+	for k := 0; k < keys; k++ {
+		if _, err := c.Do(rkv.Op{Kind: rkv.OpWrite, Key: fmt.Sprintf("k%d", k), Value: fmt.Sprintf("v%d", k)}); err != nil {
+			t.Fatalf("write k%d: %v", k, err)
+		}
+	}
+	const reads = 100
+	for j := 0; j < reads; j++ {
+		key := fmt.Sprintf("k%d", j%keys)
+		rep, err := c.Do(rkv.Op{Kind: rkv.OpRead, Key: key})
+		if err != nil {
+			t.Fatalf("read %s: %v", key, err)
+		}
+		if want := "v" + key[1:]; rep.Value != want {
+			t.Fatalf("read %s = %q, want %q", key, rep.Value, want)
+		}
+	}
+	// A fresh write must be visible to the very next routed read.
+	if _, err := c.Do(rkv.Op{Kind: rkv.OpWrite, Key: "k0", Value: "v0'"}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.Do(rkv.Op{Kind: rkv.OpRead, Key: "k0"})
+	if err != nil || rep.Value != "v0'" {
+		t.Fatalf("post-write read got (%q, %v), want (\"v0'\", nil)", rep.Value, err)
+	}
+	st := nodes[holderID].LeaseStats()
+	if st.LocalReads < reads/2 {
+		t.Fatalf("leaseholder served only %d of %d reads locally: %+v", st.LocalReads, reads, st)
+	}
+	other := nodes[holderID+1].LeaseStats()
+	t.Logf("holder %+v, other session %+v, gateway %+v", st, other, gw.Stats())
 }

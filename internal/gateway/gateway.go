@@ -50,6 +50,16 @@ type Session interface {
 	Submit(op rkv.Op, cb func(rkv.Result))
 }
 
+// LeaseRouter is an optional Session refinement: a session that can
+// serve some reads from its local store (rkv read leases) advertises
+// coverage, and the dispatcher routes reads to it ahead of the fair
+// rotation — those reads complete with zero quorum messages. The hint
+// is advisory; a stale answer costs one ordinary quorum round.
+// *rkv.Node implements it.
+type LeaseRouter interface {
+	LeasedRead(key string) bool
+}
+
 // Config parameterizes a gateway server.
 type Config struct {
 	// Sessions is the pool of quorum sessions requests fan into.
@@ -297,6 +307,24 @@ func (s *Server) pickSession(slot int) int {
 	return ((slot % n) + n) % n
 }
 
+// pickLeased returns the first live session advertising a read lease
+// covering key, starting from def (the rotation's own choice, so a
+// leaseholder that is also the fair pick keeps its batch locality).
+func (s *Server) pickLeased(key string, def int) (int, bool) {
+	n := len(s.cfg.Sessions)
+	now := time.Now().UnixNano()
+	for k := 0; k < n; k++ {
+		i := (def + k) % n
+		if s.down[i].Load() > now {
+			continue
+		}
+		if lr, ok := s.cfg.Sessions[i].(LeaseRouter); ok && lr.LeasedRead(key) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // opCall is one dispatched operation's completion state: who to answer
 // (c, req), where it is in the rotation (rr, attempt, idx), and the
 // watchdog/callback race arbiter (fired). Records are pooled — the
@@ -323,6 +351,11 @@ func (s *Server) submit(c *conn, req request, rr, attempt int) {
 	o := opPool.Get().(*opCall)
 	o.s, o.c, o.req, o.rr, o.attempt = s, c, req, rr, attempt
 	o.idx = s.pickSession(rr + attempt)
+	if req.kind == rkv.OpRead {
+		if i, ok := s.pickLeased(req.key, o.idx); ok {
+			o.idx = i
+		}
+	}
 	o.fired.Store(false)
 	o.watchdog = nil
 	if s.cfg.OpTimeout > 0 {

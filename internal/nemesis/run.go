@@ -10,6 +10,7 @@ import (
 	"hquorum/internal/dmutex"
 	"hquorum/internal/epoch"
 	"hquorum/internal/history"
+	"hquorum/internal/lease"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
 	"hquorum/internal/tuner"
@@ -97,6 +98,14 @@ type RKVRun struct {
 	// StateLimit caps the linearizability search (default
 	// history.DefaultStateLimit).
 	StateLimit int
+	// Lease arms the read-lease protocol. The member-side table runs on
+	// every node regardless; the nodes in LeaseOn (default: node 0) also
+	// run the holder policy with this config — acquiring leases, serving
+	// reads locally, and forcing writers through the invalidation
+	// barrier. The runner arms each holder's policy tick at start, and a
+	// crash-restart re-arms it through rkv's Restarted hook.
+	Lease   *lease.Config
+	LeaseOn []cluster.NodeID
 	// Disk backs every node with the WAL storage backend in a temporary
 	// directory: a crash-restarted node drops its memory image and
 	// recovers by replaying its log, instead of the memory backend's
@@ -109,6 +118,19 @@ type RKVRun struct {
 	// Shards overrides each node's rkv.Config.Shards (0 = rkv default).
 	// Disk runs keep it small so per-shard files stay few.
 	Shards int
+}
+
+// leaseHolder reports whether id runs the holder policy in this run.
+func leaseHolder(r RKVRun, id cluster.NodeID) bool {
+	if len(r.LeaseOn) == 0 {
+		return id == 0
+	}
+	for _, h := range r.LeaseOn {
+		if h == id {
+			return true
+		}
+	}
+	return false
 }
 
 // RKVResult reports one chaotic register run.
@@ -276,6 +298,10 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			cfg.WALNoSync = true
 			cfg.SnapshotEvery = 8
 		}
+		if r.Lease != nil && leaseHolder(r, id) {
+			lc := *r.Lease
+			cfg.Lease = &lc
+		}
 		if i == 0 && tunePol != nil {
 			cfg.AutoTune = tunePol
 		}
@@ -316,6 +342,12 @@ func RunRKV(r RKVRun) (RKVResult, error) {
 			// tune loop the same way. Crash restarts re-arm it themselves
 			// (rkv's Restarted hook).
 			if err := net.StartTimer(id, tunePol.Interval, rkv.TuneToken()); err != nil {
+				return RKVResult{}, err
+			}
+		}
+		if cfg.Lease != nil {
+			// Same start-by-token treatment for the lease policy loop.
+			if err := net.StartTimer(id, cfg.Lease.WithDefaults().Check, rkv.LeaseToken()); err != nil {
 				return RKVResult{}, err
 			}
 		}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"strings"
 
+	"hquorum/internal/cluster"
 	"hquorum/internal/epoch"
 	"hquorum/internal/history"
+	"hquorum/internal/lease"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
 	"hquorum/internal/tuner"
@@ -49,6 +51,13 @@ type RKVCase struct {
 	// different configuration wins.
 	ShiftReads float64
 	AutoTune   *tuner.Policy
+	// Lease and LeaseOn arm the read-lease protocol on the listed
+	// holder nodes (see RKVRun): their reads serve locally while every
+	// write to a leased shard must clear the invalidation barrier —
+	// under the case's fault schedules, with the history still checked
+	// for linearizability.
+	Lease   *lease.Config
+	LeaseOn []cluster.NodeID
 }
 
 // MutexCase names a lock configuration to sweep, with the schedules to
@@ -170,6 +179,8 @@ func SweepRKV(cases []RKVCase, opt SweepOptions) (*Summary, error) {
 					Shards:     c.Shards,
 					ShiftReads: c.ShiftReads,
 					AutoTune:   c.AutoTune,
+					Lease:      c.Lease,
+					LeaseOn:    c.LeaseOn,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("nemesis: %s/%s seed %d: %w", c.Name, sched.Name, seed, err)

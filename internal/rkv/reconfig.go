@@ -110,9 +110,14 @@ type (
 // cluster.Network.StartTimer or a transport Kick.
 func ReconfigToken(target epoch.Params) any { return tokenReconfig{Target: target} }
 
-// Coordinator phases.
+// Coordinator phases. rcLeaseSweep is the epoch fence's first half: the
+// coordinator invalidates every lease it knows of (and waits out its own
+// write quarantine) BEFORE installing the joint config, so a member
+// joining at the new epoch can never miss a lease granted under the old
+// one (its table starts empty — it must not need entries to be safe).
 const (
 	rcIdle = iota
+	rcLeaseSweep
 	rcSpread
 	rcSnap
 	rcPush
@@ -146,6 +151,10 @@ type reconfigState struct {
 	pending bitset.Set       // snapshot/push wave members not yet answered
 	merged  map[string]mergedVal
 
+	// sweepEpoch is the epoch observed when the lease sweep started; the
+	// sweep's supersession check uses it (final.Epoch is still 0 then).
+	sweepEpoch uint64
+
 	requester    cluster.NodeID // msgReconfig client to notify, if any
 	reqSeq       uint64
 	hasRequester bool
@@ -172,6 +181,47 @@ func (n *Node) startReconfig(env cluster.Env, target epoch.Params, requester clu
 		}
 		fail("another reconfiguration is in progress")
 		return
+	}
+	cur := n.cfg.Epochs.Snapshot()
+	if !cur.Joint() && cur.Cur.Equal(target) {
+		if hasReq {
+			env.Send(requester, msgReconfigDone{Seq: reqSeq, Epoch: cur.Epoch})
+		}
+		return
+	}
+	space := n.cfg.Epochs.Universe()
+	if _, err := epoch.NewPickers(space, target); err != nil {
+		// Validate before committing to a sweep: a malformed target must
+		// not cost the cluster its leases.
+		fail(err.Error())
+		return
+	}
+	if n.leaseSweepNeeded(env) {
+		n.rc = reconfigState{
+			phase:        rcLeaseSweep,
+			target:       target,
+			sweepEpoch:   cur.Epoch,
+			acked:        bitset.New(space),
+			pending:      bitset.New(space),
+			requester:    requester,
+			reqSeq:       reqSeq,
+			hasRequester: hasReq,
+		}
+		n.rcSweepWave(env)
+		return
+	}
+	n.rcBeginTransition(env, target, requester, reqSeq, hasReq)
+}
+
+// rcBeginTransition is the original transition entry: install the joint
+// config and start spreading it. Reached directly when no lease can be
+// alive, or from the sweep's completion.
+func (n *Node) rcBeginTransition(env cluster.Env, target epoch.Params, requester cluster.NodeID, reqSeq uint64, hasReq bool) {
+	n.rc = reconfigState{} // a sweep's state, if any, is consumed here
+	fail := func(msg string) {
+		if hasReq {
+			env.Send(requester, msgReconfigDone{Seq: reqSeq, Epoch: n.epochNow(), Err: msg})
+		}
 	}
 	cur := n.cfg.Epochs.Snapshot()
 	if !cur.Joint() && cur.Cur.Equal(target) {
@@ -532,6 +582,17 @@ func (n *Node) rcTimeout(env cluster.Env, seq uint64) {
 	if n.rc.phase == rcIdle || seq != n.rc.seq {
 		return
 	}
+	if n.rc.phase == rcLeaseSweep {
+		// final.Epoch is still 0 here; the sweep has its own supersession
+		// check against the epoch it started under.
+		if n.cfg.Epochs.Epoch() != n.rc.sweepEpoch {
+			n.rcAbort(env, "superseded by a newer configuration")
+			return
+		}
+		n.rc.attempts++
+		n.rcSweepWave(env)
+		return
+	}
 	if n.cfg.Epochs.Epoch() > n.rc.final.Epoch {
 		n.rcAbort(env, "superseded by a newer configuration")
 		return
@@ -547,6 +608,95 @@ func (n *Node) rcTimeout(env cluster.Env, seq uint64) {
 		n.rc.acked.DifferenceWith(n.rc.pending)
 		n.rcEnterPush(env)
 	}
+}
+
+// leaseSweepNeeded reports whether any lease obligation could be alive:
+// a live table entry, our own holder holding (or acquiring) anything, or
+// a still-running write quarantine. Expired entries are dropped on the
+// way.
+func (n *Node) leaseSweepNeeded(env cluster.Env) bool {
+	now := env.Now()
+	if now < n.leaseBlockedUntil {
+		return true
+	}
+	if n.lh != nil && (n.lh.Active() != 0 || !n.lh.Idle()) {
+		return true
+	}
+	for _, h := range n.lt.Holders() {
+		e, _ := n.lt.Get(h)
+		if now < e.Expiry {
+			return true
+		}
+		n.lt.Drop(h)
+	}
+	return false
+}
+
+// rcSweepWave (re)sends the sweep's invalidations: every live table
+// entry gets a msgLeaseInval for its full mask; our own holder is
+// dropped inline (the coordinator cannot fence others while itself
+// serving local reads).
+func (n *Node) rcSweepWave(env cluster.Env) {
+	now := env.Now()
+	if n.lh != nil {
+		if !n.lh.Idle() {
+			n.lh.Abort(now)
+		}
+		if mask := n.lh.DropAll(now); mask != 0 {
+			n.leaseBroadcastDrop(env, mask)
+		}
+		n.leasePublish()
+	}
+	n.seq++
+	n.rc.seq = n.seq
+	n.rc.pending.Clear()
+	for _, h := range n.lt.Holders() {
+		e, _ := n.lt.Get(h)
+		if now >= e.Expiry {
+			n.lt.Drop(h)
+			continue
+		}
+		n.rc.pending.Add(int(h))
+		env.Send(h, msgLeaseInval{Seq: n.rc.seq, Mask: e.Mask})
+	}
+	if n.rcSweepMaybeDone(env) {
+		return
+	}
+	env.After(n.rcPatience(env), tokenReconfigDue{Seq: n.rc.seq})
+}
+
+// rcSweepMaybeDone advances past the sweep once every inval is acked AND
+// the write quarantine (if any) has run out; reports whether it consumed
+// the phase (or armed the quarantine timer).
+func (n *Node) rcSweepMaybeDone(env cluster.Env) bool {
+	if !n.rc.pending.Empty() {
+		return false
+	}
+	if wait := n.leaseBlockedUntil - env.Now(); wait > 0 {
+		// Unknown entries may exist (lost table): sit out the quarantine
+		// under a fresh seq, then re-check.
+		n.seq++
+		n.rc.seq = n.seq
+		env.After(wait, tokenReconfigDue{Seq: n.rc.seq})
+		return true
+	}
+	n.rcBeginTransition(env, n.rc.target, n.rc.requester, n.rc.reqSeq, n.rc.hasRequester)
+	return true
+}
+
+// rcOnLeaseSweepAck consumes a holder's inval ack for the sweep wave;
+// reports whether the ack belonged to the sweep.
+func (n *Node) rcOnLeaseSweepAck(env cluster.Env, from cluster.NodeID, seq uint64) bool {
+	if n.rc.phase != rcLeaseSweep || seq != n.rc.seq {
+		return false
+	}
+	if !n.rc.pending.Contains(int(from)) {
+		return true // duplicate; still a sweep ack
+	}
+	n.rc.pending.Remove(int(from))
+	n.lt.Drop(from)
+	n.rcSweepMaybeDone(env)
+	return true
 }
 
 // onReconfigRequest serves a msgReconfig: become (or already be) the

@@ -46,6 +46,7 @@ import (
 	"hquorum/internal/epoch"
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
+	"hquorum/internal/lease"
 	"hquorum/internal/quorum"
 	"hquorum/internal/tuner"
 	"hquorum/internal/wal"
@@ -394,6 +395,14 @@ type Config struct {
 	// safe but waste transitions. Nodes without it still profile, so
 	// their windows are visible to quorumctl and the metrics endpoint.
 	AutoTune *tuner.Policy
+	// Lease, when set, configures this node's read-lease holder: on
+	// read-heavy workload windows it acquires per-shard read leases and
+	// serves leased reads from its local store with zero messages (see
+	// internal/lease and lease.go). Only the holder side is optional —
+	// every node always participates as a lease member (recording grants,
+	// blocking writes to leased shards), so clusters can mix holders and
+	// non-holders freely.
+	Lease *lease.Config
 }
 
 // ErrRestarted reports an externally submitted operation abandoned
@@ -406,6 +415,10 @@ type phase int
 const (
 	phaseReadVersions phase = iota + 1
 	phaseWrite
+	// phaseInval precedes phaseWrite when the batch's keys overlap leased
+	// shards: the round blocks until every overlapped holder acks the
+	// invalidation (or its lease provably expires). See lease.go.
+	phaseInval
 )
 
 // subOp is one workload operation inside a batch round.
@@ -538,6 +551,34 @@ type Node struct {
 	// rc is the reconfiguration coordinator's state machine (see
 	// reconfig.go); zero while no reconfiguration is being driven.
 	rc reconfigState
+
+	// Lease state (see lease.go). lt is the member-side table — always
+	// present. lh is the holder, nil unless Config.Lease is set.
+	// leaseBlockedUntil is the write quarantine: until it passes, every
+	// write this node coordinates assumes an unknown lease may exist
+	// (set after losing the table to a disk-backend restart, or at boot
+	// with Config.Lease.StartQuarantine). leaseMaxExpiry is the
+	// high-water expiry of every entry ever recorded — the quarantine
+	// bound a restart falls back to. leaseMerged accumulates the grant
+	// pull's merged shard state. All event-goroutine only.
+	lt                *lease.Table
+	lh                *lease.Holder
+	leaseBlockedUntil time.Duration
+	leaseMaxExpiry    time.Duration
+	leaseMerged       map[string]mergedVal
+
+	// Lease counters. Atomics: the metrics endpoint reads them off-loop.
+	leaseGrants      atomic.Uint64
+	leaseRenewals    atomic.Uint64
+	leaseLocalReads  atomic.Uint64
+	leaseInvalRounds atomic.Uint64
+	leaseExpiries    atomic.Uint64
+
+	// leaseRouteMask mirrors the holder's active shard mask for
+	// LeasedRead, the off-loop routing hint gateways consult when
+	// choosing a session; leaseShards is its (immutable) shard count.
+	leaseRouteMask atomic.Uint64
+	leaseShards    int
 }
 
 var _ cluster.Handler = (*Node)(nil)
@@ -598,6 +639,21 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 	if cfg.AutoTune != nil {
 		n.tune = tuner.NewDriver(*cfg.AutoTune)
 	}
+	// Every node is a lease member; only holders need a config.
+	n.lt = lease.NewTable()
+	if cfg.Lease != nil {
+		lcfg := cfg.Lease.WithDefaults()
+		n.cfg.Lease = &lcfg
+		if lcfg.Acquire {
+			n.lh = lease.NewHolder(lcfg)
+			n.leaseShards = lcfg.Shards
+		}
+		if lcfg.StartQuarantine {
+			// A real process restart always loses the member table; block
+			// coordinated writes until any pre-boot lease must have expired.
+			n.leaseBlockedUntil = lcfg.Quarantine()
+		}
+	}
 	// Disk backend: open the WAL and replay it into the store before
 	// the node serves anything (no-op for the memory backend).
 	if err := n.openStorage(); err != nil {
@@ -611,6 +667,11 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 func (n *Node) Start(net *cluster.Network) error {
 	if n.tune != nil {
 		if err := net.StartTimer(n.id, n.cfg.AutoTune.Interval, tokenTune{}); err != nil {
+			return err
+		}
+	}
+	if n.lh != nil {
+		if err := net.StartTimer(n.id, n.cfg.Lease.Check, tokenLeaseTick{}); err != nil {
 			return err
 		}
 	}
@@ -796,6 +857,9 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 			keys, vers, vals := n.store.dump()
 			env.Send(from, msgSnapReply{Seq: m.Seq, Keys: keys, Vers: vers, Vals: vals})
 		})
+	case msgLeasePull:
+		// Lease freshness pull: store-only, safe on the fast path.
+		n.onLeasePullServe(env, from, m)
 	case msgConfigPush:
 		n.onConfigPush(env, from, m)
 	case msgConfigReq:
@@ -851,6 +915,18 @@ func (n *Node) Deliver(env cluster.Env, from cluster.NodeID, msg any) {
 		// one when a requester retried through it — drop it.
 	case msgWorkloadReply:
 		// Consumed by WorkloadClient handlers; stray ones are dropped.
+	case msgLeaseGrant:
+		n.onLeaseRequest(env, from, m.Epoch, m.Seq, m.Mask, m.Shards, m.TTLus, false)
+	case msgLeaseRenew:
+		n.onLeaseRequest(env, from, m.Epoch, m.Seq, m.Mask, m.Shards, m.TTLus, true)
+	case msgLeaseInval:
+		n.onLeaseInval(env, from, m)
+	case msgLeaseAck:
+		n.onLeaseAck(env, from, m)
+	case msgLeasePullReply:
+		n.onLeasePullReply(env, from, m)
+	case msgLeaseDrop:
+		n.onLeaseDrop(from, m)
 	default:
 		panic(fmt.Sprintf("rkv: unknown message %T", msg))
 	}
@@ -871,6 +947,10 @@ func (n *Node) Timer(env cluster.Env, token any) {
 		n.onTune(env)
 	case tokenReconfigDue:
 		n.rcTimeout(env, tk.Seq)
+	case tokenLeaseTick:
+		n.onLeaseTick(env)
+	case tokenLeaseDue:
+		n.onLeaseDue(env, tk.Seq)
 	default:
 		panic(fmt.Sprintf("rkv: unknown timer token %T", token))
 	}
@@ -907,6 +987,12 @@ func (n *Node) onStaleEpoch(env cluster.Env, m msgStaleEpoch) {
 		n.startReadPhase(env, op)
 	case phaseWrite:
 		n.startWritePhase(env, op)
+	case phaseInval:
+		// Re-run the barrier under the new config: targets are recomputed
+		// from the live table, so an expired lease stops blocking.
+		if !n.startInvalPhase(env, op) {
+			n.startWritePhase(env, op)
+		}
 	}
 }
 
@@ -985,10 +1071,13 @@ func (n *Node) launchBatch(env cluster.Env) {
 		n.fillBatchWorkload(env, op)
 	}
 	n.profile.ObserveBatch(env.Now(), len(op.subs))
+	// Reads on actively leased shards are answered from the local store
+	// right here — the zero-message path this whole machinery buys.
+	n.leaseServeLocal(env, op)
 	// Phase-1 membership and wire keys are fixed for the batch's lifetime;
 	// retries resend the same (immutable) slice.
 	for i := range op.subs {
-		if op.subs[i].needP1 {
+		if op.subs[i].needP1 && !op.subs[i].done {
 			op.p1Subs = append(op.p1Subs, i)
 		}
 	}
@@ -1003,9 +1092,14 @@ func (n *Node) launchBatch(env cluster.Env) {
 		n.startReadPhase(env, op)
 		return
 	}
-	// All blind writes: straight to phase 2.
+	// No phase 1 left: blind writes (and any locally served reads) only.
 	n.buildPhase2(env, op)
-	n.startWritePhase(env, op)
+	if len(op.p2Keys) == 0 {
+		// The whole batch was served locally.
+		n.finishRound(env, op)
+		return
+	}
+	n.enterWritePhase(env, op)
 }
 
 // fillBatchExt builds a round from externally submitted operations.
@@ -1340,6 +1434,13 @@ func (n *Node) retryPhase(env cluster.Env, op *opState) {
 		n.startReadPhase(env, op)
 	case phaseWrite:
 		n.startWritePhase(env, op)
+	case phaseInval:
+		// Recompute the barrier: a holder that never acked eventually
+		// expires out of the table, which is the "provably expired"
+		// unblocking path for a crashed leaseholder.
+		if !n.startInvalPhase(env, op) {
+			n.startWritePhase(env, op)
+		}
 	}
 }
 
@@ -1456,12 +1557,15 @@ func (n *Node) onReadBatchReply(env cluster.Env, from cluster.NodeID, m msgReadB
 		n.finishRound(env, op)
 		return
 	}
-	n.startWritePhase(env, op)
+	n.enterWritePhase(env, op)
 }
 
 func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
 	if n.rcOnWriteAck(env, from, m) {
 		return // ack for the reconfiguration coordinator's state push
+	}
+	if n.leaseOnWriteAck(env, from, m) {
+		return // ack for the lease grant's freshness push
 	}
 	op, ok := n.inflight[m.Seq]
 	if !ok || op.ph != phaseWrite || !op.pending.Contains(int(from)) {
@@ -1477,6 +1581,7 @@ func (n *Node) onWriteAck(env cluster.Env, from cluster.NodeID, m msgWriteAck) {
 // finishRound reports every unfinished sub-operation as successful and
 // retires the round.
 func (n *Node) finishRound(env cluster.Env, op *opState) {
+	n.leaseSelfKeep(env, op)
 	for i := range op.subs {
 		if !op.subs[i].done {
 			n.reportSub(env, op, &op.subs[i], nil)
@@ -1556,6 +1661,7 @@ func (n *Node) Restarted(env cluster.Env) {
 	// can resume the transition to the same target later.
 	n.rc = reconfigState{}
 	n.invalidatePicks()
+	n.leaseRestarted(env)
 	// A restarted node must not tune on pre-crash traffic, and its tune
 	// timer died with the wheel: reset both and re-arm.
 	n.profile.Reset()
@@ -1582,7 +1688,9 @@ func RegisterWire(register func(values ...any)) {
 		msgReadBatch{}, msgReadBatchReply{}, msgWriteBatch{},
 		msgConfigPush{}, msgConfigAck{}, msgStaleEpoch{}, msgConfigReq{},
 		msgSnapReq{}, msgSnapReply{}, msgReconfig{}, msgReconfigDone{},
-		msgWorkloadReq{}, msgWorkloadReply{})
+		msgWorkloadReq{}, msgWorkloadReply{},
+		msgLeaseGrant{}, msgLeaseRenew{}, msgLeaseInval{}, msgLeaseAck{},
+		msgLeasePull{}, msgLeasePullReply{}, msgLeaseDrop{})
 }
 
 // StartToken returns the timer token that kicks off the node's client

@@ -159,6 +159,7 @@ func RegisterBinaryWire(reg *codec.Registry) {
 		})
 	registerReconfigWire(reg)
 	registerTuneWire(reg)
+	registerLeaseWire(reg)
 }
 
 // registerReconfigWire registers the configuration-distribution and
@@ -332,6 +333,18 @@ func WireSamples() []any {
 			Wl:  tuner.Workload{SpanUs: 2_000_000, Reads: 95, Writes: 5, LatSumUs: 12345}.Encode(nil),
 			Cfg: joint.Encode(nil),
 		},
+		msgLeaseGrant{Epoch: 3, Seq: 21, Mask: 0b1011, Shards: 16, TTLus: 2_000_000},
+		msgLeaseRenew{Epoch: 3, Seq: 22, Mask: 0b1011, Shards: 16, TTLus: 2_000_000},
+		msgLeaseInval{Seq: 23, Mask: 0b0010},
+		msgLeaseAck{Seq: 23, Kind: 2, OK: true},
+		msgLeasePull{Epoch: 3, Seq: 24, Mask: 0b1001, Shards: 16},
+		msgLeasePullReply{
+			Seq:  24,
+			Keys: []string{"a", "b"},
+			Vers: []Version{{Counter: 5, Writer: 1}, {Counter: 2, Writer: 6}},
+			Vals: []string{"x", "y"},
+		},
+		msgLeaseDrop{Seq: 25, Mask: 0b1011},
 	}
 }
 

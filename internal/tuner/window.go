@@ -251,6 +251,17 @@ func (wl Workload) ReadFrac() float64 {
 	return float64(wl.Reads) / float64(wl.Ops())
 }
 
+// ReadHeavy reports whether the window justifies holding read leases:
+// at least minOps operations measured and a read fraction of at least
+// minFrac. With minOps and minFrac both zero every window qualifies —
+// always-grant mode, used by chaos cells that exercise invalidation.
+func (wl Workload) ReadHeavy(minOps uint64, minFrac float64) bool {
+	if wl.Ops() < minOps {
+		return false
+	}
+	return wl.ReadFrac() >= minFrac
+}
+
 // WritebackFrac returns β, the measured fraction of reads that paid a
 // write-back phase.
 func (wl Workload) WritebackFrac() float64 {

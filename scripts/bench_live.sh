@@ -25,6 +25,12 @@
 #                  workload pinned to symmetric majority — by >= 1.3x
 #                  post-shift throughput with fewer msgs/op (the
 #                  asymmetric-read-quorum acceptance gates)
+#   tcp/w8/k64b8/lease the 90%-read workload with per-shard read leases
+#                  on the client node: once the workload window measures
+#                  read-heavy the holder serves its reads locally with
+#                  zero messages. Gated against tcp/w8/k64b8/r90 — the
+#                  identical mix on the plain quorum path — at >= 2x
+#                  throughput AND strictly fewer msgs/op (lease_speedup)
 #
 # plus the per-batch-size sweep tcp/w8/k64b{1,2,4,8,16} and the
 # per-key-count sweep tcp/w8/k{1,4,16,64,256}b8, the gateway efficiency
@@ -41,6 +47,8 @@
 #   pipeline_speedup    tcp/w8 over tcp/w1        (acceptance gate: >= 3x)
 #   batch_speedup       tcp/w8/k64b8 over tcp/w8  (acceptance gate: >= 2x)
 #   gateway_efficiency  gw cell over sess cell    (acceptance gate: >= 0.7x)
+#   lease_speedup       lease cell over r90 cell  (acceptance gate: >= 2x,
+#                       plus strictly fewer msgs/op)
 #   wan p99 tail        min(hgrid, htgrid) p99 < majority p99 at 1000
 #                       clients on the 3-region topology (acceptance gate)
 #
@@ -66,9 +74,59 @@ tol="${TOLERANCE:-0.25}"
 ops="${OPS:-8000}"
 go build -o /tmp/hquorum-loadgen ./cmd/loadgen
 if [ -f scripts/BENCH_live_baseline.json ]; then
-	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -ops "$ops" -json "$out" \
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -suite-lease -ops "$ops" -json "$out" \
 		-compare scripts/BENCH_live_baseline.json -tolerance "$tol"
 else
-	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -ops "$ops" -json "$out"
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -suite-lease -ops "$ops" -json "$out"
 fi
 echo "wrote $out" >&2
+
+# Metrics snapshot: boot a real 2×2 kvd cluster on loopback with read
+# leases and the metrics endpoint on replica 0, drive one write+read
+# through replica 3 in client mode, and archive /metrics next to the
+# throughput report — the ops-facing counters (transport, pick cache,
+# workload window, lease grants/renewals) for the exact binary the
+# suite above measured.
+msnap="${out%.json}_metrics.json"
+pdir="$(mktemp -d)"
+cleanup() {
+	for f in "$pdir"/*.pid; do
+		[ -f "$f" ] && kill "$(cat "$f")" 2>/dev/null || true
+	done
+	rm -rf "$pdir"
+}
+trap cleanup EXIT
+cat >"$pdir/peers.txt" <<'EOF'
+0 127.0.0.1:7461
+1 127.0.0.1:7462
+2 127.0.0.1:7463
+3 127.0.0.1:7464
+EOF
+go build -o /tmp/hquorum-kvd ./cmd/kvd
+for i in 1 2; do
+	/tmp/hquorum-kvd -id "$i" -peers "$pdir/peers.txt" -rows 2 -cols 2 &
+	echo $! >"$pdir/$i.pid"
+done
+# Replica 0 holds the leases: -lease-min-read-frac=-1 grants regardless
+# of its (idle) measured mix, so the snapshot shows live lease counters.
+# Grant waves are all-ack over every peer, so nothing activates until
+# replica 3 is up AND idle: while the client below sits out its boot
+# write quarantine its parked write nacks every grant wave (writes win
+# ties with acquisition by design). The short -attempt-timeout is wave
+# retry patience: a wave lost to replica 3's restart (the lazy-redial
+# transport eats one send per dead connection) aborts and retries fast.
+/tmp/hquorum-kvd -id 0 -peers "$pdir/peers.txt" -rows 2 -cols 2 -attempt-timeout 300ms \
+	-lease -lease-ttl 1s -lease-min-read-frac=-1 -metrics-addr 127.0.0.1:7460 &
+echo $! >"$pdir/0.pid"
+sleep 1
+# Replica 3 doubles as the client for one write+read (-lease-ttl matches
+# the holder's so its boot quarantine covers the holder's TTL)...
+/tmp/hquorum-kvd -id 3 -peers "$pdir/peers.txt" -rows 2 -cols 2 -lease-ttl 1s \
+	-key bench:probe -write hello -then-read -timeout 30s
+# ...then rejoins as a steady replica so the whole universe is up and
+# idle while replica 0 acquires and renews its leases.
+/tmp/hquorum-kvd -id 3 -peers "$pdir/peers.txt" -rows 2 -cols 2 &
+echo $! >"$pdir/3.pid"
+sleep 3
+curl -s --retry 3 --max-time 10 http://127.0.0.1:7460/metrics >"$msnap"
+echo "wrote $msnap" >&2

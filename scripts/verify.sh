@@ -35,3 +35,8 @@ go test -race ./internal/wal/...
 # (every finished op observes into it) while metrics endpoints and the
 # tune loop snapshot it: race the auto-tuning layer.
 go test -race ./internal/tuner/...
+# The lease holder's shard mask is published through an atomic that
+# gateway sessions read off-loop when routing reads, and the lease
+# counters are sampled by metrics endpoints while the event loop
+# mutates holder state: race the read-lease layer.
+go test -race ./internal/lease/...
