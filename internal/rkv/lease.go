@@ -271,9 +271,10 @@ func (n *Node) leaseGrantOK(env cluster.Env, from cluster.NodeID, mask uint64, s
 		}
 	}
 	// In-flight writes this node coordinates: a round already in its
-	// write phase never re-consults the table, and one in its
-	// invalidation phase transitions to the write phase without a
-	// re-check — both must nack an overlapping grant. (Map iteration
+	// write phase never re-consults the table, so it must nack an
+	// overlapping grant; one in its invalidation phase re-checks the
+	// barrier before shipping, but nacks too — granting a lease the
+	// round would immediately invalidate helps nobody. (Map iteration
 	// order is irrelevant: this computes a pure any-overlap boolean.)
 	for _, op := range n.inflight {
 		if op.ph != phaseWrite && op.ph != phaseInval {
@@ -288,8 +289,17 @@ func (n *Node) leaseGrantOK(env cluster.Env, from cluster.NodeID, mask uint64, s
 	return true
 }
 
-// onLeaseDrop clears the holder's released shards from the table.
+// onLeaseDrop clears the holder's released shards from the table. The
+// clear is seq-gated: the holder allocates drops and grants from the
+// same monotonic counter, so a reordered drop sent before the recorded
+// grant carries a smaller Seq and must not erase the newer entry's bits
+// — that would let a writer skip the invalidation barrier on a live
+// lease. Ignoring a stale drop merely leaves an over-approximation that
+// invalidation or expiry cleans up.
 func (n *Node) onLeaseDrop(from cluster.NodeID, m msgLeaseDrop) {
+	if e, ok := n.lt.Get(from); !ok || m.Seq < e.Seq {
+		return
+	}
 	n.lt.ClearBits(from, m.Mask)
 }
 
@@ -372,6 +382,22 @@ func (n *Node) startInvalPhase(env cluster.Env, op *opState) bool {
 	if first {
 		n.leaseInvalRounds.Add(1)
 	}
+	if len(targets) == 0 {
+		// Quarantine-only wait: no ack can unblock it, so backoff retries
+		// would fire at times unrelated to the quarantine. Resume exactly
+		// when it lifts, clamped so the op still fails at its deadline.
+		wait := n.leaseBlockedUntil - now
+		if n.cfg.OpDeadline > 0 {
+			if remaining := op.started + n.cfg.OpDeadline - now; remaining < wait {
+				wait = remaining
+			}
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		env.After(wait, tokenOpDue{Seq: op.seq})
+		return true
+	}
 	env.After(n.attemptTimeout(env, op), tokenOpDue{Seq: op.seq})
 	return true
 }
@@ -389,7 +415,13 @@ func (n *Node) leaseOnInvalAck(env cluster.Env, from cluster.NodeID, seq uint64)
 		n.lt.ClearBits(from, e.Mask&lease.KeysMask(op.p2Keys, e.Shards))
 	}
 	if op.pending.Empty() {
-		n.startWritePhase(env, op)
+		// Re-enter the full barrier rather than shipping the write: the
+		// quarantine may still be running (a restart that lost the member
+		// table), and an unknown pre-crash leaseholder could be serving
+		// stale local reads until it provably expired. startInvalPhase
+		// recomputes both conditions, exactly like the retry and
+		// stale-epoch paths.
+		n.enterWritePhase(env, op)
 	}
 }
 

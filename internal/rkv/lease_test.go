@@ -7,6 +7,7 @@ import (
 
 	"hquorum/internal/cluster"
 	"hquorum/internal/epoch"
+	"hquorum/internal/hgrid"
 	"hquorum/internal/lease"
 	"hquorum/internal/tuner"
 )
@@ -41,6 +42,111 @@ func checkReadsFresh(t *testing.T, results []Result) {
 					r.Node, r.Key, r.Value, r.Version, r.Start, w.Node, w.Version, w.At)
 			}
 		}
+	}
+}
+
+// captureEnv is a fakeEnv that records armed timers, for unit tests
+// that drive the write barrier's state machine directly.
+type captureEnv struct {
+	fakeEnv
+	timers []capturedTimer
+}
+
+type capturedTimer struct {
+	d     time.Duration
+	token any
+}
+
+func (e *captureEnv) After(d time.Duration, token any) {
+	e.timers = append(e.timers, capturedTimer{d, token})
+}
+
+// TestLeaseInvalAckQuarantineBarrier is the ack-path regression: the
+// last invalidation ack arriving while the write quarantine is still
+// running must NOT ship the write — an unknown pre-crash leaseholder
+// may still be serving stale local reads until the quarantine proves it
+// expired. The round stays in phaseInval with a wake-up armed for
+// exactly the quarantine's end, then ships on the retry.
+func TestLeaseInvalAckQuarantineBarrier(t *testing.T) {
+	n, err := NewNode(0, Config{Store: HGridStore{H: hgrid.Auto(4, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &captureEnv{fakeEnv: fakeEnv{rng: rand.New(rand.NewSource(11)), now: time.Second}}
+	quarantineEnd := env.now + 500*time.Millisecond
+	n.leaseBlockedUntil = quarantineEnd
+	n.lt.Record(1, lease.Entry{Seq: 7, Mask: lease.Bit(lease.ShardOf("k", 8)), Shards: 8, Expiry: env.now + 2*time.Second}, env.now)
+
+	op := n.getOp()
+	op.started = env.now
+	op.p2Keys = append(op.p2Keys, "k")
+	op.p2Vers = append(op.p2Vers, Version{Counter: 1, Writer: 0})
+	op.p2Vals = append(op.p2Vals, "v")
+	n.enterWritePhase(env, op)
+	if op.ph != phaseInval {
+		t.Fatalf("phase %v, want inval (holder 1 has a live entry)", op.ph)
+	}
+	n.leaseOnInvalAck(env, 1, op.seq)
+	if op.ph != phaseInval {
+		t.Fatalf("phase %v after the final ack, want inval: the quarantine is still running", op.ph)
+	}
+	last := env.timers[len(env.timers)-1]
+	if last.d != quarantineEnd-env.now {
+		t.Fatalf("armed %v, want the quarantine remainder %v", last.d, quarantineEnd-env.now)
+	}
+	if tk, ok := last.token.(tokenOpDue); !ok || tk.Seq != op.seq {
+		t.Fatalf("armed token %#v, want tokenOpDue for seq %d", last.token, op.seq)
+	}
+	// The quarantine lifts: the retry recomputes the barrier and ships.
+	env.now = quarantineEnd
+	n.retryPhase(env, op)
+	if op.ph != phaseWrite {
+		t.Fatalf("phase %v after the quarantine lifted, want write", op.ph)
+	}
+}
+
+// TestLeaseQuarantineTimerDeadlineCap: a quarantine-only invalidation
+// phase (no targets, table lost) arms its wake-up for the quarantine's
+// end clamped to the op deadline — not an unrelated backoff retry.
+func TestLeaseQuarantineTimerDeadlineCap(t *testing.T) {
+	n, err := NewNode(0, Config{Store: HGridStore{H: hgrid.Auto(4, 4)}, OpDeadline: 200 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := &captureEnv{fakeEnv: fakeEnv{rng: rand.New(rand.NewSource(12)), now: time.Second}}
+	n.leaseBlockedUntil = env.now + 500*time.Millisecond
+	op := n.getOp()
+	op.started = env.now
+	op.p2Keys = append(op.p2Keys, "k")
+	op.p2Vers = append(op.p2Vers, Version{Counter: 1, Writer: 0})
+	op.p2Vals = append(op.p2Vals, "v")
+	n.enterWritePhase(env, op)
+	if op.ph != phaseInval {
+		t.Fatalf("phase %v, want inval (quarantine running)", op.ph)
+	}
+	last := env.timers[len(env.timers)-1]
+	if last.d != 200*time.Millisecond {
+		t.Fatalf("armed %v, want the 200ms deadline remainder (quarantine outlives the deadline)", last.d)
+	}
+}
+
+// TestLeaseDropSeqGate is the reordering regression (WithFIFO(false)
+// networks): a delayed drop broadcast sent before a re-grant must not
+// erase the re-granted entry's bits — only a drop the holder issued
+// after the recorded grant (higher Seq from the shared counter) clears.
+func TestLeaseDropSeqGate(t *testing.T) {
+	n, err := NewNode(0, Config{Store: HGridStore{H: hgrid.Auto(4, 4)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.lt.Record(2, lease.Entry{Seq: 10, Mask: 0b11, Shards: 8, Expiry: time.Second}, 0)
+	n.onLeaseDrop(2, msgLeaseDrop{Seq: 5, Mask: 0b11}) // pre-grant drop, delivered late
+	if e, ok := n.lt.Get(2); !ok || e.Mask != 0b11 {
+		t.Fatalf("stale drop erased the live entry: %+v (ok=%v)", e, ok)
+	}
+	n.onLeaseDrop(2, msgLeaseDrop{Seq: 11, Mask: 0b01}) // genuine post-grant drop
+	if e, ok := n.lt.Get(2); !ok || e.Mask != 0b10 {
+		t.Fatalf("post-grant drop not applied: %+v (ok=%v)", e, ok)
 	}
 }
 
