@@ -60,9 +60,11 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -105,7 +107,8 @@ func main() {
 	tuneMinGain := flag.Float64("tune-min-gain", 0, "cost ratio a winner must clear to trigger a swap (0 = tuner default)")
 	tuneFailP := flag.Float64("tune-fail-p", 0, "per-node failure probability the optimizer scores availability at (0 = tuner default)")
 	tuneMinAvail := flag.Float64("tune-min-avail", 0, "workload-weighted availability floor a candidate must clear (0 = tuner default)")
-	metricsAddr := flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (transport, WAL, pick cache, workload-profiler and lease counters)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a JSON metrics endpoint on this address (transport, WAL, pick cache, workload-profiler, lease and op-trace counters)")
+	traceSample := flag.Int("trace-sample", 64, "op-trace sampling rate: stamp per-stage timings on 1 in N operations and fold them into the metrics endpoint's stage histograms (0 disables)")
 	leaseOn := flag.Bool("lease", false, "acquire per-shard read leases when the measured workload is read-heavy and serve those reads locally with zero messages (writers pay an invalidation round)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "read-lease TTL (0 = lease default; longer = fewer renewal waves, slower writer unblock when this holder dies)")
 	leaseShards := flag.Int("lease-shards", 0, "lease shard count keys hash into, 1-64 (0 = lease default; coarser is cheaper to invalidate, finer blocks fewer writers)")
@@ -198,6 +201,7 @@ func main() {
 		ReadWriteback: *writeback,
 		AutoTune:      tunePolicy,
 		Lease:         leaseCfg,
+		TraceSample:   *traceSample,
 		OnResult: func(r rkv.Result) {
 			label := r.Kind.String()
 			if r.Key != "" {
@@ -247,14 +251,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "kvd: read leases enabled (%d shards, ttl %v)\n",
 			leaseCfg.WithDefaults().Shards, leaseCfg.WithDefaults().TTL)
 	}
+	var metrics *http.Server
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, node, tn, epochs, storage != "")
+		metrics, err = serveMetrics(*metricsAddr, metricsHandler(node, tn, epochs, storage != ""))
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
 	}
 
 	if len(ops) > 0 {
 		tn.Kick(0, node.StartToken())
 		select {
 		case <-done:
+			stopMetrics(metrics)
 			shutdown(node)
 			if failed {
 				os.Exit(1)
@@ -266,20 +275,23 @@ func main() {
 	}
 
 	// Pure replica: serve until interrupted, then shut down gracefully —
-	// flush and fsync the log, snapshot every shard and leave the
-	// clean-shutdown marker so the next start skips the segment replay.
+	// drain the metrics server, flush and fsync the log, snapshot every
+	// shard and leave the clean-shutdown marker so the next start skips
+	// the segment replay.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Fprintln(os.Stderr, "kvd: shutting down")
+	stopMetrics(metrics)
 	shutdown(node)
 }
 
-// serveMetrics exposes the replica's observability counters as one JSON
-// document: epoch config, transport stats, WAL stats (disk backend),
-// pick-cache hit rate, the tuner's current workload window and the lease
-// counters (grants, local-read hits, invalidation rounds, expiries).
-func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch.Store, disk bool) {
+// metricsHandler builds the /metrics endpoint: the replica's
+// observability counters as one JSON document — epoch config, transport
+// stats, WAL stats (disk backend), pick-cache hit rate, the tuner's
+// current workload window, the lease counters and the op tracer's
+// per-stage histograms.
+func metricsHandler(node *rkv.Node, tn *transport.Node, epochs *epoch.Store, disk bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		cfg := epochs.Snapshot()
@@ -287,9 +299,9 @@ func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch
 		wl := node.Workload(tn.Now())
 		ls := node.LeaseStats()
 		doc := map[string]any{
-			"epoch":  cfg.Epoch,
-			"config": cfg.Cur.String(),
-			"joint":  cfg.Joint(),
+			"epoch":     cfg.Epoch,
+			"config":    cfg.Cur.String(),
+			"joint":     cfg.Joint(),
 			"transport": tn.Stats(),
 			"pick_cache": map[string]any{
 				"hits":   hits,
@@ -313,6 +325,7 @@ func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch
 				"inval_rounds": ls.InvalRounds,
 				"expiries":     ls.Expiries,
 			},
+			"optrace": node.TraceSnapshot(),
 		}
 		if disk {
 			doc["wal"] = node.WALStats()
@@ -324,12 +337,39 @@ func serveMetrics(addr string, node *rkv.Node, tn *transport.Node, epochs *epoch
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
+	return mux
+}
+
+// serveMetrics binds addr and serves the handler in the background,
+// logging the bound address once. The caller owns the returned server
+// and must drain it through stopMetrics on shutdown.
+func serveMetrics(addr string, h http.Handler) (*http.Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: h}
 	go func() {
-		if err := http.ListenAndServe(addr, mux); err != nil {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
 			fmt.Fprintf(os.Stderr, "kvd: metrics: %v\n", err)
 		}
 	}()
-	fmt.Fprintf(os.Stderr, "kvd: metrics on http://%s/metrics\n", addr)
+	fmt.Fprintf(os.Stderr, "kvd: metrics on http://%s/metrics\n", ln.Addr())
+	return srv, nil
+}
+
+// stopMetrics gracefully shuts the metrics server down (bounded wait:
+// in-flight scrapes finish, then the listener closes) so SIGTERM/SIGINT
+// no longer abandon it mid-request.
+func stopMetrics(srv *http.Server) {
+	if srv == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "kvd: metrics shutdown: %v\n", err)
+	}
 }
 
 // shutdown closes the node's storage backend; a failed flush is a real

@@ -15,6 +15,7 @@ import (
 	"hquorum/internal/epoch"
 	"hquorum/internal/gateway"
 	"hquorum/internal/histo"
+	"hquorum/internal/optrace"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 )
@@ -84,6 +85,7 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			Window:        spec.Window,
 			Batch:         spec.Batch,
 			OpGap:         -1,
+			TraceSample:   spec.TraceSample,
 		}
 		if i >= n && pickCost != nil {
 			// Sessions sample quorum candidates and take the cheapest:
@@ -111,6 +113,7 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	mesh.Start()
 
 	var gwStats gateway.Stats
+	var gwTrace *optrace.Tracer
 	var elapsed time.Duration
 	if direct {
 		// Same closed-loop streams as gateway mode, minus the gateway:
@@ -159,6 +162,7 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			node.SetWake(func() { tn.Kick(0, node.StartToken()) })
 			pool[i] = node
 		}
+		gwTrace = optrace.New(spec.TraceSample)
 		gw, err := gateway.Serve("127.0.0.1:0", gateway.Config{
 			Sessions:     pool,
 			SessionDepth: spec.Window * spec.Batch,
@@ -167,6 +171,7 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			// connection's pipeline fill a whole batch, so its responses
 			// complete together and share a flush.
 			DispatchBurst: spec.Batch,
+			Trace:         gwTrace,
 		})
 		if err != nil {
 			mesh.Close()
@@ -257,6 +262,13 @@ func runGateway(spec runSpec, hist *histo.Histogram) (runResult, error) {
 	res.P999us = us(hist.Quantile(0.999))
 	res.MaxUs = us(hist.Max())
 	res.MeanUs = hist.Mean() / 1e3
+	var extra []*optrace.Tracer
+	if gwTrace != nil {
+		extra = append(extra, gwTrace)
+	}
+	if err := stampTrace(&res, nodes, extra); err != nil {
+		return runResult{}, err
+	}
 	return res, nil
 }
 

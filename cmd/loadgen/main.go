@@ -49,6 +49,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"net/http"
@@ -70,6 +71,7 @@ import (
 	"hquorum/internal/histo"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/lease"
+	"hquorum/internal/optrace"
 	"hquorum/internal/rkv"
 	"hquorum/internal/transport"
 	"hquorum/internal/tuner"
@@ -135,6 +137,12 @@ type runSpec struct {
 	Regions  []int
 	WanIntra time.Duration
 	WanCross time.Duration
+
+	// TraceSample arms the server-side op tracer on every node (and the
+	// gateway) at 1-in-N sampling; the merged stage snapshot is stamped
+	// into the cell's result so the archived artifact explains where
+	// server time went, not just how much there was.
+	TraceSample int
 
 	// Trials, when > 1, runs the cell that many times, interleaved with
 	// the other multi-trial cells, and reports one representative run:
@@ -207,6 +215,13 @@ type runResult struct {
 	LeaseLocalReads  uint64 `json:"lease_local_reads,omitempty"`
 	LeaseInvalRounds uint64 `json:"lease_inval_rounds,omitempty"`
 	LeaseExpiries    uint64 `json:"lease_expiries,omitempty"`
+	// Server-side stage breakdown (package optrace), merged across every
+	// node's tracer after the run: nonzero stages only, wire payloads
+	// stripped — the artifact explains the cell's latency, it is not a
+	// further merge input. TraceSampled is how many ops the 1-in-N
+	// sampler actually traced.
+	TraceSampled uint64                       `json:"trace_sampled,omitempty"`
+	Stages       map[string]optrace.StageStat `json:"stages,omitempty"`
 }
 
 // report is the artifact bench_live.sh writes: the suite cells plus the
@@ -225,16 +240,21 @@ type report struct {
 	// GatewayEfficiency is gateway-mode throughput over the equivalent
 	// direct-session cell; WanP99* are the 3-region tail-latency cells'
 	// p99s (best hierarchical flavor vs majority).
-	GatewayEfficiency float64     `json:"gateway_efficiency,omitempty"`
-	WanP99HierUs      float64     `json:"wan_p99_hier_us,omitempty"`
-	WanP99MajorityUs  float64     `json:"wan_p99_majority_us,omitempty"`
+	GatewayEfficiency float64 `json:"gateway_efficiency,omitempty"`
+	WanP99HierUs      float64 `json:"wan_p99_hier_us,omitempty"`
+	WanP99MajorityUs  float64 `json:"wan_p99_majority_us,omitempty"`
 	// TuneSpeedup is the auto-tuner pair's post-shift throughput ratio:
 	// the self-reconfiguring cell over the one that stays on majority.
 	TuneSpeedup float64 `json:"tune_speedup,omitempty"`
 	// LeaseSpeedup is the read-lease pair's throughput ratio: the leased
 	// 90%-read cell over the identical mix on the plain quorum path.
-	LeaseSpeedup float64     `json:"lease_speedup,omitempty"`
-	Runs         []runResult `json:"runs"`
+	LeaseSpeedup float64 `json:"lease_speedup,omitempty"`
+	// ServerTrace is a live kvd node's optrace snapshot fetched from its
+	// -metrics-addr endpoint after the run (only when loadgen was pointed
+	// at one with its own -metrics-addr flag) — the deployment-side
+	// counterpart of the per-cell Stages stamp.
+	ServerTrace *optrace.Snapshot `json:"server_trace,omitempty"`
+	Runs        []runResult       `json:"runs"`
 }
 
 func main() {
@@ -272,6 +292,9 @@ func main() {
 	suiteTune := flag.Bool("suite-tune", false, "run the auto-tuner pair (mid-run 50/50→95%-read shift, kvd-style -auto-tune vs staying on majority) and gate the live swap + ≥1.3x post-shift throughput")
 	suiteLease := flag.Bool("suite-lease", false, "run the read-lease pair (90%-read workload with and without the holder's local-read leases) and gate ≥2x throughput + strictly fewer msgs/op")
 	leaseOn := flag.Bool("lease", false, "arm the read-lease holder on node 0 (tcp mode only)")
+	traceSample := flag.Int("trace-sample", 64, "server-side op tracing: sample 1 in N ops per node (0 = off); stamps the per-stage breakdown into the report")
+	stageSanity := flag.String("stage-sanity", "", "assert the named cell's server stage medians sum ≤ its client p50 and ≥5 stages saw samples (e.g. tcp/w8/k64b8)")
+	metricsAddr := flag.String("metrics-addr", "", "fetch a running kvd node's /metrics after the run and stamp its optrace snapshot into the report")
 	jsonPath := flag.String("json", "", "write the report as JSON to this file")
 	comparePath := flag.String("compare", "", "baseline report JSON to compare against")
 	tolerance := flag.Float64("tolerance", 0.10, "max fractional ops/s regression vs -compare baseline before exiting nonzero")
@@ -326,7 +349,7 @@ func main() {
 		ReconfigAt: *reconfigAt, ReconfigTo: *reconfigTo,
 		Sessions: *sessions, Inflight: *inflight,
 		Regions: regionCounts, WanIntra: *wanIntra, WanCross: *wanCross,
-		Lease: *leaseOn,
+		Lease: *leaseOn, TraceSample: *traceSample,
 	}
 
 	rep := report{GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
@@ -688,6 +711,52 @@ func main() {
 		}
 	}
 
+	if *stageSanity != "" {
+		r := find(rep.Runs, *stageSanity)
+		switch {
+		case r == nil:
+			gates = append(gates, fmt.Sprintf("-stage-sanity cell %q was not run", *stageSanity))
+		case len(r.Stages) == 0:
+			gates = append(gates, fmt.Sprintf("-stage-sanity: cell %s carries no server stage data (is -trace-sample 0?)", *stageSanity))
+		default:
+			// Sum the per-message processing stages' medians and hold them
+			// under the client-observed p50: a full round trip must cost at
+			// least the server work inside it. The whole-round waits (total,
+			// quorum, lease) are excluded — each already spans the other
+			// stages plus the network, so they are not additive terms.
+			sum := 0.0
+			var parts []string
+			for _, name := range optrace.StageNames() {
+				if name == "total" || name == "quorum" || name == "lease" {
+					continue
+				}
+				st, ok := r.Stages[name]
+				if !ok || st.Count == 0 {
+					continue
+				}
+				sum += st.P50Us
+				parts = append(parts, fmt.Sprintf("%s=%.1f", name, st.P50Us))
+			}
+			fmt.Printf("stage sanity (%s): server stage medians sum %.1fµs ≤ client p50 %.1fµs (%s)\n",
+				r.Name, sum, r.P50us, strings.Join(parts, " "))
+			if sum > r.P50us {
+				gates = append(gates, fmt.Sprintf("stage sanity: %s server stage medians sum %.1fµs > client p50 %.1fµs", r.Name, sum, r.P50us))
+			}
+			if len(r.Stages) < 5 {
+				gates = append(gates, fmt.Sprintf("stage sanity: %s has only %d stages with samples (want ≥ 5) — trace plumbing is rotting", r.Name, len(r.Stages)))
+			}
+		}
+	}
+
+	if *metricsAddr != "" {
+		snap, err := fetchServerTrace(*metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loadgen: -metrics-addr: %v (report not stamped)\n", err)
+		} else {
+			rep.ServerTrace = snap
+		}
+	}
+
 	var regressions []string
 	if *comparePath != "" {
 		var err error
@@ -871,6 +940,7 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			Window:        spec.Window,
 			Batch:         spec.Batch,
 			OpGap:         -1, // load generation: no think time
+			TraceSample:   spec.TraceSample,
 		}
 		if disk {
 			cfg.Storage = "disk"
@@ -1066,6 +1136,9 @@ func runOnce(spec runSpec, hist *histo.Histogram) (runResult, error) {
 			res.LeaseExpiries += st.Expiries
 		}
 	}
+	if err := stampTrace(&res, nodes, nil); err != nil {
+		return runResult{}, err
+	}
 	if rc != nil {
 		res.ReconfigAt = int(rc.at)
 		res.TransitionErrs = int(rc.errs.Load())
@@ -1118,6 +1191,72 @@ func waitSettled(stores []*epoch.Store, minEpoch uint64, limit time.Duration) er
 		}
 		time.Sleep(5 * time.Millisecond)
 	}
+}
+
+// stampTrace merges every node's tracer snapshot (plus any extra
+// tracers — the gateway tier's) and stamps the nonzero stages into res,
+// wire payloads stripped: the artifact explains latency, it is not a
+// further merge input. No-op when tracing was off or nothing sampled.
+func stampTrace(res *runResult, nodes []*rkv.Node, extra []*optrace.Tracer) error {
+	var snap optrace.Snapshot
+	first := true
+	merge := func(s optrace.Snapshot) error {
+		if first {
+			snap, first = s, false
+			return nil
+		}
+		return snap.Merge(s)
+	}
+	for _, node := range nodes {
+		if err := merge(node.TraceSnapshot()); err != nil {
+			return fmt.Errorf("trace merge: %w", err)
+		}
+	}
+	for _, t := range extra {
+		if err := merge(t.Snapshot()); err != nil {
+			return fmt.Errorf("trace merge: %w", err)
+		}
+	}
+	if first || snap.Sampled == 0 {
+		return nil
+	}
+	res.TraceSampled = snap.Sampled
+	res.Stages = make(map[string]optrace.StageStat, len(snap.Stages))
+	for name, st := range snap.Stages {
+		if st.Count == 0 {
+			continue
+		}
+		st.Wire = nil
+		res.Stages[name] = st
+	}
+	return nil
+}
+
+// fetchServerTrace GETs a running kvd node's -metrics-addr document and
+// returns its optrace group — the deployment-side stage snapshot the
+// report is stamped with when loadgen drove a live cluster.
+func fetchServerTrace(addr string) (*optrace.Snapshot, error) {
+	url := addr
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s returned %s", url, resp.Status)
+	}
+	var doc struct {
+		Optrace optrace.Snapshot `json:"optrace"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 8<<20)).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", url, err)
+	}
+	return &doc.Optrace, nil
 }
 
 // buildWorkload generates a client's deterministic op mix over the
@@ -1226,6 +1365,15 @@ func printResult(r runResult) {
 		fmt.Printf("%-14s lease: grants=%d local_reads=%d (%.1f%% of reads) inval_rounds=%d expiries=%d\n",
 			"", r.LeaseGrants, r.LeaseLocalReads, hit, r.LeaseInvalRounds, r.LeaseExpiries)
 	}
+	if len(r.Stages) > 0 {
+		var b strings.Builder
+		for _, name := range optrace.StageNames() {
+			if st, ok := r.Stages[name]; ok && st.Count > 0 {
+				fmt.Fprintf(&b, " %s=%.1f", name, st.P50Us)
+			}
+		}
+		fmt.Printf("%-14s server stage p50s (µs, %d ops sampled):%s\n", "", r.TraceSampled, b.String())
+	}
 }
 
 func fmtUs(us float64) string {
@@ -1259,6 +1407,7 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 	}
 	var regressions []string
 	var newCells []string
+	var noStageData []string
 	var b strings.Builder
 	fmt.Fprintf(&b, "\n%-14s  %14s  %14s  %8s    %12s  %12s  %8s\n",
 		"cell", "old ops/s", "new ops/s", "delta", "old p99", "new p99", "delta")
@@ -1277,6 +1426,9 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 			(or.ReadFrac != nr.ReadFrac || or.ShiftReadFrac != nr.ShiftReadFrac) {
 			return nil, fmt.Errorf("cell %s: baseline ran %.0f%% reads, this run %.0f%% — refusing to gate across differing mixes; regenerate the baseline",
 				nr.Name, 100*or.ReadFrac, 100*nr.ReadFrac)
+		}
+		if len(nr.Stages) > 0 && len(or.Stages) == 0 {
+			noStageData = append(noStageData, nr.Name)
 		}
 		mark := ""
 		switch {
@@ -1303,6 +1455,12 @@ func compare(baselinePath string, cur *report, tolerance float64) ([]string, err
 		// an un-gated cell masquerade as a protected one.
 		fmt.Fprintf(os.Stderr, "loadgen: %d cell(s) absent from baseline %s, not gated: %s — commit a regenerated baseline to gate them\n",
 			len(newCells), baselinePath, strings.Join(newCells, ", "))
+	}
+	if len(noStageData) > 0 {
+		// A missing stage breakdown in the baseline is age, not a
+		// regression: warn so the baseline gets regenerated, never fail.
+		fmt.Fprintf(os.Stderr, "loadgen: baseline %s predates server stage data for: %s — stage breakdowns are informational this run; regenerate the baseline to archive them\n",
+			baselinePath, strings.Join(noStageData, ", "))
 	}
 	return regressions, nil
 }

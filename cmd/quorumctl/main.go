@@ -14,6 +14,7 @@
 //	quorumctl render figure1|figure2   the paper's figures
 //	quorumctl reconfig [flags] <flavor> [shape]  live config swap on a TCP cluster
 //	quorumctl tune [flags]             score quorum configs against a node's measured workload
+//	quorumctl metrics [flags] <host:port>  fetch and render a kvd node's -metrics-addr document
 //	quorumctl list                     available systems
 //
 // Systems and their arguments:
@@ -42,14 +43,26 @@
 // reconfiguration:
 //
 //	quorumctl tune -peers peers.txt -id 16 -contact 0 [-read-frac 0.95] [-apply]
+//
+// metrics talks plain HTTP to a node started with -metrics-addr and
+// renders the JSON counter document: one line per counter, plus the
+// per-op stage-timing table (package optrace) that shows where server
+// time goes — decode, queue, lock, fsync, quorum, encode, send:
+//
+//	quorumctl metrics 127.0.0.1:9100
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
+	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"hquorum/internal/analysis"
@@ -65,6 +78,7 @@ import (
 	"hquorum/internal/htriang"
 	"hquorum/internal/loadopt"
 	"hquorum/internal/majority"
+	"hquorum/internal/optrace"
 	"hquorum/internal/paths"
 	"hquorum/internal/quorum"
 	"hquorum/internal/rkv"
@@ -87,6 +101,8 @@ func main() {
 		reconfig(args[1:])
 	case "tune":
 		tune(args[1:])
+	case "metrics":
+		metricsCmd(args[1:])
 	case "list":
 		fmt.Println("majority n | hqs levels degree | grouped-hqs groups size | cwlog n")
 		fmt.Println("hgrid rows cols | flatgrid rows cols | htgrid rows cols")
@@ -203,7 +219,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: quorumctl [flags] show|quorums|render|reconfig|list ...")
+	fmt.Fprintln(os.Stderr, "usage: quorumctl [flags] show|quorums|render|reconfig|tune|metrics|list ...")
 	flag.PrintDefaults()
 }
 
@@ -447,6 +463,143 @@ func scoreLine(s tuner.Score) string {
 	}
 	return fmt.Sprintf("cost %.2f msg/op (read %.2f, write %.2f)  max-load %.3f  avail %.6f  %s",
 		s.Cost, s.ReadSize, s.WriteSize, s.MaxLoad, s.Avail, feas)
+}
+
+// metricsCmd implements `quorumctl metrics`: GET a kvd node's
+// -metrics-addr JSON document and render it for operators — flat
+// counters grouped and sorted, then the optrace stage table in pipeline
+// order so "where does an op's time go" reads top to bottom.
+func metricsCmd(args []string) {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	raw := fs.Bool("raw", false, "dump the raw JSON document instead of rendering")
+	all := fs.Bool("all", false, "show zero-count stages in the stage table")
+	timeout := fs.Duration("timeout", 5*time.Second, "HTTP fetch timeout")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail("usage: quorumctl metrics [-raw] [-all] <host:port>")
+	}
+	url := fs.Arg(0)
+	if !strings.Contains(url, "://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/") + "/metrics"
+
+	client := &http.Client{Timeout: *timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		fail("metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		fail("metrics: read: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fail("metrics: %s returned %s", url, resp.Status)
+	}
+	if *raw {
+		os.Stdout.Write(body)
+		if len(body) > 0 && body[len(body)-1] != '\n' {
+			fmt.Println()
+		}
+		return
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		fail("metrics: %s is not a JSON object: %v", url, err)
+	}
+
+	trace, _ := doc["optrace"].(map[string]any)
+	delete(doc, "optrace")
+	groups := make([]string, 0, len(doc))
+	for g := range doc {
+		groups = append(groups, g)
+	}
+	sort.Strings(groups)
+	for _, g := range groups {
+		fmt.Printf("%s:\n", g)
+		printCounters("  ", doc[g])
+	}
+	if trace != nil {
+		printTrace(trace, *all)
+	}
+}
+
+// printCounters renders one metrics group: scalars as aligned key/value
+// lines, nested objects flattened with dotted keys, in sorted order.
+func printCounters(indent string, v any) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		fmt.Printf("%s%v\n", indent, v)
+		return
+	}
+	var flat [][2]string
+	var walk func(prefix string, mm map[string]any)
+	walk = func(prefix string, mm map[string]any) {
+		keys := make([]string, 0, len(mm))
+		for k := range mm {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			switch x := mm[k].(type) {
+			case map[string]any:
+				walk(prefix+k+".", x)
+			case float64:
+				flat = append(flat, [2]string{prefix + k, strconv.FormatFloat(x, 'g', -1, 64)})
+			default:
+				flat = append(flat, [2]string{prefix + k, fmt.Sprint(x)})
+			}
+		}
+	}
+	walk("", m)
+	width := 0
+	for _, kv := range flat {
+		if len(kv[0]) > width {
+			width = len(kv[0])
+		}
+	}
+	for _, kv := range flat {
+		fmt.Printf("%s%-*s  %s\n", indent, width, kv[0], kv[1])
+	}
+}
+
+// printTrace renders the optrace group: the sampling header plus a
+// per-stage latency table in pipeline order (optrace.StageNames), µs.
+func printTrace(trace map[string]any, showZero bool) {
+	num := func(k string) float64 {
+		f, _ := trace[k].(float64)
+		return f
+	}
+	fmt.Printf("op tracing (1-in-%.0f sampling):\n", num("sample_every"))
+	fmt.Printf("  sampled %.0f ops: %.0f reads, %.0f writes, %.0f other; avg batch %.2f; epoch %.0f\n",
+		num("sampled"), num("reads"), num("writes"), num("other"), num("avg_batch"), num("epoch"))
+	stages, _ := trace["stages"].(map[string]any)
+	if stages == nil {
+		return
+	}
+	fmt.Printf("  %-12s %10s %10s %10s %10s %10s\n", "stage", "count", "p50_us", "p99_us", "max_us", "mean_us")
+	shown := 0
+	for _, name := range optrace.StageNames() {
+		st, ok := stages[name].(map[string]any)
+		if !ok {
+			continue
+		}
+		cell := func(k string) float64 {
+			f, _ := st[k].(float64)
+			return f
+		}
+		count := cell("count")
+		if count == 0 && !showZero {
+			continue
+		}
+		shown++
+		fmt.Printf("  %-12s %10.0f %10.1f %10.1f %10.1f %10.1f\n",
+			name, count, cell("p50_us"), cell("p99_us"), cell("max_us"), cell("mean_us"))
+	}
+	if shown == 0 {
+		fmt.Println("  (no samples yet — is -trace-sample 0, or has no traffic arrived?)")
+	}
 }
 
 // parseTarget reads the positional target spec: a flavor name followed by

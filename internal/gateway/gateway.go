@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"hquorum/internal/epoch"
+	"hquorum/internal/optrace"
 	"hquorum/internal/rkv"
 )
 
@@ -101,6 +102,11 @@ type Config struct {
 	// complete together, and coalesce into one response flush instead
 	// of one syscall each.
 	DispatchBurst int
+	// Trace, when set, samples client requests into per-stage histograms
+	// (gw_queue: pending-queue wait; gw_dispatch: ready-ring turn to
+	// session acceptance). Point it at a session node's Tracer() so
+	// gateway stages land next to the server's, or at a dedicated one.
+	Trace *optrace.Tracer
 }
 
 // Stats counts gateway activity; all fields are cumulative.
@@ -348,6 +354,11 @@ var opPool = sync.Pool{New: func() any { return new(opCall) }}
 // whatever goroutine the session completes on, so it must never block:
 // responses go through the connection's bounded write queue.
 func (s *Server) submit(c *conn, req request, rr, attempt int) {
+	// First dispatch closes the queue-wait stage; the dispatch stage
+	// covers routing up to the session accepting the op (retries ride the
+	// same record, accumulating further dispatch intervals).
+	req.rec.End(optrace.StageGwQueue)
+	req.rec.Begin(optrace.StageGwDispatch)
 	o := opPool.Get().(*opCall)
 	o.s, o.c, o.req, o.rr, o.attempt = s, c, req, rr, attempt
 	o.idx = s.pickSession(rr + attempt)
@@ -361,6 +372,10 @@ func (s *Server) submit(c *conn, req request, rr, attempt int) {
 	if s.cfg.OpTimeout > 0 {
 		o.watchdog = time.AfterFunc(s.cfg.OpTimeout, o.expire)
 	}
+	// Close the dispatch stage before the hand-off: once Submit is called
+	// the completion path owns the record (the callback may fire — and
+	// fold it — before Submit even returns).
+	req.rec.End(optrace.StageGwDispatch)
 	s.cfg.Sessions[o.idx].Submit(rkv.Op{Kind: req.kind, Key: req.key, Value: req.value}, o.done)
 }
 
@@ -402,6 +417,7 @@ func (o *opCall) finish(res rkv.Result, recycle bool) {
 		return
 	}
 	s.tokens <- struct{}{}
+	req.rec.Done()
 	resp := response{id: req.id}
 	switch {
 	case res.Err != nil:
@@ -507,9 +523,18 @@ func (c *conn) readLoop() {
 			return
 		}
 		c.s.requests.Add(1)
+		if req.rec = c.s.cfg.Trace.Sample(); req.rec != nil {
+			kind := optrace.KindWrite
+			if req.kind == rkv.OpRead {
+				kind = optrace.KindRead
+			}
+			req.rec.Tag(kind, 1, 0)
+			req.rec.Begin(optrace.StageGwQueue)
+		}
 		enqueue, ok := c.push(req)
 		if !ok {
 			c.s.shed.Add(1)
+			req.rec.Done() // shed before queueing: fold the (empty) record
 			c.respond(response{id: req.id, status: StatusOverloaded})
 			continue
 		}

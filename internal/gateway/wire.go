@@ -15,6 +15,7 @@ import (
 	"io"
 
 	"hquorum/internal/cluster"
+	"hquorum/internal/optrace"
 	"hquorum/internal/rkv"
 )
 
@@ -35,6 +36,10 @@ type request struct {
 	kind  rkv.OpKind
 	key   string
 	value string
+	// rec is the request's sampled trace record (nil when unsampled),
+	// carrying gw_queue and gw_dispatch stage timings through the pending
+	// queue and across retries; folded when the response is queued.
+	rec *optrace.Rec
 }
 
 // response carries a completed (or shed) request back to the client.

@@ -1,0 +1,154 @@
+package histo
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// randomHisto builds a histogram from n random observations drawn from a
+// mixture of scales, so snapshots exercise exact buckets, log-linear
+// buckets and the clamp band.
+func randomHisto(rng *rand.Rand, n int) *Histogram {
+	h := New()
+	for i := 0; i < n; i++ {
+		var v int64
+		switch rng.Intn(4) {
+		case 0:
+			v = rng.Int63n(128) // exact buckets
+		case 1:
+			v = rng.Int63n(1 << 20)
+		case 2:
+			v = rng.Int63n(1 << 40)
+		default:
+			v = rng.Int63() // anywhere, incl. the clamp band
+		}
+		h.Record(v)
+	}
+	return h
+}
+
+func sameHisto(t *testing.T, want, got *Histogram) {
+	t.Helper()
+	if got.Count() != want.Count() {
+		t.Fatalf("count: got %d want %d", got.Count(), want.Count())
+	}
+	if got.Min() != want.Min() || got.Max() != want.Max() {
+		t.Fatalf("extremes: got [%d,%d] want [%d,%d]", got.Min(), got.Max(), want.Min(), want.Max())
+	}
+	if got.Mean() != want.Mean() {
+		t.Fatalf("mean: got %v want %v", got.Mean(), want.Mean())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		if got.Quantile(q) != want.Quantile(q) {
+			t.Fatalf("q%.3f: got %d want %d", q, got.Quantile(q), want.Quantile(q))
+		}
+	}
+	// The wire form is canonical: equal histograms encode identically.
+	if !bytes.Equal(got.AppendBinary(nil), want.AppendBinary(nil)) {
+		t.Fatalf("re-encode differs")
+	}
+}
+
+// TestSnapshotRoundTrip is the property test: encode→decode reproduces
+// the histogram exactly, and merging decoded snapshots equals merging
+// the originals — for many random histograms including empty ones.
+func TestSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(2000)
+		if trial == 0 {
+			n = 0 // always cover the empty histogram
+		}
+		a := randomHisto(rng, n)
+		b := randomHisto(rng, rng.Intn(2000))
+
+		da, err := Decode(a.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("trial %d: decode a: %v", trial, err)
+		}
+		sameHisto(t, a, da)
+
+		db, err := Decode(b.AppendBinary(nil))
+		if err != nil {
+			t.Fatalf("trial %d: decode b: %v", trial, err)
+		}
+
+		// Merge of decoded halves == direct merge of the originals.
+		da.Merge(db)
+		a.Merge(b)
+		sameHisto(t, a, da)
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	h, err := Decode(New().AppendBinary(nil))
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if h.Count() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatalf("empty round-trip: count=%d max=%d min=%d", h.Count(), h.Max(), h.Min())
+	}
+	h.Record(7)
+	if h.Count() != 1 || h.Min() != 7 {
+		t.Fatalf("decoded empty histogram must stay recordable: count=%d min=%d", h.Count(), h.Min())
+	}
+}
+
+// TestSnapshotHostile feeds truncations, bit flips and junk to Decode:
+// every one must return an error (or decode cleanly after a lucky flip),
+// never panic, and never produce an internally inconsistent histogram.
+func TestSnapshotHostile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	h := randomHisto(rng, 500)
+	valid := h.AppendBinary(nil)
+
+	for cut := 0; cut < len(valid); cut++ {
+		if _, err := Decode(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded", cut)
+		}
+	}
+	for trial := 0; trial < 2000; trial++ {
+		mut := append([]byte(nil), valid...)
+		for k := 0; k <= rng.Intn(3); k++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		d, err := Decode(mut)
+		if err != nil {
+			continue
+		}
+		// A mutation that still decodes must at least be self-consistent.
+		var tot uint64
+		for _, c := range d.counts {
+			tot += c
+		}
+		if tot != d.total {
+			t.Fatalf("trial %d: accepted inconsistent totals", trial)
+		}
+	}
+	junk := [][]byte{
+		nil,
+		{0},
+		{snapVersion},
+		{snapVersion, 0xff, 0xff, 0xff, 0xff, 0x7f}, // absurd bucket count
+		{2, 0, 0, 0, 0}, // wrong version
+	}
+	for i, j := range junk {
+		if _, err := Decode(j); err == nil {
+			t.Fatalf("junk %d decoded", i)
+		}
+	}
+}
+
+func TestSnapshotDurations(t *testing.T) {
+	h := New()
+	for _, d := range []time.Duration{time.Microsecond, 3 * time.Millisecond, time.Second} {
+		h.RecordDuration(d)
+	}
+	d, err := Decode(h.AppendBinary(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameHisto(t, h, d)
+}

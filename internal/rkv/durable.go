@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"hquorum/internal/cluster"
+	"hquorum/internal/optrace"
 	"hquorum/internal/wal"
 )
 
@@ -126,12 +127,16 @@ func (n *Node) applyPut(key string, ver Version, val string) bool {
 // acknowledging: every record appended so far — the whole quorum
 // batch, typically — becomes durable under one fsync per dirty shard
 // file. Reports whether the ack may be sent. On the memory backend it
-// is free.
-func (n *Node) commitDurable() bool {
+// is free. rec (nil when unsampled) gets the barrier as its storage
+// stage, with the WAL splitting it into group-commit wait vs fsync.
+func (n *Node) commitDurable(rec *optrace.Rec) bool {
 	if n.wal == nil {
 		return true
 	}
-	if n.wal.Sync() != nil {
+	rec.Begin(optrace.StageStorage)
+	err := n.wal.SyncTraced(rec)
+	rec.End(optrace.StageStorage)
+	if err != nil {
 		return false
 	}
 	n.maybeSnapshot()

@@ -37,6 +37,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/codec"
 	"hquorum/internal/lease"
+	"hquorum/internal/optrace"
 )
 
 // Lease wire messages (tags 0x31-0x37 in the 0x30 overflow block).
@@ -381,6 +382,9 @@ func (n *Node) startInvalPhase(env cluster.Env, op *opState) bool {
 	}
 	if first {
 		n.leaseInvalRounds.Add(1)
+		// The lease stage spans the whole invalidation barrier: first
+		// entry to the write phase shipping (startWritePhase Ends it).
+		op.rec.Begin(optrace.StageLease)
 	}
 	if len(targets) == 0 {
 		// Quarantine-only wait: no ack can unblock it, so backoff retries
@@ -658,7 +662,7 @@ func (n *Node) leaseFinishPull(env cluster.Env) {
 		ok = n.applyPut(k, vers[i], vals[i]) && ok
 	}
 	n.mergeClock(maxC)
-	if !ok || !n.commitDurable() {
+	if !ok || !n.commitDurable(nil) {
 		lh.Abort(now)
 		n.leaseMerged = nil
 		return
@@ -793,7 +797,7 @@ func (n *Node) leaseSelfKeep(env cluster.Env, op *opState) {
 			failed |= lease.Bit(s)
 		}
 	}
-	if applied != 0 && !n.commitDurable() {
+	if applied != 0 && !n.commitDurable(nil) {
 		failed |= applied
 	}
 	if failed != 0 {

@@ -47,6 +47,7 @@ import (
 	"hquorum/internal/hgrid"
 	"hquorum/internal/htgrid"
 	"hquorum/internal/lease"
+	"hquorum/internal/optrace"
 	"hquorum/internal/quorum"
 	"hquorum/internal/tuner"
 	"hquorum/internal/wal"
@@ -403,6 +404,13 @@ type Config struct {
 	// blocking writes to leased shards), so clusters can mix holders and
 	// non-holders freely.
 	Lease *lease.Config
+	// TraceSample enables server-side op tracing (internal/optrace) at a
+	// 1-in-N sampling rate: sampled operations get per-stage timing
+	// records folded into mergeable histograms, visible on the metrics
+	// endpoint. Zero or negative disables (each potential stamp site then
+	// costs one atomic load). The rate can be changed live through
+	// Tracer().SetSample.
+	TraceSample int
 }
 
 // ErrRestarted reports an externally submitted operation abandoned
@@ -480,6 +488,12 @@ type opState struct {
 	opSuspects  bitset.Set // everyone silent during this round (no decay)
 	started     time.Duration
 	sawNoQuorum bool // this round once found no quorum among trusted replicas
+
+	// rec is the round's sampled trace record (nil when unsampled): the
+	// quorum stage spans launch to retirement across every phase and
+	// retry, the lease stage the invalidation barrier. Folded in putOp —
+	// the single retirement point — so no completion path can leak it.
+	rec *optrace.Rec
 }
 
 // pickCache remembers the last successful quorum pick per flavor, keyed by
@@ -579,6 +593,11 @@ type Node struct {
 	// choosing a session; leaseShards is its (immutable) shard count.
 	leaseRouteMask atomic.Uint64
 	leaseShards    int
+
+	// trace is the node's op tracer (never nil; disabled unless
+	// Config.TraceSample > 0). The transport discovers it through the
+	// optrace.Source interface and stamps its stages into the same set.
+	trace *optrace.Tracer
 }
 
 var _ cluster.Handler = (*Node)(nil)
@@ -635,6 +654,7 @@ func NewNode(id cluster.NodeID, cfg Config) (*Node, error) {
 		suspects:  bitset.New(cfg.Store.Universe()),
 		suspectAt: make([]time.Duration, cfg.Store.Universe()),
 		profile:   tuner.NewWindow(span),
+		trace:     optrace.New(cfg.TraceSample),
 	}
 	if cfg.AutoTune != nil {
 		n.tune = tuner.NewDriver(*cfg.AutoTune)
@@ -806,26 +826,39 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 	switch m := msg.(type) {
 	case msgReadVersion:
 		n.gate(env, from, m.Epoch, m.Seq, func() {
+			rec := optrace.From(env)
+			rec.Tag(optrace.KindRead, 1, m.Epoch)
+			rec.Begin(optrace.StageLock)
 			ver, val := n.store.get("")
+			rec.End(optrace.StageLock)
 			env.Send(from, msgVersionReply{Epoch: m.Epoch, Seq: m.Seq, Version: ver, Value: val})
 		})
 	case msgWrite:
 		n.gate(env, from, m.Epoch, m.Seq, func() {
+			rec := optrace.From(env)
+			rec.Tag(optrace.KindWrite, 1, m.Epoch)
 			n.mergeClock(m.Version.Counter)
 			// Commit before ack: on the disk backend the ack is the
 			// durability promise a restarted replica must honor.
-			if !n.applyPut("", m.Version, m.Value) || !n.commitDurable() {
+			rec.Begin(optrace.StageLock)
+			applied := n.applyPut("", m.Version, m.Value)
+			rec.End(optrace.StageLock)
+			if !applied || !n.commitDurable(rec) {
 				return
 			}
 			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
 		})
 	case msgReadBatch:
 		n.gate(env, from, m.Epoch, m.Seq, func() {
+			rec := optrace.From(env)
+			rec.Tag(optrace.KindRead, len(m.Keys), m.Epoch)
 			vers := make([]Version, len(m.Keys))
 			vals := make([]string, len(m.Keys))
+			rec.Begin(optrace.StageLock)
 			for i, k := range m.Keys {
 				vers[i], vals[i] = n.store.get(k)
 			}
+			rec.End(optrace.StageLock)
 			env.Send(from, msgReadBatchReply{Epoch: m.Epoch, Seq: m.Seq, Vers: vers, Vals: vals})
 		})
 	case msgWriteBatch:
@@ -833,18 +866,22 @@ func (n *Node) handleReplica(env cluster.Env, from cluster.NodeID, msg any) bool
 			return true // malformed (hostile frame): ignore, still a replica msg
 		}
 		n.gate(env, from, m.Epoch, m.Seq, func() {
+			rec := optrace.From(env)
+			rec.Tag(optrace.KindWrite, len(m.Keys), m.Epoch)
 			var maxC uint64
 			ok := true
+			rec.Begin(optrace.StageLock)
 			for i, k := range m.Keys {
 				if m.Vers[i].Counter > maxC {
 					maxC = m.Vers[i].Counter
 				}
 				ok = n.applyPut(k, m.Vers[i], m.Vals[i]) && ok
 			}
+			rec.End(optrace.StageLock)
 			n.mergeClock(maxC)
 			// One commit barrier for the whole batch — group commit:
 			// K appended records ride a single fsync round.
-			if !ok || !n.commitDurable() {
+			if !ok || !n.commitDurable(rec) {
 				return
 			}
 			env.Send(from, msgWriteAck{Epoch: m.Epoch, Seq: m.Seq})
@@ -1054,6 +1091,10 @@ func (n *Node) putOp(op *opState) {
 	}
 	op.shippedP1, op.shippedP2 = false, false
 	op.replies = nil
+	// Fold the round's trace here — putOp is the one retirement point
+	// every completion path (finish, fail, crash-restart) funnels through.
+	op.rec.Done()
+	op.rec = nil
 	n.free = append(n.free, op)
 }
 
@@ -1069,6 +1110,17 @@ func (n *Node) launchBatch(env cluster.Env) {
 		n.fillBatchExt(op)
 	} else {
 		n.fillBatchWorkload(env, op)
+	}
+	if op.rec = n.trace.Sample(); op.rec != nil {
+		kind := optrace.KindRead
+		for i := range op.subs {
+			if op.subs[i].kind != OpRead {
+				kind = optrace.KindWrite
+				break
+			}
+		}
+		op.rec.Tag(kind, len(op.subs), n.epochNow())
+		op.rec.Begin(optrace.StageQuorum)
 	}
 	n.profile.ObserveBatch(env.Now(), len(op.subs))
 	// Reads on actively leased shards are answered from the local store
@@ -1257,6 +1309,9 @@ func (n *Node) buildPhase2(env cluster.Env, op *opState) {
 // Like startReadPhase, a one-op classic-register payload uses the compact
 // single-key write message.
 func (n *Node) startWritePhase(env cluster.Env, op *opState) {
+	// End is a no-op unless the round actually crossed the invalidation
+	// barrier (startInvalPhase began the stage).
+	op.rec.End(optrace.StageLease)
 	n.rekey(op)
 	op.ph = phaseWrite
 	// Disk backend: before any stamped version leaves this node, hold a

@@ -20,6 +20,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/codec"
 	"hquorum/internal/epoch"
+	"hquorum/internal/optrace"
 	"hquorum/internal/tuner"
 )
 
@@ -71,6 +72,15 @@ func (n *Node) Workload(now time.Duration) tuner.Workload {
 func (n *Node) PickCacheStats() (hits, misses uint64) {
 	return n.pickHits.Load(), n.pickMisses.Load()
 }
+
+// Tracer returns the node's op tracer (implements optrace.Source, the
+// interface the transport discovers to stamp its stages into the same
+// histogram set). Never nil; disabled unless Config.TraceSample > 0.
+func (n *Node) Tracer() *optrace.Tracer { return n.trace }
+
+// TraceSnapshot returns the tracer's per-stage histograms and tag
+// counters — the metrics-endpoint form. Safe from any goroutine.
+func (n *Node) TraceSnapshot() optrace.Snapshot { return n.trace.Snapshot() }
 
 // armTune schedules the next auto-tune evaluation.
 func (n *Node) armTune(env cluster.Env) {

@@ -36,6 +36,7 @@ import (
 	"hquorum/internal/cluster"
 	"hquorum/internal/codec"
 	"hquorum/internal/dmutex"
+	"hquorum/internal/optrace"
 	"hquorum/internal/rkv"
 )
 
@@ -102,6 +103,7 @@ type event struct {
 	from  cluster.NodeID
 	msg   any
 	token any
+	rec   *optrace.Rec // sampled delivery's trace record (queue stage open)
 }
 
 // Option configures a Node.
@@ -179,6 +181,15 @@ type timedMsg struct {
 	at  time.Time
 }
 
+// tracedMsg wraps a queued message with the sampled op's trace record:
+// the writer stamps encode time and closes the send stage after the
+// flush that carried the frame. When a link also has injected latency,
+// the timedMsg wrap goes outside this one.
+type tracedMsg struct {
+	msg any
+	rec *optrace.Rec
+}
+
 // Node hosts a protocol handler on a TCP listener.
 type Node struct {
 	id          cluster.NodeID
@@ -190,6 +201,7 @@ type Node struct {
 	reg         *codec.Registry
 	forceGob    bool
 	linkLat     func(from, to cluster.NodeID) time.Duration
+	trace       *optrace.Tracer // handler's tracer (optrace.Source), nil otherwise
 
 	ln     net.Listener
 	start  time.Time
@@ -242,6 +254,11 @@ func NewNode(id cluster.NodeID, handler cluster.Handler, addr string, opts ...Op
 	}
 	if f, ok := handler.(FastDeliverer); ok && n.dropRate == 0 {
 		n.fast = f
+	}
+	// A handler that owns an op tracer gets its transport stages stamped
+	// into the same histogram set (decode, queue wait, encode, send).
+	if src, ok := handler.(optrace.Source); ok {
+		n.trace = src.Tracer()
 	}
 	n.rng = rand.New(rand.NewSource(n.seed))
 	return n, nil
@@ -344,10 +361,18 @@ func (n *Node) readLoop(c net.Conn) {
 		delete(n.accepted, c)
 		n.mu.Unlock()
 	}()
-	dec := codec.NewDecoder(bufio.NewReaderSize(c, 64<<10), n.reg)
+	ar := &arrivalReader{r: c}
+	dec := codec.NewDecoder(bufio.NewReaderSize(ar, 64<<10), n.reg)
 	env := &liveEnv{n: n} // fast-path env: ID/Now/Send only (see FastDeliverer)
 	var consumed uint64
 	for {
+		// The sampling decision is taken before Decode so unsampled
+		// frames (the 1-in-N common case) pay zero clock reads here.
+		rec := n.trace.Sample()
+		var t0 int64
+		if rec != nil {
+			t0 = optrace.Clock()
+		}
 		from, msg, err := dec.Decode()
 		n.bytesIn.Add(dec.BytesRead() - consumed)
 		consumed = dec.BytesRead()
@@ -355,16 +380,54 @@ func (n *Node) readLoop(c net.Conn) {
 			return
 		}
 		n.received.Add(1)
-		if n.fast != nil && n.fast.FastDeliver(env, cluster.NodeID(from), msg) {
-			n.fastPath.Add(1)
-			continue
+		if rec != nil {
+			// Decode blocks while the socket is idle; start the clock at
+			// whichever is later of "we began parsing" and "the bytes
+			// arrived", so idle wait never counts as decode time. A frame
+			// already buffered uses t0.
+			start := t0
+			if at := ar.at; at > start {
+				start = at
+			}
+			rec.BeginAt(optrace.StageTotal, start)
+			rec.BeginAt(optrace.StageDecode, start)
+			rec.End(optrace.StageDecode)
 		}
+		if n.fast != nil {
+			env.rec = rec
+			ok := n.fast.FastDeliver(env, cluster.NodeID(from), msg)
+			env.rec = nil
+			if ok {
+				n.fastPath.Add(1)
+				if rec != nil && !rec.Claimed() {
+					rec.Done()
+				}
+				continue
+			}
+		}
+		rec.Begin(optrace.StageQueue)
 		select {
-		case n.events <- event{kind: 0, from: cluster.NodeID(from), msg: msg}:
+		case n.events <- event{kind: 0, from: cluster.NodeID(from), msg: msg, rec: rec}:
 		case <-n.quit:
 			return
 		}
 	}
+}
+
+// arrivalReader stamps the tracer clock after every successful read from
+// the socket — one clock read per syscall — so sampled frames know when
+// their bytes actually arrived, independent of when Decode got to them.
+type arrivalReader struct {
+	r  net.Conn
+	at int64
+}
+
+func (a *arrivalReader) Read(p []byte) (int, error) {
+	m, err := a.r.Read(p)
+	if m > 0 {
+		a.at = optrace.Clock()
+	}
+	return m, err
 }
 
 func (n *Node) eventLoop() {
@@ -377,7 +440,13 @@ func (n *Node) eventLoop() {
 		case e := <-n.events:
 			switch e.kind {
 			case 0:
+				e.rec.End(optrace.StageQueue)
+				env.rec = e.rec
 				n.handler.Deliver(env, e.from, e.msg)
+				env.rec = nil
+				if e.rec != nil && !e.rec.Claimed() {
+					e.rec.Done()
+				}
 			case 1:
 				n.handler.Timer(env, e.token)
 			}
@@ -388,7 +457,13 @@ func (n *Node) eventLoop() {
 // send hands a message to a peer's writer queue (or the local event
 // queue). It never blocks on the network: a missing peer or a full queue
 // drops the message, which the quorum protocols absorb as loss.
-func (n *Node) send(to cluster.NodeID, msg any) {
+//
+// rec, when non-nil, is the in-flight delivery's trace record: the first
+// remote send of a sampled delivery claims it and hands its completion
+// to the peer writer, which closes the send stage after the flush that
+// carried the frame. Later sends of the same delivery (quorum fan-out)
+// travel unwrapped — one delivery, one send-stage measurement.
+func (n *Node) send(to cluster.NodeID, msg any, rec *optrace.Rec) {
 	n.sent.Add(1)
 	if n.dropRate > 0 && n.rng.Float64() < n.dropRate {
 		n.dropped.Add(1)
@@ -406,6 +481,11 @@ func (n *Node) send(to cluster.NodeID, msg any) {
 		n.dropped.Add(1)
 		return
 	}
+	claimed := rec.Claim()
+	if claimed {
+		rec.Begin(optrace.StageSend)
+		msg = tracedMsg{msg: msg, rec: rec}
+	}
 	if w.delay > 0 {
 		msg = timedMsg{msg: msg, at: time.Now()}
 	}
@@ -413,6 +493,9 @@ func (n *Node) send(to cluster.NodeID, msg any) {
 	case w.ch <- msg:
 	default:
 		n.dropped.Add(1) // writer wedged or flooded: shed, don't stall
+		if claimed {
+			rec.Done() // the writer never saw it; fold what we have
+		}
 	}
 }
 
@@ -474,12 +557,16 @@ func (w *peerWriter) close() {
 
 // drain empties the queue, returning the number of messages discarded —
 // called after a failure so a dead peer costs one dial per burst, not one
-// per message.
+// per message. Trace records riding discarded messages are folded (Done
+// closes their open stages) so claimed recs never leak.
 func (w *peerWriter) drain() uint64 {
 	var m uint64
 	for {
 		select {
-		case <-w.ch:
+		case raw := <-w.ch:
+			if _, _, rec := w.unwrap(raw); rec != nil {
+				rec.Done()
+			}
 			m++
 		default:
 			return m
@@ -504,13 +591,17 @@ func (w *peerWriter) hold(until time.Time) bool {
 	return true
 }
 
-// unwrap resolves a queued entry to its payload and due time (zero for
-// undelayed links).
-func (w *peerWriter) unwrap(raw any) (msg any, due time.Time) {
+// unwrap resolves a queued entry to its payload, due time (zero for
+// undelayed links) and trace record (nil for unsampled messages).
+func (w *peerWriter) unwrap(raw any) (msg any, due time.Time, rec *optrace.Rec) {
 	if tm, ok := raw.(timedMsg); ok {
-		return tm.msg, tm.at.Add(w.delay)
+		due = tm.at.Add(w.delay)
+		raw = tm.msg
 	}
-	return raw, time.Time{}
+	if tr, ok := raw.(tracedMsg); ok {
+		return tr.msg, due, tr.rec
+	}
+	return raw, due, nil
 }
 
 func (w *peerWriter) run() {
@@ -519,6 +610,18 @@ func (w *peerWriter) run() {
 	var conn net.Conn
 	var bw *bufio.Writer
 	var enc *codec.Encoder
+	// recs holds the trace records of sampled messages in the current
+	// batch; their send stage closes when the covering flush returns (or
+	// the batch fails — Done folds whatever was measured either way).
+	var recs []*optrace.Rec
+	finishRecs := func() {
+		for i, r := range recs {
+			r.End(optrace.StageSend)
+			r.Done()
+			recs[i] = nil
+		}
+		recs = recs[:0]
+	}
 	fail := func(batched uint64) {
 		if conn != nil {
 			conn.Close()
@@ -526,6 +629,7 @@ func (w *peerWriter) run() {
 			conn = nil
 		}
 		w.n.dropped.Add(batched + w.drain())
+		finishRecs()
 	}
 	var held any // popped but future-due: flushed the batch in front of it first
 	for {
@@ -540,7 +644,10 @@ func (w *peerWriter) run() {
 				return
 			}
 		}
-		msg, due := w.unwrap(raw)
+		msg, due, rec := w.unwrap(raw)
+		if rec != nil {
+			recs = append(recs, rec)
+		}
 		if !due.IsZero() {
 			w.hold(due)
 		}
@@ -566,22 +673,29 @@ func (w *peerWriter) run() {
 		var batched uint64
 		encodeFailed := false
 		for {
+			rec.Begin(optrace.StageEncode)
 			if _, err := enc.Encode(uint64(w.n.id), msg); err != nil {
 				fail(batched + 1)
 				encodeFailed = true
 				break
 			}
+			rec.End(optrace.StageEncode)
 			batched++
 			select {
 			case raw := <-w.ch:
 				var due time.Time
-				msg, due = w.unwrap(raw)
+				var next *optrace.Rec
+				msg, due, next = w.unwrap(raw)
 				if !due.IsZero() {
 					if time.Until(due) > latencySlack {
 						held = raw // flush what we have, then sleep on it
-						break
+						break      // held's rec joins the NEXT batch
 					}
 					w.hold(due)
+				}
+				rec = next
+				if rec != nil {
+					recs = append(recs, rec)
 				}
 				continue
 			default:
@@ -597,6 +711,7 @@ func (w *peerWriter) run() {
 			continue
 		}
 		w.n.flushes.Add(1)
+		finishRecs()
 	}
 }
 
@@ -625,14 +740,19 @@ func (n *Node) after(d time.Duration, token any) {
 	_ = timer
 }
 
-// liveEnv implements cluster.Env over the real network. It is only used
-// from the event loop, matching the simulation's single-threaded handler
-// contract.
+// liveEnv implements cluster.Env over the real network. Each event loop
+// and each reader goroutine owns its own instance, matching the
+// simulation's single-threaded handler contract; rec is the in-flight
+// delivery's trace record, set around each Deliver/FastDeliver call.
 type liveEnv struct {
-	n *Node
+	n   *Node
+	rec *optrace.Rec
 }
 
-var _ cluster.Env = (*liveEnv)(nil)
+var (
+	_ cluster.Env     = (*liveEnv)(nil)
+	_ optrace.Carrier = (*liveEnv)(nil)
+)
 
 // ID implements cluster.Env.
 func (e *liveEnv) ID() cluster.NodeID { return e.n.id }
@@ -641,7 +761,11 @@ func (e *liveEnv) ID() cluster.NodeID { return e.n.id }
 func (e *liveEnv) Now() time.Duration { return time.Since(e.n.start) }
 
 // Send implements cluster.Env.
-func (e *liveEnv) Send(to cluster.NodeID, msg any) { e.n.send(to, msg) }
+func (e *liveEnv) Send(to cluster.NodeID, msg any) { e.n.send(to, msg, e.rec) }
+
+// TraceRec implements optrace.Carrier: handlers stamp their stages into
+// the delivery's sampled record (nil when unsampled — stamps no-op).
+func (e *liveEnv) TraceRec() *optrace.Rec { return e.rec }
 
 // After implements cluster.Env.
 func (e *liveEnv) After(d time.Duration, token any) { e.n.after(d, token) }

@@ -358,7 +358,7 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 	nb.Start()
 
 	// Prime the cached connection.
-	na.send(2, ping{Text: "before"})
+	na.send(2, ping{Text: "before"}, nil)
 	waitFor(t, 5*time.Second, func() bool {
 		b.mu.Lock()
 		defer b.mu.Unlock()
@@ -378,7 +378,7 @@ func TestRedialAfterPeerRestart(t *testing.T) {
 	// Early sends hit the dead cached connection (dropped, evicted);
 	// subsequent sends must re-dial and get through.
 	waitFor(t, 10*time.Second, func() bool {
-		na.send(2, ping{Text: "after"})
+		na.send(2, ping{Text: "after"}, nil)
 		b2.mu.Lock()
 		defer b2.mu.Unlock()
 		return len(b2.got) > 0
@@ -407,7 +407,7 @@ func TestWithDialTimeout(t *testing.T) {
 	dead.Close()
 	n.Connect(map[cluster.NodeID]string{2: deadAddr})
 	begin := time.Now()
-	n.send(2, ping{Text: "void"})
+	n.send(2, ping{Text: "void"}, nil)
 	if elapsed := time.Since(begin); elapsed > 900*time.Millisecond {
 		t.Fatalf("send to unreachable peer took %v", elapsed)
 	}
@@ -450,11 +450,11 @@ func TestBlackHoledPeerDoesNotStallOthers(t *testing.T) {
 	// must be full many times over.
 	big := string(make([]byte, 256<<10))
 	for i := 0; i < 64; i++ {
-		na.send(3, ping{Text: big})
+		na.send(3, ping{Text: big}, nil)
 	}
 	// Sends to the healthy peer must still go through promptly.
 	begin := time.Now()
-	na.send(2, ping{Text: "alive"})
+	na.send(2, ping{Text: "alive"}, nil)
 	waitFor(t, 5*time.Second, func() bool {
 		healthy.mu.Lock()
 		defer healthy.mu.Unlock()
@@ -505,7 +505,7 @@ func TestCoalescingStats(t *testing.T) {
 
 	const burst = 200
 	for i := 0; i < burst; i++ {
-		na.send(2, ping{Text: "x"})
+		na.send(2, ping{Text: "x"}, nil)
 	}
 	waitFor(t, 10*time.Second, func() bool {
 		sink.mu.Lock()

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"hquorum/internal/optrace"
 )
 
 // markerName is the clean-shutdown marker. Close writes it after
@@ -193,6 +195,17 @@ func (l *Log) Append(rec Record) error {
 // Concurrent callers coalesce into rounds — one leader flushes all
 // dirty shards, followers wait for the covering round.
 func (l *Log) Sync() error {
+	return l.SyncTraced(nil)
+}
+
+// SyncTraced is Sync with an optional trace record: the time spent
+// waiting for a covering group-commit round (or electing this caller
+// leader) lands in wal_wait, and the leader's own flush+fsync pass in
+// fsync. Followers record zero fsync time — they only waited — so the
+// two stages together separate "the disk was busy" from "the disk was
+// slow".
+func (l *Log) SyncTraced(rec *optrace.Rec) error {
+	rec.Begin(optrace.StageWALWait)
 	l.mu.Lock()
 	target := l.appendSeq
 	for l.syncedSeq < target && l.syncing {
@@ -200,13 +213,17 @@ func (l *Log) Sync() error {
 	}
 	if l.syncedSeq >= target {
 		l.mu.Unlock()
+		rec.End(optrace.StageWALWait)
 		return nil
 	}
 	l.syncing = true
 	target = l.appendSeq // absorb records appended while waiting
 	l.mu.Unlock()
+	rec.End(optrace.StageWALWait)
 
+	rec.Begin(optrace.StageFsync)
 	err := l.flushAll()
+	rec.End(optrace.StageFsync)
 
 	l.mu.Lock()
 	l.syncing = false

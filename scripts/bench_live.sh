@@ -42,7 +42,10 @@
 # links, latency-aware grid placement), and reports ops/sec with
 # p50/p95/p99/p999 latency from the HDR-style histogram, per-cell
 # transport counters (messages, bytes, flushes — the msgs/flush ratio is
-# the coalescing win), and the headline ratios:
+# the coalescing win), per-cell server-side stage breakdowns (op tracing
+# at the default 1-in-64 sampling: queue/decode/lock/fsync/encode/send
+# medians explaining where the microseconds went inside the replicas,
+# sanity-gated on the headline batched cell), and the headline ratios:
 #
 #   pipeline_speedup    tcp/w8 over tcp/w1        (acceptance gate: >= 3x)
 #   batch_speedup       tcp/w8/k64b8 over tcp/w8  (acceptance gate: >= 2x)
@@ -73,11 +76,19 @@ tol="${TOLERANCE:-0.25}"
 # measure scheduler jitter, not the protocol.
 ops="${OPS:-8000}"
 go build -o /tmp/hquorum-loadgen ./cmd/loadgen
+# -stage-sanity: every cell's result is stamped with the server-side
+# stage breakdown (op tracing at the default 1-in-64 sampling); the
+# headline batched cell must show >= 5 stages with samples and the sum
+# of its server stage medians must fit inside the client-observed p50 —
+# a physically-necessary bound that trips if the trace plumbing rots
+# (double stamps, leaked records, stages folding garbage).
 if [ -f scripts/BENCH_live_baseline.json ]; then
 	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -suite-lease -ops "$ops" -json "$out" \
+		-stage-sanity tcp/w8/k64b8 \
 		-compare scripts/BENCH_live_baseline.json -tolerance "$tol"
 else
-	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -suite-lease -ops "$ops" -json "$out"
+	/tmp/hquorum-loadgen -suite -suite-batch -suite-keys -suite-gw -suite-wan -suite-tune -suite-lease -ops "$ops" -json "$out" \
+		-stage-sanity tcp/w8/k64b8
 fi
 echo "wrote $out" >&2
 
@@ -115,8 +126,10 @@ done
 # ties with acquisition by design). The short -attempt-timeout is wave
 # retry patience: a wave lost to replica 3's restart (the lazy-redial
 # transport eats one send per dead connection) aborts and retries fast.
+# -trace-sample 1 traces every op: the probe workload below is two ops,
+# so the archived snapshot's optrace group must not sample them away.
 /tmp/hquorum-kvd -id 0 -peers "$pdir/peers.txt" -rows 2 -cols 2 -attempt-timeout 300ms \
-	-lease -lease-ttl 1s -lease-min-read-frac=-1 -metrics-addr 127.0.0.1:7460 &
+	-lease -lease-ttl 1s -lease-min-read-frac=-1 -trace-sample 1 -metrics-addr 127.0.0.1:7460 &
 echo $! >"$pdir/0.pid"
 sleep 1
 # Replica 3 doubles as the client for one write+read (-lease-ttl matches
@@ -130,3 +143,10 @@ echo $! >"$pdir/3.pid"
 sleep 3
 curl -s --retry 3 --max-time 10 http://127.0.0.1:7460/metrics >"$msnap"
 echo "wrote $msnap" >&2
+
+# Human-readable stage table for the same snapshot: what an operator
+# sees from `quorumctl metrics`, archived next to the raw JSON.
+stxt="${out%.json}_stages.txt"
+go build -o /tmp/hquorum-quorumctl ./cmd/quorumctl
+/tmp/hquorum-quorumctl metrics 127.0.0.1:7460 >"$stxt"
+echo "wrote $stxt" >&2

@@ -21,6 +21,11 @@ go test -race ./internal/epoch/... ./internal/dmutex/... ./internal/rkv/... ./in
 # The live-path engine's codec and histogram are shared by concurrent
 # transport readers/writers and per-worker recorders: race them too.
 go test -race ./internal/codec/... ./internal/histo/...
+# The op tracer is touched from every hot goroutine at once: transport
+# readers sample and stamp, writers stamp encode/send, event loops fold
+# completed records into the shared histograms, and metrics endpoints
+# snapshot concurrently. Race the whole tracing layer.
+go test -race ./internal/optrace/...
 # The gateway tier is concurrency-dense by construction: per-connection
 # reader/writer goroutines, a shared dispatcher, pooled op records whose
 # completion races a watchdog timer, and clients whose pipelined Do
